@@ -1,0 +1,121 @@
+//! Ablation studies of TESA's design choices (DESIGN.md experiment E-abl):
+//!
+//! 1. **Scheduler policy** — corner-first power-aware (Sec. III-C) vs. a
+//!    naive round-robin baseline: effect on peak temperature and latency.
+//! 2. **Leakage model** — exponential vs. linear vs. disabled: how much
+//!    each under-estimates the true (exponential) temperature and which
+//!    feasibility verdicts flip. This quantifies the paper's critique of
+//!    W1/W2's leakage treatment.
+//! 3. **ICS knob** — peak temperature vs. spacing at fixed architecture:
+//!    the lateral-coupling headroom the optimizer exploits (Fig. 1's
+//!    motivation).
+
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::power::LeakageModel;
+use tesa::report::Table;
+use tesa::sched::SchedulerPolicy;
+use tesa::Constraints;
+use tesa_workloads::arvr_suite;
+
+fn design(dim: u32, kib: u64, integration: Integration, ics: u32, mhz: u32) -> McmDesign {
+    McmDesign {
+        chiplet: ChipletConfig { array_dim: dim, sram_kib_per_bank: kib, integration },
+        ics_um: ics,
+        freq_mhz: mhz,
+    }
+}
+
+fn main() {
+    let workload = arvr_suite();
+    let constraints = Constraints::edge_device(30.0, 75.0);
+
+    // --- 1. Scheduler policy ---
+    println!("== ablation 1: scheduler policy (corner-first vs naive round-robin) ==\n");
+    let mut table = Table::new(vec!["design", "policy", "peak temp", "fps", "worst-phase W"]);
+    for (dim, kib, integ, ics, mhz) in [
+        (200u32, 1024u64, Integration::TwoD, 500u32, 400u32),
+        (160, 512, Integration::ThreeD, 800, 400),
+        (180, 512, Integration::TwoD, 1000, 500),
+    ] {
+        let d = design(dim, kib, integ, ics, mhz);
+        for (name, policy) in [
+            ("corner-first", SchedulerPolicy::CornerFirstPowerAware),
+            ("naive RR", SchedulerPolicy::NaiveRoundRobin),
+        ] {
+            let e = Evaluator::new(
+                workload.clone(),
+                EvalOptions { scheduler: policy, ..EvalOptions::default() },
+            );
+            let eval = e.evaluate(&d, &constraints);
+            table.row(vec![
+                d.chiplet.to_string(),
+                name.into(),
+                format!("{:.2} C", eval.peak_temp_c),
+                format!("{:.1}", eval.achieved_fps),
+                format!("{:.2}", eval.chip_power_w),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    // --- 2. Leakage model ---
+    println!("== ablation 2: leakage model (what W1/W2-style models miss) ==\n");
+    let mut table = Table::new(vec![
+        "design",
+        "exp (truth)",
+        "linear believes",
+        "disabled believes",
+        "underestimate",
+    ]);
+    for (dim, kib, integ, mhz) in [
+        (200u32, 1024u64, Integration::TwoD, 500u32),
+        (196, 1024, Integration::ThreeD, 400),
+        (216, 1024, Integration::ThreeD, 500),
+    ] {
+        let d = design(dim, kib, integ, 700, mhz);
+        let peak = |model: LeakageModel| {
+            let e = Evaluator::new(
+                workload.clone(),
+                EvalOptions { leakage: model, ..EvalOptions::default() },
+            );
+            let eval = e.evaluate(&d, &constraints);
+            if eval.thermal_runaway { f64::INFINITY } else { eval.peak_temp_c }
+        };
+        let exp = peak(LeakageModel::Exponential);
+        let lin = peak(LeakageModel::Linear);
+        let none = peak(LeakageModel::Disabled);
+        table.row(vec![
+            d.chiplet.to_string(),
+            if exp.is_finite() { format!("{exp:.2} C") } else { "RUNAWAY".into() },
+            format!("{lin:.2} C"),
+            format!("{none:.2} C"),
+            if exp.is_finite() {
+                format!("{:.2} K / {:.2} K", exp - lin, exp - none)
+            } else {
+                "missed a runaway".into()
+            },
+        ]);
+    }
+    println!("{table}");
+
+    // --- 3. ICS sweep ---
+    println!("== ablation 3: peak temperature vs ICS (2D, 200x200/3072 KB, 400 MHz) ==\n");
+    let e = Evaluator::new(workload, EvalOptions::default());
+    let mut table = Table::new(vec!["ICS (um)", "mesh", "peak temp", "delta vs ICS=0"]);
+    let mut base = None;
+    for ics in (0..=1000).step_by(250) {
+        let d = design(200, 1024, Integration::TwoD, ics, 400);
+        let eval = e.evaluate(&d, &constraints);
+        let t = eval.peak_temp_c;
+        let b = *base.get_or_insert(t);
+        table.row(vec![
+            ics.to_string(),
+            eval.mesh.map_or("-".into(), |m| m.to_string()),
+            format!("{t:.2} C"),
+            format!("{:+.2} K", t - b),
+        ]);
+    }
+    println!("{table}");
+    println!("(same-mesh rows isolate pure lateral-coupling relief; mesh changes also shift power)");
+}

@@ -1,0 +1,97 @@
+//! Calibration probe: prints the quantities the paper's qualitative claims
+//! depend on, so the technology constants in `tesa::TechParams` can be
+//! tuned. Not an experiment — a development tool (see DESIGN.md,
+//! "Calibration targets").
+
+use tesa::baselines::{run_sc1, sc1_design};
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::Constraints;
+use tesa_workloads::arvr_suite;
+
+fn probe(evaluator: &Evaluator, d: &McmDesign, c: &Constraints, label: &str) {
+    let e = evaluator.evaluate(d, c);
+    println!(
+        "{label:<44} mesh={} ics={} peak={} chipW={:.2} dramW={:.2} totW={:.2} fps={:.1} cost=${:.2} ch={} {}",
+        e.mesh.map_or("-".into(), |m| m.to_string()),
+        d.ics_um,
+        if e.thermal_runaway { "RUNAWAY".into() } else { format!("{:.2}C", e.peak_temp_c) },
+        e.chip_power_w,
+        e.dram_power_w,
+        e.total_power_w,
+        e.achieved_fps,
+        e.mcm_cost_usd,
+        e.dram_channels,
+        if e.is_feasible() { "FEASIBLE".to_string() } else { format!("viol={:?}", e.violations) },
+    );
+}
+
+fn main() {
+    let workload = arvr_suite();
+    let evaluator = Evaluator::new(workload.clone(), EvalOptions::default());
+
+    println!("== per-DNN on 200x200 / 1024 KiB banks ==");
+    let chip200 = ChipletConfig {
+        array_dim: 200,
+        sram_kib_per_bank: 1024,
+        integration: Integration::TwoD,
+    };
+    let reports = evaluator.perf(&chip200);
+    for (dnn, r) in workload.iter().zip(reports.iter()) {
+        println!(
+            "  {:<12} cycles={:>12} util={:.3} dram_MB={:>8.1} peakBW(B/cyc)={:.2}",
+            dnn.name(),
+            r.total_cycles,
+            r.average_utilization,
+            r.dram_traffic.total() as f64 / 1e6,
+            r.peak_dram_bytes_per_cycle
+        );
+    }
+    let g = chip200.geometry(&EvalOptions::default().tech);
+    println!(
+        "  geometry: array={:.2}mm2 sram={:.2}mm2 side={:.2}mm",
+        g.array_area_mm2,
+        g.sram_area_mm2,
+        g.side_mm()
+    );
+
+    println!("\n== SC1 (6x 180x180 / 512 KiB banks, ICS 1 mm) ==");
+    for freq in [400u32, 500] {
+        for integ in [Integration::TwoD, Integration::ThreeD] {
+            let c = Constraints::edge_device(30.0, 75.0);
+            let r = run_sc1(&workload, integ, freq, &c, 64);
+            let e = &r.actual;
+            println!(
+                "  SC1 {integ} {freq}MHz: peak={} chipW={:.2} dramW={:.2} totW={:.2} fps={:.1} cost=${:.2}",
+                if e.thermal_runaway { "RUNAWAY".into() } else { format!("{:.2}C", e.peak_temp_c) },
+                e.chip_power_w,
+                e.dram_power_w,
+                e.total_power_w,
+                e.achieved_fps,
+                e.mcm_cost_usd
+            );
+            let _ = sc1_design(integ, freq);
+        }
+    }
+
+    println!("\n== TESA flagship candidates ==");
+    let c30_75 = Constraints::edge_device(30.0, 75.0);
+    let c15_85 = Constraints::edge_device(15.0, 85.0);
+    for (dim, kib, integ, ics, freq, label) in [
+        (200u32, 1024u64, Integration::TwoD, 500u32, 400u32, "2D 200/3072 400MHz"),
+        (200, 1024, Integration::TwoD, 500, 500, "2D 200/3072 500MHz"),
+        (240, 1024, Integration::TwoD, 500, 500, "2D 240/3072 500MHz"),
+        (196, 1024, Integration::ThreeD, 800, 400, "3D 196/3072 400MHz"),
+        (216, 1024, Integration::ThreeD, 700, 400, "3D 216/3072 400MHz"),
+        (216, 1024, Integration::ThreeD, 700, 500, "3D 216/3072 500MHz"),
+        (96, 256, Integration::ThreeD, 950, 500, "3D 96/768 500MHz"),
+    ] {
+        let d = McmDesign {
+            chiplet: ChipletConfig { array_dim: dim, sram_kib_per_bank: kib, integration: integ },
+            ics_um: ics,
+            freq_mhz: freq,
+        };
+        probe(&evaluator, &d, &c30_75, label);
+        probe(&evaluator, &d, &c15_85, &format!("{label} @15fps/85C"));
+    }
+}

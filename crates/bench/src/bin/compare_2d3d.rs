@@ -1,0 +1,103 @@
+//! Sec. IV-B3: comparison of TESA's 2D and 3D MCM outputs, averaged over
+//! both frequencies. The paper reports 3D providing up to ~39 % better OPS
+//! on average while sacrificing ~61 % in MCM cost and ~66 % in DRAM power
+//! at the relaxed 85 °C constraint, with the OPS advantage growing at
+//! 85 °C versus 75 °C (thermal headroom lets TESA upsize the chiplets).
+//!
+//! TESA's designs are read from `out/table5.csv` when available (run the
+//! `table5` binary first); otherwise the optimizer runs inline.
+
+use tesa::design::Integration;
+use tesa::eval::McmEvaluation;
+use tesa::Constraints;
+use tesa_bench::table5_data::load_table5_choices;
+use tesa_bench::{standard_evaluator, tesa_optimize};
+
+fn geo_mean_ratio(pairs: &[(f64, f64)]) -> f64 {
+    let log_sum: f64 = pairs.iter().map(|(a, b)| (a / b).ln()).sum();
+    (log_sum / pairs.len() as f64).exp()
+}
+
+fn main() {
+    let evaluator = standard_evaluator(true);
+    let choices = load_table5_choices();
+
+    let mut per_budget: Vec<(f64, Vec<(f64, f64)>)> = vec![(75.0, vec![]), (85.0, vec![])];
+    let mut cost_pairs: Vec<(f64, f64)> = Vec::new();
+    let mut dram_pairs: Vec<(f64, f64)> = Vec::new();
+
+    for fps in [15.0f64, 30.0] {
+        for temp in [75.0f64, 85.0] {
+            for freq in [400u32, 500] {
+                let constraints = Constraints::edge_device(fps, temp);
+                let run = |integration: Integration| -> Option<McmEvaluation> {
+                    let design = choices.as_ref().and_then(|rows| {
+                        rows.iter()
+                            .find(|r| {
+                                r.integration == integration
+                                    && r.freq_mhz == freq
+                                    && r.fps == fps
+                                    && r.temp_c == temp
+                            })
+                            .map(|r| r.design)
+                    });
+                    match design {
+                        Some(d) => Some(evaluator.evaluate(&d, &constraints)),
+                        None => {
+                            eprintln!("(optimizing inline: {integration} {freq} {fps} {temp})");
+                            tesa_optimize(&evaluator, integration, freq, fps, temp).best
+                        }
+                    }
+                };
+                let (Some(d2), Some(d3)) = (run(Integration::TwoD), run(Integration::ThreeD))
+                else {
+                    println!(
+                        "{freq} MHz {fps} fps {temp} C: no feasible design in one technology"
+                    );
+                    continue;
+                };
+                let ops_gain = 100.0 * (d3.ops / d2.ops - 1.0);
+                println!(
+                    "{freq} MHz {fps:>2.0} fps {temp:.0} C: OPS 2D {:.2e} vs 3D {:.2e} ({:+.1}%), \
+                     cost ${:.2} vs ${:.2}, DRAM {:.2} W vs {:.2} W  [2D {} {} | 3D {} {}]",
+                    d2.ops,
+                    d3.ops,
+                    ops_gain,
+                    d2.mcm_cost_usd,
+                    d3.mcm_cost_usd,
+                    d2.dram_power_w,
+                    d3.dram_power_w,
+                    d2.design.chiplet,
+                    d2.mesh.expect("mesh"),
+                    d3.design.chiplet,
+                    d3.mesh.expect("mesh"),
+                );
+                for (budget, pairs) in &mut per_budget {
+                    if (temp - *budget).abs() < 1e-9 {
+                        pairs.push((d3.ops, d2.ops));
+                    }
+                }
+                cost_pairs.push((d3.mcm_cost_usd, d2.mcm_cost_usd));
+                dram_pairs.push((d3.dram_power_w, d2.dram_power_w));
+            }
+        }
+    }
+
+    println!();
+    for (budget, pairs) in &per_budget {
+        if !pairs.is_empty() {
+            println!(
+                "average OPS advantage of 3D at {budget:.0} C: {:+.1}%",
+                100.0 * (geo_mean_ratio(pairs) - 1.0)
+            );
+        }
+    }
+    if !cost_pairs.is_empty() {
+        println!(
+            "average 3D cost premium: {:+.1}%  |  average 3D DRAM power premium: {:+.1}%",
+            100.0 * (geo_mean_ratio(&cost_pairs) - 1.0),
+            100.0 * (geo_mean_ratio(&dram_pairs) - 1.0),
+        );
+    }
+    println!("(paper: up to +39% OPS, ~61% higher cost, ~66% higher DRAM power at 85 C)");
+}

@@ -1,0 +1,60 @@
+//! Fig. 5: the SC1 baseline — maximum parallelism without thermal
+//! awareness. Six 180x180 chiplets (1,536 KB SRAM each) at the maximum
+//! 1 mm ICS, one DNN per chiplet. The paper's observations: every SC1 MCM
+//! exceeds 75 °C (both frequencies shown for 2D and 3D), and the 3D
+//! variant additionally violates the 15 W power budget once leakage is
+//! accounted for.
+//!
+//! Also exports the SC1 thermal maps as CSV grids (`out/fig5_*.csv`).
+
+use tesa::baselines::{run_sc1, sc1_design};
+use tesa::design::Integration;
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::report::{feasibility_cell, temp_cell, Table};
+use tesa::Constraints;
+use tesa_workloads::arvr_suite;
+
+fn main() {
+    let workload = arvr_suite();
+    let constraints = Constraints::edge_device(30.0, 75.0);
+    let mut table = Table::new(vec![
+        "SC1 variant",
+        "Peak temp.",
+        "Chip power",
+        "DRAM power",
+        "Total power",
+        "Full-model verdict",
+    ]);
+
+    let full = Evaluator::new(workload.clone(), EvalOptions::default());
+    for integration in [Integration::TwoD, Integration::ThreeD] {
+        for freq in [400u32, 500] {
+            eprintln!("SC1 {integration} {freq} MHz ...");
+            let report = run_sc1(&workload, integration, freq, &constraints, 64);
+            let a = &report.actual;
+            table.row(vec![
+                format!("{integration} @ {freq} MHz"),
+                temp_cell(a),
+                format!("{:.2} W", a.chip_power_w),
+                format!("{:.2} W", a.dram_power_w),
+                format!("{:.2} W", a.total_power_w),
+                feasibility_cell(a),
+            ]);
+            // Export the thermal map of the hottest phase.
+            if let Some(field) = full.thermal_map(&sc1_design(integration, freq), &constraints) {
+                let device_layer = match integration {
+                    Integration::TwoD => 1,
+                    Integration::ThreeD => 3,
+                };
+                let path = tesa_bench::out_dir()
+                    .join(format!("fig5_sc1_{integration}_{freq}mhz.csv"));
+                std::fs::write(&path, field.to_csv(device_layer)).expect("write thermal map");
+                println!("thermal map written: {}", path.display());
+            }
+        }
+    }
+
+    println!("\nFIG. 5: SC1 MCMs that maximize parallelism without thermal awareness");
+    println!("(each chiplet: 180x180 array with 1,536 KB SRAM; ICS = 1 mm; 6 chiplets)\n");
+    println!("{table}");
+}

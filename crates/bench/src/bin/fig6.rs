@@ -1,0 +1,48 @@
+//! Fig. 6: thermal maps of a subset of TESA's outputs:
+//!
+//! (a) the 2D MCM chosen at 400 MHz / 30 fps / 75 °C,
+//! (b) the 3D MCM chosen at 400 MHz / 30 fps / 75 °C,
+//! (c) the 3D MCM chosen at 500 MHz / 15 fps / 85 °C.
+//!
+//! Each map is the converged steady-state temperature field of the hottest
+//! schedule phase on the device tier, written as a CSV grid
+//! (`out/fig6_*.csv`, one row per 125 µm grid row).
+
+use tesa::design::Integration;
+use tesa::Constraints;
+use tesa_bench::{standard_evaluator, tesa_optimize};
+
+fn main() {
+    let evaluator = standard_evaluator(true);
+    let cases = [
+        ("a_2d_400mhz_30fps_75c", Integration::TwoD, 400u32, 30.0f64, 75.0f64),
+        ("b_3d_400mhz_30fps_75c", Integration::ThreeD, 400, 30.0, 75.0),
+        ("c_3d_500mhz_15fps_85c", Integration::ThreeD, 500, 15.0, 85.0),
+    ];
+    for (name, integration, freq, fps, temp) in cases {
+        eprintln!("fig6({name}): optimizing ...");
+        let outcome = tesa_optimize(&evaluator, integration, freq, fps, temp);
+        let Some(best) = outcome.best else {
+            println!("fig6({name}): no feasible MCM at these constraints");
+            continue;
+        };
+        let constraints = Constraints::edge_device(fps, temp);
+        let field = evaluator
+            .thermal_map(&best.design, &constraints)
+            .expect("feasible design has a thermal field");
+        let device_layer = match integration {
+            Integration::TwoD => 1,
+            Integration::ThreeD => 3,
+        };
+        let path = tesa_bench::out_dir().join(format!("fig6_{name}.csv"));
+        std::fs::write(&path, field.to_csv(device_layer)).expect("write thermal map");
+        println!(
+            "fig6({name}): {} | mesh {} | ICS {} um | peak {:.2} C -> {}",
+            best.design.chiplet,
+            best.mesh.expect("mesh"),
+            best.design.ics_um,
+            best.peak_temp_c,
+            path.display()
+        );
+    }
+}

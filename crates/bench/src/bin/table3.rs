@@ -1,0 +1,129 @@
+//! Table III: comparison of TESA to the prior 2.5D floorplanning works W1
+//! (TAP-2.5D-style) and W2 (cross-layer co-optimization style) at 500 MHz
+//! on 3D MCMs, under the Table II design space and constraints.
+//!
+//! Four adoptions are evaluated:
+//! * **W1 original** — fixed small chiplets, spacing tuned for minimum
+//!   temperature, no performance model → misses the 30 fps constraint by a
+//!   wide margin;
+//! * **W1 + constraints** — chiplet sizing added, but W1's thermal
+//!   estimate still ignores leakage → the chosen MCM exceeds the 75 °C
+//!   budget under the full model;
+//! * **W2 original** — minimizes a weighted (T, cost, latency) objective
+//!   without constraints → misses the latency target;
+//! * **W2 + constraints** — constrained, but its *linear* leakage model
+//!   under-estimates leakage → thermal violation under the full model;
+//! * **TESA** — reports whether any feasible 3D MCM exists at 75 °C /
+//!   500 MHz at all (the paper: no solution exists; reduce frequency).
+
+use tesa::anneal::MsaConfig;
+use tesa::baselines::{run_w1_constrained, run_w1_original, run_w2, BaselineReport};
+use tesa::design::{DesignSpace, Integration};
+use tesa::report::{feasibility_cell, grid_ics_cell, temp_cell, Table};
+use tesa::Constraints;
+use tesa_bench::{standard_evaluator, tesa_optimize};
+use tesa_workloads::arvr_suite;
+
+fn push_rows(table: &mut Table, method: &str, report: &Option<BaselineReport>) {
+    match report {
+        Some(r) => {
+            let a = &r.actual;
+            table.row(vec![
+                method.into(),
+                a.design.chiplet.to_string(),
+                grid_ics_cell(a),
+                temp_cell(a),
+                feasibility_cell(a),
+            ]);
+        }
+        None => {
+            table.row(vec![
+                method.into(),
+                "search found no design it believed feasible".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+    }
+}
+
+fn main() {
+    let workload = arvr_suite();
+    let space = DesignSpace::tesa_default();
+    let integration = Integration::ThreeD;
+    let freq = 500u32;
+    let constraints = Constraints::edge_device(30.0, 75.0);
+    let msa = MsaConfig::default();
+
+    let mut table = Table::new(vec![
+        "Method",
+        "Chosen chiplet",
+        "Grid size, ICS",
+        "True peak temp.",
+        "Full-model verdict",
+    ]);
+
+    eprintln!("W1 original (fixed 16x16 chiplets, min-T spacing) ...");
+    let w1_orig = Some(run_w1_original(&workload, integration, freq, &constraints, &space, 64));
+    push_rows(&mut table, "W1 original", &w1_orig);
+    if let Some(r) = &w1_orig {
+        let miss = constraints.min_fps / r.actual.achieved_fps;
+        println!("W1 original latency: {:.1}x longer than the 30 fps target", miss);
+    }
+
+    eprintln!("W1 + perf/power constraints (leakage-free thermal estimates) ...");
+    let (w1_con, _) =
+        run_w1_constrained(&workload, &space, integration, freq, &constraints, 64, &msa);
+    push_rows(&mut table, "W1 + constraints", &w1_con);
+    if let Some(r) = &w1_con {
+        println!(
+            "W1+constraints believed peak {:.2} C (no leakage), true peak {}",
+            r.believed.peak_temp_c,
+            temp_cell(&r.actual)
+        );
+    }
+
+    eprintln!("W2 original (weighted T/cost/latency, no constraints) ...");
+    let (w2_orig, _) =
+        run_w2(&workload, &space, integration, freq, &constraints, false, 64, &msa);
+    push_rows(&mut table, "W2 original", &w2_orig);
+    if let Some(r) = &w2_orig {
+        let miss = constraints.min_fps / r.actual.achieved_fps;
+        println!("W2 original latency: {:.1}x longer than the 30 fps target", miss);
+    }
+
+    eprintln!("W2 + constraints (linear leakage model) ...");
+    let (w2_con, _) = run_w2(&workload, &space, integration, freq, &constraints, true, 64, &msa);
+    push_rows(&mut table, "W2 + constraints", &w2_con);
+    if let Some(r) = &w2_con {
+        println!(
+            "W2+constraints believed peak {:.2} C (linear leakage), true peak {}",
+            r.believed.peak_temp_c,
+            temp_cell(&r.actual)
+        );
+    }
+
+    eprintln!("TESA at 500 MHz / 75 C (3D) ...");
+    let evaluator = standard_evaluator(true);
+    let tesa = tesa_optimize(&evaluator, integration, freq, 30.0, 75.0);
+    match &tesa.best {
+        Some(best) => table.row(vec![
+            "TESA".into(),
+            best.design.chiplet.to_string(),
+            grid_ics_cell(best),
+            temp_cell(best),
+            feasibility_cell(best),
+        ]),
+        None => table.row(vec![
+            "TESA".into(),
+            "solution does not exist at 75 C".into(),
+            "-".into(),
+            "-".into(),
+            "designer should take remedial action (e.g. reduce frequency)".into(),
+        ]),
+    }
+
+    println!("\nTABLE III: Comparison of TESA to prior works at 500 MHz (3D MCMs)\n");
+    println!("{table}");
+}

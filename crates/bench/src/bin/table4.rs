@@ -1,0 +1,76 @@
+//! Table IV: SC2's outputs — chiplet sizing **without** thermal awareness.
+//!
+//! SC2 searches the same design space as TESA but with the thermal and
+//! leakage models disabled (the power constraint applies to dynamic power
+//! only). The chosen MCMs are then re-evaluated with the full models; the
+//! paper's point is that they violate the 75 °C budget at 500 MHz in 2D
+//! and mostly reach thermal runaway in 3D.
+
+use tesa::baselines::run_sc2;
+use tesa::design::{DesignSpace, Integration};
+use tesa::report::{grid_ics_cell, temp_cell, Table};
+use tesa::{Constraints, Objective};
+use tesa_workloads::arvr_suite;
+
+fn main() {
+    let workload = arvr_suite();
+    let space = DesignSpace::tesa_default();
+    let objective = Objective::balanced();
+    let mut table = Table::new(vec![
+        "Chiplet Architecture and Tech.",
+        "Grid size, ICS",
+        "Frequency, performance constraint",
+        "Peak Junction Temp.",
+    ]);
+    let mut csv = String::from(
+        "integration,freq_mhz,fps,array,sram_total_kib,mesh,ics_um,true_peak_c,runaway\n",
+    );
+
+    for integration in [Integration::TwoD, Integration::ThreeD] {
+        for freq in [400u32, 500] {
+            for fps in [15.0f64, 30.0] {
+                eprintln!("SC2 search: {integration} {freq} MHz {fps} fps ...");
+                // SC2 is temperature-unaware, so the thermal budget is
+                // irrelevant to its search; 75 C is used for the *true*
+                // re-evaluation.
+                let constraints = Constraints::edge_device(fps, 75.0);
+                match run_sc2(&workload, &space, integration, freq, &constraints, &objective, 64, 2)
+                {
+                    Some(report) => {
+                        let a = &report.actual;
+                        table.row(vec![
+                            a.design.chiplet.to_string(),
+                            grid_ics_cell(a),
+                            format!("{freq} MHz, {fps:.0} fps"),
+                            temp_cell(a),
+                        ]);
+                        csv.push_str(&format!(
+                            "{integration},{freq},{fps},{},{},{},{},{:.2},{}\n",
+                            a.design.chiplet.array_dim,
+                            a.design.chiplet.sram_total_kib(),
+                            a.mesh.map_or("-".into(), |m| m.to_string()),
+                            a.design.ics_um,
+                            a.peak_temp_c,
+                            a.thermal_runaway,
+                        ));
+                    }
+                    None => {
+                        table.row(vec![
+                            "no dynamically-feasible MCM".into(),
+                            "-".into(),
+                            format!("{freq} MHz, {fps:.0} fps"),
+                            "-".into(),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+
+    println!("TABLE IV: SC2's 2D/3D MCMs: chiplet sizing without thermal awareness\n");
+    println!("{table}");
+    println!("(temperatures are TESA's full-model re-evaluation of SC2's choices)");
+    let path = tesa_bench::out_dir().join("table4.csv");
+    std::fs::write(&path, csv).expect("write table4.csv");
+    println!("(raw data: {})", path.display());
+}

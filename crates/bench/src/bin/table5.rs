@@ -1,0 +1,70 @@
+//! Table V: TESA's outputs — 2D/3D MCMs at (400, 500) MHz across the
+//! latency (15/30 fps) and thermal (75/85 °C) constraint combinations,
+//! with `alpha = beta = 1` to balance MCM cost and DRAM power.
+//!
+//! Regenerates the paper's Table V rows (architecture, grid size + ICS,
+//! constraint set, peak junction temperature). Absolute architectures may
+//! differ from the paper (hand-calibrated substrate models); the trends —
+//! feasibility everywhere, smaller/equal arrays at 75 °C than 85 °C at
+//! iso-frequency, 3D meshes denser than 2D — are the reproduction targets.
+
+use tesa::design::Integration;
+use tesa::report::{standard_row, Table};
+use tesa_bench::{standard_evaluator, tesa_optimize};
+
+fn main() {
+    let evaluator = standard_evaluator(true);
+    let mut table = Table::new(vec![
+        "Architecture and Tech.",
+        "Grid size, ICS",
+        "Frequency, constraints",
+        "Peak Temp.",
+    ]);
+    let mut csv = String::from("integration,freq_mhz,fps,temp_budget_c,array,sram_total_kib,mesh,ics_um,peak_c,cost_usd,dram_w,total_w,ops\n");
+
+    for integration in [Integration::TwoD, Integration::ThreeD] {
+        for freq in [400u32, 500] {
+            for fps in [15.0f64, 30.0] {
+                for temp in [75.0f64, 85.0] {
+                    eprintln!("optimizing {integration} {freq} MHz {fps} fps {temp} C ...");
+                    let outcome = tesa_optimize(&evaluator, integration, freq, fps, temp);
+                    let label = format!("{fps:.0} fps, {temp:.0} C");
+                    match outcome.best {
+                        Some(best) => {
+                            table.row(standard_row(&best, &label));
+                            let mesh = best.mesh.expect("feasible design has a mesh");
+                            csv.push_str(&format!(
+                                "{integration},{freq},{fps},{temp},{},{},{mesh},{},{:.2},{:.3},{:.3},{:.3},{:.4e}\n",
+                                best.design.chiplet.array_dim,
+                                best.design.chiplet.sram_total_kib(),
+                                best.design.ics_um,
+                                best.peak_temp_c,
+                                best.mcm_cost_usd,
+                                best.dram_power_w,
+                                best.total_power_w,
+                                best.ops,
+                            ));
+                        }
+                        None => {
+                            table.row(vec![
+                                format!("no feasible MCM ({integration})"),
+                                "-".into(),
+                                format!("{freq} MHz, {label}"),
+                                "-".into(),
+                            ]);
+                            csv.push_str(&format!(
+                                "{integration},{freq},{fps},{temp},,,,,,,,,\n"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    println!("TABLE V: TESA's outputs: 2D/3D MCMs at (400, 500) MHz and constraints\n");
+    println!("{table}");
+    let path = tesa_bench::out_dir().join("table5.csv");
+    std::fs::write(&path, csv).expect("write table5.csv");
+    println!("(raw data: {})", path.display());
+}

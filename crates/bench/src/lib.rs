@@ -1,0 +1,81 @@
+//! Shared setup for the TESA experiment binaries (one per paper table and
+//! figure — see `DESIGN.md` for the experiment index) and the Criterion
+//! micro-benchmarks.
+
+pub mod table5_data;
+
+use std::path::PathBuf;
+use tesa::anneal::{optimize, AnnealOutcome, MsaConfig};
+use tesa::design::{DesignSpace, Integration};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::{Constraints, Objective};
+use tesa_workloads::arvr_suite;
+
+/// Builds the standard TESA evaluator over the AR/VR workload.
+///
+/// `lazy` enables the search-mode shortcut that skips the thermal solve for
+/// designs that are already infeasible; use it for optimizer runs, not for
+/// reporting tables.
+pub fn standard_evaluator(lazy: bool) -> Evaluator {
+    Evaluator::new(arvr_suite(), EvalOptions { lazy, ..EvalOptions::default() })
+}
+
+/// The paper's MSA parameters: three starts with decay rates
+/// 0.89/0.87/0.85, `T_a` 19 → 0.5, `N = 10`.
+pub fn paper_msa_config() -> MsaConfig {
+    MsaConfig::default()
+}
+
+/// Runs TESA (Eq. (6), `alpha = beta = 1`) for one constraint combination
+/// over the Table II design space.
+pub fn tesa_optimize(
+    evaluator: &Evaluator,
+    integration: Integration,
+    freq_mhz: u32,
+    fps: f64,
+    temp_c: f64,
+) -> AnnealOutcome {
+    let space = DesignSpace::tesa_default();
+    let constraints = Constraints::edge_device(fps, temp_c);
+    optimize(
+        evaluator,
+        &space,
+        integration,
+        freq_mhz,
+        &constraints,
+        &Objective::balanced(),
+        &paper_msa_config(),
+    )
+}
+
+/// Output directory for experiment artifacts (`out/` under the workspace
+/// root), created on first use.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../out");
+    std::fs::create_dir_all(&dir).expect("create out/ directory");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msa_config_matches_paper() {
+        let c = paper_msa_config();
+        assert_eq!(c.deltas, vec![0.89, 0.87, 0.85]);
+        assert_eq!(c.t_init, 19.0);
+        assert_eq!(c.t_final, 0.5);
+        assert_eq!(c.moves_per_temp, 10);
+    }
+
+    #[test]
+    fn out_dir_is_creatable() {
+        let d = out_dir();
+        assert!(d.exists());
+    }
+}

@@ -1,0 +1,66 @@
+//! Loading of `out/table5.csv` (written by the `table5` binary) so the
+//! downstream comparison binaries reuse TESA's chosen designs instead of
+//! re-running sixteen optimizations.
+
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+
+/// One TESA result row from `out/table5.csv`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TesaChoice {
+    /// Integration technology.
+    pub integration: Integration,
+    /// Frequency, MHz.
+    pub freq_mhz: u32,
+    /// Latency constraint, fps.
+    pub fps: f64,
+    /// Thermal budget, °C.
+    pub temp_c: f64,
+    /// The chosen design (reconstructable and re-evaluable).
+    pub design: McmDesign,
+}
+
+/// Parses the CSV written by the `table5` binary. Rows where TESA found no
+/// feasible design are skipped. Returns `None` when the file is missing —
+/// callers then fall back to running the optimizer themselves.
+pub fn load_table5_choices() -> Option<Vec<TesaChoice>> {
+    let path = crate::out_dir().join("table5.csv");
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut rows = Vec::new();
+    for line in text.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() < 8 || f[4].is_empty() {
+            continue;
+        }
+        let integration = match f[0] {
+            "2D" => Integration::TwoD,
+            "3D" => Integration::ThreeD,
+            _ => continue,
+        };
+        let (Ok(freq), Ok(fps), Ok(temp), Ok(array), Ok(total_kib), Ok(ics)) = (
+            f[1].parse::<u32>(),
+            f[2].parse::<f64>(),
+            f[3].parse::<f64>(),
+            f[4].parse::<u32>(),
+            f[5].parse::<u64>(),
+            f[7].parse::<u32>(),
+        ) else {
+            continue;
+        };
+        rows.push(TesaChoice {
+            integration,
+            freq_mhz: freq,
+            fps,
+            temp_c: temp,
+            design: McmDesign {
+                chiplet: ChipletConfig {
+                    array_dim: array,
+                    sram_kib_per_bank: total_kib / 3,
+                    integration,
+                },
+                ics_um: ics,
+                freq_mhz: freq,
+            },
+        });
+    }
+    Some(rows)
+}

@@ -1,0 +1,162 @@
+//! Minimal dependency-free argument parsing for the `tesa` CLI.
+//!
+//! Flags are `--name value` pairs; the first free token is the subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand plus `--flag value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag token), if any.
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Errors from argument parsing or typed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArgsError {
+    /// A `--flag` appeared without a value.
+    MissingValue(String),
+    /// A flag value failed to parse to the requested type.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// The expected type name.
+        expected: &'static str,
+    },
+    /// A required flag is absent.
+    MissingFlag(String),
+}
+
+impl std::fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseArgsError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ParseArgsError::BadValue { flag, value, expected } => {
+                write!(f, "flag --{flag}: '{value}' is not a valid {expected}")
+            }
+            ParseArgsError::MissingFlag(flag) => write!(f, "required flag --{flag} is missing"),
+        }
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+impl Args {
+    /// Parses a token stream (usually `std::env::args().skip(1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::MissingValue`] when a flag has no value.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ParseArgsError> {
+        let mut out = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseArgsError::MissingValue(name.to_owned()))?;
+                out.flags.insert(name.to_owned(), value);
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw string value of a flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Typed value of an optional flag, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::BadValue`] when present but unparseable.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+    ) -> Result<T, ParseArgsError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ParseArgsError::BadValue {
+                flag: flag.to_owned(),
+                value: v.to_owned(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Typed value of a required flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::MissingFlag`] or [`ParseArgsError::BadValue`].
+    pub fn require<T: std::str::FromStr>(&self, flag: &str) -> Result<T, ParseArgsError> {
+        let v = self
+            .get(flag)
+            .ok_or_else(|| ParseArgsError::MissingFlag(flag.to_owned()))?;
+        v.parse().map_err(|_| ParseArgsError::BadValue {
+            flag: flag.to_owned(),
+            value: v.to_owned(),
+            expected: std::any::type_name::<T>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ParseArgsError> {
+        Args::parse(tokens.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse(&["evaluate", "--array", "200", "--freq", "400"]).expect("parses");
+        assert_eq!(a.command.as_deref(), Some("evaluate"));
+        assert_eq!(a.get("array"), Some("200"));
+        assert_eq!(a.require::<u32>("freq").expect("u32"), 400);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            parse(&["evaluate", "--array"]),
+            Err(ParseArgsError::MissingValue("array".into()))
+        );
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&["optimize"]).expect("parses");
+        assert_eq!(a.get_or("fps", 30.0).expect("default"), 30.0);
+    }
+
+    #[test]
+    fn bad_typed_value_reports_flag() {
+        let a = parse(&["evaluate", "--array", "big"]).expect("parses");
+        let err = a.require::<u32>("array").expect_err("must fail");
+        assert!(err.to_string().contains("array"));
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let a = parse(&["evaluate"]).expect("parses");
+        assert_eq!(
+            a.require::<u32>("array"),
+            Err(ParseArgsError::MissingFlag("array".into()))
+        );
+    }
+
+    #[test]
+    fn later_flags_override_earlier() {
+        let a = parse(&["x", "--n", "1", "--n", "2"]).expect("parses");
+        assert_eq!(a.require::<u32>("n").expect("u32"), 2);
+    }
+}

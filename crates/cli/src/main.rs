@@ -1,0 +1,29 @@
+//! `tesa` — the command-line interface of the TESA reproduction.
+//!
+//! Run `tesa help` for usage; see the workspace README for the library
+//! behind it.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! The multi-start simulated-annealing (MSA) optimizer (paper Sec. III-D,
+//! Fig. 4).
+//!
+//! Each annealer starts from a random *feasible* MCM and perturbs one knob
+//! at a time — the array dimension, the SRAM capacity, or the ICS — one
+//! design-space step per move. Infeasible candidates are rejected outright;
+//! better candidates are always accepted; worse ones are accepted with the
+//! Metropolis probability `exp(-dObj / T)`. The annealing temperature
+//! decays geometrically (`T <- delta * T`) every `N` perturbations, and the
+//! annealer stops when `T` falls below the final temperature. Multiple
+//! starts run in parallel with different decay rates to increase the chance
+//! of reaching the global optimum.
+
+use crate::constraints::Constraints;
+use crate::design::{DesignSpace, Integration, McmDesign};
+use crate::eval::{Evaluator, McmEvaluation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// MSA configuration. The defaults reproduce the paper's validation setup:
+/// three starts with decay rates 0.89 / 0.87 / 0.85, `T` from 19 down to
+/// 0.5, and `N = 10` perturbations per temperature step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MsaConfig {
+    /// Decay rate (`delta`) of each parallel start.
+    pub deltas: Vec<f64>,
+    /// Initial annealing temperature (`T_a` start).
+    pub t_init: f64,
+    /// Final annealing temperature (the annealer converges when `T_a`
+    /// drops below this).
+    pub t_final: f64,
+    /// Perturbations per temperature step (`N`).
+    pub moves_per_temp: u32,
+    /// Attempts at drawing a random feasible initial MCM per start.
+    pub init_attempts: u32,
+    /// RNG seed; start `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for MsaConfig {
+    fn default() -> Self {
+        Self {
+            deltas: vec![0.89, 0.87, 0.85],
+            t_init: 19.0,
+            t_final: 0.5,
+            moves_per_temp: 10,
+            init_attempts: 400,
+            seed: 0x7E5A_2023,
+        }
+    }
+}
+
+/// Result of an MSA run.
+#[derive(Debug, Clone)]
+pub struct AnnealOutcome {
+    /// The best feasible design found, if any start could be initialized.
+    pub best: Option<McmEvaluation>,
+    /// Total number of full evaluations performed (across all starts).
+    pub evaluations: usize,
+    /// Unique design points visited.
+    pub unique_designs: usize,
+    /// Accepted moves across all starts.
+    pub accepted_moves: usize,
+}
+
+impl AnnealOutcome {
+    /// Fraction of `space_size` explored — the paper reports the optimizer
+    /// touching <15 % of the validation space before convergence.
+    pub fn explored_fraction(&self, space_size: usize) -> f64 {
+        self.unique_designs as f64 / space_size.max(1) as f64
+    }
+}
+
+/// One step along a design-space axis: returns the neighboring design, or
+/// `None` when the move falls off the space (the caller retries).
+fn neighbor(
+    design: &McmDesign,
+    space: &DesignSpace,
+    rng: &mut StdRng,
+) -> Option<McmDesign> {
+    let knob = rng.gen_range(0..3u8);
+    let dir: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+    let mut next = *design;
+    match knob {
+        0 => {
+            let i = space.array_dims.iter().position(|&d| d == design.chiplet.array_dim)?;
+            let j = i as i64 + dir;
+            next.chiplet.array_dim = *space.array_dims.get(usize::try_from(j).ok()?)?;
+        }
+        1 => {
+            let i = space
+                .sram_kib_options
+                .iter()
+                .position(|&s| s == design.chiplet.sram_kib_per_bank)?;
+            let j = i as i64 + dir;
+            next.chiplet.sram_kib_per_bank =
+                *space.sram_kib_options.get(usize::try_from(j).ok()?)?;
+        }
+        _ => {
+            let i = space.ics_um_options.iter().position(|&s| s == design.ics_um)?;
+            let j = i as i64 + dir;
+            next.ics_um = *space.ics_um_options.get(usize::try_from(j).ok()?)?;
+        }
+    }
+    Some(next)
+}
+
+fn random_design(
+    space: &DesignSpace,
+    integration: Integration,
+    freq_mhz: u32,
+    rng: &mut StdRng,
+) -> McmDesign {
+    McmDesign {
+        chiplet: crate::design::ChipletConfig {
+            array_dim: space.array_dims[rng.gen_range(0..space.array_dims.len())],
+            sram_kib_per_bank: space.sram_kib_options
+                [rng.gen_range(0..space.sram_kib_options.len())],
+            integration,
+        },
+        ics_um: space.ics_um_options[rng.gen_range(0..space.ics_um_options.len())],
+        freq_mhz,
+    }
+}
+
+struct StartOutcome {
+    best: Option<(f64, McmEvaluation)>,
+    evaluations: usize,
+    visited: Vec<McmDesign>,
+    accepted: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_start<S>(
+    evaluator: &Evaluator,
+    space: &DesignSpace,
+    integration: Integration,
+    freq_mhz: u32,
+    constraints: &Constraints,
+    score: &S,
+    config: &MsaConfig,
+    delta: f64,
+    seed: u64,
+) -> StartOutcome
+where
+    S: Fn(&McmEvaluation) -> f64 + Sync,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = StartOutcome { best: None, evaluations: 0, visited: Vec::new(), accepted: 0 };
+
+    // Initialization: draw random designs until one is feasible.
+    let mut current: Option<(McmDesign, f64)> = None;
+    for _ in 0..config.init_attempts {
+        let d = random_design(space, integration, freq_mhz, &mut rng);
+        let eval = evaluator.evaluate_cached(&d, constraints);
+        out.evaluations += 1;
+        out.visited.push(d);
+        if eval.is_feasible() {
+            let s = score(&eval);
+            out.best = Some((s, (*eval).clone()));
+            current = Some((d, s));
+            break;
+        }
+    }
+    let Some((mut cur_design, mut cur_score)) = current else {
+        return out;
+    };
+
+    let mut t = config.t_init;
+    while t > config.t_final {
+        for _ in 0..config.moves_per_temp {
+            let Some(candidate) = neighbor(&cur_design, space, &mut rng) else {
+                continue;
+            };
+            let eval = evaluator.evaluate_cached(&candidate, constraints);
+            out.evaluations += 1;
+            out.visited.push(candidate);
+            if !eval.is_feasible() {
+                continue;
+            }
+            let s = score(&eval);
+            let accept = if s < cur_score {
+                true
+            } else {
+                let p = (-(s - cur_score) / t).exp();
+                rng.gen::<f64>() < p
+            };
+            if accept {
+                out.accepted += 1;
+                cur_design = candidate;
+                cur_score = s;
+                if out.best.as_ref().is_none_or(|(bs, _)| s < *bs) {
+                    out.best = Some((s, (*eval).clone()));
+                }
+            }
+        }
+        t *= delta;
+    }
+    out
+}
+
+/// Runs the multi-start annealer, minimizing `score` over feasible designs
+/// in `space` (at the given integration and frequency). Starts run in
+/// parallel; the result is deterministic for a fixed seed.
+///
+/// The `score` closure makes the annealer reusable by the prior-work
+/// baselines (W1 minimizes temperature, W2 a weighted multi-objective);
+/// TESA itself uses [`optimize`] with Eq. (6).
+pub fn optimize_with<S>(
+    evaluator: &Evaluator,
+    space: &DesignSpace,
+    integration: Integration,
+    freq_mhz: u32,
+    constraints: &Constraints,
+    score: S,
+    config: &MsaConfig,
+) -> AnnealOutcome
+where
+    S: Fn(&McmEvaluation) -> f64 + Sync,
+{
+    let score = &score;
+    let starts: Vec<StartOutcome> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = config
+            .deltas
+            .iter()
+            .enumerate()
+            .map(|(i, &delta)| {
+                scope.spawn(move |_| {
+                    run_start(
+                        evaluator,
+                        space,
+                        integration,
+                        freq_mhz,
+                        constraints,
+                        score,
+                        config,
+                        delta,
+                        config.seed.wrapping_add(i as u64),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("annealer start panicked")).collect()
+    })
+    .expect("annealer scope panicked");
+
+    let mut best: Option<(f64, McmEvaluation)> = None;
+    let mut evaluations = 0;
+    let mut accepted = 0;
+    let mut visited: std::collections::HashSet<McmDesign> = std::collections::HashSet::new();
+    for s in starts {
+        evaluations += s.evaluations;
+        accepted += s.accepted;
+        visited.extend(s.visited);
+        if let Some((score, eval)) = s.best {
+            if best.as_ref().is_none_or(|(b, _)| score < *b) {
+                best = Some((score, eval));
+            }
+        }
+    }
+    AnnealOutcome {
+        best: best.map(|(_, e)| e),
+        evaluations,
+        unique_designs: visited.len(),
+        accepted_moves: accepted,
+    }
+}
+
+/// TESA's optimizer: minimizes the Eq. (6) objective.
+pub fn optimize(
+    evaluator: &Evaluator,
+    space: &DesignSpace,
+    integration: Integration,
+    freq_mhz: u32,
+    constraints: &Constraints,
+    objective: &crate::objective::Objective,
+    config: &MsaConfig,
+) -> AnnealOutcome {
+    optimize_with(
+        evaluator,
+        space,
+        integration,
+        freq_mhz,
+        constraints,
+        |e| e.objective(objective),
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalOptions;
+    use tesa_workloads::arvr_suite;
+
+    fn small_space() -> DesignSpace {
+        DesignSpace {
+            array_dims: (96..=160).step_by(16).collect(),
+            sram_kib_options: vec![256, 512, 1024],
+            ics_um_options: vec![0, 500, 1000],
+        }
+    }
+
+    fn config() -> MsaConfig {
+        MsaConfig {
+            deltas: vec![0.7, 0.6],
+            t_init: 4.0,
+            t_final: 1.0,
+            moves_per_temp: 4,
+            init_attempts: 40,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn neighbor_moves_one_step() {
+        let space = small_space();
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = McmDesign {
+            chiplet: crate::design::ChipletConfig {
+                array_dim: 128,
+                sram_kib_per_bank: 512,
+                integration: Integration::TwoD,
+            },
+            ics_um: 500,
+            freq_mhz: 400,
+        };
+        for _ in 0..50 {
+            if let Some(n) = neighbor(&d, &space, &mut rng) {
+                let changed = [
+                    n.chiplet.array_dim != d.chiplet.array_dim,
+                    n.chiplet.sram_kib_per_bank != d.chiplet.sram_kib_per_bank,
+                    n.ics_um != d.ics_um,
+                ];
+                assert_eq!(changed.iter().filter(|&&c| c).count(), 1, "exactly one knob moves");
+            }
+        }
+    }
+
+    #[test]
+    fn finds_a_feasible_design_in_a_small_space() {
+        let evaluator = Evaluator::new(
+            arvr_suite(),
+            EvalOptions { grid_cells: 32, ..Default::default() },
+        );
+        let constraints = Constraints::edge_device(15.0, 85.0);
+        let out = optimize(
+            &evaluator,
+            &small_space(),
+            Integration::TwoD,
+            400,
+            &constraints,
+            &crate::objective::Objective::balanced(),
+            &config(),
+        );
+        let best = out.best.expect("a feasible design exists in this space");
+        assert!(best.is_feasible());
+        assert!(out.evaluations > 0);
+        assert!(out.unique_designs > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let evaluator = Evaluator::new(
+            arvr_suite(),
+            EvalOptions { grid_cells: 32, ..Default::default() },
+        );
+        let constraints = Constraints::edge_device(15.0, 85.0);
+        let run = || {
+            optimize(
+                &evaluator,
+                &small_space(),
+                Integration::TwoD,
+                400,
+                &constraints,
+                &crate::objective::Objective::balanced(),
+                &config(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.best.as_ref().map(|e| e.design),
+            b.best.as_ref().map(|e| e.design)
+        );
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn impossible_constraints_yield_no_best() {
+        let evaluator = Evaluator::new(
+            arvr_suite(),
+            EvalOptions { grid_cells: 32, ..Default::default() },
+        );
+        // 1000 fps is beyond any design in the space.
+        let constraints = Constraints::edge_device(1000.0, 85.0);
+        let out = optimize(
+            &evaluator,
+            &small_space(),
+            Integration::TwoD,
+            400,
+            &constraints,
+            &crate::objective::Objective::balanced(),
+            &config(),
+        );
+        assert!(out.best.is_none());
+    }
+}
+
+/// Extension of the paper's flow (its stated remedial decision and future
+/// work): searches over several operating frequencies and returns the best
+/// feasible design across all of them, annotated with the frequency it
+/// came from. When the preferred (highest) frequency yields no feasible
+/// MCM — the paper's Table III outcome — this is the automated
+/// "reduce frequency" fallback.
+pub fn optimize_over_frequencies(
+    evaluator: &Evaluator,
+    space: &DesignSpace,
+    integration: Integration,
+    freqs_mhz: &[u32],
+    constraints: &Constraints,
+    objective: &crate::objective::Objective,
+    config: &MsaConfig,
+) -> Option<(u32, AnnealOutcome)> {
+    let mut best: Option<(u32, AnnealOutcome, f64)> = None;
+    for &freq in freqs_mhz {
+        let outcome = optimize(evaluator, space, integration, freq, constraints, objective, config);
+        if let Some(eval) = &outcome.best {
+            let score = eval.objective(objective);
+            let better = best.as_ref().is_none_or(|(_, _, s)| score < *s);
+            if better {
+                best = Some((freq, outcome, score));
+            }
+        }
+    }
+    best.map(|(f, o, _)| (f, o))
+}
+
+#[cfg(test)]
+mod frequency_tests {
+    use super::*;
+    use crate::eval::EvalOptions;
+    use tesa_workloads::arvr_suite;
+
+    #[test]
+    fn frequency_fallback_finds_a_slower_feasible_design() {
+        let evaluator = Evaluator::new(
+            arvr_suite(),
+            EvalOptions { grid_cells: 32, lazy: true, ..Default::default() },
+        );
+        let space = DesignSpace {
+            array_dims: (160..=224).step_by(32).collect(),
+            sram_kib_options: vec![512, 1024],
+            ics_um_options: vec![500, 1000],
+        };
+        let config = MsaConfig {
+            deltas: vec![0.7],
+            t_init: 4.0,
+            t_final: 1.0,
+            moves_per_temp: 4,
+            init_attempts: 24,
+            seed: 5,
+        };
+        // A thermal budget tight enough that high frequencies struggle.
+        let constraints = Constraints::edge_device(15.0, 76.0);
+        let result = optimize_over_frequencies(
+            &evaluator,
+            &space,
+            Integration::TwoD,
+            &[500, 400],
+            &constraints,
+            &crate::objective::Objective::balanced(),
+            &config,
+        );
+        if let Some((freq, outcome)) = result {
+            assert!(freq == 400 || freq == 500);
+            assert!(outcome.best.expect("best exists").is_feasible());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! User-defined design constraints and constraint violations.
+
+use serde::{Deserialize, Serialize};
+
+/// The user-defined constraints an MCM must satisfy (paper Table II):
+/// latency (frame rate), total power, interposer area, peak junction
+/// temperature, and the maximum allowed ICS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Minimum frame rate: every DNN of the workload must complete within
+    /// `1 / min_fps` seconds.
+    pub min_fps: f64,
+    /// Total MCM power budget (chiplets + DRAM), watts.
+    pub power_budget_w: f64,
+    /// Interposer width, mm.
+    pub interposer_w_mm: f64,
+    /// Interposer height, mm.
+    pub interposer_h_mm: f64,
+    /// Peak junction-temperature budget, °C.
+    pub temp_budget_c: f64,
+    /// Maximum inter-chiplet spacing, µm.
+    pub max_ics_um: u32,
+}
+
+impl Constraints {
+    /// The paper's edge-device constraint set: 15 W budget, 8x8 mm
+    /// interposer, 1 mm maximum ICS, with the frame-rate and thermal
+    /// budgets chosen per experiment (15/30 fps, 75/85 °C).
+    pub fn edge_device(min_fps: f64, temp_budget_c: f64) -> Self {
+        Self {
+            min_fps,
+            power_budget_w: 15.0,
+            interposer_w_mm: 8.0,
+            interposer_h_mm: 8.0,
+            temp_budget_c,
+            max_ics_um: 1000,
+        }
+    }
+
+    /// Interposer area in mm².
+    pub fn interposer_area_mm2(&self) -> f64 {
+        self.interposer_w_mm * self.interposer_h_mm
+    }
+
+    /// The frame window in seconds.
+    pub fn frame_window_s(&self) -> f64 {
+        1.0 / self.min_fps
+    }
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Self::edge_device(30.0, 75.0)
+    }
+}
+
+/// A specific constraint violation found during evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// Not even one chiplet fits the interposer.
+    Area {
+        /// Chiplet footprint side, mm.
+        chiplet_side_mm: f64,
+    },
+    /// The workload misses the frame deadline.
+    Latency {
+        /// Achieved frame rate.
+        achieved_fps: f64,
+    },
+    /// Total power exceeds the budget.
+    Power {
+        /// Evaluated total power, watts.
+        total_w: f64,
+    },
+    /// Peak junction temperature exceeds the budget.
+    Thermal {
+        /// Evaluated peak temperature, °C.
+        peak_c: f64,
+    },
+    /// The leakage–temperature iteration diverged.
+    ThermalRunaway,
+    /// The requested ICS exceeds the allowed maximum.
+    Ics {
+        /// Requested ICS, µm.
+        ics_um: u32,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Area { chiplet_side_mm } => {
+                write!(f, "area: {chiplet_side_mm:.2} mm chiplet does not fit the interposer")
+            }
+            Violation::Latency { achieved_fps } => {
+                write!(f, "latency: achieves only {achieved_fps:.1} fps")
+            }
+            Violation::Power { total_w } => write!(f, "power: {total_w:.2} W over budget"),
+            Violation::Thermal { peak_c } => {
+                write!(f, "thermal: peak {peak_c:.2} C over budget")
+            }
+            Violation::ThermalRunaway => write!(f, "thermal runaway"),
+            Violation::Ics { ics_um } => write!(f, "ICS {ics_um} um exceeds the maximum"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_device_defaults_match_table2() {
+        let c = Constraints::edge_device(30.0, 75.0);
+        assert_eq!(c.power_budget_w, 15.0);
+        assert_eq!(c.interposer_area_mm2(), 64.0);
+        assert_eq!(c.max_ics_um, 1000);
+        assert!((c.frame_window_s() - 1.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violations_display_meaningfully() {
+        let v = Violation::Latency { achieved_fps: 3.2 };
+        assert!(v.to_string().contains("3.2"));
+        assert!(Violation::ThermalRunaway.to_string().contains("runaway"));
+    }
+}

@@ -1,0 +1,326 @@
+//! Design points and the TESA design space (Table II): chiplet
+//! configuration, integration technology, ICS, frequency, and derived
+//! chiplet geometry.
+
+use crate::tech::TechParams;
+use serde::{Deserialize, Serialize};
+use tesa_memsim::SramConfig;
+use tesa_scalesim::SramCapacities;
+
+/// Integration technology of a chiplet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Integration {
+    /// 2D: the systolic array and its three SRAMs sit side by side on one
+    /// tier.
+    TwoD,
+    /// 3D: the three SRAMs are stacked underneath the systolic array
+    /// (face-to-back), connected by TSVs — the AMD V-Cache-style option the
+    /// paper investigates.
+    ThreeD,
+}
+
+impl std::fmt::Display for Integration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Integration::TwoD => "2D",
+            Integration::ThreeD => "3D",
+        })
+    }
+}
+
+/// One chiplet architecture: a square systolic array plus three equal
+/// operand SRAMs (IFMAP / FILTER / OFMAP).
+///
+/// The paper reports SRAM capacity as the *total* across the three banks
+/// (e.g. "3,072 KB SRAM" = 3 x 1,024 KB); [`ChipletConfig::sram_total_kib`]
+/// mirrors that convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChipletConfig {
+    /// Systolic-array dimension (the array is `array_dim x array_dim`).
+    pub array_dim: u32,
+    /// Capacity of each of the three operand SRAMs, in KiB.
+    pub sram_kib_per_bank: u64,
+    /// Integration technology.
+    pub integration: Integration,
+}
+
+impl ChipletConfig {
+    /// Number of PEs in the array.
+    pub fn num_pes(&self) -> u64 {
+        u64::from(self.array_dim) * u64::from(self.array_dim)
+    }
+
+    /// Total SRAM across the three banks, in KiB — the paper's reporting
+    /// convention.
+    pub fn sram_total_kib(&self) -> u64 {
+        3 * self.sram_kib_per_bank
+    }
+
+    /// SRAM capacities in the performance simulator's format.
+    pub fn sram_capacities(&self) -> SramCapacities {
+        SramCapacities::uniform_kib(self.sram_kib_per_bank)
+    }
+
+    /// Derives the physical geometry of this chiplet under `tech`.
+    pub fn geometry(&self, tech: &TechParams) -> ChipletGeometry {
+        let array_area_mm2 = self.num_pes() as f64 * tech.mac_area_um2 * 1e-6;
+        let bank = tech.sram.estimate(SramConfig::with_capacity_kib(self.sram_kib_per_bank));
+        let sram_area_mm2 = 3.0 * bank.area_mm2;
+        match self.integration {
+            Integration::TwoD => {
+                let total = array_area_mm2 + sram_area_mm2;
+                ChipletGeometry {
+                    array_area_mm2,
+                    sram_area_mm2,
+                    tsv_count: 0,
+                    tsv_area_mm2: 0.0,
+                    footprint_mm2: total,
+                    silicon_area_mm2: total,
+                }
+            }
+            Integration::ThreeD => {
+                // The peak SRAM bandwidth sizes the TSV count: the IFMAP
+                // bank feeds the rows and the FILTER/OFMAP banks the
+                // columns, 8 bits per byte per cycle.
+                let tsv_count = 3 * u64::from(self.array_dim) * 8;
+                let tsv_area_mm2 = tsv_count as f64 * tech.tsv_area_um2 * 1e-6;
+                let sram_tier = sram_area_mm2 + tsv_area_mm2;
+                let footprint = array_area_mm2.max(sram_tier);
+                ChipletGeometry {
+                    array_area_mm2,
+                    sram_area_mm2,
+                    tsv_count,
+                    tsv_area_mm2,
+                    footprint_mm2: footprint,
+                    // Both tiers are fabricated at the footprint size.
+                    silicon_area_mm2: 2.0 * footprint,
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ChipletConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{dim}x{dim} array, {total} KB SRAM ({int})",
+            dim = self.array_dim,
+            total = self.sram_total_kib(),
+            int = self.integration
+        )
+    }
+}
+
+/// Physical geometry of one chiplet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipletGeometry {
+    /// Systolic-array tier (or region) area, mm².
+    pub array_area_mm2: f64,
+    /// Total SRAM area (three banks), mm².
+    pub sram_area_mm2: f64,
+    /// TSV count (zero in 2D).
+    pub tsv_count: u64,
+    /// TSV area including keep-out zones, mm².
+    pub tsv_area_mm2: f64,
+    /// Interposer footprint of the chiplet, mm²
+    /// (3D: `max(array tier, SRAM tier)`).
+    pub footprint_mm2: f64,
+    /// Total silicon fabricated for the chiplet (both tiers in 3D), mm² —
+    /// the cost model's input.
+    pub silicon_area_mm2: f64,
+}
+
+impl ChipletGeometry {
+    /// Side length of the (square) chiplet footprint, mm.
+    pub fn side_mm(&self) -> f64 {
+        self.footprint_mm2.sqrt()
+    }
+
+    /// Copper area fraction of the SRAM tier due to TSVs (0 in 2D); used
+    /// to adjust the tier's vertical thermal conductivity.
+    pub fn tsv_fill_fraction(&self) -> f64 {
+        if self.footprint_mm2 > 0.0 {
+            self.tsv_area_mm2 / self.footprint_mm2
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One complete MCM design point: chiplet architecture, inter-chiplet
+/// spacing, and operating frequency. The mesh (chiplet count and grid) is
+/// *derived* by the mesh estimator, not chosen directly (paper Sec. III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct McmDesign {
+    /// Chiplet architecture.
+    pub chiplet: ChipletConfig,
+    /// Inter-chiplet spacing, µm.
+    pub ics_um: u32,
+    /// Operating frequency of the systolic arrays, MHz.
+    pub freq_mhz: u32,
+}
+
+impl McmDesign {
+    /// Frequency in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        f64::from(self.freq_mhz) * 1e6
+    }
+
+    /// ICS in millimeters.
+    pub fn ics_mm(&self) -> f64 {
+        f64::from(self.ics_um) * 1e-3
+    }
+}
+
+impl std::fmt::Display for McmDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ {} MHz, ICS {} um", self.chiplet, self.freq_mhz, self.ics_um)
+    }
+}
+
+/// An enumerable chiplet-size/ICS design space (Table II of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// Allowed square-array dimensions.
+    pub array_dims: Vec<u32>,
+    /// Allowed per-bank SRAM capacities, KiB.
+    pub sram_kib_options: Vec<u64>,
+    /// Allowed ICS values, µm.
+    pub ics_um_options: Vec<u32>,
+}
+
+impl DesignSpace {
+    /// The paper's Table II space: 121 arrays (16x16..256x256 step 2),
+    /// per-bank SRAMs 8..4096 KiB in powers of two, ICS 0..1 mm in 50 µm
+    /// steps.
+    pub fn tesa_default() -> Self {
+        Self {
+            array_dims: (16..=256).step_by(2).collect(),
+            sram_kib_options: (3..=12).map(|p| 1u64 << p).collect(),
+            ics_um_options: (0..=1000).step_by(50).collect(),
+        }
+    }
+
+    /// The optimizer-validation subspace (Sec. IV-A): 64x64..128x128
+    /// arrays with a coarse 200 µm ICS step.
+    pub fn validation() -> Self {
+        Self {
+            array_dims: (64..=128).step_by(2).collect(),
+            sram_kib_options: (3..=12).map(|p| 1u64 << p).collect(),
+            ics_um_options: (0..=1000).step_by(200).collect(),
+        }
+    }
+
+    /// Number of (array, SRAM, ICS) combinations.
+    pub fn len(&self) -> usize {
+        self.array_dims.len() * self.sram_kib_options.len() * self.ics_um_options.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates every design in the space for one integration and
+    /// frequency.
+    pub fn designs(
+        &self,
+        integration: Integration,
+        freq_mhz: u32,
+    ) -> impl Iterator<Item = McmDesign> + '_ {
+        self.array_dims.iter().flat_map(move |&array_dim| {
+            self.sram_kib_options.iter().flat_map(move |&sram| {
+                self.ics_um_options.iter().map(move |&ics_um| McmDesign {
+                    chiplet: ChipletConfig {
+                        array_dim,
+                        sram_kib_per_bank: sram,
+                        integration,
+                    },
+                    ics_um,
+                    freq_mhz,
+                })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chiplet(dim: u32, kib: u64, integration: Integration) -> ChipletConfig {
+        ChipletConfig { array_dim: dim, sram_kib_per_bank: kib, integration }
+    }
+
+    #[test]
+    fn table2_space_has_paper_cardinalities() {
+        let s = DesignSpace::tesa_default();
+        assert_eq!(s.array_dims.len(), 121);
+        assert_eq!(s.sram_kib_options.len(), 10);
+        assert_eq!(s.ics_um_options.len(), 21);
+        assert_eq!(s.sram_kib_options[0], 8);
+        assert_eq!(*s.sram_kib_options.last().unwrap(), 4096);
+    }
+
+    #[test]
+    fn sram_total_uses_paper_convention() {
+        // "3,072 KB SRAM" in the paper = 3 banks of 1,024 KB.
+        let c = chiplet(200, 1024, Integration::TwoD);
+        assert_eq!(c.sram_total_kib(), 3072);
+    }
+
+    #[test]
+    fn area_ratio_near_one_for_balanced_chiplet() {
+        // Paper area-model assumption (i): array-to-SRAM area ratio ~ 1.
+        // 200x200 with 1,024 KiB banks is the paper's flagship 2D chiplet.
+        let tech = TechParams::default();
+        let g = chiplet(200, 1024, Integration::TwoD).geometry(&tech);
+        let ratio = g.array_area_mm2 / g.sram_area_mm2;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn flagship_2d_chiplet_is_a_few_mm2() {
+        let tech = TechParams::default();
+        let g = chiplet(200, 1024, Integration::TwoD).geometry(&tech);
+        assert!((4.0..8.0).contains(&g.footprint_mm2), "got {}", g.footprint_mm2);
+    }
+
+    #[test]
+    fn three_d_footprint_smaller_than_2d() {
+        let tech = TechParams::default();
+        let c2 = chiplet(196, 1024, Integration::TwoD).geometry(&tech);
+        let c3 = chiplet(196, 1024, Integration::ThreeD).geometry(&tech);
+        assert!(c3.footprint_mm2 < c2.footprint_mm2);
+        // But total silicon is larger than either tier alone.
+        assert!(c3.silicon_area_mm2 > c3.footprint_mm2);
+        assert!(c3.tsv_count > 0);
+    }
+
+    #[test]
+    fn tsv_area_is_small_but_nonzero() {
+        let tech = TechParams::default();
+        let g = chiplet(200, 1024, Integration::ThreeD).geometry(&tech);
+        assert!(g.tsv_area_mm2 > 0.0);
+        assert!(g.tsv_fill_fraction() < 0.1, "TSVs should be a minor overhead");
+    }
+
+    #[test]
+    fn designs_iterator_covers_the_space() {
+        let s = DesignSpace::validation();
+        let n = s.designs(Integration::TwoD, 400).count();
+        assert_eq!(n, s.len());
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = McmDesign {
+            chiplet: chiplet(200, 1024, Integration::TwoD),
+            ics_um: 500,
+            freq_mhz: 400,
+        };
+        let s = d.to_string();
+        assert!(s.contains("200x200") && s.contains("3072 KB") && s.contains("400 MHz"));
+    }
+}

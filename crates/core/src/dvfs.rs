@@ -1,0 +1,147 @@
+//! Voltage–frequency scaling — an opt-in refinement of the paper's
+//! iso-voltage frequency comparison (its future work lists "more
+//! frequencies" [25]).
+//!
+//! The paper evaluates 400 and 500 MHz with dynamic power scaled linearly
+//! in frequency (constant voltage). Real silicon rides a V(f) curve:
+//! dynamic power scales as `V² · f` and leakage roughly as `V`. This
+//! module provides a piecewise-linear V(f) curve and the corresponding
+//! scale factors, so frequency sweeps beyond the paper's two points can be
+//! modeled credibly.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear voltage/frequency operating curve.
+///
+/// # Examples
+///
+/// ```
+/// use tesa::dvfs::DvfsCurve;
+///
+/// let curve = DvfsCurve::edge_22nm();
+/// // Dynamic power at 500 MHz exceeds the iso-voltage 1.25x ratio,
+/// // because voltage also rises.
+/// let p400 = curve.dynamic_scale(400.0);
+/// let p500 = curve.dynamic_scale(500.0);
+/// assert!(p500 / p400 > 1.25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsCurve {
+    /// `(frequency MHz, voltage V)` anchor points, sorted by frequency.
+    points: Vec<(f64, f64)>,
+    /// The reference frequency whose voltage defines scale 1.0.
+    ref_freq_mhz: f64,
+}
+
+impl DvfsCurve {
+    /// Builds a curve from `(MHz, V)` anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two anchors are given, they are not strictly
+    /// increasing in frequency, or any voltage is non-positive.
+    pub fn new(points: Vec<(f64, f64)>, ref_freq_mhz: f64) -> Self {
+        assert!(points.len() >= 2, "a curve needs at least two anchors");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "anchors must be strictly increasing in frequency"
+        );
+        assert!(points.iter().all(|&(_, v)| v > 0.0), "voltages must be positive");
+        Self { points, ref_freq_mhz }
+    }
+
+    /// A representative 22 nm edge-silicon curve: 0.65 V at 200 MHz up to
+    /// 0.95 V at 800 MHz, referenced at the paper's 400 MHz point.
+    pub fn edge_22nm() -> Self {
+        Self::new(
+            vec![(200.0, 0.65), (400.0, 0.75), (600.0, 0.85), (800.0, 0.95)],
+            400.0,
+        )
+    }
+
+    /// Supply voltage at `freq_mhz` (clamped to the anchor range).
+    pub fn voltage(&self, freq_mhz: f64) -> f64 {
+        let pts = &self.points;
+        if freq_mhz <= pts[0].0 {
+            return pts[0].1;
+        }
+        if freq_mhz >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            let ((f0, v0), (f1, v1)) = (w[0], w[1]);
+            if freq_mhz <= f1 {
+                let t = (freq_mhz - f0) / (f1 - f0);
+                return v0 + t * (v1 - v0);
+            }
+        }
+        unreachable!("frequency inside the anchor range")
+    }
+
+    /// Dynamic-power scale factor vs. the reference frequency:
+    /// `(V/V_ref)² * (f/f_ref)`.
+    pub fn dynamic_scale(&self, freq_mhz: f64) -> f64 {
+        let v = self.voltage(freq_mhz);
+        let v_ref = self.voltage(self.ref_freq_mhz);
+        (v / v_ref).powi(2) * (freq_mhz / self.ref_freq_mhz)
+    }
+
+    /// Leakage scale factor vs. the reference frequency: ~linear in V.
+    pub fn leakage_scale(&self, freq_mhz: f64) -> f64 {
+        self.voltage(freq_mhz) / self.voltage(self.ref_freq_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_interpolates_and_clamps() {
+        let c = DvfsCurve::edge_22nm();
+        assert!((c.voltage(400.0) - 0.75).abs() < 1e-12);
+        assert!((c.voltage(500.0) - 0.80).abs() < 1e-12, "midpoint of 400..600");
+        assert!((c.voltage(100.0) - 0.65).abs() < 1e-12, "clamped low");
+        assert!((c.voltage(1000.0) - 0.95).abs() < 1e-12, "clamped high");
+    }
+
+    #[test]
+    fn reference_frequency_scales_to_one() {
+        let c = DvfsCurve::edge_22nm();
+        assert!((c.dynamic_scale(400.0) - 1.0).abs() < 1e-12);
+        assert!((c.leakage_scale(400.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dvfs_penalty_exceeds_iso_voltage_scaling() {
+        // The paper scales power by f alone; with V(f) the 500 MHz point
+        // costs more: (0.80/0.75)^2 * 1.25 = 1.42x.
+        let c = DvfsCurve::edge_22nm();
+        let scale = c.dynamic_scale(500.0);
+        assert!((scale - (0.80f64 / 0.75).powi(2) * 1.25).abs() < 1e-12);
+        assert!(scale > 1.25);
+    }
+
+    #[test]
+    fn scales_monotone_in_frequency() {
+        let c = DvfsCurve::edge_22nm();
+        let mut last = 0.0;
+        for f in [200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0] {
+            let s = c.dynamic_scale(f);
+            assert!(s > last);
+            last = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two anchors")]
+    fn single_anchor_panics() {
+        let _ = DvfsCurve::new(vec![(400.0, 0.75)], 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_anchors_panic() {
+        let _ = DvfsCurve::new(vec![(400.0, 0.75), (300.0, 0.7)], 400.0);
+    }
+}

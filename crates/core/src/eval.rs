@@ -1,0 +1,902 @@
+//! The TESA evaluation pipeline (Fig. 2b): performance → power → floorplan
+//! → schedule → steady-state thermal with leakage co-iteration → DRAM
+//! power, MCM cost, latency, OPS — plus constraint checking.
+
+use crate::constraints::{Constraints, Violation};
+use crate::cost::CostModel;
+use crate::design::{ChipletConfig, ChipletGeometry, Integration, McmDesign};
+use crate::floorplan::{estimate_mesh, McmLayout, Mesh};
+use crate::power::{
+    array_leakage_w, dynamic_power, sram_leakage_w, DynamicPower, LeakageModel,
+};
+use crate::sched::{schedule, schedule_naive, Schedule, SchedulerPolicy};
+use crate::tech::TechParams;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tesa_memsim::{DramPowerModel, DramUsage};
+use tesa_scalesim::{ArrayConfig, Dataflow, DnnReport, Simulator};
+use tesa_thermal::{PowerMap, Rect, StackBuilder, ThermalModel};
+use tesa_workloads::MultiDnnWorkload;
+
+/// Temperature above which the leakage–temperature iteration is declared a
+/// thermal runaway (silicon would long have throttled or failed).
+const RUNAWAY_TEMP_C: f64 = 150.0;
+/// Leakage-loop convergence threshold, Kelvin.
+const LEAK_CONVERGENCE_K: f64 = 0.1;
+/// Leakage-loop iteration cap.
+const LEAK_MAX_ITERS: usize = 25;
+
+/// Configuration of the evaluator: models, dataflow, and switches the
+/// baselines use to *disable* parts of the pipeline.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Systolic-array dataflow.
+    pub dataflow: Dataflow,
+    /// Technology constants.
+    pub tech: TechParams,
+    /// Cost-model constants.
+    pub cost: CostModel,
+    /// Leakage model (TESA: exponential; W2: linear; W1/SC: disabled).
+    pub leakage: LeakageModel,
+    /// Whether to run the thermal solver at all (SC baselines disable it).
+    pub thermal_enabled: bool,
+    /// Thermal grid resolution per axis (64 ⇒ 125 µm cells on 8 mm — the
+    /// paper's HotSpot grid).
+    pub grid_cells: usize,
+    /// DNN-to-chiplet scheduling policy (the ablation harness swaps in the
+    /// naive baseline).
+    pub scheduler: SchedulerPolicy,
+    /// Lazy mode for design-space search: skip the steady-state thermal
+    /// solve when a design is already infeasible (ICS/area/latency, or a
+    /// dynamic-power lower bound over budget). The optimizer rejects such
+    /// designs regardless, so the skipped solve cannot change any search
+    /// decision; reported temperatures of *feasible* designs are identical.
+    pub lazy: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            dataflow: Dataflow::WeightStationary,
+            tech: TechParams::default(),
+            cost: CostModel::default(),
+            leakage: LeakageModel::Exponential,
+            thermal_enabled: true,
+            grid_cells: 64,
+            scheduler: SchedulerPolicy::default(),
+            lazy: false,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Temperature-unaware options: no thermal solve, no leakage — the
+    /// configuration of the SC1/SC2 baselines.
+    pub fn temperature_unaware() -> Self {
+        Self { leakage: LeakageModel::Disabled, thermal_enabled: false, ..Self::default() }
+    }
+}
+
+/// A transient temperature trace from [`Evaluator::transient_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientTrace {
+    /// Simulation time stamps, seconds.
+    pub times_s: Vec<f64>,
+    /// Peak device-tier temperature at each stamp, °C.
+    pub peaks_c: Vec<f64>,
+}
+
+impl TransientTrace {
+    /// Highest peak over the whole trace, °C.
+    pub fn max_peak_c(&self) -> f64 {
+        self.peaks_c.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// The complete evaluation of one MCM design point.
+///
+/// Fields that cannot be computed for a hard-infeasible design (e.g. the
+/// chiplet does not fit the interposer) are set to `f64::INFINITY`
+/// and the corresponding structures to `None`; check
+/// [`McmEvaluation::is_feasible`] / [`McmEvaluation::violations`].
+#[derive(Debug, Clone)]
+pub struct McmEvaluation {
+    /// The evaluated design point.
+    pub design: McmDesign,
+    /// Derived mesh (rows x cols), if the chiplet fits.
+    pub mesh: Option<Mesh>,
+    /// Chiplet placement, if the chiplet fits.
+    pub layout: Option<McmLayout>,
+    /// DNN-to-chiplet schedule, if the chiplet fits.
+    pub schedule: Option<Schedule>,
+    /// Workload makespan (all DNNs complete), seconds.
+    pub latency_s: f64,
+    /// Achieved frame rate, Hz.
+    pub achieved_fps: f64,
+    /// Peak junction temperature across all schedule phases, °C
+    /// (ambient when the thermal solver is disabled).
+    pub peak_temp_c: f64,
+    /// Whether the leakage–temperature iteration diverged.
+    pub thermal_runaway: bool,
+    /// Worst-phase chiplet power (dynamic + leakage per options), watts.
+    pub chip_power_w: f64,
+    /// Average DRAM power over the frame window, watts.
+    pub dram_power_w: f64,
+    /// `chip_power_w + dram_power_w`.
+    pub total_power_w: f64,
+    /// Total DRAM channels allocated across chiplets.
+    pub dram_channels: u32,
+    /// MCM fabrication cost, USD.
+    pub mcm_cost_usd: f64,
+    /// Throughput in operations per second (2 ops per MAC, one frame of
+    /// the full workload per makespan).
+    pub ops: f64,
+    /// Constraint violations (empty = feasible).
+    pub violations: Vec<Violation>,
+}
+
+impl McmEvaluation {
+    /// Whether every user constraint is satisfied.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Eq. (6) value of this design under `objective`.
+    pub fn objective(&self, objective: &crate::objective::Objective) -> f64 {
+        objective.value(self.mcm_cost_usd, self.dram_power_w)
+    }
+}
+
+type PerfKey = (u32, u64);
+type ThermalKey = (u64, u32, u32, u32, bool);
+/// A design plus the bit patterns of the constraint fields.
+type EvalKey = (McmDesign, [u64; 6]);
+
+fn constraints_key(c: &Constraints) -> [u64; 6] {
+    [
+        c.min_fps.to_bits(),
+        c.power_budget_w.to_bits(),
+        c.interposer_w_mm.to_bits(),
+        c.interposer_h_mm.to_bits(),
+        c.temp_budget_c.to_bits(),
+        u64::from(c.max_ics_um),
+    ]
+}
+
+/// Evaluates MCM design points for one workload.
+///
+/// Performance simulations are memoized per (array, SRAM) pair — ICS and
+/// frequency do not affect cycle counts — and thermal models per layout,
+/// so design-space sweeps amortize the expensive parts. The evaluator is
+/// `Sync`: sweeps may evaluate from multiple threads.
+pub struct Evaluator {
+    workload: MultiDnnWorkload,
+    opts: EvalOptions,
+    perf_cache: RwLock<HashMap<PerfKey, Arc<Vec<DnnReport>>>>,
+    thermal_cache: RwLock<HashMap<ThermalKey, Arc<ThermalModel>>>,
+    eval_cache: RwLock<HashMap<EvalKey, Arc<McmEvaluation>>>,
+    dram: DramPowerModel,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for `workload` under the given options.
+    pub fn new(workload: MultiDnnWorkload, opts: EvalOptions) -> Self {
+        let dram = DramPowerModel::new(opts.tech.dram_channel);
+        Self {
+            workload,
+            opts,
+            perf_cache: RwLock::new(HashMap::new()),
+            thermal_cache: RwLock::new(HashMap::new()),
+            eval_cache: RwLock::new(HashMap::new()),
+            dram,
+        }
+    }
+
+    /// [`Evaluator::evaluate`] with memoization on `(design, constraints)`.
+    /// Design-space searches revisit neighbors constantly; this makes the
+    /// revisit free. Evaluation is deterministic, so caching is exact.
+    pub fn evaluate_cached(
+        &self,
+        design: &McmDesign,
+        constraints: &Constraints,
+    ) -> Arc<McmEvaluation> {
+        let key: EvalKey = (*design, constraints_key(constraints));
+        if let Some(hit) = self.eval_cache.read().get(&key) {
+            return Arc::clone(hit);
+        }
+        let eval = Arc::new(self.evaluate(design, constraints));
+        self.eval_cache.write().insert(key, Arc::clone(&eval));
+        eval
+    }
+
+    /// The workload being targeted.
+    pub fn workload(&self) -> &MultiDnnWorkload {
+        &self.workload
+    }
+
+    /// The evaluator's options.
+    pub fn options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Per-DNN performance reports for a chiplet configuration (memoized).
+    pub fn perf(&self, chiplet: &ChipletConfig) -> Arc<Vec<DnnReport>> {
+        let key: PerfKey = (chiplet.array_dim, chiplet.sram_kib_per_bank);
+        if let Some(hit) = self.perf_cache.read().get(&key) {
+            return Arc::clone(hit);
+        }
+        let sim = Simulator::new(
+            ArrayConfig::square(chiplet.array_dim),
+            chiplet.sram_capacities(),
+            self.opts.dataflow,
+        );
+        let reports: Vec<DnnReport> = self.workload.iter().map(|d| sim.simulate_dnn(d)).collect();
+        let arc = Arc::new(reports);
+        self.perf_cache.write().insert(key, Arc::clone(&arc));
+        arc
+    }
+
+    fn thermal_model(
+        &self,
+        layout: &McmLayout,
+        geometry: &ChipletGeometry,
+        integration: Integration,
+    ) -> Arc<ThermalModel> {
+        // Quantize the side to nanometers for a stable cache key.
+        let key: ThermalKey = (
+            (layout.chiplet_side_mm * 1e6).round() as u64,
+            (layout.ics_mm * 1e3).round() as u32,
+            layout.mesh.rows,
+            layout.mesh.cols,
+            matches!(integration, Integration::ThreeD),
+        );
+        if let Some(hit) = self.thermal_cache.read().get(&key) {
+            return Arc::clone(hit);
+        }
+        let t = &self.opts.tech;
+        let n = self.opts.grid_cells;
+        let w = layout.interposer_w_mm * 1e-3;
+        let h = layout.interposer_h_mm * 1e-3;
+        let silicon: Vec<(Rect, f64)> =
+            layout.positions_m.iter().map(|r| (*r, t.k_silicon)).collect();
+        let builder = StackBuilder::new(w, h, n, n)
+            .layer("interposer", t.t_interposer_m, t.k_silicon);
+        let builder = match integration {
+            Integration::TwoD => builder.layer_with_patches(
+                "device",
+                t.t_tier_m,
+                t.k_underfill,
+                silicon.clone(),
+            ),
+            Integration::ThreeD => {
+                // SRAM tier with TSV copper fill, bond layer, array tier.
+                let f = geometry.tsv_fill_fraction();
+                let k_sram_tier = t.k_silicon * (1.0 - f) + t.k_copper * f;
+                let sram_patches: Vec<(Rect, f64)> =
+                    layout.positions_m.iter().map(|r| (*r, k_sram_tier)).collect();
+                builder
+                    .layer_with_patches("sram_tier", t.t_tier_m, t.k_underfill, sram_patches)
+                    .layer("bond", t.t_bond_m, t.k_bond)
+                    .layer_with_patches("array_tier", t.t_tier_m, t.k_underfill, silicon.clone())
+            }
+        };
+        let model = Arc::new(
+            builder
+                .layer("tim", t.t_tim_m, t.k_tim)
+                .layer("lid", t.t_lid_m, t.k_lid)
+                .convection(t.convection_k_per_w, t.ambient_c)
+                .build(),
+        );
+        self.thermal_cache.write().insert(key, Arc::clone(&model));
+        model
+    }
+
+    /// Evaluates one design under the given constraints.
+    pub fn evaluate(&self, design: &McmDesign, constraints: &Constraints) -> McmEvaluation {
+        let chiplet = design.chiplet;
+        let tech = &self.opts.tech;
+        let geometry = chiplet.geometry(tech);
+        let mut violations = Vec::new();
+
+        if design.ics_um > constraints.max_ics_um {
+            violations.push(Violation::Ics { ics_um: design.ics_um });
+        }
+
+        // 1. Mesh estimation (area feasibility).
+        let Some(layout) = estimate_mesh(
+            geometry.side_mm(),
+            design.ics_mm(),
+            constraints.interposer_w_mm,
+            constraints.interposer_h_mm,
+            self.workload.len() as u32,
+        ) else {
+            violations.push(Violation::Area { chiplet_side_mm: geometry.side_mm() });
+            return McmEvaluation {
+                design: *design,
+                mesh: None,
+                layout: None,
+                schedule: None,
+                latency_s: f64::INFINITY,
+                achieved_fps: 0.0,
+                peak_temp_c: f64::INFINITY,
+                thermal_runaway: false,
+                chip_power_w: f64::INFINITY,
+                dram_power_w: f64::INFINITY,
+                total_power_w: f64::INFINITY,
+                dram_channels: 0,
+                mcm_cost_usd: f64::INFINITY,
+                ops: 0.0,
+                violations,
+            };
+        };
+
+        // 2. Performance and per-DNN dynamic power.
+        let reports = self.perf(&chiplet);
+        let freq_hz = design.freq_hz();
+        let dnn_cycles: Vec<u64> = reports.iter().map(|r| r.total_cycles).collect();
+        let dnn_power: Vec<DynamicPower> =
+            reports.iter().map(|r| dynamic_power(r, &chiplet, tech, freq_hz)).collect();
+        let dnn_power_total: Vec<f64> = dnn_power.iter().map(DynamicPower::total_w).collect();
+
+        // 3. Schedule (corner-first, power-density- and latency-aware by
+        //    default; the naive policy exists for ablation).
+        let order = layout.corner_first_order();
+        let sched = match self.opts.scheduler {
+            SchedulerPolicy::CornerFirstPowerAware => {
+                schedule(&order, &dnn_cycles, &dnn_power_total)
+            }
+            SchedulerPolicy::NaiveRoundRobin => {
+                schedule_naive(order.len(), &dnn_cycles, &dnn_power_total)
+            }
+        };
+        let latency_s = sched.makespan_cycles() as f64 / freq_hz;
+        let achieved_fps = 1.0 / latency_s;
+        if achieved_fps + 1e-9 < constraints.min_fps {
+            violations.push(Violation::Latency { achieved_fps });
+        }
+
+        // 4. DRAM: channels per chiplet from its most demanding DNN's
+        //    *sustained* bandwidth (double buffering smooths per-layer
+        //    bursts; a 25% margin covers prefetch overlap), traffic over
+        //    the frame window. A chiplet running several DNNs sequentially
+        //    gets the maximum channel count across them (Sec. III-B).
+        const DRAM_BURST_MARGIN: f64 = 1.25;
+        let window_s = constraints.frame_window_s();
+        let mut dram_channels = 0u32;
+        let mut dram_bytes = 0.0f64;
+        for q in &sched.assignments {
+            if q.is_empty() {
+                continue;
+            }
+            let demand = q
+                .iter()
+                .map(|d| reports[d.0].avg_dram_bytes_per_cycle() * freq_hz * DRAM_BURST_MARGIN)
+                .fold(0.0, f64::max);
+            dram_channels += self.dram.channels_for_peak_bandwidth(demand);
+            dram_bytes += q.iter().map(|d| reports[d.0].dram_traffic.total() as f64).sum::<f64>();
+        }
+        let dram_power = self.dram.power(DramUsage {
+            bytes_transferred: dram_bytes,
+            window_s,
+            channels: dram_channels,
+        });
+        let dram_power_w = dram_power.total_w();
+
+        // Lazy search mode: a dynamic-power lower bound (leakage is
+        // non-negative) and prior violations let us skip the expensive
+        // steady-state solve for designs the optimizer must reject anyway.
+        let dyn_worst_phase_w = sched
+            .phases()
+            .iter()
+            .map(|phase| phase.iter().map(|&(_, d)| dnn_power_total[d.0]).sum::<f64>())
+            .fold(0.0, f64::max);
+        if self.opts.lazy && self.opts.thermal_enabled {
+            let mut lazy_violations = violations.clone();
+            if dyn_worst_phase_w + dram_power_w > constraints.power_budget_w {
+                lazy_violations.push(Violation::Power {
+                    total_w: dyn_worst_phase_w + dram_power_w,
+                });
+            }
+            if !lazy_violations.is_empty() {
+                let total_macs: u64 = reports.iter().map(|r| r.total_macs()).sum();
+                return McmEvaluation {
+                    design: *design,
+                    mesh: Some(layout.mesh),
+                    schedule: Some(sched),
+                    mcm_cost_usd: self.opts.cost.mcm_cost_usd(
+                        layout.mesh.count(),
+                        &geometry,
+                        chiplet.integration,
+                        constraints.interposer_area_mm2(),
+                    ),
+                    layout: Some(layout),
+                    latency_s,
+                    achieved_fps,
+                    peak_temp_c: f64::NAN,
+                    thermal_runaway: false,
+                    chip_power_w: dyn_worst_phase_w,
+                    dram_power_w,
+                    total_power_w: dyn_worst_phase_w + dram_power_w,
+                    dram_channels,
+                    ops: 2.0 * total_macs as f64 / latency_s,
+                    violations: lazy_violations,
+                };
+            }
+        }
+
+        // 5. Thermal per phase with leakage co-iteration.
+        let (peak_temp_c, thermal_runaway, chip_power_w) = if self.opts.thermal_enabled {
+            let (peak, runaway, power, _) =
+                self.thermal_analysis_full(design, &geometry, &layout, &sched, &dnn_power);
+            (peak, runaway, power)
+        } else {
+            // Temperature-unaware: worst-phase dynamic power only, plus
+            // (optionally) reference-temperature leakage.
+            let mut worst = 0.0f64;
+            for phase in sched.phases() {
+                let dyn_w: f64 = phase.iter().map(|&(_, d)| dnn_power_total[d.0]).sum();
+                let leak: f64 = (0..layout.mesh.count()).map(|_| {
+                    array_leakage_w(&chiplet, tech, tech.ambient_c, self.opts.leakage)
+                        + sram_leakage_w(&chiplet, tech, tech.ambient_c, self.opts.leakage)
+                }).sum();
+                worst = worst.max(dyn_w + leak);
+            }
+            (tech.ambient_c, false, worst)
+        };
+
+        if thermal_runaway {
+            violations.push(Violation::ThermalRunaway);
+        } else if self.opts.thermal_enabled && peak_temp_c > constraints.temp_budget_c {
+            violations.push(Violation::Thermal { peak_c: peak_temp_c });
+        }
+
+        let total_power_w = chip_power_w + dram_power_w;
+        if total_power_w > constraints.power_budget_w {
+            violations.push(Violation::Power { total_w: total_power_w });
+        }
+
+        // 6. Cost and throughput.
+        let mcm_cost_usd = self.opts.cost.mcm_cost_usd(
+            layout.mesh.count(),
+            &geometry,
+            chiplet.integration,
+            constraints.interposer_area_mm2(),
+        );
+        let total_macs: u64 = reports.iter().map(|r| r.total_macs()).sum();
+        let ops = 2.0 * total_macs as f64 / latency_s;
+
+        McmEvaluation {
+            design: *design,
+            mesh: Some(layout.mesh),
+            schedule: Some(sched),
+            layout: Some(layout),
+            latency_s,
+            achieved_fps,
+            peak_temp_c,
+            thermal_runaway,
+            chip_power_w,
+            dram_power_w,
+            total_power_w,
+            dram_channels,
+            mcm_cost_usd,
+            ops,
+            violations,
+        }
+    }
+
+    /// Steady-state analysis of every schedule phase with
+    /// leakage–temperature co-iteration. Returns
+    /// `(peak temperature, runaway, worst-phase chip power, hottest field)`.
+    fn thermal_analysis_full(
+        &self,
+        design: &McmDesign,
+        geometry: &ChipletGeometry,
+        layout: &McmLayout,
+        sched: &Schedule,
+        dnn_power: &[DynamicPower],
+    ) -> (f64, bool, f64, Option<tesa_thermal::ThermalField>) {
+        let chiplet = design.chiplet;
+        let tech = &self.opts.tech;
+        let model = self.thermal_model(layout, geometry, chiplet.integration);
+        let n_chiplets = layout.mesh.count() as usize;
+        let (nx, ny) = model.grid_dims();
+        let (w_m, h_m) = model.footprint_m();
+        // Tier indices that receive power.
+        let (array_tier, sram_tier) = match chiplet.integration {
+            Integration::TwoD => (1usize, 1usize),
+            Integration::ThreeD => (3usize, 1usize),
+        };
+
+        // Cell ranges per chiplet for mean-temperature queries.
+        let ranges: Vec<(usize, usize, usize, usize)> = layout
+            .positions_m
+            .iter()
+            .map(|r| {
+                let ix0 = ((r.x / w_m * nx as f64).floor() as usize).min(nx - 1);
+                let ix1 = ((r.x2() / w_m * nx as f64).ceil() as usize).clamp(ix0 + 1, nx);
+                let iy0 = ((r.y / h_m * ny as f64).floor() as usize).min(ny - 1);
+                let iy1 = ((r.y2() / h_m * ny as f64).ceil() as usize).clamp(iy0 + 1, ny);
+                (ix0, ix1, iy0, iy1)
+            })
+            .collect();
+
+        let mut peak = tech.ambient_c;
+        let mut worst_power = 0.0f64;
+        let mut guess: Option<Vec<f64>> = None;
+        let mut hottest_field: Option<tesa_thermal::ThermalField> = None;
+
+        for phase in sched.phases() {
+            // Dynamic power per chiplet in this phase.
+            let mut dyn_by_chip: Vec<Option<DynamicPower>> = vec![None; n_chiplets];
+            for &(chip, dnn) in &phase {
+                dyn_by_chip[chip] = Some(dnn_power[dnn.0]);
+            }
+
+            // Leakage co-iteration.
+            let mut temps = vec![tech.ambient_c; n_chiplets];
+            let mut runaway = false;
+            let mut last_field: Option<tesa_thermal::ThermalField> = None;
+            let mut phase_power = 0.0f64;
+            for _iter in 0..LEAK_MAX_ITERS {
+                let mut pmap = model.zero_power();
+                phase_power = self.inject_phase_power(
+                    &mut pmap,
+                    layout,
+                    geometry,
+                    &chiplet,
+                    &dyn_by_chip,
+                    &temps,
+                    array_tier,
+                    sram_tier,
+                );
+                let field = match &guess {
+                    Some(g) => model.solve_with_guess(&pmap, g),
+                    None => model.solve(&pmap),
+                };
+                let mut max_delta = 0.0f64;
+                for (c, range) in ranges.iter().enumerate() {
+                    let t = field.region_mean_c(array_tier, range.0, range.1, range.2, range.3);
+                    max_delta = max_delta.max((t - temps[c]).abs());
+                    temps[c] = t;
+                }
+                guess = Some(field.clone().into_inner());
+                let converged = max_delta < LEAK_CONVERGENCE_K;
+                let diverged = temps.iter().any(|&t| t > RUNAWAY_TEMP_C);
+                last_field = Some(field);
+                if diverged {
+                    runaway = true;
+                    break;
+                }
+                if converged {
+                    break;
+                }
+            }
+            if runaway {
+                return (RUNAWAY_TEMP_C, true, phase_power.max(worst_power), last_field);
+            }
+            if let Some(field) = last_field {
+                // Peak junction temperature: hottest cell in the device
+                // tiers (the lid/TIM are cooler by construction).
+                let phase_peak =
+                    field.layer_peak_c(array_tier).max(field.layer_peak_c(sram_tier));
+                if phase_peak >= peak || hottest_field.is_none() {
+                    hottest_field = Some(field);
+                }
+                peak = peak.max(phase_peak);
+            }
+            worst_power = worst_power.max(phase_power);
+        }
+        (peak, false, worst_power, hottest_field)
+    }
+
+    /// The converged temperature field of the hottest schedule phase of
+    /// `design` — the data behind the paper's Fig. 6 thermal maps. Returns
+    /// `None` when the chiplet does not fit the interposer or the thermal
+    /// solver is disabled. For a design in thermal runaway, the last
+    /// (diverging) field is returned.
+    pub fn thermal_map(
+        &self,
+        design: &McmDesign,
+        constraints: &Constraints,
+    ) -> Option<tesa_thermal::ThermalField> {
+        if !self.opts.thermal_enabled {
+            return None;
+        }
+        let chiplet = design.chiplet;
+        let tech = &self.opts.tech;
+        let geometry = chiplet.geometry(tech);
+        let layout = estimate_mesh(
+            geometry.side_mm(),
+            design.ics_mm(),
+            constraints.interposer_w_mm,
+            constraints.interposer_h_mm,
+            self.workload.len() as u32,
+        )?;
+        let reports = self.perf(&chiplet);
+        let freq_hz = design.freq_hz();
+        let dnn_cycles: Vec<u64> = reports.iter().map(|r| r.total_cycles).collect();
+        let dnn_power: Vec<DynamicPower> =
+            reports.iter().map(|r| dynamic_power(r, &chiplet, tech, freq_hz)).collect();
+        let dnn_power_total: Vec<f64> = dnn_power.iter().map(DynamicPower::total_w).collect();
+        let sched = match self.opts.scheduler {
+            SchedulerPolicy::CornerFirstPowerAware => {
+                schedule(&layout.corner_first_order(), &dnn_cycles, &dnn_power_total)
+            }
+            SchedulerPolicy::NaiveRoundRobin => {
+                schedule_naive(layout.mesh.count() as usize, &dnn_cycles, &dnn_power_total)
+            }
+        };
+        let (_, _, _, field) =
+            self.thermal_analysis_full(design, &geometry, &layout, &sched, &dnn_power);
+        field
+    }
+
+    /// Transient thermal simulation of the actual schedule timeline — an
+    /// extension over the paper's steady-state-per-phase analysis.
+    ///
+    /// The frame's phases execute back to back (each for the duration of
+    /// its longest DNN), repeated for `frames` frames, with leakage
+    /// re-evaluated from the evolving per-chiplet temperatures at every
+    /// step. Returns `None` when the design does not fit the interposer or
+    /// the thermal solver is disabled.
+    ///
+    /// The per-step peak trace quantifies how conservative the paper's
+    /// steady-state analysis is: short frames never reach the steady-state
+    /// temperature the optimizer guards against.
+    pub fn transient_trace(
+        &self,
+        design: &McmDesign,
+        constraints: &Constraints,
+        dt_s: f64,
+        frames: usize,
+    ) -> Option<TransientTrace> {
+        if !self.opts.thermal_enabled {
+            return None;
+        }
+        let chiplet = design.chiplet;
+        let tech = &self.opts.tech;
+        let geometry = chiplet.geometry(tech);
+        let layout = estimate_mesh(
+            geometry.side_mm(),
+            design.ics_mm(),
+            constraints.interposer_w_mm,
+            constraints.interposer_h_mm,
+            self.workload.len() as u32,
+        )?;
+        let reports = self.perf(&chiplet);
+        let freq_hz = design.freq_hz();
+        let dnn_cycles: Vec<u64> = reports.iter().map(|r| r.total_cycles).collect();
+        let dnn_power: Vec<DynamicPower> =
+            reports.iter().map(|r| dynamic_power(r, &chiplet, tech, freq_hz)).collect();
+        let dnn_power_total: Vec<f64> = dnn_power.iter().map(DynamicPower::total_w).collect();
+        let sched = schedule(&layout.corner_first_order(), &dnn_cycles, &dnn_power_total);
+
+        let model = self.thermal_model(&layout, &geometry, chiplet.integration);
+        let (nx, ny) = model.grid_dims();
+        let (w_m, h_m) = model.footprint_m();
+        let (array_tier, sram_tier) = match chiplet.integration {
+            Integration::TwoD => (1usize, 1usize),
+            Integration::ThreeD => (3usize, 1usize),
+        };
+        let n_chiplets = layout.mesh.count() as usize;
+        let ranges: Vec<(usize, usize, usize, usize)> = layout
+            .positions_m
+            .iter()
+            .map(|r| {
+                let ix0 = ((r.x / w_m * nx as f64).floor() as usize).min(nx - 1);
+                let ix1 = ((r.x2() / w_m * nx as f64).ceil() as usize).clamp(ix0 + 1, nx);
+                let iy0 = ((r.y / h_m * ny as f64).floor() as usize).min(ny - 1);
+                let iy1 = ((r.y2() / h_m * ny as f64).ceil() as usize).clamp(iy0 + 1, ny);
+                (ix0, ix1, iy0, iy1)
+            })
+            .collect();
+
+        let mut field = model.ambient_field();
+        let mut times = Vec::new();
+        let mut peaks = Vec::new();
+        let mut t = 0.0f64;
+        for _ in 0..frames {
+            for phase in sched.phases() {
+                let duration = phase
+                    .iter()
+                    .map(|&(_, d)| dnn_cycles[d.0] as f64 / freq_hz)
+                    .fold(0.0, f64::max);
+                let steps = (duration / dt_s).ceil().max(1.0) as usize;
+                let mut dyn_by_chip: Vec<Option<DynamicPower>> = vec![None; n_chiplets];
+                for &(chip, dnn) in &phase {
+                    dyn_by_chip[chip] = Some(dnn_power[dnn.0]);
+                }
+                for _ in 0..steps {
+                    // Leakage from the current per-chiplet temperatures.
+                    let temps: Vec<f64> = ranges
+                        .iter()
+                        .map(|r| field.region_mean_c(array_tier, r.0, r.1, r.2, r.3))
+                        .collect();
+                    let mut pmap = model.zero_power();
+                    self.inject_phase_power(
+                        &mut pmap,
+                        &layout,
+                        &geometry,
+                        &chiplet,
+                        &dyn_by_chip,
+                        &temps,
+                        array_tier,
+                        sram_tier,
+                    );
+                    field = model.transient_step(&pmap, &field, dt_s);
+                    t += dt_s;
+                    times.push(t);
+                    peaks.push(
+                        field.layer_peak_c(array_tier).max(field.layer_peak_c(sram_tier)),
+                    );
+                }
+            }
+        }
+        Some(TransientTrace { times_s: times, peaks_c: peaks })
+    }
+
+    /// Rasterizes one phase's power into `pmap`; returns the total watts.
+    #[allow(clippy::too_many_arguments)]
+    fn inject_phase_power(
+        &self,
+        pmap: &mut PowerMap,
+        layout: &McmLayout,
+        geometry: &ChipletGeometry,
+        chiplet: &ChipletConfig,
+        dyn_by_chip: &[Option<DynamicPower>],
+        temps: &[f64],
+        array_tier: usize,
+        sram_tier: usize,
+    ) -> f64 {
+        let tech = &self.opts.tech;
+        let mut total = 0.0;
+        for (c, rect) in layout.positions_m.iter().enumerate() {
+            let leak_array = array_leakage_w(chiplet, tech, temps[c], self.opts.leakage);
+            let leak_sram = sram_leakage_w(chiplet, tech, temps[c], self.opts.leakage);
+            let dynp = dyn_by_chip[c].unwrap_or_default();
+            match chiplet.integration {
+                Integration::TwoD => {
+                    let array_r = layout.array_region_2d(c, geometry);
+                    let sram_r = layout.sram_region_2d(c, geometry);
+                    pmap.add_uniform_rect(array_tier, array_r, dynp.array_w + leak_array);
+                    pmap.add_uniform_rect(sram_tier, sram_r, dynp.sram_w + leak_sram);
+                }
+                Integration::ThreeD => {
+                    pmap.add_uniform_rect(array_tier, *rect, dynp.array_w + leak_array);
+                    pmap.add_uniform_rect(
+                        sram_tier,
+                        *rect,
+                        dynp.sram_w + dynp.tsv_w + leak_sram,
+                    );
+                }
+            }
+            total += dynp.total_w() + leak_array + leak_sram;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesa_workloads::arvr_suite;
+
+    fn design(dim: u32, kib: u64, integration: Integration, ics: u32, mhz: u32) -> McmDesign {
+        McmDesign {
+            chiplet: ChipletConfig { array_dim: dim, sram_kib_per_bank: kib, integration },
+            ics_um: ics,
+            freq_mhz: mhz,
+        }
+    }
+
+    fn evaluator() -> Evaluator {
+        // A coarser grid keeps unit tests quick; integration tests use 64.
+        Evaluator::new(arvr_suite(), EvalOptions { grid_cells: 32, ..Default::default() })
+    }
+
+    #[test]
+    fn oversized_chiplet_reports_area_violation() {
+        // Even the largest Table II chiplet (256x256, 12 MiB SRAM) fits an
+        // 8x8 mm interposer alone; a truly oversized one must not.
+        let e = evaluator();
+        let d = design(1024, 4096, Integration::TwoD, 0, 400);
+        let eval = e.evaluate(&d, &Constraints::default());
+        assert!(eval
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Area { .. })));
+        assert!(!eval.is_feasible());
+    }
+
+    #[test]
+    fn tiny_chiplet_misses_latency() {
+        let e = evaluator();
+        let d = design(16, 8, Integration::TwoD, 500, 400);
+        let eval = e.evaluate(&d, &Constraints::edge_device(30.0, 85.0));
+        assert!(eval
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Latency { .. })), "{:?}", eval.violations);
+    }
+
+    #[test]
+    fn excessive_ics_flagged() {
+        let e = evaluator();
+        let d = design(64, 128, Integration::TwoD, 1500, 400);
+        let eval = e.evaluate(&d, &Constraints::default());
+        assert!(eval.violations.iter().any(|v| matches!(v, Violation::Ics { .. })));
+    }
+
+    #[test]
+    fn midsize_2d_design_evaluates_fully() {
+        let e = evaluator();
+        let d = design(128, 512, Integration::TwoD, 500, 400);
+        let eval = e.evaluate(&d, &Constraints::edge_device(15.0, 85.0));
+        assert!(eval.mesh.is_some());
+        assert!(eval.latency_s.is_finite() && eval.latency_s > 0.0);
+        assert!(eval.peak_temp_c > 45.0, "powered silicon must warm up");
+        assert!(eval.mcm_cost_usd > 0.0 && eval.mcm_cost_usd.is_finite());
+        assert!(eval.dram_power_w > 0.0);
+        assert!(eval.ops > 0.0);
+        assert!(eval.dram_channels >= eval.schedule.as_ref().unwrap().active_chiplets() as u32);
+    }
+
+    #[test]
+    fn perf_cache_hits_across_ics() {
+        let e = evaluator();
+        let d1 = design(96, 256, Integration::TwoD, 0, 400);
+        let d2 = design(96, 256, Integration::TwoD, 1000, 400);
+        let _ = e.evaluate(&d1, &Constraints::default());
+        let before = Arc::strong_count(&e.perf(&d1.chiplet));
+        let _ = e.evaluate(&d2, &Constraints::default());
+        // Same (array, SRAM) key: the cache entry is reused, not rebuilt.
+        assert!(Arc::strong_count(&e.perf(&d2.chiplet)) >= before);
+    }
+
+    #[test]
+    fn higher_frequency_is_faster_but_hotter() {
+        let e = evaluator();
+        let d400 = design(128, 512, Integration::TwoD, 500, 400);
+        let d500 = design(128, 512, Integration::TwoD, 500, 500);
+        let c = Constraints::edge_device(15.0, 85.0);
+        let e400 = e.evaluate(&d400, &c);
+        let e500 = e.evaluate(&d500, &c);
+        assert!(e500.latency_s < e400.latency_s);
+        assert!(e500.peak_temp_c > e400.peak_temp_c);
+    }
+
+    #[test]
+    fn three_d_same_architecture_is_hotter_than_2d() {
+        // Stacking halves the footprint (higher power density) and buries
+        // the SRAM tier — 3D must run hotter at iso-architecture.
+        let e = evaluator();
+        let c = Constraints::edge_device(15.0, 85.0);
+        let e2 = e.evaluate(&design(128, 512, Integration::TwoD, 500, 400), &c);
+        let e3 = e.evaluate(&design(128, 512, Integration::ThreeD, 500, 400), &c);
+        assert!(e3.peak_temp_c > e2.peak_temp_c, "3D {} vs 2D {}", e3.peak_temp_c, e2.peak_temp_c);
+    }
+
+    #[test]
+    fn temperature_unaware_mode_skips_thermal() {
+        let e = Evaluator::new(
+            arvr_suite(),
+            EvalOptions { grid_cells: 32, ..EvalOptions::temperature_unaware() },
+        );
+        let eval = e.evaluate(&design(128, 512, Integration::TwoD, 500, 400), &Constraints::default());
+        assert_eq!(eval.peak_temp_c, e.options().tech.ambient_c);
+        assert!(!eval.violations.iter().any(|v| matches!(v, Violation::Thermal { .. })));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let e = evaluator();
+        let d = design(128, 512, Integration::TwoD, 500, 400);
+        let c = Constraints::default();
+        let a = e.evaluate(&d, &c);
+        let b = e.evaluate(&d, &c);
+        assert_eq!(a.peak_temp_c, b.peak_temp_c);
+        assert_eq!(a.mcm_cost_usd, b.mcm_cost_usd);
+        assert_eq!(a.latency_s, b.latency_s);
+    }
+}

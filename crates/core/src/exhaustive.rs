@@ -1,0 +1,167 @@
+//! Exhaustive design-space sweeps — the ground truth the paper validates
+//! its optimizer against (Sec. IV-A), and the search engine of the SC2
+//! baseline.
+
+use crate::constraints::Constraints;
+use crate::design::{DesignSpace, Integration, McmDesign};
+use crate::eval::{Evaluator, McmEvaluation};
+use crate::objective::Objective;
+use serde::{Deserialize, Serialize};
+
+/// A compact per-design record kept for every point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The design.
+    pub design: McmDesign,
+    /// Eq. (6) objective value.
+    pub objective: f64,
+    /// Whether all constraints were met.
+    pub feasible: bool,
+    /// Peak junction temperature, °C.
+    pub peak_temp_c: f64,
+    /// Whether the leakage iteration diverged.
+    pub thermal_runaway: bool,
+    /// MCM cost, USD.
+    pub mcm_cost_usd: f64,
+    /// DRAM power, watts.
+    pub dram_power_w: f64,
+    /// Chiplet count of the derived mesh (0 on area violation).
+    pub chiplets: u32,
+}
+
+/// Result of an exhaustive sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The feasible design minimizing the objective, fully evaluated.
+    pub best: Option<McmEvaluation>,
+    /// Compact records for every design in the space, in enumeration order.
+    pub points: Vec<SweepPoint>,
+    /// Number of feasible designs.
+    pub feasible_count: usize,
+}
+
+impl SweepResult {
+    /// Total designs swept.
+    pub fn total(&self) -> usize {
+        self.points.len()
+    }
+}
+
+/// Exhaustively evaluates every design in `space` (one integration and
+/// frequency), in parallel across `threads` worker threads, and returns the
+/// global optimum of `objective` among feasible designs.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn sweep(
+    evaluator: &Evaluator,
+    space: &DesignSpace,
+    integration: Integration,
+    freq_mhz: u32,
+    constraints: &Constraints,
+    objective: &Objective,
+    threads: usize,
+) -> SweepResult {
+    assert!(threads > 0, "need at least one worker thread");
+    let designs: Vec<McmDesign> = space.designs(integration, freq_mhz).collect();
+    let chunk = designs.len().div_ceil(threads).max(1);
+
+    let mut points: Vec<SweepPoint> = Vec::with_capacity(designs.len());
+    let chunks: Vec<Vec<SweepPoint>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = designs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    slice
+                        .iter()
+                        .map(|d| {
+                            let e = evaluator.evaluate(d, constraints);
+                            SweepPoint {
+                                design: *d,
+                                objective: e.objective(objective),
+                                feasible: e.is_feasible(),
+                                peak_temp_c: e.peak_temp_c,
+                                thermal_runaway: e.thermal_runaway,
+                                mcm_cost_usd: e.mcm_cost_usd,
+                                dram_power_w: e.dram_power_w,
+                                chiplets: e.mesh.map_or(0, |m| m.count()),
+                            }
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    })
+    .expect("sweep scope panicked");
+    for c in chunks {
+        points.extend(c);
+    }
+
+    let feasible_count = points.iter().filter(|p| p.feasible).count();
+    let best_design = points
+        .iter()
+        .filter(|p| p.feasible)
+        .min_by(|a, b| a.objective.partial_cmp(&b.objective).expect("finite objective"))
+        .map(|p| p.design);
+    let best = best_design.map(|d| evaluator.evaluate(&d, constraints));
+    SweepResult { best, points, feasible_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalOptions;
+    use tesa_workloads::arvr_suite;
+
+    fn tiny_space() -> DesignSpace {
+        DesignSpace {
+            array_dims: vec![112, 128],
+            sram_kib_options: vec![256, 512],
+            ics_um_options: vec![0, 1000],
+        }
+    }
+
+    #[test]
+    fn sweep_covers_whole_space_and_finds_global_best() {
+        let evaluator = Evaluator::new(
+            arvr_suite(),
+            EvalOptions { grid_cells: 32, ..Default::default() },
+        );
+        let space = tiny_space();
+        let constraints = Constraints::edge_device(15.0, 85.0);
+        let obj = Objective::balanced();
+        let r = sweep(&evaluator, &space, Integration::TwoD, 400, &constraints, &obj, 4);
+        assert_eq!(r.total(), space.len());
+        assert!(r.feasible_count > 0, "this space should contain feasible designs");
+        let best = r.best.as_ref().expect("feasible best");
+        // The returned best matches the minimum over feasible points.
+        let min_obj = r
+            .points
+            .iter()
+            .filter(|p| p.feasible)
+            .map(|p| p.objective)
+            .fold(f64::INFINITY, f64::min);
+        assert!((best.objective(&obj) - min_obj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let evaluator = Evaluator::new(
+            arvr_suite(),
+            EvalOptions { grid_cells: 32, ..Default::default() },
+        );
+        let space = tiny_space();
+        let constraints = Constraints::edge_device(15.0, 85.0);
+        let obj = Objective::balanced();
+        let serial = sweep(&evaluator, &space, Integration::TwoD, 400, &constraints, &obj, 1);
+        let parallel = sweep(&evaluator, &space, Integration::TwoD, 400, &constraints, &obj, 8);
+        assert_eq!(
+            serial.best.as_ref().map(|e| e.design),
+            parallel.best.as_ref().map(|e| e.design)
+        );
+        assert_eq!(serial.feasible_count, parallel.feasible_count);
+        assert_eq!(serial.points.len(), parallel.points.len());
+    }
+}

@@ -1,0 +1,285 @@
+//! Mesh estimation and floorplanning: how many chiplets fit the interposer
+//! at a given chiplet size and ICS, where they sit, and in which order the
+//! scheduler should fill them (corner-first).
+//!
+//! Matching the paper's methodology, the optimizer fills the interposer
+//! uniformly with chiplets in a dense mesh; the mesh estimator derives the
+//! densest `rows x cols` grid that fits, capped at the number of DNNs in
+//! the workload to avoid over-provisioning.
+
+use crate::design::ChipletGeometry;
+use serde::{Deserialize, Serialize};
+use tesa_thermal::Rect;
+
+/// A chiplet mesh: `rows x cols` grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mesh {
+    /// Grid rows.
+    pub rows: u32,
+    /// Grid columns.
+    pub cols: u32,
+}
+
+impl Mesh {
+    /// Number of chiplets in the mesh.
+    pub fn count(&self) -> u32 {
+        self.rows * self.cols
+    }
+}
+
+impl std::fmt::Display for Mesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// A placed MCM: the mesh plus chiplet rectangles on the interposer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McmLayout {
+    /// The chiplet grid.
+    pub mesh: Mesh,
+    /// Interposer width, mm.
+    pub interposer_w_mm: f64,
+    /// Interposer height, mm.
+    pub interposer_h_mm: f64,
+    /// Chiplet footprint side, mm.
+    pub chiplet_side_mm: f64,
+    /// Inter-chiplet spacing, mm.
+    pub ics_mm: f64,
+    /// Chiplet footprints in meters (thermal-model coordinates), row-major
+    /// from the bottom-left of the mesh.
+    pub positions_m: Vec<Rect>,
+}
+
+impl McmLayout {
+    /// Indices of [`McmLayout::positions_m`] in the scheduler's fill order:
+    /// corner cells first, then the remaining edge cells, then interior
+    /// cells; within each class, farther from the mesh center first. This
+    /// is the paper's hot-spot-avoiding placement policy (Sec. III-C).
+    pub fn corner_first_order(&self) -> Vec<usize> {
+        let (rows, cols) = (self.mesh.rows as usize, self.mesh.cols as usize);
+        let mut idx: Vec<usize> = (0..rows * cols).collect();
+        let class = |i: usize| -> u32 {
+            let (r, c) = (i / cols, i % cols);
+            let edge_r = r == 0 || r + 1 == rows;
+            let edge_c = c == 0 || c + 1 == cols;
+            match (edge_r, edge_c) {
+                (true, true) => 0,  // corner
+                (true, false) | (false, true) => 1, // edge
+                (false, false) => 2, // interior
+            }
+        };
+        let center_dist2 = |i: usize| -> f64 {
+            let (r, c) = ((i / cols) as f64, (i % cols) as f64);
+            let (cr, cc) = ((rows as f64 - 1.0) / 2.0, (cols as f64 - 1.0) / 2.0);
+            (r - cr).powi(2) + (c - cc).powi(2)
+        };
+        idx.sort_by(|&a, &b| {
+            class(a)
+                .cmp(&class(b))
+                .then(center_dist2(b).partial_cmp(&center_dist2(a)).expect("finite"))
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// The region of chiplet `i`'s footprint occupied by the systolic
+    /// array (2D integration: array and SRAMs share the tier side by side;
+    /// the array takes the left portion in proportion to its area).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn array_region_2d(&self, i: usize, geometry: &ChipletGeometry) -> Rect {
+        let r = self.positions_m[i];
+        let frac = geometry.array_area_mm2 / geometry.footprint_mm2;
+        Rect::new(r.x, r.y, r.w * frac, r.h)
+    }
+
+    /// The SRAM region of chiplet `i` (2D integration, right portion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sram_region_2d(&self, i: usize, geometry: &ChipletGeometry) -> Rect {
+        let r = self.positions_m[i];
+        let frac = geometry.array_area_mm2 / geometry.footprint_mm2;
+        Rect::new(r.x + r.w * frac, r.y, r.w * (1.0 - frac), r.h)
+    }
+}
+
+/// Derives the densest mesh of square chiplets (side `chiplet_side_mm`)
+/// that fits a `w x h` mm interposer at spacing `ics_mm`, capped at
+/// `max_chiplets`. Returns `None` when not even one chiplet fits — an
+/// interposer-area violation.
+pub fn estimate_mesh(
+    chiplet_side_mm: f64,
+    ics_mm: f64,
+    interposer_w_mm: f64,
+    interposer_h_mm: f64,
+    max_chiplets: u32,
+) -> Option<McmLayout> {
+    assert!(chiplet_side_mm > 0.0, "chiplet side must be positive");
+    assert!(ics_mm >= 0.0, "ICS cannot be negative");
+    assert!(max_chiplets > 0, "the chiplet cap must be positive");
+    // n chiplets fit along an axis of length L when
+    // n*side + (n-1)*ics <= L (with a tiny tolerance for float noise).
+    let fit = |len: f64| -> u32 {
+        let n = ((len + ics_mm) / (chiplet_side_mm + ics_mm) + 1e-9).floor();
+        n.max(0.0) as u32
+    };
+    let cols_fit = fit(interposer_w_mm);
+    let rows_fit = fit(interposer_h_mm);
+    if cols_fit == 0 || rows_fit == 0 {
+        return None;
+    }
+    // Densest mesh under the cap; ties prefer square-ish, then wide.
+    let mut best: Option<Mesh> = None;
+    for rows in 1..=rows_fit {
+        for cols in 1..=cols_fit {
+            if rows * cols > max_chiplets {
+                continue;
+            }
+            let candidate = Mesh { rows, cols };
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let (cn, bn) = (candidate.count(), b.count());
+                    cn > bn
+                        || (cn == bn
+                            && candidate.rows.abs_diff(candidate.cols) < b.rows.abs_diff(b.cols))
+                        || (cn == bn
+                            && candidate.rows.abs_diff(candidate.cols) == b.rows.abs_diff(b.cols)
+                            && candidate.cols > b.cols)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    let mesh = best?;
+    let total_w = f64::from(mesh.cols) * chiplet_side_mm + f64::from(mesh.cols - 1) * ics_mm;
+    let total_h = f64::from(mesh.rows) * chiplet_side_mm + f64::from(mesh.rows - 1) * ics_mm;
+    let x0 = (interposer_w_mm - total_w) / 2.0;
+    let y0 = (interposer_h_mm - total_h) / 2.0;
+    let side_m = chiplet_side_mm * 1e-3;
+    let mut positions = Vec::with_capacity(mesh.count() as usize);
+    for r in 0..mesh.rows {
+        for c in 0..mesh.cols {
+            positions.push(Rect::new(
+                (x0 + f64::from(c) * (chiplet_side_mm + ics_mm)) * 1e-3,
+                (y0 + f64::from(r) * (chiplet_side_mm + ics_mm)) * 1e-3,
+                side_m,
+                side_m,
+            ));
+        }
+    }
+    Some(McmLayout {
+        mesh,
+        interposer_w_mm,
+        interposer_h_mm,
+        chiplet_side_mm,
+        ics_mm,
+        positions_m: positions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_chiplet_is_area_violation() {
+        assert!(estimate_mesh(9.0, 0.0, 8.0, 8.0, 6).is_none());
+    }
+
+    #[test]
+    fn single_chiplet_centers() {
+        let l = estimate_mesh(4.0, 0.5, 8.0, 8.0, 1).expect("fits");
+        assert_eq!(l.mesh, Mesh { rows: 1, cols: 1 });
+        let r = l.positions_m[0];
+        assert!((r.x - 2.0e-3).abs() < 1e-12 && (r.y - 2.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_limits_the_mesh() {
+        // 2 mm chiplets at zero ICS: 4x4 = 16 would fit, but the cap is 6,
+        // and the squarest 6-chiplet mesh is 2x3 (wide preferred).
+        let l = estimate_mesh(2.0, 0.0, 8.0, 8.0, 6).expect("fits");
+        assert_eq!(l.mesh.count(), 6);
+        assert_eq!((l.mesh.rows, l.mesh.cols), (2, 3));
+    }
+
+    #[test]
+    fn ics_reduces_fit() {
+        // 2.4 mm chiplets: 3 fit per axis only when ICS is small.
+        let tight = estimate_mesh(2.4, 0.1, 8.0, 8.0, 9).expect("fits");
+        let wide = estimate_mesh(2.4, 1.0, 8.0, 8.0, 9).expect("fits");
+        assert_eq!((tight.mesh.rows, tight.mesh.cols), (3, 3));
+        assert_eq!((wide.mesh.rows, wide.mesh.cols), (2, 2));
+    }
+
+    #[test]
+    fn exact_fit_boundary() {
+        // 3 chiplets of 2 mm at 1 mm ICS = exactly 8 mm.
+        let l = estimate_mesh(2.0, 1.0, 8.0, 8.0, 9).expect("fits");
+        assert_eq!((l.mesh.rows, l.mesh.cols), (3, 3));
+    }
+
+    #[test]
+    fn positions_stay_on_the_interposer() {
+        let l = estimate_mesh(2.4, 0.8, 8.0, 8.0, 6).expect("fits");
+        for r in &l.positions_m {
+            assert!(r.x >= -1e-12 && r.y >= -1e-12);
+            assert!(r.x2() <= 8.0e-3 + 1e-12 && r.y2() <= 8.0e-3 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn neighbor_spacing_equals_ics() {
+        let l = estimate_mesh(2.0, 0.6, 8.0, 8.0, 4).expect("fits");
+        assert_eq!(l.mesh.count(), 4);
+        let gap = l.positions_m[1].x - l.positions_m[0].x2();
+        assert!((gap - 0.6e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corner_first_order_on_2x3() {
+        let l = estimate_mesh(2.0, 0.0, 8.0, 8.0, 6).expect("fits");
+        assert_eq!((l.mesh.rows, l.mesh.cols), (2, 3));
+        let order = l.corner_first_order();
+        // In a 2x3 grid the four corners are indices 0, 2, 3, 5; the two
+        // middle-column cells (1, 4) are edges.
+        let corners: Vec<usize> = order[..4].to_vec();
+        for i in [0usize, 2, 3, 5] {
+            assert!(corners.contains(&i), "corner {i} should be filled first: {order:?}");
+        }
+    }
+
+    #[test]
+    fn corner_first_order_on_3x3_puts_center_last() {
+        let l = estimate_mesh(2.0, 0.0, 8.0, 8.0, 9).expect("fits");
+        assert_eq!((l.mesh.rows, l.mesh.cols), (3, 3));
+        let order = l.corner_first_order();
+        assert_eq!(*order.last().expect("non-empty"), 4, "center of 3x3 is index 4");
+    }
+
+    #[test]
+    fn array_and_sram_regions_partition_the_chiplet_2d() {
+        use crate::design::{ChipletConfig, Integration};
+        use crate::tech::TechParams;
+        let g = ChipletConfig {
+            array_dim: 200,
+            sram_kib_per_bank: 1024,
+            integration: Integration::TwoD,
+        }
+        .geometry(&TechParams::default());
+        let l = estimate_mesh(g.side_mm(), 0.5, 8.0, 8.0, 6).expect("fits");
+        let a = l.array_region_2d(0, &g);
+        let s = l.sram_region_2d(0, &g);
+        let whole = l.positions_m[0];
+        assert!((a.area() + s.area() - whole.area()).abs() < 1e-12);
+        assert!((a.x2() - s.x).abs() < 1e-15);
+    }
+}

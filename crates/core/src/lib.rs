@@ -1,0 +1,80 @@
+//! # TESA — TEmperature-aware Sizing of Accelerators
+//!
+//! A reproduction of *"Temperature-Aware Sizing of Multi-Chip Module
+//! Accelerators for Multi-DNN Workloads"* (DATE 2023). TESA sizes and
+//! places systolic-array chiplets on a silicon interposer to balance MCM
+//! fabrication cost and DRAM power for a multi-DNN workload, subject to
+//! user-defined latency, power, area, and junction-temperature constraints.
+//!
+//! The crate composes the substrate crates into the paper's flow
+//! (Fig. 2b):
+//!
+//! 1. a multi-DNN workload ([`tesa_workloads`]) is simulated per chiplet
+//!    configuration by the analytical SCALE-Sim model ([`tesa_scalesim`]);
+//! 2. dynamic power follows Eqs. (1)–(5) ([`power`]), with SRAM
+//!    characteristics from the CACTI-class model ([`tesa_memsim`]);
+//! 3. the mesh estimator and floorplanner ([`floorplan`]) place chiplets on
+//!    the interposer at the chosen inter-chiplet spacing (ICS);
+//! 4. the scheduler ([`sched`]) assigns DNNs to chiplets corner-first,
+//!    power-density aware;
+//! 5. steady-state temperature with leakage co-iteration (and
+//!    thermal-runaway detection) runs on the HotSpot-class solver
+//!    ([`tesa_thermal`]) via the [`eval`] pipeline;
+//! 6. DRAM power, MCM cost, latency, and OPS are reported, and
+//! 7. the multi-start simulated-annealing optimizer ([`anneal`]) minimizes
+//!    `alpha * cost_norm + beta * dram_power_norm` over chiplet size and
+//!    ICS (Eq. (6)).
+//!
+//! Temperature-unaware baselines (SC1, SC2) and prior-work adaptations
+//! (W1, W2) used in the paper's evaluation live in [`baselines`].
+//!
+//! # Examples
+//!
+//! Evaluate one candidate MCM end to end:
+//!
+//! ```
+//! use tesa::design::{ChipletConfig, Integration, McmDesign};
+//! use tesa::eval::Evaluator;
+//! use tesa::constraints::Constraints;
+//! use tesa_workloads::arvr_suite;
+//!
+//! let evaluator = Evaluator::new(arvr_suite(), Default::default());
+//! let design = McmDesign {
+//!     chiplet: ChipletConfig {
+//!         array_dim: 128,
+//!         sram_kib_per_bank: 512,
+//!         integration: Integration::TwoD,
+//!     },
+//!     ics_um: 500,
+//!     freq_mhz: 400,
+//! };
+//! let constraints = Constraints::edge_device(30.0, 75.0);
+//! let eval = evaluator.evaluate(&design, &constraints);
+//! println!("peak temperature: {:.1} C", eval.peak_temp_c);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod baselines;
+pub mod constraints;
+pub mod cost;
+pub mod design;
+pub mod dvfs;
+pub mod eval;
+pub mod exhaustive;
+pub mod floorplan;
+pub mod objective;
+pub mod nop;
+pub mod placement;
+pub mod power;
+pub mod report;
+pub mod sched;
+pub mod tech;
+
+pub use constraints::{Constraints, Violation};
+pub use design::{ChipletConfig, DesignSpace, Integration, McmDesign};
+pub use eval::{Evaluator, McmEvaluation};
+pub use objective::Objective;
+pub use tech::TechParams;

@@ -1,0 +1,177 @@
+//! Network-on-package (NoP) modeling — the paper's first listed piece of
+//! future work, and a quantitative check of its Sec. III-A assumption that
+//! *"ICS does not affect the overall latency"* because chiplets sit along
+//! the interposer edges with dedicated DRAM channels.
+//!
+//! The model routes each chiplet's DRAM traffic over interposer links to
+//! the nearest edge PHY (Manhattan routing at the chiplet's center), with
+//! distance-proportional wire energy and latency. The added *latency* per
+//! access is a handful of interposer-crossing cycles — orders of magnitude
+//! below a DNN layer's runtime, confirming the assumption — while the
+//! added *energy* scales with traffic and distance and can be compared
+//! against the DRAM subsystem itself.
+
+use crate::floorplan::McmLayout;
+use serde::{Deserialize, Serialize};
+
+/// Electrical characteristics of the interposer links to the DRAM PHYs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NopLinkModel {
+    /// Wire energy per bit per millimeter of interposer routing, pJ.
+    /// Representative for a 2.5D silicon-interposer parallel bus.
+    pub energy_pj_per_bit_mm: f64,
+    /// Signal propagation + retiming latency per millimeter, ns.
+    pub latency_ns_per_mm: f64,
+    /// Serialization/deserialization latency per access, ns.
+    pub serdes_ns: f64,
+}
+
+impl NopLinkModel {
+    /// Representative 2.5D interposer-link constants: ~0.05 pJ/bit/mm wire
+    /// energy, ~0.1 ns/mm repeatered propagation, 2 ns SerDes.
+    pub fn interposer_2p5d() -> Self {
+        Self { energy_pj_per_bit_mm: 0.05, latency_ns_per_mm: 0.1, serdes_ns: 2.0 }
+    }
+}
+
+impl Default for NopLinkModel {
+    fn default() -> Self {
+        Self::interposer_2p5d()
+    }
+}
+
+/// Per-chiplet NoP routing summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NopRoute {
+    /// Manhattan distance from the chiplet center to its nearest edge PHY,
+    /// mm.
+    pub distance_mm: f64,
+    /// One-way link latency, ns.
+    pub latency_ns: f64,
+}
+
+/// Whole-MCM NoP evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NopEvaluation {
+    /// Per-chiplet routes, in layout order.
+    pub routes: Vec<NopRoute>,
+    /// Added average power from routing `dram_bytes` over the frame
+    /// window, watts.
+    pub link_power_w: f64,
+    /// Worst per-access round-trip link latency, ns.
+    pub worst_latency_ns: f64,
+}
+
+/// Evaluates the NoP for a placed MCM: every chiplet routes its share of
+/// `dram_bytes_per_chiplet` to the nearest interposer edge over
+/// `window_s`.
+///
+/// # Panics
+///
+/// Panics if the byte slice length differs from the chiplet count or the
+/// window is not positive.
+pub fn evaluate_nop(
+    layout: &McmLayout,
+    link: &NopLinkModel,
+    dram_bytes_per_chiplet: &[f64],
+    window_s: f64,
+) -> NopEvaluation {
+    assert_eq!(
+        dram_bytes_per_chiplet.len(),
+        layout.positions_m.len(),
+        "per-chiplet traffic must match the layout"
+    );
+    assert!(window_s > 0.0, "window must be positive");
+    let w = layout.interposer_w_mm;
+    let h = layout.interposer_h_mm;
+    let mut routes = Vec::with_capacity(layout.positions_m.len());
+    let mut energy_pj = 0.0;
+    let mut worst_latency = 0.0f64;
+    for (rect, &bytes) in layout.positions_m.iter().zip(dram_bytes_per_chiplet) {
+        let (cx, cy) = rect.center();
+        let (cx_mm, cy_mm) = (cx * 1e3, cy * 1e3);
+        // Nearest of the four edges (PHYs ring the interposer).
+        let distance_mm = cx_mm.min(w - cx_mm).min(cy_mm).min(h - cy_mm).max(0.0);
+        let latency_ns = link.serdes_ns + link.latency_ns_per_mm * distance_mm;
+        worst_latency = worst_latency.max(2.0 * latency_ns);
+        energy_pj += bytes * 8.0 * link.energy_pj_per_bit_mm * distance_mm;
+        routes.push(NopRoute { distance_mm, latency_ns });
+    }
+    NopEvaluation {
+        routes,
+        link_power_w: energy_pj * 1e-12 / window_s,
+        worst_latency_ns: worst_latency,
+    }
+}
+
+/// Checks the paper's assumption for one layout: the worst round-trip link
+/// latency as a fraction of one frame window. Values around 1e-7 mean the
+/// assumption ("ICS does not affect overall latency") is safe.
+pub fn latency_assumption_ratio(nop: &NopEvaluation, window_s: f64) -> f64 {
+    nop.worst_latency_ns * 1e-9 / window_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::estimate_mesh;
+
+    fn layout() -> McmLayout {
+        estimate_mesh(2.36, 0.5, 8.0, 8.0, 6).expect("fits")
+    }
+
+    #[test]
+    fn edge_chiplets_route_short() {
+        let l = layout();
+        let traffic = vec![1e9; l.positions_m.len()];
+        let nop = evaluate_nop(&l, &NopLinkModel::default(), &traffic, 1.0 / 30.0);
+        for r in &nop.routes {
+            // On an 8 mm interposer no chiplet center is more than 4 mm
+            // from an edge.
+            assert!(r.distance_mm <= 4.0);
+            assert!(r.distance_mm > 0.0);
+        }
+    }
+
+    #[test]
+    fn link_latency_is_negligible_vs_frame() {
+        // The paper's assumption: ICS/routing does not affect latency.
+        let l = layout();
+        let traffic = vec![2.5e9; l.positions_m.len()];
+        let window = 1.0 / 30.0;
+        let nop = evaluate_nop(&l, &NopLinkModel::default(), &traffic, window);
+        let ratio = latency_assumption_ratio(&nop, window);
+        assert!(ratio < 1e-6, "link latency is {ratio:.2e} of a frame");
+    }
+
+    #[test]
+    fn link_power_scales_with_traffic_and_is_modest() {
+        let l = layout();
+        let n = l.positions_m.len();
+        let low = evaluate_nop(&l, &NopLinkModel::default(), &vec![1e8; n], 1.0 / 30.0);
+        let high = evaluate_nop(&l, &NopLinkModel::default(), &vec![1e9; n], 1.0 / 30.0);
+        assert!((high.link_power_w / low.link_power_w - 10.0).abs() < 1e-9);
+        // Routing a realistic frame's traffic costs well under a watt —
+        // small next to the DRAM subsystem itself.
+        assert!(high.link_power_w < 1.0, "got {} W", high.link_power_w);
+    }
+
+    #[test]
+    fn wider_spacing_changes_distances_only_mildly() {
+        // The mesh is centered, so growing ICS pushes chiplets *towards*
+        // the edges: routing distance cannot grow with ICS.
+        let tight = estimate_mesh(2.36, 0.1, 8.0, 8.0, 4).expect("fits");
+        let wide = estimate_mesh(2.36, 1.0, 8.0, 8.0, 4).expect("fits");
+        let t = evaluate_nop(&tight, &NopLinkModel::default(), &[1e9; 4], 1.0);
+        let w = evaluate_nop(&wide, &NopLinkModel::default(), &[1e9; 4], 1.0);
+        let dist = |n: &NopEvaluation| n.routes.iter().map(|r| r.distance_mm).sum::<f64>();
+        assert!(dist(&w) <= dist(&t) + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the layout")]
+    fn traffic_length_mismatch_panics() {
+        let l = layout();
+        let _ = evaluate_nop(&l, &NopLinkModel::default(), &[1.0], 1.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! TESA's optimization objective (Eq. (6)):
+//! `Obj = alpha * MCMcost_norm + beta * DRAMpower_norm`.
+
+use serde::{Deserialize, Serialize};
+
+/// The weighted, normalized cost/DRAM-power objective.
+///
+/// Normalization divides each term by a user-chosen reference so the two
+/// are commensurate; the experiments normalize against the SC1
+/// (maximum-parallelism) baseline's cost and DRAM power.
+///
+/// # Examples
+///
+/// ```
+/// use tesa::Objective;
+///
+/// let obj = Objective::balanced();
+/// // Equal weights: matching both references scores 2.0.
+/// assert!((obj.value(obj.cost_ref_usd, obj.dram_ref_w) - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Weight on normalized MCM cost.
+    pub alpha: f64,
+    /// Weight on normalized DRAM power.
+    pub beta: f64,
+    /// Cost normalization reference, USD.
+    pub cost_ref_usd: f64,
+    /// DRAM-power normalization reference, watts.
+    pub dram_ref_w: f64,
+}
+
+impl Objective {
+    /// `alpha = beta = 1`, normalized to the SC1 maximum-parallelism
+    /// baseline's scale (~$12 MCM, ~6 W DRAM) — the paper's setting for
+    /// balancing cost and DRAM power. With these references a dollar of
+    /// MCM cost trades against half a watt of DRAM power.
+    pub fn balanced() -> Self {
+        Self { alpha: 1.0, beta: 1.0, cost_ref_usd: 12.0, dram_ref_w: 6.0 }
+    }
+
+    /// Same weights, normalized against explicit references (typically the
+    /// SC1 baseline's cost and DRAM power).
+    pub fn balanced_against(cost_ref_usd: f64, dram_ref_w: f64) -> Self {
+        assert!(cost_ref_usd > 0.0 && dram_ref_w > 0.0, "references must be positive");
+        Self { alpha: 1.0, beta: 1.0, cost_ref_usd, dram_ref_w }
+    }
+
+    /// Evaluates Eq. (6) for a design's cost and DRAM power.
+    pub fn value(&self, mcm_cost_usd: f64, dram_power_w: f64) -> f64 {
+        self.alpha * mcm_cost_usd / self.cost_ref_usd + self.beta * dram_power_w / self.dram_ref_w
+    }
+}
+
+impl Default for Objective {
+    fn default() -> Self {
+        Self::balanced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_cost_and_dram_score_better() {
+        let obj = Objective::balanced();
+        assert!(obj.value(5.0, 0.5) < obj.value(10.0, 1.0));
+    }
+
+    #[test]
+    fn weights_trade_off_terms() {
+        let cost_heavy = Objective { alpha: 2.0, beta: 0.0, ..Objective::balanced() };
+        let dram_heavy = Objective { alpha: 0.0, beta: 2.0, ..Objective::balanced() };
+        // A cheap/high-DRAM design wins under cost weighting and loses
+        // under DRAM weighting.
+        let cheap_hot = (2.0, 3.0);
+        let costly_cool = (20.0, 0.2);
+        assert!(cost_heavy.value(cheap_hot.0, cheap_hot.1) < cost_heavy.value(costly_cool.0, costly_cool.1));
+        assert!(dram_heavy.value(cheap_hot.0, cheap_hot.1) > dram_heavy.value(costly_cool.0, costly_cool.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_reference_panics() {
+        let _ = Objective::balanced_against(0.0, 1.0);
+    }
+}

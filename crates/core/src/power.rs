@@ -1,0 +1,212 @@
+//! Chiplet power models — Eqs. (1)–(5) of the paper, plus the leakage
+//! laws used by TESA and the baselines.
+
+use crate::design::ChipletConfig;
+use crate::tech::TechParams;
+use serde::{Deserialize, Serialize};
+use tesa_memsim::SramConfig;
+use tesa_scalesim::DnnReport;
+
+/// Dynamic-power breakdown of one chiplet running one DNN (watts).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DynamicPower {
+    /// Systolic-array dynamic power (`SaDP`, Eq. (2)).
+    pub array_w: f64,
+    /// Total SRAM dynamic power (`SrDP`, Eq. (4)).
+    pub sram_w: f64,
+    /// TSV dynamic power (`TsvDP`, Eq. (5); zero for 2D chiplets).
+    pub tsv_w: f64,
+}
+
+impl DynamicPower {
+    /// `DP` of Eq. (1) (plus the 3D TSV term): total dynamic power.
+    pub fn total_w(&self) -> f64 {
+        self.array_w + self.sram_w + self.tsv_w
+    }
+}
+
+/// Computes the dynamic power of `chiplet` executing the DNN whose
+/// simulation produced `report`, at `freq_hz`.
+///
+/// Implements Eqs. (1)–(5): utilization-scaled MAC power, SRAM power from
+/// average per-operand bandwidth times CACTI-class energy per byte, and —
+/// for 3D chiplets — TSV power from the same bandwidths.
+pub fn dynamic_power(
+    report: &DnnReport,
+    chiplet: &ChipletConfig,
+    tech: &TechParams,
+    freq_hz: f64,
+) -> DynamicPower {
+    // Eq. (2): SaDP = Util * DP_MAC,freq * num_PEs.
+    let array_w =
+        report.average_utilization * tech.mac_dynamic_w(freq_hz) * chiplet.num_pes() as f64;
+
+    // Eq. (4): SrDP = sum_m SrBw_avg,m * DP_per_byte. Bandwidth is bytes
+    // per cycle; energy per byte comes from the SRAM model at this bank
+    // capacity. IFMAP/FILTER traffic is reads; OFMAP is write-dominated.
+    let bank = tech.sram.estimate(SramConfig::with_capacity_kib(chiplet.sram_kib_per_bank));
+    let [bw_if, bw_fl, bw_of] = report.avg_sram_bytes_per_cycle();
+    let sram_w = ((bw_if + bw_fl) * bank.read_energy_pj_per_byte
+        + bw_of * bank.write_energy_pj_per_byte)
+        * 1e-12
+        * freq_hz;
+
+    // Eq. (5): TsvDP = sum_m SrBw_avg,m * TSV_power_bit * 8 (3D only).
+    let tsv_w = match chiplet.integration {
+        crate::design::Integration::TwoD => 0.0,
+        crate::design::Integration::ThreeD => {
+            (bw_if + bw_fl + bw_of) * 8.0 * tech.tsv_power_per_bit_w(freq_hz)
+        }
+    };
+
+    DynamicPower { array_w, sram_w, tsv_w }
+}
+
+/// Leakage-model variants used across TESA and the baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LeakageModel {
+    /// The paper's representative exponential temperature dependence
+    /// (TESA's own model).
+    #[default]
+    Exponential,
+    /// Linear tangent at the reference temperature — W2's under-estimating
+    /// model.
+    Linear,
+    /// No leakage at all — W1 and the SC baselines.
+    Disabled,
+}
+
+fn scale(tech: &TechParams, temp_c: f64, model: LeakageModel) -> f64 {
+    let dt = temp_c - tech.leak_ref_temp_c;
+    match model {
+        LeakageModel::Exponential => tech.leakage_scale(temp_c),
+        LeakageModel::Linear => (1.0 + tech.leak_temp_coeff_per_k * dt).max(0.0),
+        LeakageModel::Disabled => 0.0,
+    }
+}
+
+/// Leakage of the PE array alone at `temp_c` (watts).
+pub fn array_leakage_w(
+    chiplet: &ChipletConfig,
+    tech: &TechParams,
+    temp_c: f64,
+    model: LeakageModel,
+) -> f64 {
+    chiplet.num_pes() as f64 * tech.mac_leak_uw * 1e-6 * scale(tech, temp_c, model)
+}
+
+/// Leakage of the three SRAM banks alone at `temp_c` (watts).
+pub fn sram_leakage_w(
+    chiplet: &ChipletConfig,
+    tech: &TechParams,
+    temp_c: f64,
+    model: LeakageModel,
+) -> f64 {
+    let bank = tech.sram.estimate(SramConfig::with_capacity_kib(chiplet.sram_kib_per_bank));
+    3.0 * bank.leakage_mw * 1e-3 * scale(tech, temp_c, model)
+}
+
+/// Chiplet leakage power at `temp_c` (watts): PE array leakage plus the
+/// three SRAM banks, scaled by the chosen temperature law.
+pub fn leakage_w(
+    chiplet: &ChipletConfig,
+    tech: &TechParams,
+    temp_c: f64,
+    model: LeakageModel,
+) -> f64 {
+    array_leakage_w(chiplet, tech, temp_c, model)
+        + sram_leakage_w(chiplet, tech, temp_c, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Integration;
+    use tesa_scalesim::{ArrayConfig, Dataflow, Simulator, SramCapacities};
+    use tesa_workloads::zoo;
+
+    fn chiplet(integration: Integration) -> ChipletConfig {
+        ChipletConfig { array_dim: 128, sram_kib_per_bank: 512, integration }
+    }
+
+    fn report(dim: u32, kib: u64) -> DnnReport {
+        Simulator::new(
+            ArrayConfig::square(dim),
+            SramCapacities::uniform_kib(kib),
+            Dataflow::WeightStationary,
+        )
+        .simulate_dnn(&zoo::resnet50())
+    }
+
+    #[test]
+    fn array_power_follows_eq2() {
+        let tech = TechParams::default();
+        let r = report(128, 512);
+        let p = dynamic_power(&r, &chiplet(Integration::TwoD), &tech, 400e6);
+        let expected = r.average_utilization * tech.mac_dynamic_w(400e6) * 128.0 * 128.0;
+        assert!((p.array_w - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsv_power_only_in_3d() {
+        let tech = TechParams::default();
+        let r = report(128, 512);
+        let p2 = dynamic_power(&r, &chiplet(Integration::TwoD), &tech, 400e6);
+        let p3 = dynamic_power(&r, &chiplet(Integration::ThreeD), &tech, 400e6);
+        assert_eq!(p2.tsv_w, 0.0);
+        assert!(p3.tsv_w > 0.0);
+        assert!((p2.array_w - p3.array_w).abs() < 1e-15, "iso-frequency: same array power");
+    }
+
+    #[test]
+    fn chiplet_dynamic_power_in_expected_band() {
+        // A 128x128 chiplet running ResNet-50 at 400 MHz: watts, not
+        // milliwatts or tens of watts — consistent with a 15 W MCM budget.
+        let tech = TechParams::default();
+        let p = dynamic_power(&report(128, 512), &chiplet(Integration::TwoD), &tech, 400e6);
+        assert!((0.1..6.0).contains(&p.total_w()), "got {} W", p.total_w());
+    }
+
+    #[test]
+    fn leakage_models_order_correctly_above_reference() {
+        // At high temperature: exponential > linear > disabled — the gap
+        // that makes W2 miss thermal violations.
+        let tech = TechParams::default();
+        let c = chiplet(Integration::TwoD);
+        let exp = leakage_w(&c, &tech, 85.0, LeakageModel::Exponential);
+        let lin = leakage_w(&c, &tech, 85.0, LeakageModel::Linear);
+        let none = leakage_w(&c, &tech, 85.0, LeakageModel::Disabled);
+        assert!(exp > lin && lin > none);
+        assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn leakage_models_agree_at_reference_temperature() {
+        let tech = TechParams::default();
+        let c = chiplet(Integration::TwoD);
+        let exp = leakage_w(&c, &tech, tech.leak_ref_temp_c, LeakageModel::Exponential);
+        let lin = leakage_w(&c, &tech, tech.leak_ref_temp_c, LeakageModel::Linear);
+        assert!((exp - lin).abs() < 1e-12);
+        assert!(exp > 0.0);
+    }
+
+    #[test]
+    fn sram_power_grows_with_bank_energy() {
+        // Same traffic through bigger banks costs more energy per byte.
+        let tech = TechParams::default();
+        let r = report(128, 512);
+        let small = dynamic_power(
+            &r,
+            &ChipletConfig { array_dim: 128, sram_kib_per_bank: 64, integration: Integration::TwoD },
+            &tech,
+            400e6,
+        );
+        let large = dynamic_power(
+            &r,
+            &ChipletConfig { array_dim: 128, sram_kib_per_bank: 4096, integration: Integration::TwoD },
+            &tech,
+            400e6,
+        );
+        assert!(large.sram_w > small.sram_w);
+    }
+}

@@ -1,0 +1,130 @@
+//! Human-readable reporting helpers for experiment binaries: aligned text
+//! tables in the shape of the paper's Tables III–V.
+
+use crate::eval::McmEvaluation;
+
+/// A minimal fixed-width text-table builder.
+///
+/// # Examples
+///
+/// ```
+/// use tesa::report::Table;
+///
+/// let mut t = Table::new(vec!["design", "temp"]);
+/// t.row(vec!["200x200".into(), "72.1 C".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("200x200"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row. Short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, width) in w.iter_mut().enumerate() {
+                let len = row.get(c).map_or(0, String::len);
+                if len > *width {
+                    *width = len;
+                }
+            }
+        }
+        w
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let w = self.widths();
+        let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            write!(f, "|")?;
+            for (c, width) in w.iter().enumerate() {
+                let cell = cells.get(c).map(String::as_str).unwrap_or("");
+                write!(f, " {cell:<width$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        writeln!(f, "|{}|", w.iter().map(|x| "-".repeat(x + 2)).collect::<Vec<_>>().join("|"))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats the "Grid size, ICS" cell of the paper's tables, e.g.
+/// `"2x3, 800 um"`.
+pub fn grid_ics_cell(eval: &McmEvaluation) -> String {
+    match eval.mesh {
+        Some(mesh) => format!("{mesh}, {} um", eval.design.ics_um),
+        None => "does not fit".to_owned(),
+    }
+}
+
+/// Formats the peak-temperature cell, including runaway.
+pub fn temp_cell(eval: &McmEvaluation) -> String {
+    if eval.thermal_runaway {
+        "Thermal runaway".to_owned()
+    } else if eval.peak_temp_c.is_finite() {
+        format!("{:.2} C", eval.peak_temp_c)
+    } else {
+        "-".to_owned()
+    }
+}
+
+/// One standard result row: architecture, grid/ICS, frequency+constraint,
+/// peak temperature — the shape of Tables IV and V.
+pub fn standard_row(eval: &McmEvaluation, constraint_label: &str) -> Vec<String> {
+    vec![
+        eval.design.chiplet.to_string(),
+        grid_ics_cell(eval),
+        format!("{} MHz, {constraint_label}", eval.design.freq_mhz),
+        temp_cell(eval),
+    ]
+}
+
+/// Summarizes feasibility: either "feasible" or the violation list.
+pub fn feasibility_cell(eval: &McmEvaluation) -> String {
+    if eval.is_feasible() {
+        "feasible".to_owned()
+    } else {
+        eval.violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["wide-cell-content".into(), "x".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len(), "rows align with headers");
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        let s = t.to_string();
+        assert!(s.lines().count() == 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! DDR4 DRAM power model (Micron power-calculator stand-in).
+//!
+//! Micron's DDR4 power model decomposes device power into background
+//! (precharge/active standby), refresh, activate/precharge, read/write, and
+//! I/O + termination components derived from IDD currents. We keep the same
+//! decomposition with datasheet-representative constants folded into three
+//! terms per channel:
+//!
+//! * a fixed **background** power while the channel is powered (standby +
+//!   peripheral logic),
+//! * a fixed **refresh** power (tREFI-averaged),
+//! * a **traffic** term: energy per byte moved, covering
+//!   activate/precharge, read/write core energy, and I/O + on-die
+//!   termination.
+//!
+//! Each chiplet owns dedicated channels (paper Sec. III-A); the number of
+//! channels a chiplet needs follows from its peak bandwidth demand.
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical/bandwidth characteristics of one DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramChannelSpec {
+    /// Peak usable bandwidth per channel in bytes/second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Background (standby) power per powered channel in watts.
+    pub background_w: f64,
+    /// Refresh power per powered channel in watts.
+    pub refresh_w: f64,
+    /// Energy per byte transferred (core + I/O + termination) in pJ/byte.
+    pub energy_pj_per_byte: f64,
+}
+
+impl DramChannelSpec {
+    /// A DDR4-2400 x16 edge-device channel: 4.8 GB/s peak,
+    /// ~60 mW standby + ~15 mW refresh, ~22 pJ/B end-to-end transfer energy.
+    pub fn ddr4_x16_2400() -> Self {
+        Self {
+            bandwidth_bytes_per_s: 4.8e9,
+            background_w: 0.060,
+            refresh_w: 0.015,
+            energy_pj_per_byte: 22.0,
+        }
+    }
+
+    /// A DDR4-3200 x64 channel: 25.6 GB/s peak, ~150 mW standby +
+    /// ~30 mW refresh, ~15 pJ/B end-to-end transfer energy — the default
+    /// channel for the TESA reproduction (U-Net-class segmentation traffic
+    /// needs tens of GB/s sustained).
+    pub fn ddr4_x64_3200() -> Self {
+        Self {
+            bandwidth_bytes_per_s: 25.6e9,
+            background_w: 0.150,
+            refresh_w: 0.030,
+            energy_pj_per_byte: 15.0,
+        }
+    }
+}
+
+impl Default for DramChannelSpec {
+    fn default() -> Self {
+        Self::ddr4_x64_3200()
+    }
+}
+
+/// Aggregate DRAM activity of one chiplet over an execution window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramUsage {
+    /// Total bytes moved to/from DRAM during the window.
+    pub bytes_transferred: f64,
+    /// Window length in seconds.
+    pub window_s: f64,
+    /// Number of channels powered for this chiplet.
+    pub channels: u32,
+}
+
+/// Per-component DRAM power for one usage record, all in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DramPowerBreakdown {
+    /// Standby power of all powered channels.
+    pub background_w: f64,
+    /// Refresh power of all powered channels.
+    pub refresh_w: f64,
+    /// Read/write + I/O power from traffic.
+    pub traffic_w: f64,
+}
+
+impl DramPowerBreakdown {
+    /// Total DRAM power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.background_w + self.refresh_w + self.traffic_w
+    }
+}
+
+/// The DRAM power model: a channel spec plus the sizing rule.
+///
+/// # Examples
+///
+/// ```
+/// use tesa_memsim::{DramPowerModel, DramUsage};
+///
+/// let model = DramPowerModel::default();
+/// // A chiplet that needs 30 GB/s sustained gets two 25.6 GB/s channels.
+/// assert_eq!(model.channels_for_peak_bandwidth(30.0e9), 2);
+///
+/// let usage = DramUsage { bytes_transferred: 50e6, window_s: 33.3e-3, channels: 2 };
+/// let p = model.power(usage);
+/// assert!(p.total_w() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DramPowerModel {
+    /// Per-channel characteristics.
+    pub channel: DramChannelSpec,
+}
+
+impl DramPowerModel {
+    /// Creates a model over the given channel specification.
+    pub fn new(channel: DramChannelSpec) -> Self {
+        Self { channel }
+    }
+
+    /// Number of channels required to sustain `peak_bytes_per_s`.
+    ///
+    /// Always at least one: each chiplet has dedicated channels in the
+    /// paper's MCM organization.
+    pub fn channels_for_peak_bandwidth(&self, peak_bytes_per_s: f64) -> u32 {
+        if peak_bytes_per_s <= 0.0 {
+            return 1;
+        }
+        (peak_bytes_per_s / self.channel.bandwidth_bytes_per_s).ceil().max(1.0) as u32
+    }
+
+    /// Average DRAM power over the usage window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length is not positive.
+    pub fn power(&self, usage: DramUsage) -> DramPowerBreakdown {
+        assert!(usage.window_s > 0.0, "usage window must be positive");
+        let ch = f64::from(usage.channels);
+        DramPowerBreakdown {
+            background_w: ch * self.channel.background_w,
+            refresh_w: ch * self.channel.refresh_w,
+            traffic_w: usage.bytes_transferred * self.channel.energy_pj_per_byte * 1e-12
+                / usage.window_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn channel_sizing_rounds_up() {
+        // Default channel: DDR4-3200 x64 at 25.6 GB/s.
+        let m = DramPowerModel::default();
+        assert_eq!(m.channels_for_peak_bandwidth(0.0), 1);
+        assert_eq!(m.channels_for_peak_bandwidth(25.6e9), 1);
+        assert_eq!(m.channels_for_peak_bandwidth(25.7e9), 2);
+        assert_eq!(m.channels_for_peak_bandwidth(100.0e9), 4);
+
+        let edge = DramPowerModel::new(DramChannelSpec::ddr4_x16_2400());
+        assert_eq!(edge.channels_for_peak_bandwidth(4.8e9), 1);
+        assert_eq!(edge.channels_for_peak_bandwidth(4.81e9), 2);
+    }
+
+    #[test]
+    fn idle_channel_still_burns_background_power() {
+        let m = DramPowerModel::default();
+        let p = m.power(DramUsage { bytes_transferred: 0.0, window_s: 1.0, channels: 1 });
+        assert!(p.background_w > 0.0 && p.refresh_w > 0.0);
+        assert_eq!(p.traffic_w, 0.0);
+    }
+
+    #[test]
+    fn traffic_power_matches_hand_calc() {
+        let m = DramPowerModel::default();
+        // 1 GB moved in 1 s at 15 pJ/B = 15 mW.
+        let p = m.power(DramUsage { bytes_transferred: 1e9, window_s: 1.0, channels: 1 });
+        assert!((p.traffic_w - 0.015).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_channel_power_is_plausible() {
+        // A fully saturated DDR4 x64 channel draws a few hundred mW —
+        // the ballpark Micron's calculator reports for a 3200 MT/s device.
+        let m = DramPowerModel::default();
+        let bw = m.channel.bandwidth_bytes_per_s;
+        let p = m.power(DramUsage { bytes_transferred: bw, window_s: 1.0, channels: 1 });
+        assert!((0.2..0.9).contains(&p.total_w()), "got {} W", p.total_w());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = DramPowerModel::default()
+            .power(DramUsage { bytes_transferred: 1.0, window_s: 0.0, channels: 1 });
+    }
+
+    proptest! {
+        #[test]
+        fn power_monotone_in_traffic(a in 0.0f64..1e12, b in 0.0f64..1e12) {
+            prop_assume!(a < b);
+            let m = DramPowerModel::default();
+            let pa = m.power(DramUsage { bytes_transferred: a, window_s: 0.033, channels: 2 });
+            let pb = m.power(DramUsage { bytes_transferred: b, window_s: 0.033, channels: 2 });
+            prop_assert!(pb.total_w() >= pa.total_w());
+        }
+
+        #[test]
+        fn power_monotone_in_channels(ch_a in 1u32..16, ch_b in 1u32..16) {
+            prop_assume!(ch_a < ch_b);
+            let m = DramPowerModel::default();
+            let pa = m.power(DramUsage { bytes_transferred: 1e8, window_s: 0.033, channels: ch_a });
+            let pb = m.power(DramUsage { bytes_transferred: 1e8, window_s: 0.033, channels: ch_b });
+            prop_assert!(pb.total_w() > pa.total_w());
+        }
+
+        #[test]
+        fn channel_count_sufficient_for_demand(peak in 0.0f64..1e11) {
+            let m = DramPowerModel::default();
+            let ch = m.channels_for_peak_bandwidth(peak);
+            prop_assert!(f64::from(ch) * m.channel.bandwidth_bytes_per_s >= peak);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Memory models for the TESA reproduction: an analytical on-chip SRAM
+//! estimator (standing in for CACTI-7.0) and a DDR4 DRAM power model
+//! (standing in for Micron's power calculator).
+//!
+//! Both models are hand-written because no accelerator-modeling ecosystem
+//! exists in Rust; they are calibrated to published reference points and —
+//! more importantly for a design-space exploration — preserve the *trends*
+//! that drive TESA's decisions:
+//!
+//! * larger SRAM → more area, more leakage, higher energy/access, but fewer
+//!   DRAM fetches (better reuse);
+//! * more DRAM traffic and more allocated channels → more DRAM power.
+//!
+//! # Examples
+//!
+//! ```
+//! use tesa_memsim::{SramConfig, SramModel};
+//!
+//! let model = SramModel::tech_22nm();
+//! let small = model.estimate(SramConfig::with_capacity_kib(64));
+//! let large = model.estimate(SramConfig::with_capacity_kib(1024));
+//! assert!(large.area_mm2 > small.area_mm2);
+//! assert!(large.leakage_mw > small.leakage_mw);
+//! assert!(large.read_energy_pj_per_byte > small.read_energy_pj_per_byte);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dram;
+mod sram;
+
+pub use dram::{DramChannelSpec, DramPowerBreakdown, DramPowerModel, DramUsage};
+pub use sram::{SramConfig, SramEstimate, SramModel};

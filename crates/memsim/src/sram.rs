@@ -1,0 +1,202 @@
+//! Analytical SRAM area / energy / leakage model (CACTI-7.0 stand-in).
+//!
+//! CACTI derives SRAM characteristics from a detailed circuit model; here we
+//! use the standard first-order scaling laws it embodies:
+//!
+//! * **Area** grows linearly with capacity (bit cells) plus a periphery
+//!   overhead whose *relative* weight shrinks with capacity (sense amps,
+//!   decoders, and IO amortize over more cells).
+//! * **Access energy per byte** grows with the square root of capacity —
+//!   word-/bit-line lengths inside a bank scale with `sqrt(bits)` and the
+//!   H-tree to reach more banks adds wire energy.
+//! * **Leakage** is proportional to the number of cells plus periphery, at a
+//!   reference temperature; temperature scaling is applied by the caller
+//!   (the exponential leakage model lives in the `tesa` power module so one
+//!   temperature law covers logic and SRAM).
+//!
+//! The 22 nm constants are anchored to published CACTI-7 numbers for
+//! single-ported, low-standby-power SRAM macros.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one SRAM macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SramConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Read/write port width in bytes (default 16 B, a systolic-array edge
+    /// feeder line).
+    pub word_bytes: u32,
+}
+
+impl SramConfig {
+    /// Convenience constructor from a capacity in KiB with the default
+    /// 16-byte word width.
+    pub fn with_capacity_kib(kib: u64) -> Self {
+        Self { capacity_bytes: kib * 1024, word_bytes: 16 }
+    }
+
+    /// Capacity in KiB (rounded down).
+    pub fn capacity_kib(&self) -> u64 {
+        self.capacity_bytes / 1024
+    }
+}
+
+/// Output of the SRAM model for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramEstimate {
+    /// Macro area in mm².
+    pub area_mm2: f64,
+    /// Dynamic read energy per byte in pJ.
+    pub read_energy_pj_per_byte: f64,
+    /// Dynamic write energy per byte in pJ.
+    pub write_energy_pj_per_byte: f64,
+    /// Leakage power in mW at the model's reference temperature.
+    pub leakage_mw: f64,
+}
+
+/// Analytical SRAM model for a fixed technology node.
+///
+/// # Examples
+///
+/// ```
+/// use tesa_memsim::{SramConfig, SramModel};
+///
+/// let m = SramModel::tech_22nm();
+/// let e = m.estimate(SramConfig::with_capacity_kib(1024));
+/// // A 1 MiB macro at 22 nm is on the order of 1 mm².
+/// assert!(e.area_mm2 > 0.5 && e.area_mm2 < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    /// Bit-cell area in µm² (includes intra-array wiring overhead).
+    pub bitcell_area_um2: f64,
+    /// Fixed periphery area per macro in mm² (decoder, IO, control).
+    pub periphery_base_mm2: f64,
+    /// Periphery area as a fraction of cell-array area (sense amps etc.).
+    pub periphery_fraction: f64,
+    /// Base dynamic energy per byte in pJ (small macro asymptote).
+    pub energy_base_pj_per_byte: f64,
+    /// Energy growth per sqrt(KiB) in pJ/byte (wire-length term).
+    pub energy_sqrt_pj_per_byte: f64,
+    /// Write energy relative to read energy.
+    pub write_energy_ratio: f64,
+    /// Leakage per KiB in mW at the reference temperature.
+    pub leakage_mw_per_kib: f64,
+    /// Reference temperature in °C at which `leakage_mw` is reported.
+    pub reference_temp_c: f64,
+}
+
+impl SramModel {
+    /// 22 nm low-standby-power SRAM constants, matching the paper's CACTI
+    /// setup (`22 nm SRAM estimates`, Sec. IV-A).
+    ///
+    /// Anchors (CACTI-7-class, LSTP): 64 KiB ≈ 0.08 mm², ~0.6 pJ/B read;
+    /// 1 MiB ≈ 1.0 mm², ~1.7 pJ/B read; leakage ≈ 12 µW/KiB at 45 °C.
+    pub fn tech_22nm() -> Self {
+        Self {
+            bitcell_area_um2: 0.10,
+            periphery_base_mm2: 0.004,
+            periphery_fraction: 0.25,
+            energy_base_pj_per_byte: 0.35,
+            energy_sqrt_pj_per_byte: 0.042,
+            write_energy_ratio: 1.1,
+            leakage_mw_per_kib: 0.012,
+            reference_temp_c: 45.0,
+        }
+    }
+
+    /// Estimates area, energy, and leakage for one SRAM configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn estimate(&self, config: SramConfig) -> SramEstimate {
+        assert!(config.capacity_bytes > 0, "SRAM capacity must be non-zero");
+        let kib = config.capacity_bytes as f64 / 1024.0;
+        let bits = config.capacity_bytes as f64 * 8.0;
+        let cell_area_mm2 = bits * self.bitcell_area_um2 * 1e-6;
+        let area_mm2 =
+            cell_area_mm2 * (1.0 + self.periphery_fraction) + self.periphery_base_mm2;
+        let read_energy =
+            self.energy_base_pj_per_byte + self.energy_sqrt_pj_per_byte * kib.sqrt();
+        SramEstimate {
+            area_mm2,
+            read_energy_pj_per_byte: read_energy,
+            write_energy_pj_per_byte: read_energy * self.write_energy_ratio,
+            leakage_mw: kib * self.leakage_mw_per_kib,
+        }
+    }
+}
+
+impl Default for SramModel {
+    fn default() -> Self {
+        Self::tech_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn calibration_64kib() {
+        let e = SramModel::tech_22nm().estimate(SramConfig::with_capacity_kib(64));
+        assert!((0.05..0.12).contains(&e.area_mm2), "area {}", e.area_mm2);
+        assert!((0.4..0.9).contains(&e.read_energy_pj_per_byte));
+    }
+
+    #[test]
+    fn calibration_1mib() {
+        let e = SramModel::tech_22nm().estimate(SramConfig::with_capacity_kib(1024));
+        assert!((0.7..1.5).contains(&e.area_mm2), "area {}", e.area_mm2);
+        assert!((1.2..2.5).contains(&e.read_energy_pj_per_byte));
+        // ~12 mW leakage for 1 MiB at 45C.
+        assert!((8.0..20.0).contains(&e.leakage_mw));
+    }
+
+    #[test]
+    fn write_energy_exceeds_read() {
+        let e = SramModel::tech_22nm().estimate(SramConfig::with_capacity_kib(256));
+        assert!(e.write_energy_pj_per_byte > e.read_energy_pj_per_byte);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = SramModel::tech_22nm()
+            .estimate(SramConfig { capacity_bytes: 0, word_bytes: 16 });
+    }
+
+    #[test]
+    fn small_macros_pay_relatively_more_periphery() {
+        let m = SramModel::tech_22nm();
+        let small = m.estimate(SramConfig::with_capacity_kib(8));
+        let large = m.estimate(SramConfig::with_capacity_kib(4096));
+        let density_small = 8.0 / small.area_mm2;
+        let density_large = 4096.0 / large.area_mm2;
+        assert!(density_large > density_small, "large macros are denser (KiB/mm²)");
+    }
+
+    proptest! {
+        #[test]
+        fn monotone_in_capacity(kib_a in 1u64..8192, kib_b in 1u64..8192) {
+            prop_assume!(kib_a < kib_b);
+            let m = SramModel::tech_22nm();
+            let a = m.estimate(SramConfig::with_capacity_kib(kib_a));
+            let b = m.estimate(SramConfig::with_capacity_kib(kib_b));
+            prop_assert!(b.area_mm2 > a.area_mm2);
+            prop_assert!(b.leakage_mw > a.leakage_mw);
+            prop_assert!(b.read_energy_pj_per_byte > a.read_energy_pj_per_byte);
+        }
+
+        #[test]
+        fn estimates_are_finite_and_positive(kib in 1u64..16384) {
+            let e = SramModel::tech_22nm().estimate(SramConfig::with_capacity_kib(kib));
+            prop_assert!(e.area_mm2.is_finite() && e.area_mm2 > 0.0);
+            prop_assert!(e.read_energy_pj_per_byte.is_finite() && e.read_energy_pj_per_byte > 0.0);
+            prop_assert!(e.leakage_mw.is_finite() && e.leakage_mw > 0.0);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Bandwidth-limited execution: stretching stall-free timing to a finite
+//! DRAM bandwidth.
+//!
+//! SCALE-Sim (and therefore the paper) assumes *stall-free* execution: the
+//! memory system always keeps the double buffers full. This module
+//! quantifies that assumption: given a sustained DRAM bandwidth budget, a
+//! layer whose traffic demand exceeds it is stretched so that
+//! `traffic / cycles` fits the budget — the standard roofline correction.
+//!
+//! This is an extension beyond the paper (its Sec. V future work points at
+//! richer memory modeling); TESA's evaluator can apply it as an optional
+//! second pass after DRAM channels are allocated.
+
+use crate::report::{DnnReport, LayerReport};
+
+/// Applies a sustained-bandwidth ceiling to a stall-free layer report,
+/// returning the stretched cycle count.
+///
+/// A layer demanding `d` bytes/cycle under a budget of `b` bytes/cycle
+/// stalls for `cycles * (d/b - 1)` extra cycles when `d > b`.
+///
+/// # Panics
+///
+/// Panics if the bandwidth budget is not positive.
+pub fn stalled_layer_cycles(layer: &LayerReport, bytes_per_cycle_budget: f64) -> u64 {
+    assert!(bytes_per_cycle_budget > 0.0, "bandwidth budget must be positive");
+    let demand = layer.dram_bytes_per_cycle();
+    if demand <= bytes_per_cycle_budget {
+        layer.cycles
+    } else {
+        (layer.dram_traffic.total() as f64 / bytes_per_cycle_budget).ceil() as u64
+    }
+}
+
+/// Bandwidth-corrected totals for a whole DNN: `(cycles, stall_fraction)`.
+///
+/// `stall_fraction` is the share of the corrected execution spent stalled
+/// (0 when the stall-free assumption holds at this bandwidth).
+///
+/// # Panics
+///
+/// Panics if the bandwidth budget is not positive.
+pub fn stalled_dnn_cycles(report: &DnnReport, bytes_per_cycle_budget: f64) -> (u64, f64) {
+    let corrected: u64 =
+        report.layers.iter().map(|l| stalled_layer_cycles(l, bytes_per_cycle_budget)).sum();
+    let stall_fraction = 1.0 - report.total_cycles as f64 / corrected.max(1) as f64;
+    (corrected, stall_fraction)
+}
+
+/// The minimum sustained bandwidth (bytes/cycle) at which the DNN runs
+/// stall-free — the per-layer worst-case demand. Useful for sizing the
+/// channel allocation that validates the paper's stall-free assumption.
+pub fn stall_free_bandwidth(report: &DnnReport) -> f64 {
+    report.layers.iter().map(LayerReport::dram_bytes_per_cycle).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayConfig, Dataflow, Simulator, SramCapacities};
+    use tesa_workloads::zoo;
+
+    fn report() -> DnnReport {
+        Simulator::new(
+            ArrayConfig::square(128),
+            SramCapacities::uniform_kib(256),
+            Dataflow::WeightStationary,
+        )
+        .simulate_dnn(&zoo::resnet50())
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_stall_free() {
+        let r = report();
+        let (cycles, stall) = stalled_dnn_cycles(&r, f64::INFINITY);
+        assert_eq!(cycles, r.total_cycles);
+        assert_eq!(stall, 0.0);
+    }
+
+    #[test]
+    fn at_stall_free_bandwidth_no_layer_stalls() {
+        let r = report();
+        let bw = stall_free_bandwidth(&r);
+        let (cycles, stall) = stalled_dnn_cycles(&r, bw);
+        assert_eq!(cycles, r.total_cycles);
+        assert!(stall.abs() < 1e-12);
+    }
+
+    #[test]
+    fn halving_the_critical_bandwidth_stalls_the_critical_layer() {
+        let r = report();
+        let bw = stall_free_bandwidth(&r) / 2.0;
+        let (cycles, stall) = stalled_dnn_cycles(&r, bw);
+        assert!(cycles > r.total_cycles);
+        assert!(stall > 0.0 && stall < 1.0);
+    }
+
+    #[test]
+    fn tiny_bandwidth_makes_execution_memory_bound() {
+        let r = report();
+        let (cycles, _) = stalled_dnn_cycles(&r, 0.001);
+        // Fully memory-bound: cycles ~ traffic / bandwidth.
+        let expected = r.dram_traffic.total() as f64 / 0.001;
+        assert!((cycles as f64 - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn stalls_monotone_in_bandwidth() {
+        let r = report();
+        let mut last = u64::MAX;
+        for bw in [0.5f64, 1.0, 4.0, 16.0, 64.0, 512.0] {
+            let (cycles, _) = stalled_dnn_cycles(&r, bw);
+            assert!(cycles <= last, "more bandwidth cannot be slower");
+            last = cycles;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        let r = report();
+        let _ = stalled_dnn_cycles(&r, 0.0);
+    }
+}

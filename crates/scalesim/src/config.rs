@@ -1,0 +1,124 @@
+//! Simulator configuration: array geometry, SRAM capacities, dataflow.
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of the systolic array (a grid of MAC processing elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Number of PE rows.
+    pub rows: u32,
+    /// Number of PE columns.
+    pub cols: u32,
+}
+
+impl ArrayConfig {
+    /// A square `dim x dim` array — the paper's design space uses aspect
+    /// ratio 1 throughout (Table II).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn square(dim: u32) -> Self {
+        assert!(dim > 0, "array dimension must be non-zero");
+        Self { rows: dim, cols: dim }
+    }
+
+    /// Total number of PEs (`num_PEs` in the paper's Eq. (2)).
+    pub fn num_pes(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+}
+
+/// Capacities of the three double-buffered operand SRAMs, in bytes.
+///
+/// Following the paper's area model assumption (ii), the three SRAMs are the
+/// same size in the TESA design space, but the simulator accepts independent
+/// capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SramCapacities {
+    /// IFMAP SRAM capacity in bytes.
+    pub ifmap_bytes: u64,
+    /// FILTER SRAM capacity in bytes.
+    pub filter_bytes: u64,
+    /// OFMAP SRAM capacity in bytes.
+    pub ofmap_bytes: u64,
+}
+
+impl SramCapacities {
+    /// All three SRAMs at the same capacity, given in KiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kib` is zero.
+    pub fn uniform_kib(kib: u64) -> Self {
+        assert!(kib > 0, "SRAM capacity must be non-zero");
+        let bytes = kib * 1024;
+        Self { ifmap_bytes: bytes, filter_bytes: bytes, ofmap_bytes: bytes }
+    }
+
+    /// Total capacity across the three SRAMs, in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.ifmap_bytes + self.filter_bytes + self.ofmap_bytes
+    }
+}
+
+/// Systolic-array dataflow: which operand stays resident in the PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Weights pinned in PEs; inputs stream through rows, partial sums move
+    /// down columns. TPU-style; the default for the TESA design space.
+    #[default]
+    WeightStationary,
+    /// Each PE accumulates one output element; inputs and weights both
+    /// stream.
+    OutputStationary,
+    /// Inputs pinned in PEs; weights stream.
+    InputStationary,
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dataflow::WeightStationary => "WS",
+            Dataflow::OutputStationary => "OS",
+            Dataflow::InputStationary => "IS",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_array_pe_count() {
+        assert_eq!(ArrayConfig::square(16).num_pes(), 256);
+        assert_eq!(ArrayConfig::square(256).num_pes(), 65_536);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_array_panics() {
+        let _ = ArrayConfig::square(0);
+    }
+
+    #[test]
+    fn uniform_sram_totals() {
+        let s = SramCapacities::uniform_kib(1024);
+        assert_eq!(s.total_bytes(), 3 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_sram_panics() {
+        let _ = SramCapacities::uniform_kib(0);
+    }
+
+    #[test]
+    fn dataflow_display() {
+        assert_eq!(Dataflow::WeightStationary.to_string(), "WS");
+        assert_eq!(Dataflow::OutputStationary.to_string(), "OS");
+        assert_eq!(Dataflow::InputStationary.to_string(), "IS");
+    }
+}

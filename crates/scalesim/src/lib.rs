@@ -1,0 +1,46 @@
+//! Analytical systolic-array performance simulator (SCALE-Sim stand-in).
+//!
+//! The paper drives TESA with SCALE-Sim [Samajdar et al., ISPASS 2020], a
+//! cycle-accurate simulator of stall-free DNN inference on systolic arrays
+//! with double-buffered SRAMs. SCALE-Sim's timing for the three classic
+//! dataflows is captured exactly by closed-form fold arithmetic; this crate
+//! implements that analytical form, which is what makes the paper's
+//! exhaustive-validation experiment tractable (SCALE-Sim itself needs 10
+//! minutes to 12 hours *per network per design point*).
+//!
+//! For every layer the simulator reports compute cycles, array utilization,
+//! SRAM traffic per operand (IFMAP / FILTER / OFMAP), and DRAM traffic under
+//! a double-buffered tiling model — exactly the quantities TESA's power,
+//! DRAM, and latency models consume (Eqs. (1)–(5) of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use tesa_scalesim::{ArrayConfig, Dataflow, Simulator, SramCapacities};
+//! use tesa_workloads::zoo;
+//!
+//! let sim = Simulator::new(
+//!     ArrayConfig::square(128),
+//!     SramCapacities::uniform_kib(512),
+//!     Dataflow::WeightStationary,
+//! );
+//! let report = sim.simulate_dnn(&zoo::mobilenet_v1());
+//! assert!(report.total_cycles > 0);
+//! assert!(report.average_utilization > 0.0 && report.average_utilization <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+mod config;
+mod layer_sim;
+mod report;
+mod sim;
+mod trace;
+
+pub use config::{ArrayConfig, Dataflow, SramCapacities};
+pub use layer_sim::simulate_layer;
+pub use report::{DnnReport, LayerReport, OperandTraffic};
+pub use sim::Simulator;
+pub use trace::{trace_layer, FoldEvent, FoldTrace};

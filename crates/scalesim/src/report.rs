@@ -1,0 +1,182 @@
+//! Per-layer and per-DNN simulation reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte counts for the three operands (IFMAP, FILTER, OFMAP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OperandTraffic {
+    /// IFMAP bytes.
+    pub ifmap: u64,
+    /// FILTER bytes.
+    pub filter: u64,
+    /// OFMAP bytes.
+    pub ofmap: u64,
+}
+
+impl OperandTraffic {
+    /// Total bytes across the three operands.
+    pub fn total(&self) -> u64 {
+        self.ifmap + self.filter + self.ofmap
+    }
+}
+
+impl std::ops::Add for OperandTraffic {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            ifmap: self.ifmap + rhs.ifmap,
+            filter: self.filter + rhs.filter,
+            ofmap: self.ofmap + rhs.ofmap,
+        }
+    }
+}
+
+impl std::iter::Sum for OperandTraffic {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), std::ops::Add::add)
+    }
+}
+
+/// Simulation result for a single layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name, copied from the workload description.
+    pub name: String,
+    /// Stall-free compute cycles (`CC` in the paper's Eq. (3)).
+    pub cycles: u64,
+    /// Array compute utilization in `[0, 1]`: MACs performed divided by
+    /// `rows * cols * cycles` (`Util` in Eq. (3)).
+    pub utilization: f64,
+    /// MAC operations in the layer.
+    pub macs: u64,
+    /// SRAM accesses (reads + writes) per operand, in bytes.
+    pub sram_traffic: OperandTraffic,
+    /// DRAM traffic per operand under double-buffered tiling, in bytes.
+    pub dram_traffic: OperandTraffic,
+}
+
+impl LayerReport {
+    /// Average DRAM bandwidth demand of this layer, in bytes per cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_traffic.total() as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Simulation result for a whole DNN on one accelerator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnnReport {
+    /// Network name.
+    pub dnn_name: String,
+    /// Per-layer results, in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Total stall-free cycles for one inference (batch 1).
+    pub total_cycles: u64,
+    /// Cycle-weighted average utilization (paper Eq. (3)).
+    pub average_utilization: f64,
+    /// Total SRAM accesses per operand, in bytes.
+    pub sram_traffic: OperandTraffic,
+    /// Total DRAM traffic per operand, in bytes.
+    pub dram_traffic: OperandTraffic,
+    /// Peak per-layer average DRAM bandwidth, in bytes per cycle — the
+    /// sizing signal for a chiplet's dedicated DRAM channels.
+    pub peak_dram_bytes_per_cycle: f64,
+}
+
+impl DnnReport {
+    /// Aggregates per-layer reports into a DNN report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn from_layers(dnn_name: impl Into<String>, layers: Vec<LayerReport>) -> Self {
+        assert!(!layers.is_empty(), "a DNN report needs at least one layer");
+        let total_cycles: u64 = layers.iter().map(|l| l.cycles).sum();
+        // Eq. (3): utilization weighted by compute cycles.
+        let average_utilization = layers
+            .iter()
+            .map(|l| l.utilization * l.cycles as f64)
+            .sum::<f64>()
+            / total_cycles.max(1) as f64;
+        let sram_traffic: OperandTraffic = layers.iter().map(|l| l.sram_traffic).sum();
+        let dram_traffic: OperandTraffic = layers.iter().map(|l| l.dram_traffic).sum();
+        let peak_dram_bytes_per_cycle = layers
+            .iter()
+            .map(LayerReport::dram_bytes_per_cycle)
+            .fold(0.0, f64::max);
+        Self {
+            dnn_name: dnn_name.into(),
+            layers,
+            total_cycles,
+            average_utilization,
+            sram_traffic,
+            dram_traffic,
+            peak_dram_bytes_per_cycle,
+        }
+    }
+
+    /// Average SRAM bytes accessed per cycle per operand
+    /// (`SrBw_avg` in the paper's Eq. (4)), as `[ifmap, filter, ofmap]`.
+    pub fn avg_sram_bytes_per_cycle(&self) -> [f64; 3] {
+        let c = self.total_cycles.max(1) as f64;
+        [
+            self.sram_traffic.ifmap as f64 / c,
+            self.sram_traffic.filter as f64 / c,
+            self.sram_traffic.ofmap as f64 / c,
+        ]
+    }
+
+    /// Average DRAM bytes per cycle over the whole inference.
+    pub fn avg_dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_traffic.total() as f64 / self.total_cycles.max(1) as f64
+    }
+
+    /// Total MAC operations.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(cycles: u64, util: f64) -> LayerReport {
+        LayerReport {
+            name: format!("l{cycles}"),
+            cycles,
+            utilization: util,
+            macs: 0,
+            sram_traffic: OperandTraffic { ifmap: 100, filter: 50, ofmap: 25 },
+            dram_traffic: OperandTraffic { ifmap: 10, filter: 5, ofmap: 5 },
+        }
+    }
+
+    #[test]
+    fn traffic_sums() {
+        let t = OperandTraffic { ifmap: 1, filter: 2, ofmap: 3 };
+        assert_eq!(t.total(), 6);
+        assert_eq!((t + t).total(), 12);
+    }
+
+    #[test]
+    fn utilization_is_cycle_weighted() {
+        // 100 cycles at 1.0 and 300 cycles at 0.5 -> (100 + 150)/400.
+        let r = DnnReport::from_layers("x", vec![layer(100, 1.0), layer(300, 0.5)]);
+        assert!((r.average_utilization - 0.625).abs() < 1e-12);
+        assert_eq!(r.total_cycles, 400);
+    }
+
+    #[test]
+    fn peak_dram_bw_is_max_over_layers() {
+        let slow = layer(1000, 0.5); // 20/1000 = 0.02 B/cyc
+        let fast = layer(10, 0.5); // 20/10 = 2 B/cyc
+        let r = DnnReport::from_layers("x", vec![slow, fast]);
+        assert!((r.peak_dram_bytes_per_cycle - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_report_panics() {
+        let _ = DnnReport::from_layers("x", vec![]);
+    }
+}

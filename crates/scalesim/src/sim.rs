@@ -1,0 +1,128 @@
+//! Whole-DNN simulation driver.
+
+use crate::config::{ArrayConfig, Dataflow, SramCapacities};
+use crate::layer_sim::simulate_layer;
+use crate::report::DnnReport;
+use tesa_workloads::Dnn;
+
+/// A configured simulator: one accelerator (array + SRAMs + dataflow) that
+/// can run any number of DNNs.
+///
+/// # Examples
+///
+/// ```
+/// use tesa_scalesim::{ArrayConfig, Dataflow, Simulator, SramCapacities};
+/// use tesa_workloads::zoo;
+///
+/// let sim = Simulator::new(
+///     ArrayConfig::square(64),
+///     SramCapacities::uniform_kib(256),
+///     Dataflow::WeightStationary,
+/// );
+/// let resnet = sim.simulate_dnn(&zoo::resnet50());
+/// let mobilenet = sim.simulate_dnn(&zoo::mobilenet_v1());
+/// // ResNet-50 has ~7x the MACs of MobileNet and takes longer.
+/// assert!(resnet.total_cycles > mobilenet.total_cycles);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Simulator {
+    array: ArrayConfig,
+    srams: SramCapacities,
+    dataflow: Dataflow,
+}
+
+impl Simulator {
+    /// Creates a simulator for one accelerator configuration.
+    pub fn new(array: ArrayConfig, srams: SramCapacities, dataflow: Dataflow) -> Self {
+        Self { array, srams, dataflow }
+    }
+
+    /// The array geometry.
+    pub fn array(&self) -> ArrayConfig {
+        self.array
+    }
+
+    /// The SRAM capacities.
+    pub fn srams(&self) -> SramCapacities {
+        self.srams
+    }
+
+    /// The dataflow.
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// Runs one stall-free inference of `dnn` (batch 1, int8) and returns
+    /// the aggregated report.
+    pub fn simulate_dnn(&self, dnn: &Dnn) -> DnnReport {
+        let layers = dnn
+            .layers()
+            .iter()
+            .map(|l| simulate_layer(l, self.array, self.srams, self.dataflow))
+            .collect();
+        DnnReport::from_layers(dnn.name(), layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesa_workloads::zoo;
+
+    fn sim(dim: u32, kib: u64) -> Simulator {
+        Simulator::new(
+            ArrayConfig::square(dim),
+            SramCapacities::uniform_kib(kib),
+            Dataflow::WeightStationary,
+        )
+    }
+
+    #[test]
+    fn unet_on_16x16_is_roughly_36x_over_30fps_at_500mhz() {
+        // The anchor behind the paper's W1-original observation (Table III):
+        // a 16x16-array MCM misses 30 fps by ~36x because of U-Net.
+        let r = sim(16, 8).simulate_dnn(&zoo::unet());
+        let latency_s = r.total_cycles as f64 / 500e6;
+        let ratio = latency_s / (1.0 / 30.0);
+        assert!((20.0..60.0).contains(&ratio), "got {ratio}x");
+    }
+
+    #[test]
+    fn unet_on_200x200_fits_a_30fps_frame_at_400mhz() {
+        let r = sim(200, 1024).simulate_dnn(&zoo::unet());
+        let latency_s = r.total_cycles as f64 / 400e6;
+        assert!(latency_s < 1.0 / 30.0, "got {latency_s} s");
+    }
+
+    #[test]
+    fn mobilenet_utilization_lower_than_resnet() {
+        // Depthwise layers map poorly (k = 9), one of the paper's
+        // "topological differences" across the suite.
+        let s = sim(128, 512);
+        let mobilenet = s.simulate_dnn(&zoo::mobilenet_v1());
+        let resnet = s.simulate_dnn(&zoo::resnet50());
+        assert!(mobilenet.average_utilization < resnet.average_utilization);
+    }
+
+    #[test]
+    fn per_dnn_reports_are_deterministic() {
+        let s = sim(64, 128);
+        let a = s.simulate_dnn(&zoo::transformer());
+        let b = s.simulate_dnn(&zoo::transformer());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_layer_count_matches_dnn() {
+        let net = zoo::dnl_net();
+        let r = sim(64, 128).simulate_dnn(&net);
+        assert_eq!(r.layers.len(), net.num_layers());
+        assert_eq!(r.total_macs(), net.total_macs());
+    }
+
+    #[test]
+    fn peak_dram_bw_at_least_average() {
+        let r = sim(128, 64).simulate_dnn(&zoo::resnet50());
+        assert!(r.peak_dram_bytes_per_cycle >= r.avg_dram_bytes_per_cycle());
+    }
+}

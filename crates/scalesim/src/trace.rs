@@ -1,0 +1,208 @@
+//! Fold-schedule traces: the event-level view behind the closed-form
+//! timing.
+//!
+//! SCALE-Sim's primary output is a cycle trace; our closed form sums it
+//! analytically. This module reconstructs the per-fold schedule — when
+//! each fold starts, how many PEs it uses, how long it runs — so users can
+//! inspect mapping behavior (and our tests can prove the closed form and
+//! the event view agree exactly).
+
+use crate::config::{ArrayConfig, Dataflow};
+use serde::{Deserialize, Serialize};
+use tesa_workloads::Layer;
+
+/// One fold of a layer's execution on the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldEvent {
+    /// Cycle at which the fold begins (0-based, within the layer).
+    pub start_cycle: u64,
+    /// Rows of the array used by this fold.
+    pub rows_used: u32,
+    /// Columns of the array used by this fold.
+    pub cols_used: u32,
+    /// Cycles the fold occupies (`2*rows + cols + t - 2`).
+    pub cycles: u64,
+}
+
+impl FoldEvent {
+    /// MAC operations executed by this fold (`rows * cols * t` where `t`
+    /// is recoverable from the cycle count).
+    pub fn macs(&self, t: u64) -> u64 {
+        u64::from(self.rows_used) * u64::from(self.cols_used) * t
+    }
+}
+
+/// The complete fold schedule of one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldTrace {
+    /// Temporal steps per fold (`t` of the mapping).
+    pub temporal_steps: u64,
+    /// Folds in execution order (row-major over the fold grid).
+    pub folds: Vec<FoldEvent>,
+}
+
+impl FoldTrace {
+    /// Total cycles of the layer — by construction identical to the
+    /// closed-form simulation.
+    pub fn total_cycles(&self) -> u64 {
+        self.folds.iter().map(|f| f.cycles).sum()
+    }
+
+    /// Number of folds.
+    pub fn len(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Whether the trace is empty (it never is for a valid layer).
+    pub fn is_empty(&self) -> bool {
+        self.folds.is_empty()
+    }
+
+    /// Time-weighted PE occupancy in `[0, 1]`: PE-cycles of mapped work
+    /// (including pipeline fill/drain) over array capacity.
+    pub fn occupancy(&self, array: ArrayConfig) -> f64 {
+        let used: u128 = self
+            .folds
+            .iter()
+            .map(|f| u128::from(f.rows_used) * u128::from(f.cols_used) * u128::from(f.cycles))
+            .sum();
+        let capacity = u128::from(array.num_pes()) * u128::from(self.total_cycles().max(1));
+        used as f64 / capacity as f64
+    }
+}
+
+/// Generates the fold schedule of `layer` on `array` under `dataflow`.
+///
+/// Folds run back to back (stall-free double buffering), row-major over
+/// the (spatial-rows x spatial-cols) fold grid — SCALE-Sim's ordering.
+///
+/// # Examples
+///
+/// ```
+/// use tesa_scalesim::{trace_layer, ArrayConfig, Dataflow};
+/// use tesa_workloads::{Layer, LayerKind};
+///
+/// let layer = Layer::new("g", LayerKind::Gemm { m: 40, k: 70, n: 10 });
+/// let trace = trace_layer(&layer, ArrayConfig::square(32), Dataflow::WeightStationary);
+/// // k=70 on 32 rows -> 3 row folds; m=40 on 32 cols -> 2 col folds.
+/// assert_eq!(trace.len(), 6);
+/// ```
+pub fn trace_layer(layer: &Layer, array: ArrayConfig, dataflow: Dataflow) -> FoldTrace {
+    let (m, k, n) = layer.gemm_dims();
+    // Mirror of the mapping in `layer_sim`.
+    let (sr, sc, t) = match dataflow {
+        Dataflow::WeightStationary => (k, m, n),
+        Dataflow::OutputStationary => (n, m, k),
+        Dataflow::InputStationary => (k, n, m),
+    };
+    let rows = u64::from(array.rows);
+    let cols = u64::from(array.cols);
+    let mut folds = Vec::new();
+    let mut clock = 0u64;
+    let mut r = 0u64;
+    while r < sr {
+        let rows_used = rows.min(sr - r) as u32;
+        let mut c = 0u64;
+        while c < sc {
+            let cols_used = cols.min(sc - c) as u32;
+            let cycles = 2 * u64::from(rows_used) + u64::from(cols_used) + t - 2;
+            folds.push(FoldEvent { start_cycle: clock, rows_used, cols_used, cycles });
+            clock += cycles;
+            c += cols;
+        }
+        r += rows;
+    }
+    FoldTrace { temporal_steps: t, folds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer_sim::simulate_layer;
+    use crate::SramCapacities;
+    use proptest::prelude::*;
+    use tesa_workloads::LayerKind;
+
+    fn gemm(m: u32, k: u32, n: u32) -> Layer {
+        Layer::new("g", LayerKind::Gemm { m, k, n })
+    }
+
+    #[test]
+    fn trace_matches_closed_form_on_an_example() {
+        let layer = gemm(40, 70, 10);
+        let array = ArrayConfig::square(32);
+        let trace = trace_layer(&layer, array, Dataflow::WeightStationary);
+        let closed = simulate_layer(
+            &layer,
+            array,
+            SramCapacities::uniform_kib(1024),
+            Dataflow::WeightStationary,
+        );
+        assert_eq!(trace.total_cycles(), closed.cycles);
+    }
+
+    #[test]
+    fn folds_are_contiguous() {
+        let trace = trace_layer(&gemm(100, 100, 50), ArrayConfig::square(32), Dataflow::OutputStationary);
+        let mut expected_start = 0;
+        for f in &trace.folds {
+            assert_eq!(f.start_cycle, expected_start);
+            expected_start += f.cycles;
+        }
+    }
+
+    #[test]
+    fn fold_macs_sum_to_layer_macs() {
+        let layer = gemm(77, 130, 19);
+        let trace = trace_layer(&layer, ArrayConfig::square(64), Dataflow::WeightStationary);
+        let total: u64 = trace.folds.iter().map(|f| f.macs(trace.temporal_steps)).sum();
+        assert_eq!(total, layer.macs());
+    }
+
+    #[test]
+    fn occupancy_bounds() {
+        let trace = trace_layer(&gemm(64, 64, 512), ArrayConfig::square(64), Dataflow::WeightStationary);
+        let occ = trace.occupancy(ArrayConfig::square(64));
+        assert!(occ > 0.9, "single full fold with long stream: {occ}");
+        assert!(occ <= 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn trace_and_closed_form_agree_everywhere(
+            m in 1u32..300, k in 1u32..300, n in 1u32..300,
+            dim_pow in 3u32..8,
+        ) {
+            let layer = gemm(m, k, n);
+            let array = ArrayConfig::square(1 << dim_pow);
+            for df in [Dataflow::WeightStationary, Dataflow::OutputStationary, Dataflow::InputStationary] {
+                let trace = trace_layer(&layer, array, df);
+                let closed = simulate_layer(&layer, array, SramCapacities::uniform_kib(64), df);
+                prop_assert_eq!(trace.total_cycles(), closed.cycles, "{} mismatch", df);
+                // Fold count matches the ceil-division grid.
+                let (sr, sc) = match df {
+                    Dataflow::WeightStationary => (k, m),
+                    Dataflow::OutputStationary => (n, m),
+                    Dataflow::InputStationary => (k, n),
+                };
+                let expected = u64::from(sr).div_ceil(u64::from(array.rows))
+                    * u64::from(sc).div_ceil(u64::from(array.cols));
+                prop_assert_eq!(trace.len() as u64, expected);
+            }
+        }
+
+        #[test]
+        fn no_fold_exceeds_the_array(
+            m in 1u32..500, k in 1u32..500, n in 1u32..100, dim_pow in 3u32..8
+        ) {
+            let array = ArrayConfig::square(1 << dim_pow);
+            let trace = trace_layer(&gemm(m, k, n), array, Dataflow::WeightStationary);
+            for f in &trace.folds {
+                prop_assert!(f.rows_used <= array.rows && f.cols_used <= array.cols);
+                prop_assert!(f.rows_used > 0 && f.cols_used > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Solved temperature fields.
+
+/// A steady-state temperature field over the model's grid, in °C.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalField {
+    pub(crate) nx: usize,
+    pub(crate) ny: usize,
+    pub(crate) num_layers: usize,
+    /// `layers * ny * nx` cell temperatures in °C, bottom layer first.
+    pub(crate) temps_c: Vec<f64>,
+}
+
+impl ThermalField {
+    /// Grid width in cells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in cells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of stack layers.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Peak temperature across all layers (°C) — the paper's
+    /// "peak junction temperature".
+    pub fn peak_c(&self) -> f64 {
+        self.temps_c.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Peak temperature within one layer (°C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer index is out of range.
+    pub fn layer_peak_c(&self, layer_idx: usize) -> f64 {
+        self.layer(layer_idx).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Cell temperatures of one layer, row-major (`iy * nx + ix`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer index is out of range.
+    pub fn layer(&self, layer_idx: usize) -> &[f64] {
+        assert!(layer_idx < self.num_layers, "layer index out of range");
+        let n = self.nx * self.ny;
+        &self.temps_c[layer_idx * n..(layer_idx + 1) * n]
+    }
+
+    /// Temperature of one cell (°C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn at(&self, layer_idx: usize, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx && iy < self.ny, "cell index out of range");
+        self.layer(layer_idx)[iy * self.nx + ix]
+    }
+
+    /// Mean temperature over a layer (°C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer index is out of range.
+    pub fn layer_mean_c(&self, layer_idx: usize) -> f64 {
+        let l = self.layer(layer_idx);
+        l.iter().sum::<f64>() / l.len() as f64
+    }
+
+    /// Mean temperature over a sub-rectangle of cells in one layer (°C),
+    /// with `ix0..ix1` and `iy0..iy1` half-open cell ranges. Used for
+    /// per-chiplet average temperatures in leakage iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges are empty or out of bounds.
+    pub fn region_mean_c(
+        &self,
+        layer_idx: usize,
+        ix0: usize,
+        ix1: usize,
+        iy0: usize,
+        iy1: usize,
+    ) -> f64 {
+        assert!(ix0 < ix1 && ix1 <= self.nx, "bad x range");
+        assert!(iy0 < iy1 && iy1 <= self.ny, "bad y range");
+        let l = self.layer(layer_idx);
+        let mut sum = 0.0;
+        for iy in iy0..iy1 {
+            for ix in ix0..ix1 {
+                sum += l[iy * self.nx + ix];
+            }
+        }
+        sum / ((ix1 - ix0) * (iy1 - iy0)) as f64
+    }
+
+    /// Renders one layer as CSV text (one row per grid row, bottom row
+    /// first) — the thermal-map export used for the paper's Fig. 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer index is out of range.
+    pub fn to_csv(&self, layer_idx: usize) -> String {
+        let l = self.layer(layer_idx);
+        let mut out = String::with_capacity(self.nx * self.ny * 8);
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                if ix > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{:.3}", l[iy * self.nx + ix]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Consumes the field and returns the raw per-cell temperatures
+    /// (bottom layer first, row-major within a layer).
+    pub fn into_inner(self) -> Vec<f64> {
+        self.temps_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> ThermalField {
+        // 2x2 grid, 2 layers, temperatures 1..8.
+        ThermalField {
+            nx: 2,
+            ny: 2,
+            num_layers: 2,
+            temps_c: (1..=8).map(f64::from).collect(),
+        }
+    }
+
+    #[test]
+    fn peak_and_layer_access() {
+        let f = field();
+        assert_eq!(f.peak_c(), 8.0);
+        assert_eq!(f.layer_peak_c(0), 4.0);
+        assert_eq!(f.at(1, 1, 1), 8.0);
+        assert_eq!(f.layer_mean_c(0), 2.5);
+    }
+
+    #[test]
+    fn region_mean() {
+        let f = field();
+        assert_eq!(f.region_mean_c(0, 0, 2, 0, 1), 1.5);
+        assert_eq!(f.region_mean_c(1, 0, 1, 0, 2), (5.0 + 7.0) / 2.0);
+    }
+
+    #[test]
+    fn csv_has_one_line_per_row() {
+        let f = field();
+        let csv = f.to_csv(0);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("1.000,2.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "layer index")]
+    fn bad_layer_panics() {
+        let _ = field().layer(3);
+    }
+}

@@ -1,0 +1,103 @@
+//! Planar geometry helpers shared by the thermal grid.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle in package coordinates (meters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge (m).
+    pub x: f64,
+    /// Bottom edge (m).
+    pub y: f64,
+    /// Width (m).
+    pub w: f64,
+    /// Height (m).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its bottom-left corner and extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extent is not strictly positive.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        assert!(w > 0.0 && h > 0.0, "rectangle extent must be positive");
+        Self { x, y, w, h }
+    }
+
+    /// Area in m².
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Right edge.
+    pub fn x2(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Top edge.
+    pub fn y2(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Area of the overlap with `other`, in m² (zero if disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let ox = (self.x2().min(other.x2()) - self.x.max(other.x)).max(0.0);
+        let oy = (self.y2().min(other.y2()) - self.y.max(other.y)).max(0.0);
+        ox * oy
+    }
+
+    /// Whether the two rectangles overlap with positive area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.overlap_area(other) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_edges() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.x2(), 4.0);
+        assert_eq!(r.y2(), 6.0);
+        assert_eq!(r.center(), (2.5, 4.0));
+    }
+
+    #[test]
+    fn overlap_of_disjoint_rects_is_zero() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, 2.0, 1.0, 1.0);
+        assert_eq!(a.overlap_area(&b), 0.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn overlap_of_nested_rects_is_inner_area() {
+        let outer = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let inner = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(outer.overlap_area(&inner), 4.0);
+        assert_eq!(inner.overlap_area(&outer), 4.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(a.overlap_area(&b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_panics() {
+        let _ = Rect::new(0.0, 0.0, 0.0, 1.0);
+    }
+}

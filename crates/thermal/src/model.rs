@@ -1,0 +1,405 @@
+//! Conductance-network assembly and the public solve API.
+
+use crate::field::ThermalField;
+use crate::power::PowerMap;
+use crate::solver::{self, CgOutcome};
+use crate::stack::LayerDef;
+
+/// A ready-to-solve steady-state thermal model: the finite-volume
+/// conductance network of one package stack.
+///
+/// Built via [`crate::StackBuilder`]. Solving is a pure function of the
+/// injected power, so one model can be reused across many power maps (TESA
+/// re-solves the same MCM layout once per schedule phase and leakage
+/// iteration).
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    nx: usize,
+    ny: usize,
+    nl: usize,
+    width_m: f64,
+    height_m: f64,
+    /// Lateral conductance to the +x neighbor: `nl * ny * (nx-1)`.
+    gx: Vec<f64>,
+    /// Lateral conductance to the +y neighbor: `nl * (ny-1) * nx`.
+    gy: Vec<f64>,
+    /// Vertical conductance to the layer above: `(nl-1) * ny * nx`.
+    gz: Vec<f64>,
+    /// Conductance from each top-layer cell to ambient: `ny * nx`.
+    gamb: Vec<f64>,
+    /// Matrix diagonal (sum of incident conductances per node).
+    diag: Vec<f64>,
+    /// Per-node thermal capacitance, J/K (cell volume x volumetric heat
+    /// capacity) — transient solves only.
+    cap: Vec<f64>,
+    ambient_c: f64,
+    layer_names: Vec<String>,
+}
+
+impl ThermalModel {
+    pub(crate) fn assemble(
+        width_m: f64,
+        height_m: f64,
+        nx: usize,
+        ny: usize,
+        layers: Vec<LayerDef>,
+        convection_k_per_w: f64,
+        ambient_c: f64,
+    ) -> Self {
+        let nl = layers.len();
+        let cw = width_m / nx as f64;
+        let ch = height_m / ny as f64;
+        let cell_area = cw * ch;
+        let total_area = width_m * height_m;
+
+        // Per-cell conductivity for each layer: background then patches.
+        let mut k = vec![0.0f64; nl * ny * nx];
+        for (l, def) in layers.iter().enumerate() {
+            let base = l * ny * nx;
+            for c in &mut k[base..base + ny * nx] {
+                *c = def.background_k;
+            }
+            for (rect, pk) in &def.patches {
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        let cell = crate::Rect::new(ix as f64 * cw, iy as f64 * ch, cw, ch);
+                        // A cell takes the patch conductivity when the patch
+                        // covers the majority of it.
+                        if rect.overlap_area(&cell) >= 0.5 * cell_area {
+                            k[base + iy * nx + ix] = *pk;
+                        }
+                    }
+                }
+            }
+        }
+
+        let idx = |l: usize, ix: usize, iy: usize| l * ny * nx + iy * nx + ix;
+
+        // Lateral conductances: series of two half-cells.
+        let mut gx = vec![0.0f64; nl * ny * (nx - 1).max(1)];
+        if nx > 1 {
+            for l in 0..nl {
+                let t = layers[l].thickness_m;
+                for iy in 0..ny {
+                    for ix in 0..nx - 1 {
+                        let k1 = k[idx(l, ix, iy)];
+                        let k2 = k[idx(l, ix + 1, iy)];
+                        let r = (cw / 2.0) / (k1 * t * ch) + (cw / 2.0) / (k2 * t * ch);
+                        gx[l * ny * (nx - 1) + iy * (nx - 1) + ix] = 1.0 / r;
+                    }
+                }
+            }
+        }
+        let mut gy = vec![0.0f64; nl * (ny - 1).max(1) * nx];
+        if ny > 1 {
+            for l in 0..nl {
+                let t = layers[l].thickness_m;
+                for iy in 0..ny - 1 {
+                    for ix in 0..nx {
+                        let k1 = k[idx(l, ix, iy)];
+                        let k2 = k[idx(l, ix, iy + 1)];
+                        let r = (ch / 2.0) / (k1 * t * cw) + (ch / 2.0) / (k2 * t * cw);
+                        gy[l * (ny - 1) * nx + iy * nx + ix] = 1.0 / r;
+                    }
+                }
+            }
+        }
+
+        // Vertical conductances: series of two half-thicknesses.
+        let mut gz = vec![0.0f64; nl.saturating_sub(1) * ny * nx];
+        for l in 0..nl.saturating_sub(1) {
+            let (t1, t2) = (layers[l].thickness_m, layers[l + 1].thickness_m);
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let k1 = k[idx(l, ix, iy)];
+                    let k2 = k[idx(l + 1, ix, iy)];
+                    let r = (t1 / 2.0) / (k1 * cell_area) + (t2 / 2.0) / (k2 * cell_area);
+                    gz[l * ny * nx + iy * nx + ix] = 1.0 / r;
+                }
+            }
+        }
+
+        // Convection from the top layer: half-cell conduction in series with
+        // the cell's share of the lumped convection resistance.
+        let top = nl - 1;
+        let t_top = layers[top].thickness_m;
+        let mut gamb = vec![0.0f64; ny * nx];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let kt = k[idx(top, ix, iy)];
+                let r = (t_top / 2.0) / (kt * cell_area)
+                    + convection_k_per_w * (total_area / cell_area);
+                gamb[iy * nx + ix] = 1.0 / r;
+            }
+        }
+
+        // Diagonal: sum of all conductances incident on each node.
+        let n = nl * ny * nx;
+        let mut diag = vec![0.0f64; n];
+        if nx > 1 {
+            for l in 0..nl {
+                for iy in 0..ny {
+                    for ix in 0..nx - 1 {
+                        let g = gx[l * ny * (nx - 1) + iy * (nx - 1) + ix];
+                        diag[idx(l, ix, iy)] += g;
+                        diag[idx(l, ix + 1, iy)] += g;
+                    }
+                }
+            }
+        }
+        if ny > 1 {
+            for l in 0..nl {
+                for iy in 0..ny - 1 {
+                    for ix in 0..nx {
+                        let g = gy[l * (ny - 1) * nx + iy * nx + ix];
+                        diag[idx(l, ix, iy)] += g;
+                        diag[idx(l, ix, iy + 1)] += g;
+                    }
+                }
+            }
+        }
+        for l in 0..nl.saturating_sub(1) {
+            for c in 0..ny * nx {
+                let g = gz[l * ny * nx + c];
+                diag[l * ny * nx + c] += g;
+                diag[(l + 1) * ny * nx + c] += g;
+            }
+        }
+        for c in 0..ny * nx {
+            diag[top * ny * nx + c] += gamb[c];
+        }
+
+        // Thermal capacitance per node for transient analysis.
+        let mut cap = vec![0.0f64; n];
+        for (l, def) in layers.iter().enumerate() {
+            let c_node = def.vol_heat_capacity * cell_area * def.thickness_m;
+            for v in &mut cap[l * ny * nx..(l + 1) * ny * nx] {
+                *v = c_node;
+            }
+        }
+
+        Self {
+            nx,
+            ny,
+            nl,
+            width_m,
+            height_m,
+            gx,
+            gy,
+            gz,
+            gamb,
+            diag,
+            cap,
+            ambient_c,
+            layer_names: layers.into_iter().map(|l| l.name).collect(),
+        }
+    }
+
+    /// Number of stack layers.
+    pub fn num_layers(&self) -> usize {
+        self.nl
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Footprint `(width, height)` in meters.
+    pub fn footprint_m(&self) -> (f64, f64) {
+        (self.width_m, self.height_m)
+    }
+
+    /// Ambient temperature in °C.
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Layer names, bottom first.
+    pub fn layer_names(&self) -> &[String] {
+        &self.layer_names
+    }
+
+    /// A zeroed power map with this model's dimensions.
+    pub fn zero_power(&self) -> PowerMap {
+        PowerMap::new(self.nx, self.ny, self.nl, self.width_m, self.height_m)
+    }
+
+    /// Applies the conductance matrix: `y = A x`.
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        for (yi, (&d, &xi)) in y.iter_mut().zip(self.diag.iter().zip(x.iter())) {
+            *yi = d * xi;
+        }
+        if nx > 1 {
+            for l in 0..nl {
+                for iy in 0..ny {
+                    let row = l * ny * nx + iy * nx;
+                    let grow = l * ny * (nx - 1) + iy * (nx - 1);
+                    for ix in 0..nx - 1 {
+                        let g = self.gx[grow + ix];
+                        y[row + ix] -= g * x[row + ix + 1];
+                        y[row + ix + 1] -= g * x[row + ix];
+                    }
+                }
+            }
+        }
+        if ny > 1 {
+            for l in 0..nl {
+                for iy in 0..ny - 1 {
+                    let row = l * ny * nx + iy * nx;
+                    let grow = l * (ny - 1) * nx + iy * nx;
+                    for ix in 0..nx {
+                        let g = self.gy[grow + ix];
+                        y[row + ix] -= g * x[row + nx + ix];
+                        y[row + nx + ix] -= g * x[row + ix];
+                    }
+                }
+            }
+        }
+        for l in 0..nl.saturating_sub(1) {
+            let lo = l * ny * nx;
+            let hi = (l + 1) * ny * nx;
+            for c in 0..ny * nx {
+                let g = self.gz[lo + c];
+                y[lo + c] -= g * x[hi + c];
+                y[hi + c] -= g * x[lo + c];
+            }
+        }
+    }
+
+    /// Solves the steady state for the given power map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` was created for a different grid, or if the
+    /// conjugate-gradient solver fails to converge (which indicates a
+    /// malformed stack, not a user input problem).
+    pub fn solve(&self, power: &PowerMap) -> ThermalField {
+        let guess = vec![self.ambient_c; self.nl * self.ny * self.nx];
+        self.solve_with_guess(power, &guess)
+    }
+
+    /// Solves the steady state starting from a previous solution — an
+    /// effective warm start inside leakage-convergence loops.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ThermalModel::solve`]; additionally if `guess` has the wrong
+    /// length.
+    pub fn solve_with_guess(&self, power: &PowerMap, guess: &[f64]) -> ThermalField {
+        let n = self.nl * self.ny * self.nx;
+        assert_eq!(power.watts.len(), n, "power map does not match this model's grid");
+        assert_eq!(guess.len(), n, "warm-start guess has the wrong length");
+        // Right-hand side: injected power plus the ambient anchor.
+        let mut rhs = power.watts.clone();
+        let top = (self.nl - 1) * self.ny * self.nx;
+        for c in 0..self.ny * self.nx {
+            rhs[top + c] += self.gamb[c] * self.ambient_c;
+        }
+        let mut x = guess.to_vec();
+        let outcome = solver::conjugate_gradient(
+            |v, out| self.apply(v, out),
+            &self.diag,
+            &rhs,
+            &mut x,
+            solver::Tolerance::default(),
+        );
+        match outcome {
+            CgOutcome::Converged { .. } => {}
+            CgOutcome::MaxIterations { residual } => {
+                panic!("thermal CG failed to converge (residual {residual:e})")
+            }
+        }
+        ThermalField { nx: self.nx, ny: self.ny, num_layers: self.nl, temps_c: x }
+    }
+
+    /// Advances the temperature field by one backward-Euler step of length
+    /// `dt_s` under constant injected power:
+    /// `(C/dt + G) T_new = C/dt * T_old + P + G_amb * T_amb`.
+    ///
+    /// Backward Euler is unconditionally stable, so `dt_s` may exceed the
+    /// smallest RC constant of the stack without oscillation (accuracy, not
+    /// stability, bounds the step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive, if dimensions mismatch, or if the
+    /// CG solve fails to converge.
+    pub fn transient_step(
+        &self,
+        power: &PowerMap,
+        current: &ThermalField,
+        dt_s: f64,
+    ) -> ThermalField {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let n = self.nl * self.ny * self.nx;
+        assert_eq!(power.watts.len(), n, "power map does not match this model's grid");
+        assert_eq!(current.temps_c.len(), n, "field does not match this model's grid");
+
+        let inv_dt: Vec<f64> = self.cap.iter().map(|c| c / dt_s).collect();
+        let mut rhs = vec![0.0f64; n];
+        for i in 0..n {
+            rhs[i] = power.watts[i] + inv_dt[i] * current.temps_c[i];
+        }
+        let top = (self.nl - 1) * self.ny * self.nx;
+        for c in 0..self.ny * self.nx {
+            rhs[top + c] += self.gamb[c] * self.ambient_c;
+        }
+        let diag_t: Vec<f64> = self.diag.iter().zip(&inv_dt).map(|(d, c)| d + c).collect();
+        let mut x = current.temps_c.clone();
+        let outcome = solver::conjugate_gradient(
+            |v, out| {
+                self.apply(v, out);
+                for i in 0..n {
+                    out[i] += inv_dt[i] * v[i];
+                }
+            },
+            &diag_t,
+            &rhs,
+            &mut x,
+            solver::Tolerance::default(),
+        );
+        match outcome {
+            CgOutcome::Converged { .. } => {}
+            CgOutcome::MaxIterations { residual } => {
+                panic!("transient CG failed to converge (residual {residual:e})")
+            }
+        }
+        ThermalField { nx: self.nx, ny: self.ny, num_layers: self.nl, temps_c: x }
+    }
+
+    /// The uniform-ambient initial field for transient simulations.
+    pub fn ambient_field(&self) -> ThermalField {
+        ThermalField {
+            nx: self.nx,
+            ny: self.ny,
+            num_layers: self.nl,
+            temps_c: vec![self.ambient_c; self.nl * self.ny * self.nx],
+        }
+    }
+
+    /// Runs a constant-power transient for `steps` steps of `dt_s` from
+    /// `initial`, returning the per-step peak temperatures and the final
+    /// field. This is the building block for phase-by-phase schedule
+    /// transients (an extension over the paper's steady-state-only flow).
+    ///
+    /// # Panics
+    ///
+    /// As for [`ThermalModel::transient_step`].
+    pub fn transient(
+        &self,
+        power: &PowerMap,
+        initial: &ThermalField,
+        dt_s: f64,
+        steps: usize,
+    ) -> (Vec<f64>, ThermalField) {
+        let mut field = initial.clone();
+        let mut peaks = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            field = self.transient_step(power, &field, dt_s);
+            peaks.push(field.peak_c());
+        }
+        (peaks, field)
+    }
+}

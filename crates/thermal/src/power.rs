@@ -1,0 +1,132 @@
+//! Power injection maps over the thermal grid.
+
+use crate::geometry::Rect;
+
+/// Per-cell power injection (watts) for every layer of a model's grid.
+///
+/// Created by [`crate::ThermalModel::zero_power`] so its dimensions always
+/// match the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerMap {
+    pub(crate) nx: usize,
+    pub(crate) ny: usize,
+    pub(crate) width_m: f64,
+    pub(crate) height_m: f64,
+    /// `layers * ny * nx` watts per cell.
+    pub(crate) watts: Vec<f64>,
+}
+
+impl PowerMap {
+    pub(crate) fn new(nx: usize, ny: usize, layers: usize, width_m: f64, height_m: f64) -> Self {
+        Self { nx, ny, width_m, height_m, watts: vec![0.0; nx * ny * layers] }
+    }
+
+    fn num_layers(&self) -> usize {
+        self.watts.len() / (self.nx * self.ny)
+    }
+
+    /// Total injected power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.watts.iter().sum()
+    }
+
+    /// Adds `watts` distributed uniformly over `rect` in layer
+    /// `layer_idx` (0 = bottom). Cells receive power proportional to their
+    /// overlap with the rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer index is out of range, the power is negative, or
+    /// the rectangle lies entirely outside the grid.
+    pub fn add_uniform_rect(&mut self, layer_idx: usize, rect: Rect, watts: f64) {
+        assert!(layer_idx < self.num_layers(), "layer index out of range");
+        assert!(watts >= 0.0, "power must be non-negative");
+        if watts == 0.0 {
+            return;
+        }
+        let cw = self.width_m / self.nx as f64;
+        let ch = self.height_m / self.ny as f64;
+        // Cells possibly touched by the rectangle.
+        let ix0 = ((rect.x / cw).floor().max(0.0)) as usize;
+        let iy0 = ((rect.y / ch).floor().max(0.0)) as usize;
+        let ix1 = (((rect.x2() / cw).ceil()) as usize).min(self.nx);
+        let iy1 = (((rect.y2() / ch).ceil()) as usize).min(self.ny);
+        assert!(
+            ix0 < ix1 && iy0 < iy1,
+            "power rectangle lies outside the grid footprint"
+        );
+        let density = watts / rect.area();
+        let base = layer_idx * self.nx * self.ny;
+        let mut injected = 0.0;
+        for iy in iy0..iy1 {
+            for ix in ix0..ix1 {
+                let cell = Rect::new(ix as f64 * cw, iy as f64 * ch, cw, ch);
+                let a = cell.overlap_area(&rect);
+                if a > 0.0 {
+                    self.watts[base + iy * self.nx + ix] += density * a;
+                    injected += density * a;
+                }
+            }
+        }
+        debug_assert!(
+            (injected - watts).abs() <= 1e-9 * watts.max(1.0) + 1e-12
+                || rect.x < 0.0
+                || rect.y < 0.0
+                || rect.x2() > self.width_m
+                || rect.y2() > self.height_m,
+            "in-bounds rectangle should inject all its power"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> PowerMap {
+        PowerMap::new(8, 8, 2, 8e-3, 8e-3)
+    }
+
+    #[test]
+    fn uniform_rect_conserves_power() {
+        let mut p = map();
+        p.add_uniform_rect(0, Rect::new(1e-3, 1e-3, 3e-3, 2e-3), 5.0);
+        assert!((p.total_w() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misaligned_rect_conserves_power() {
+        let mut p = map();
+        // Not aligned to the 1 mm cell grid.
+        p.add_uniform_rect(1, Rect::new(0.3e-3, 0.7e-3, 2.45e-3, 3.21e-3), 2.5);
+        assert!((p.total_w() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_sources_accumulate() {
+        let mut p = map();
+        let r = Rect::new(2e-3, 2e-3, 2e-3, 2e-3);
+        p.add_uniform_rect(0, r, 1.0);
+        p.add_uniform_rect(0, r, 2.0);
+        assert!((p.total_w() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer index")]
+    fn bad_layer_panics() {
+        map().add_uniform_rect(5, Rect::new(0.0, 0.0, 1e-3, 1e-3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the grid")]
+    fn fully_outside_rect_panics() {
+        map().add_uniform_rect(0, Rect::new(20e-3, 20e-3, 1e-3, 1e-3), 1.0);
+    }
+
+    #[test]
+    fn zero_watts_is_a_noop() {
+        let mut p = map();
+        p.add_uniform_rect(0, Rect::new(0.0, 0.0, 1e-3, 1e-3), 0.0);
+        assert_eq!(p.total_w(), 0.0);
+    }
+}

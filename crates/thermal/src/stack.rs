@@ -1,0 +1,204 @@
+//! Package-stack description and model construction.
+
+use crate::geometry::Rect;
+use crate::model::ThermalModel;
+
+/// One physical layer being assembled: background conductivity plus
+/// rectangular patches of different material (e.g. silicon chiplets in an
+/// underfill sea, or TSV-enriched regions).
+#[derive(Debug, Clone)]
+pub(crate) struct LayerDef {
+    pub name: String,
+    pub thickness_m: f64,
+    pub background_k: f64,
+    pub patches: Vec<(Rect, f64)>,
+    /// Volumetric heat capacity, J/(m³·K) — used only by transient solves.
+    pub vol_heat_capacity: f64,
+}
+
+/// Default volumetric heat capacity when none is given: silicon-class
+/// 1.63e6 J/(m³·K), HotSpot's default specific heat.
+pub(crate) const DEFAULT_VHC: f64 = 1.63e6;
+
+/// Builder for a [`ThermalModel`]: define the grid, then push layers from
+/// the **bottom of the package up** towards the convection boundary.
+///
+/// Matching HotSpot's primary heat path, the *last* layer added is the one
+/// that convects to ambient; the bottom face is adiabatic (edge devices
+/// have no meaningful board path in the paper's configuration).
+///
+/// # Examples
+///
+/// ```
+/// use tesa_thermal::{Rect, StackBuilder};
+///
+/// let model = StackBuilder::new(8.0e-3, 8.0e-3, 16, 16)
+///     .layer("interposer", 100e-6, 120.0)
+///     .layer_with_patches(
+///         "device",
+///         150e-6,
+///         0.9, // underfill between chiplets
+///         vec![(Rect::new(1e-3, 1e-3, 2e-3, 2e-3), 120.0)], // a silicon chiplet
+///     )
+///     .layer("tim", 50e-6, 1.5)
+///     .layer("lid", 500e-6, 385.0)
+///     .convection(0.4, 45.0)
+///     .build();
+/// assert_eq!(model.num_layers(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackBuilder {
+    width_m: f64,
+    height_m: f64,
+    nx: usize,
+    ny: usize,
+    layers: Vec<LayerDef>,
+    convection_k_per_w: f64,
+    ambient_c: f64,
+}
+
+impl StackBuilder {
+    /// Starts a stack over a `width x height` (meters) footprint
+    /// discretized into `nx x ny` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is not positive or the grid is empty.
+    pub fn new(width_m: f64, height_m: f64, nx: usize, ny: usize) -> Self {
+        assert!(width_m > 0.0 && height_m > 0.0, "footprint must be positive");
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        Self {
+            width_m,
+            height_m,
+            nx,
+            ny,
+            layers: Vec::new(),
+            convection_k_per_w: 0.4,
+            ambient_c: 45.0,
+        }
+    }
+
+    /// Adds a homogeneous layer of the given thickness (m) and thermal
+    /// conductivity (W/m·K).
+    ///
+    /// # Panics
+    ///
+    /// Panics if thickness or conductivity is not positive.
+    pub fn layer(self, name: &str, thickness_m: f64, conductivity: f64) -> Self {
+        self.layer_with_patches(name, thickness_m, conductivity, Vec::new())
+    }
+
+    /// Adds a homogeneous layer with an explicit volumetric heat capacity
+    /// in J/(m³·K) — only transient solves read it; steady state is
+    /// capacity-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thickness, conductivity, or heat capacity is not positive.
+    pub fn layer_with_capacity(
+        mut self,
+        name: &str,
+        thickness_m: f64,
+        conductivity: f64,
+        vol_heat_capacity: f64,
+    ) -> Self {
+        assert!(vol_heat_capacity > 0.0, "heat capacity must be positive");
+        self = self.layer_with_patches(name, thickness_m, conductivity, Vec::new());
+        self.layers.last_mut().expect("just pushed").vol_heat_capacity = vol_heat_capacity;
+        self
+    }
+
+    /// Adds a heterogeneous layer: `background_k` everywhere except inside
+    /// the given rectangular patches, which use their own conductivity.
+    /// Later patches win where patches overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thickness or any conductivity is not positive.
+    pub fn layer_with_patches(
+        mut self,
+        name: &str,
+        thickness_m: f64,
+        background_k: f64,
+        patches: Vec<(Rect, f64)>,
+    ) -> Self {
+        assert!(thickness_m > 0.0, "layer thickness must be positive");
+        assert!(background_k > 0.0, "conductivity must be positive");
+        assert!(
+            patches.iter().all(|(_, k)| *k > 0.0),
+            "patch conductivity must be positive"
+        );
+        self.layers.push(LayerDef {
+            name: name.to_owned(),
+            thickness_m,
+            background_k,
+            patches,
+            vol_heat_capacity: DEFAULT_VHC,
+        });
+        self
+    }
+
+    /// Sets the lumped convection resistance (K/W) from the top layer to
+    /// ambient, and the ambient temperature (°C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is not positive.
+    pub fn convection(mut self, resistance_k_per_w: f64, ambient_c: f64) -> Self {
+        assert!(resistance_k_per_w > 0.0, "convection resistance must be positive");
+        self.convection_k_per_w = resistance_k_per_w;
+        self.ambient_c = ambient_c;
+        self
+    }
+
+    /// Assembles the conductance network and returns the ready-to-solve
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were added.
+    pub fn build(self) -> ThermalModel {
+        assert!(!self.layers.is_empty(), "a stack needs at least one layer");
+        ThermalModel::assemble(
+            self.width_m,
+            self.height_m,
+            self.nx,
+            self.ny,
+            self.layers,
+            self.convection_k_per_w,
+            self.ambient_c,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_stack_panics() {
+        let _ = StackBuilder::new(1e-3, 1e-3, 4, 4).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "thickness must be positive")]
+    fn zero_thickness_panics() {
+        let _ = StackBuilder::new(1e-3, 1e-3, 4, 4).layer("bad", 0.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "conductivity must be positive")]
+    fn negative_conductivity_panics() {
+        let _ = StackBuilder::new(1e-3, 1e-3, 4, 4).layer("bad", 1e-6, -1.0);
+    }
+
+    #[test]
+    fn builder_is_chainable_and_counts_layers() {
+        let m = StackBuilder::new(1e-3, 1e-3, 4, 4)
+            .layer("a", 1e-6, 100.0)
+            .layer("b", 1e-6, 100.0)
+            .build();
+        assert_eq!(m.num_layers(), 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! Physics validation of the steady-state solver: analytic limits,
+//! linearity, symmetry, energy balance, and coupling trends.
+
+use tesa_thermal::{Rect, StackBuilder, ThermalModel};
+
+const AMBIENT: f64 = 45.0;
+const R_CONV: f64 = 0.4;
+
+fn single_layer_model(n: usize) -> ThermalModel {
+    StackBuilder::new(8e-3, 8e-3, n, n)
+        .layer("die", 150e-6, 120.0)
+        .convection(R_CONV, AMBIENT)
+        .build()
+}
+
+fn mcm_model(n: usize) -> ThermalModel {
+    StackBuilder::new(8e-3, 8e-3, n, n)
+        .layer("interposer", 100e-6, 120.0)
+        .layer_with_patches(
+            "device",
+            150e-6,
+            0.9,
+            vec![
+                (Rect::new(1e-3, 1e-3, 2e-3, 2e-3), 120.0),
+                (Rect::new(5e-3, 5e-3, 2e-3, 2e-3), 120.0),
+            ],
+        )
+        .layer("tim", 50e-6, 1.5)
+        .layer("lid", 500e-6, 385.0)
+        .convection(R_CONV, AMBIENT)
+        .build()
+}
+
+#[test]
+fn uniform_power_approaches_lumped_convection_limit() {
+    // Power spread uniformly over the full footprint: the temperature rise
+    // must equal P * R_conv plus the (small) vertical conduction drop.
+    let model = single_layer_model(16);
+    let mut p = model.zero_power();
+    let watts = 10.0;
+    p.add_uniform_rect(0, Rect::new(0.0, 0.0, 8e-3, 8e-3), watts);
+    let f = model.solve(&p);
+    let expected = AMBIENT + watts * R_CONV;
+    let mean = f.layer_mean_c(0);
+    assert!(
+        (mean - expected).abs() < 0.5,
+        "mean {mean} vs lumped estimate {expected}"
+    );
+    // Uniform injection should produce a nearly uniform field.
+    assert!(f.peak_c() - mean < 0.1);
+}
+
+#[test]
+fn zero_power_yields_ambient_everywhere() {
+    let model = mcm_model(16);
+    let f = model.solve(&model.zero_power());
+    assert!((f.peak_c() - AMBIENT).abs() < 1e-6);
+}
+
+#[test]
+fn solution_is_linear_in_power() {
+    let model = mcm_model(16);
+    let r = Rect::new(1e-3, 1e-3, 2e-3, 2e-3);
+    let mut p1 = model.zero_power();
+    p1.add_uniform_rect(1, r, 2.0);
+    let mut p2 = model.zero_power();
+    p2.add_uniform_rect(1, r, 4.0);
+    let f1 = model.solve(&p1);
+    let f2 = model.solve(&p2);
+    let rise1 = f1.peak_c() - AMBIENT;
+    let rise2 = f2.peak_c() - AMBIENT;
+    assert!((rise2 - 2.0 * rise1).abs() < 1e-6 * rise2.max(1.0));
+}
+
+#[test]
+fn superposition_holds() {
+    let model = mcm_model(16);
+    let ra = Rect::new(1e-3, 1e-3, 2e-3, 2e-3);
+    let rb = Rect::new(5e-3, 5e-3, 2e-3, 2e-3);
+    let mut pa = model.zero_power();
+    pa.add_uniform_rect(1, ra, 3.0);
+    let mut pb = model.zero_power();
+    pb.add_uniform_rect(1, rb, 3.0);
+    let mut pab = model.zero_power();
+    pab.add_uniform_rect(1, ra, 3.0);
+    pab.add_uniform_rect(1, rb, 3.0);
+
+    let fa = model.solve(&pa).into_inner();
+    let fb = model.solve(&pb).into_inner();
+    let fab = model.solve(&pab).into_inner();
+    for i in 0..fa.len() {
+        let sum = fa[i] + fb[i] - AMBIENT;
+        assert!((fab[i] - sum).abs() < 1e-6, "cell {i}: {} vs {sum}", fab[i]);
+    }
+}
+
+#[test]
+fn symmetric_source_gives_symmetric_field() {
+    let model = single_layer_model(16);
+    let mut p = model.zero_power();
+    // Centered square source.
+    p.add_uniform_rect(0, Rect::new(3e-3, 3e-3, 2e-3, 2e-3), 5.0);
+    let f = model.solve(&p);
+    for iy in 0..16 {
+        for ix in 0..16 {
+            let a = f.at(0, ix, iy);
+            let b = f.at(0, 15 - ix, iy);
+            let c = f.at(0, ix, 15 - iy);
+            assert!((a - b).abs() < 1e-6 && (a - c).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn temperature_decays_away_from_hotspot() {
+    let model = single_layer_model(32);
+    let mut p = model.zero_power();
+    p.add_uniform_rect(0, Rect::new(0.5e-3, 0.5e-3, 1e-3, 1e-3), 3.0);
+    let f = model.solve(&p);
+    // Sample along the diagonal moving away from the corner source.
+    let t_near = f.at(0, 2, 2);
+    let t_mid = f.at(0, 12, 12);
+    let t_far = f.at(0, 28, 28);
+    assert!(t_near > t_mid && t_mid > t_far, "{t_near} > {t_mid} > {t_far}");
+    assert!(t_far >= AMBIENT - 1e-9);
+}
+
+#[test]
+fn closer_chiplets_couple_more_strongly() {
+    // Two 2 W chiplets: decreasing separation raises the peak temperature —
+    // the lateral thermal-coupling effect TESA's ICS knob controls. The
+    // coupling decays over roughly a millimeter (the silicon spreading
+    // length of this stack), which is exactly the 0..1 mm ICS range of the
+    // paper's design space; beyond that, die-edge proximity takes over.
+    let mut peaks = Vec::new();
+    for gap_mm in [0.25f64, 0.5, 1.0] {
+        let w = 2e-3;
+        let x0 = (8e-3 - (2.0 * w + gap_mm * 1e-3)) / 2.0;
+        let ra = Rect::new(x0, 3e-3, w, w);
+        let rb = Rect::new(x0 + w + gap_mm * 1e-3, 3e-3, w, w);
+        // 64x64 = 125 um cells (the paper's HotSpot grid): every chiplet
+        // edge in this sweep lands on a cell boundary, so the comparison is
+        // free of rasterization noise.
+        let model = StackBuilder::new(8e-3, 8e-3, 64, 64)
+            .layer("interposer", 100e-6, 120.0)
+            .layer_with_patches("device", 150e-6, 0.9, vec![(ra, 120.0), (rb, 120.0)])
+            .layer("tim", 50e-6, 1.5)
+            .layer("lid", 500e-6, 385.0)
+            .convection(R_CONV, AMBIENT)
+            .build();
+        let mut p = model.zero_power();
+        p.add_uniform_rect(1, ra, 2.0);
+        p.add_uniform_rect(1, rb, 2.0);
+        peaks.push(model.solve(&p).peak_c());
+    }
+    assert!(
+        peaks[0] > peaks[1] && peaks[1] > peaks[2],
+        "peaks should fall with spacing: {peaks:?}"
+    );
+}
+
+#[test]
+fn higher_power_density_runs_hotter_at_equal_power() {
+    // Equal total power, smaller footprint -> higher peak. This is the
+    // effect behind the paper's 240x240-beats-200x200 anecdote (in
+    // reverse): lower density cools better.
+    let model = single_layer_model(32);
+    let mut small = model.zero_power();
+    small.add_uniform_rect(0, Rect::new(3e-3, 3e-3, 1e-3, 1e-3), 4.0);
+    let mut large = model.zero_power();
+    large.add_uniform_rect(0, Rect::new(2e-3, 2e-3, 3e-3, 3e-3), 4.0);
+    assert!(model.solve(&small).peak_c() > model.solve(&large).peak_c());
+}
+
+#[test]
+fn energy_balance_under_refinement() {
+    // The mean rise over the footprint must match P * R_conv regardless of
+    // source placement (all heat leaves through the convection boundary).
+    for n in [8usize, 16, 32] {
+        let model = single_layer_model(n);
+        let mut p = model.zero_power();
+        p.add_uniform_rect(0, Rect::new(1e-3, 1e-3, 2e-3, 2e-3), 6.0);
+        let f = model.solve(&p);
+        // The lumped convection carries all 6 W: area-weighted mean of the
+        // top layer must sit at ambient + 6*0.4 = 47.4 C at the boundary.
+        // Interior cells are hotter; check the mean exceeds that and stays
+        // within a spreading-resistance bound.
+        let mean = f.layer_mean_c(0);
+        assert!(mean > AMBIENT + 6.0 * R_CONV - 0.5, "n={n}: mean {mean}");
+        assert!(mean < AMBIENT + 6.0 * R_CONV + 40.0, "n={n}: mean {mean}");
+    }
+}
+
+#[test]
+fn warm_start_matches_cold_start() {
+    let model = mcm_model(16);
+    let mut p = model.zero_power();
+    p.add_uniform_rect(1, Rect::new(1e-3, 1e-3, 2e-3, 2e-3), 3.0);
+    let cold = model.solve(&p);
+    let warm = model.solve_with_guess(&p, &cold.clone().into_inner());
+    for (a, b) in cold.clone().into_inner().iter().zip(warm.into_inner().iter()) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn stacked_heat_source_hotter_below_the_lid_path() {
+    // In a 3D stack, a source buried under another tier sees more
+    // resistance to the sink than a source on the top tier.
+    let model = StackBuilder::new(8e-3, 8e-3, 16, 16)
+        .layer("interposer", 100e-6, 120.0)
+        .layer("tier0", 150e-6, 120.0)
+        .layer("bond", 20e-6, 1.0)
+        .layer("tier1", 150e-6, 120.0)
+        .layer("tim", 50e-6, 1.5)
+        .layer("lid", 500e-6, 385.0)
+        .convection(R_CONV, AMBIENT)
+        .build();
+    let r = Rect::new(3e-3, 3e-3, 2e-3, 2e-3);
+    let mut deep = model.zero_power();
+    deep.add_uniform_rect(1, r, 3.0);
+    let mut shallow = model.zero_power();
+    shallow.add_uniform_rect(3, r, 3.0);
+    assert!(model.solve(&deep).peak_c() > model.solve(&shallow).peak_c());
+}
+
+#[test]
+fn one_dimensional_stack_matches_analytic_series_resistance() {
+    // Uniform power over the full footprint turns the stack into a 1-D
+    // series resistance problem: from the heated layer's center plane,
+    // through the half-thickness above it, the full layers, the top
+    // half-thickness, and the convection film.
+    let (w, h) = (8e-3f64, 8e-3f64);
+    let area = w * h;
+    let (t0, k0) = (200e-6, 120.0); // heated silicon
+    let (t1, k1) = (100e-6, 1.5); // interface
+    let (t2, k2) = (400e-6, 200.0); // lid
+    let model = StackBuilder::new(w, h, 16, 16)
+        .layer("si", t0, k0)
+        .layer("tim", t1, k1)
+        .layer("lid", t2, k2)
+        .convection(R_CONV, AMBIENT)
+        .build();
+    let mut p = model.zero_power();
+    let watts = 8.0;
+    p.add_uniform_rect(0, Rect::new(0.0, 0.0, w, h), watts);
+    let f = model.solve(&p);
+
+    let r_analytic =
+        (t0 / 2.0) / (k0 * area) + t1 / (k1 * area) + (t2 / 2.0) / (k2 * area) + R_CONV;
+    let expected = AMBIENT + watts * r_analytic;
+    let measured = f.layer_mean_c(0);
+    let rel = (measured - expected).abs() / (expected - AMBIENT);
+    assert!(rel < 0.05, "measured {measured:.3} vs analytic {expected:.3} ({rel:.3} rel)");
+}
+
+#[test]
+fn grid_refinement_converges() {
+    // The same problem at 16/32/64 cells: successive peak temperatures
+    // approach each other (discretization error shrinks).
+    let mk = |n: usize| {
+        let model = StackBuilder::new(8e-3, 8e-3, n, n)
+            .layer("die", 150e-6, 120.0)
+            .layer("tim", 65e-6, 1.2)
+            .layer("lid", 300e-6, 200.0)
+            .convection(R_CONV, AMBIENT)
+            .build();
+        let mut p = model.zero_power();
+        p.add_uniform_rect(0, Rect::new(2e-3, 2e-3, 4e-3, 4e-3), 5.0);
+        model.solve(&p).peak_c()
+    };
+    let (a, b, c) = (mk(16), mk(32), mk(64));
+    assert!((b - c).abs() < (a - b).abs() + 0.2, "refinement should converge: {a} {b} {c}");
+}

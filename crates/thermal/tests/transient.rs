@@ -1,0 +1,110 @@
+//! Transient-solver validation: approach to steady state, adiabatic ramp
+//! rate, step stability, and cooling decay.
+
+use tesa_thermal::{Rect, StackBuilder, ThermalModel};
+
+const AMBIENT: f64 = 45.0;
+
+fn model() -> ThermalModel {
+    StackBuilder::new(8e-3, 8e-3, 16, 16)
+        .layer("interposer", 100e-6, 120.0)
+        .layer("device", 150e-6, 120.0)
+        .layer("tim", 65e-6, 1.2)
+        .layer("lid", 300e-6, 200.0)
+        .convection(0.4, AMBIENT)
+        .build()
+}
+
+fn heated(m: &ThermalModel, watts: f64) -> tesa_thermal::PowerMap {
+    let mut p = m.zero_power();
+    p.add_uniform_rect(1, Rect::new(2e-3, 2e-3, 3e-3, 3e-3), watts);
+    p
+}
+
+#[test]
+fn transient_converges_to_steady_state() {
+    let m = model();
+    let p = heated(&m, 4.0);
+    let steady = m.solve(&p);
+    // March far past the package time constant (~C*R: a few ms).
+    let (_, final_field) = m.transient(&p, &m.ambient_field(), 5e-3, 60);
+    let err = (final_field.peak_c() - steady.peak_c()).abs();
+    assert!(err < 0.05, "transient end {} vs steady {}", final_field.peak_c(), steady.peak_c());
+}
+
+#[test]
+fn peaks_rise_monotonically_under_constant_power() {
+    let m = model();
+    let p = heated(&m, 3.0);
+    let (peaks, _) = m.transient(&p, &m.ambient_field(), 1e-3, 25);
+    for w in peaks.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9, "heating must be monotone: {w:?}");
+    }
+    assert!(peaks[0] > AMBIENT);
+}
+
+#[test]
+fn adiabatic_initial_ramp_matches_p_over_c() {
+    // For very short times the heated cells warm at ~P/C before conduction
+    // spreads the heat: check the first microsecond against the lumped
+    // estimate within 2x.
+    let m = model();
+    let watts = 2.0;
+    let p = heated(&m, watts);
+    let dt = 1e-6;
+    let f1 = m.transient_step(&p, &m.ambient_field(), dt);
+    // Heated region: 3x3 mm of the 150 um device layer.
+    let c_region = 1.63e6 * 9e-6 * 150e-6;
+    let expected_rise = watts * dt / c_region;
+    let actual_rise = f1.peak_c() - AMBIENT;
+    assert!(
+        actual_rise > 0.2 * expected_rise && actual_rise < 2.0 * expected_rise,
+        "rise {actual_rise} vs adiabatic {expected_rise}"
+    );
+}
+
+#[test]
+fn cooling_decays_back_to_ambient() {
+    let m = model();
+    let p = heated(&m, 4.0);
+    let hot = m.solve(&p);
+    // Cut the power: the field must decay monotonically toward ambient.
+    // The slowest mode is R_conv * C_stack ~ 26 ms; run ~20 constants.
+    let zero = m.zero_power();
+    let (peaks, final_field) = m.transient(&zero, &hot, 5e-3, 100);
+    for w in peaks.windows(2) {
+        assert!(w[1] <= w[0] + 1e-9, "cooling must be monotone");
+    }
+    assert!(final_field.peak_c() - AMBIENT < 0.3, "got {}", final_field.peak_c());
+}
+
+#[test]
+fn big_steps_are_stable_backward_euler() {
+    // A step 1000x the smallest RC constant must not oscillate or blow up.
+    let m = model();
+    let p = heated(&m, 5.0);
+    let (peaks, _) = m.transient(&p, &m.ambient_field(), 1.0, 3);
+    let steady = m.solve(&p).peak_c();
+    for pk in peaks {
+        assert!(pk.is_finite() && pk <= steady + 0.1);
+    }
+}
+
+#[test]
+fn transient_never_overshoots_steady_state_when_heating() {
+    let m = model();
+    let p = heated(&m, 3.5);
+    let steady = m.solve(&p).peak_c();
+    let (peaks, _) = m.transient(&p, &m.ambient_field(), 0.5e-3, 50);
+    for pk in peaks {
+        assert!(pk <= steady + 1e-6, "transient {pk} above steady {steady}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "time step must be positive")]
+fn zero_dt_panics() {
+    let m = model();
+    let p = heated(&m, 1.0);
+    let _ = m.transient_step(&p, &m.ambient_field(), 0.0);
+}

@@ -1,0 +1,113 @@
+//! A DNN as an ordered list of layers.
+
+use crate::layer::Layer;
+use serde::{Deserialize, Serialize};
+
+/// A deep neural network described layer by layer.
+///
+/// The description carries exactly what a SCALE-Sim-class performance model
+/// consumes: per-layer GEMM dimensions on int8 data at batch size 1.
+///
+/// # Examples
+///
+/// ```
+/// use tesa_workloads::zoo;
+///
+/// let net = zoo::mobilenet_v1();
+/// assert!(net.num_layers() > 20);
+/// assert!(net.total_macs() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dnn {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Dnn {
+    /// Creates a DNN from a name and its layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty: an empty DNN has no defined latency or
+    /// utilization and would poison downstream averages.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "a DNN must have at least one layer");
+        Self { name: name.into(), layers }
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers, in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total multiply-accumulate operations across all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total weight bytes across all layers (int8).
+    pub fn total_filter_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::filter_bytes).sum()
+    }
+
+    /// The largest single-layer weight tensor in bytes.
+    pub fn max_layer_filter_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::filter_bytes).max().unwrap_or(0)
+    }
+
+    /// The largest single-layer input feature map in bytes.
+    pub fn max_layer_ifmap_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::ifmap_bytes).max().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for Dnn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, {:.2} GMACs)",
+            self.name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_dnn_panics() {
+        let _ = Dnn::new("empty", vec![]);
+    }
+
+    #[test]
+    fn totals_sum_layers() {
+        let l1 = Layer::new("a", LayerKind::Fc { in_features: 10, out_features: 20 });
+        let l2 = Layer::new("b", LayerKind::Fc { in_features: 20, out_features: 5 });
+        let d = Dnn::new("tiny", vec![l1, l2]);
+        assert_eq!(d.total_macs(), 200 + 100);
+        assert_eq!(d.total_filter_bytes(), 200 + 100);
+        assert_eq!(d.max_layer_filter_bytes(), 200);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let l = Layer::new("a", LayerKind::Fc { in_features: 8, out_features: 8 });
+        let d = Dnn::new("net", vec![l]);
+        assert!(d.to_string().contains("net"));
+    }
+}

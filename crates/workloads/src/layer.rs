@@ -1,0 +1,267 @@
+//! Layer-wise DNN descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// The computational shape of a single DNN layer.
+///
+/// Every variant reduces to a GEMM-like workload that a systolic array
+/// executes; see [`Layer::gemm_dims`]. All tensors use 8-bit integer data
+/// (one byte per element) at batch size 1, as in the paper's AR/VR setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Standard 2-D convolution.
+    Conv {
+        /// Input feature-map height (pixels).
+        ih: u32,
+        /// Input feature-map width (pixels).
+        iw: u32,
+        /// Input channels.
+        ic: u32,
+        /// Kernel height.
+        kh: u32,
+        /// Kernel width.
+        kw: u32,
+        /// Output channels (number of filters).
+        oc: u32,
+        /// Stride (same in both dimensions).
+        stride: u32,
+        /// Symmetric zero padding on each border.
+        pad: u32,
+    },
+    /// Depthwise 2-D convolution: one filter per channel, no cross-channel
+    /// reduction. `channels` acts as both input and output channel count.
+    DwConv {
+        /// Input feature-map height (pixels).
+        ih: u32,
+        /// Input feature-map width (pixels).
+        iw: u32,
+        /// Channel count (input == output).
+        channels: u32,
+        /// Kernel height.
+        kh: u32,
+        /// Kernel width.
+        kw: u32,
+        /// Stride (same in both dimensions).
+        stride: u32,
+        /// Symmetric zero padding on each border.
+        pad: u32,
+    },
+    /// Fully connected layer (a single GEMV at batch 1).
+    Fc {
+        /// Input features.
+        in_features: u32,
+        /// Output features.
+        out_features: u32,
+    },
+    /// General matrix multiply `(m x k) * (k x n)`, used for attention and
+    /// other transformer blocks. `m` plays the role of output rows (filters),
+    /// `k` the reduction dimension, `n` the number of output columns.
+    Gemm {
+        /// Output rows.
+        m: u32,
+        /// Reduction (inner) dimension.
+        k: u32,
+        /// Output columns.
+        n: u32,
+    },
+}
+
+/// One named layer of a DNN.
+///
+/// # Examples
+///
+/// ```
+/// use tesa_workloads::{Layer, LayerKind};
+///
+/// let conv1 = Layer::new(
+///     "conv1",
+///     LayerKind::Conv { ih: 224, iw: 224, ic: 3, kh: 7, kw: 7, oc: 64, stride: 2, pad: 3 },
+/// );
+/// assert_eq!(conv1.ofmap_dims(), (112, 112));
+/// assert_eq!(conv1.macs(), 112 * 112 * 64 * 7 * 7 * 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a layer from a name and a computational shape.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Self { name: name.into(), kind }
+    }
+
+    /// The layer's name (unique within its DNN by convention).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's computational shape.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Output feature-map `(height, width)`.
+    ///
+    /// For [`LayerKind::Fc`] this is `(1, 1)`; for [`LayerKind::Gemm`] it is
+    /// `(1, n)`.
+    pub fn ofmap_dims(&self) -> (u32, u32) {
+        match self.kind {
+            LayerKind::Conv { ih, iw, kh, kw, stride, pad, .. }
+            | LayerKind::DwConv { ih, iw, kh, kw, stride, pad, .. } => {
+                let oh = (ih + 2 * pad).saturating_sub(kh) / stride + 1;
+                let ow = (iw + 2 * pad).saturating_sub(kw) / stride + 1;
+                (oh, ow)
+            }
+            LayerKind::Fc { .. } => (1, 1),
+            LayerKind::Gemm { n, .. } => (1, n),
+        }
+    }
+
+    /// GEMM dimensions `(m, k, n)` of this layer as mapped onto a systolic
+    /// array:
+    ///
+    /// * `m` — number of independent output filters / rows,
+    /// * `k` — reduction (dot-product) length,
+    /// * `n` — number of output pixels / columns.
+    ///
+    /// A standard convolution maps to `m = oc`, `k = kh*kw*ic`,
+    /// `n = oh*ow` (im2col view). A depthwise convolution has no
+    /// cross-channel reduction, so it maps to `m = channels`, `k = kh*kw`,
+    /// `n = oh*ow` with per-channel filters.
+    pub fn gemm_dims(&self) -> (u64, u64, u64) {
+        match self.kind {
+            LayerKind::Conv { ic, kh, kw, oc, .. } => {
+                let (oh, ow) = self.ofmap_dims();
+                (u64::from(oc), u64::from(kh) * u64::from(kw) * u64::from(ic), u64::from(oh) * u64::from(ow))
+            }
+            LayerKind::DwConv { channels, kh, kw, .. } => {
+                let (oh, ow) = self.ofmap_dims();
+                (u64::from(channels), u64::from(kh) * u64::from(kw), u64::from(oh) * u64::from(ow))
+            }
+            LayerKind::Fc { in_features, out_features } => {
+                (u64::from(out_features), u64::from(in_features), 1)
+            }
+            LayerKind::Gemm { m, k, n } => (u64::from(m), u64::from(k), u64::from(n)),
+        }
+    }
+
+    /// Number of multiply-accumulate operations in this layer.
+    ///
+    /// For a depthwise convolution the reduction happens independently per
+    /// channel, so the product of the GEMM dims counts it correctly as well.
+    pub fn macs(&self) -> u64 {
+        let (m, k, n) = self.gemm_dims();
+        m * k * n
+    }
+
+    /// Input feature-map (activation) size in bytes (int8).
+    pub fn ifmap_bytes(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv { ih, iw, ic, .. } => u64::from(ih) * u64::from(iw) * u64::from(ic),
+            LayerKind::DwConv { ih, iw, channels, .. } => {
+                u64::from(ih) * u64::from(iw) * u64::from(channels)
+            }
+            LayerKind::Fc { in_features, .. } => u64::from(in_features),
+            LayerKind::Gemm { k, n, .. } => u64::from(k) * u64::from(n),
+        }
+    }
+
+    /// Filter/weight size in bytes (int8).
+    pub fn filter_bytes(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv { ic, kh, kw, oc, .. } => {
+                u64::from(kh) * u64::from(kw) * u64::from(ic) * u64::from(oc)
+            }
+            LayerKind::DwConv { channels, kh, kw, .. } => {
+                u64::from(kh) * u64::from(kw) * u64::from(channels)
+            }
+            LayerKind::Fc { in_features, out_features } => {
+                u64::from(in_features) * u64::from(out_features)
+            }
+            LayerKind::Gemm { m, k, .. } => u64::from(m) * u64::from(k),
+        }
+    }
+
+    /// Output feature-map size in bytes (int8).
+    pub fn ofmap_bytes(&self) -> u64 {
+        let (m, _, n) = self.gemm_dims();
+        m * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(ih: u32, iw: u32, ic: u32, k: u32, oc: u32, stride: u32, pad: u32) -> Layer {
+        Layer::new(
+            "t",
+            LayerKind::Conv { ih, iw, ic, kh: k, kw: k, oc, stride, pad },
+        )
+    }
+
+    #[test]
+    fn conv_ofmap_same_padding() {
+        let l = conv(224, 224, 3, 3, 64, 1, 1);
+        assert_eq!(l.ofmap_dims(), (224, 224));
+    }
+
+    #[test]
+    fn conv_ofmap_strided() {
+        let l = conv(224, 224, 3, 7, 64, 2, 3);
+        assert_eq!(l.ofmap_dims(), (112, 112));
+    }
+
+    #[test]
+    fn conv_macs_match_im2col() {
+        let l = conv(56, 56, 64, 3, 128, 1, 1);
+        let (m, k, n) = l.gemm_dims();
+        assert_eq!(m, 128);
+        assert_eq!(k, 3 * 3 * 64);
+        assert_eq!(n, 56 * 56);
+        assert_eq!(l.macs(), m * k * n);
+    }
+
+    #[test]
+    fn dwconv_has_no_cross_channel_reduction() {
+        let l = Layer::new(
+            "dw",
+            LayerKind::DwConv { ih: 112, iw: 112, channels: 32, kh: 3, kw: 3, stride: 1, pad: 1 },
+        );
+        assert_eq!(l.macs(), 112 * 112 * 32 * 9);
+        assert_eq!(l.filter_bytes(), 32 * 9);
+    }
+
+    #[test]
+    fn fc_is_gemv() {
+        let l = Layer::new("fc", LayerKind::Fc { in_features: 2048, out_features: 1000 });
+        assert_eq!(l.gemm_dims(), (1000, 2048, 1));
+        assert_eq!(l.macs(), 2048 * 1000);
+        assert_eq!(l.ofmap_bytes(), 1000);
+    }
+
+    #[test]
+    fn gemm_dims_pass_through() {
+        let l = Layer::new("qk", LayerKind::Gemm { m: 128, k: 64, n: 128 });
+        assert_eq!(l.gemm_dims(), (128, 64, 128));
+        assert_eq!(l.ifmap_bytes(), 64 * 128);
+        assert_eq!(l.filter_bytes(), 128 * 64);
+    }
+
+    #[test]
+    fn pointwise_conv_equals_fc_per_pixel() {
+        // A 1x1 conv is an FC applied per pixel.
+        let l = conv(14, 14, 256, 1, 512, 1, 0);
+        let (m, k, n) = l.gemm_dims();
+        assert_eq!((m, k, n), (512, 256, 14 * 14));
+    }
+
+    #[test]
+    fn ofmap_never_zero_with_valid_geometry() {
+        let l = conv(7, 7, 512, 7, 1024, 1, 0);
+        assert_eq!(l.ofmap_dims(), (1, 1));
+        assert!(l.macs() > 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Multi-DNN workload descriptions for the TESA reproduction.
+//!
+//! TESA ("Temperature-Aware Sizing of Multi-Chip Module Accelerators for
+//! Multi-DNN Workloads", DATE 2023) evaluates an augmented/virtual-reality
+//! workload of six independent deep neural networks, each performing a
+//! separate subtask:
+//!
+//! | DNN | Task | Constructor |
+//! |-----|------|-------------|
+//! | HandposeNet | hand-pose detection | [`zoo::handpose_net`] |
+//! | U-Net | image segmentation | [`zoo::unet`] |
+//! | MobileNet | object detection | [`zoo::mobilenet_v1`] |
+//! | ResNet-50 | object recognition | [`zoo::resnet50`] |
+//! | DNL | depth estimation | [`zoo::dnl_net`] |
+//! | Transformer | speech recognition | [`zoo::transformer`] |
+//!
+//! Each DNN is a layer-wise description ([`Dnn`] holding [`Layer`]s) carrying
+//! exactly the information a SCALE-Sim-class analytical performance model
+//! needs: convolution/GEMM dimensions on 8-bit integer data at batch size 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use tesa_workloads::{arvr_suite, zoo};
+//!
+//! let workload = arvr_suite();
+//! assert_eq!(workload.len(), 6);
+//!
+//! let resnet = zoo::resnet50();
+//! // ResNet-50 is ~4 GMACs at 224x224.
+//! assert!(resnet.total_macs() > 3_500_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dnn;
+mod layer;
+mod workload;
+pub mod zoo;
+
+pub use dnn::Dnn;
+pub use layer::{Layer, LayerKind};
+pub use workload::{arvr_suite, DnnId, MultiDnnWorkload};

@@ -1,0 +1,78 @@
+//! DNL (depth estimation), 512x512 input.
+//!
+//! Modeled after a disentangled non-local (DNL) network: a ResNet-50-class
+//! backbone at 512x512, a non-local attention block over the 32x32
+//! bottleneck (expressed as GEMMs), and a light upsampling decoder that
+//! produces a full-resolution depth map.
+
+use super::{conv, gemm};
+use crate::{Dnn, Layer};
+
+/// Builds the DNL depth-estimation network for 512x512x3 inputs
+/// (~59 GMACs; ResNet-50-depth backbone with 3/4/6/3 residual blocks).
+pub fn dnl_net() -> Dnn {
+    let mut layers: Vec<Layer> = Vec::with_capacity(40);
+    // Backbone stem.
+    layers.push(conv("stem", 512, 512, 3, 7, 64, 2, 3));
+    // Four residual stages (two 3x3 convs per block, basic-block style).
+    let stages = [
+        (1u32, 128u32, 64u32, 64u32, 3u32),
+        (2, 64, 64, 128, 4),
+        (3, 32, 128, 256, 6),
+        (4, 32, 256, 512, 3),
+    ];
+    for &(stage, sz, in_ch, out_ch, blocks) in &stages {
+        for b in 0..blocks {
+            let bi = if b == 0 { in_ch } else { out_ch };
+            layers.push(conv(&format!("r{stage}_{}a", b + 1), sz, sz, bi, 3, out_ch, 1, 1));
+            layers.push(conv(&format!("r{stage}_{}b", b + 1), sz, sz, out_ch, 3, out_ch, 1, 1));
+        }
+    }
+    // Non-local block over the 16x16 (= 256 position) bottleneck.
+    let positions = 32 * 32;
+    layers.push(conv("nl_theta", 32, 32, 512, 1, 256, 1, 0));
+    layers.push(conv("nl_phi", 32, 32, 512, 1, 256, 1, 0));
+    layers.push(conv("nl_g", 32, 32, 512, 1, 256, 1, 0));
+    layers.push(gemm("nl_affinity", positions, 256, positions));
+    layers.push(gemm("nl_aggregate", positions, positions, 256));
+    layers.push(conv("nl_out", 32, 32, 256, 1, 512, 1, 0));
+    // Decoder: progressive 2x upsampling with 3x3 convs.
+    let dec = [
+        (1u32, 64u32, 512u32, 256u32),
+        (2, 128, 256, 128),
+        (3, 256, 128, 64),
+        (4, 512, 64, 32),
+    ];
+    for &(lvl, sz, in_ch, out_ch) in &dec {
+        layers.push(conv(&format!("d{lvl}_a"), sz, sz, in_ch, 3, out_ch, 1, 1));
+        layers.push(conv(&format!("d{lvl}_b"), sz, sz, out_ch, 3, out_ch, 1, 1));
+    }
+    // Depth head.
+    layers.push(conv("depth_head", 512, 512, 32, 3, 1, 1, 1));
+    Dnn::new("DNL", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_in_expected_range() {
+        let macs = dnl_net().total_macs() as f64 / 1e9;
+        assert!((40.0..80.0).contains(&macs), "got {macs} GMACs");
+    }
+
+    #[test]
+    fn non_local_block_is_gemm_shaped() {
+        let net = dnl_net();
+        let aff = net.layers().iter().find(|l| l.name() == "nl_affinity").expect("affinity");
+        assert_eq!(aff.gemm_dims(), (1024, 256, 1024));
+    }
+
+    #[test]
+    fn produces_full_resolution_depth() {
+        let net = dnl_net();
+        let head = net.layers().last().expect("head");
+        assert_eq!(head.ofmap_dims(), (512, 512));
+    }
+}

@@ -1,0 +1,154 @@
+//! Additional networks beyond the paper's AR/VR suite, for building
+//! custom multi-DNN workloads (drones, robots, smart cameras).
+
+use super::{conv, dwconv, fc, gemm};
+use crate::{Dnn, Layer};
+
+/// VGG-16 for 224x224x3 inputs (~15.5 GMACs, ~138 M weights) — the
+/// classic conv-heavy stress test with huge fully-connected layers.
+pub fn vgg16() -> Dnn {
+    let mut layers: Vec<Layer> = Vec::with_capacity(16);
+    let blocks = [
+        (224u32, 3u32, 64u32, 2u32),
+        (112, 64, 128, 2),
+        (56, 128, 256, 3),
+        (28, 256, 512, 3),
+        (14, 512, 512, 3),
+    ];
+    for (b, &(sz, in_ch, out_ch, convs)) in blocks.iter().enumerate() {
+        for c in 0..convs {
+            let ic = if c == 0 { in_ch } else { out_ch };
+            layers.push(conv(&format!("b{}_{}", b + 1, c + 1), sz, sz, ic, 3, out_ch, 1, 1));
+        }
+    }
+    layers.push(fc("fc6", 7 * 7 * 512, 4096));
+    layers.push(fc("fc7", 4096, 4096));
+    layers.push(fc("fc8", 4096, 1000));
+    Dnn::new("VGG-16", layers)
+}
+
+/// A Tiny-YOLO-class single-shot detector for 416x416x3 inputs
+/// (~2.7 GMACs) — a light edge detector head to toe.
+pub fn tiny_yolo() -> Dnn {
+    let mut layers: Vec<Layer> = Vec::with_capacity(12);
+    let trunk = [
+        (416u32, 3u32, 16u32),
+        (208, 16, 32),
+        (104, 32, 64),
+        (52, 64, 128),
+        (26, 128, 256),
+        (13, 256, 512),
+    ];
+    for (i, &(sz, in_ch, out_ch)) in trunk.iter().enumerate() {
+        layers.push(conv(&format!("c{}", i + 1), sz, sz, in_ch, 3, out_ch, 1, 1));
+    }
+    layers.push(conv("c7", 13, 13, 512, 3, 1024, 1, 1));
+    layers.push(conv("c8", 13, 13, 1024, 3, 1024, 1, 1));
+    layers.push(conv("det", 13, 13, 1024, 1, 125, 1, 0));
+    Dnn::new("TinyYOLO", layers)
+}
+
+/// A BERT-base-class text encoder at sequence length 128
+/// (~11 GMACs) — FC/GEMM-dominated, the opposite utilization profile of
+/// the conv networks.
+pub fn bert_base() -> Dnn {
+    const SEQ: u32 = 128;
+    const D: u32 = 768;
+    const HEADS: u32 = 12;
+    const D_HEAD: u32 = D / HEADS;
+    const FF: u32 = 3072;
+    let mut layers: Vec<Layer> = Vec::with_capacity(12 * 10 + 2);
+    layers.push(gemm("embed_proj", D, D, SEQ));
+    for l in 1..=12 {
+        let p = format!("l{l}");
+        layers.push(gemm(&format!("{p}_q"), D, D, SEQ));
+        layers.push(gemm(&format!("{p}_k"), D, D, SEQ));
+        layers.push(gemm(&format!("{p}_v"), D, D, SEQ));
+        for h in 1..=HEADS {
+            layers.push(gemm(&format!("{p}_h{h}_qk"), SEQ, D_HEAD, SEQ));
+            layers.push(gemm(&format!("{p}_h{h}_av"), SEQ, SEQ, D_HEAD));
+        }
+        layers.push(gemm(&format!("{p}_o"), D, D, SEQ));
+        layers.push(gemm(&format!("{p}_ff1"), FF, D, SEQ));
+        layers.push(gemm(&format!("{p}_ff2"), D, FF, SEQ));
+    }
+    layers.push(fc("pooler", D, D));
+    Dnn::new("BERT-base", layers)
+}
+
+/// An EfficientNet-lite-style mobile classifier for 224x224x3 inputs
+/// (~0.4 GMACs) — depthwise-separable blocks like MobileNet but with
+/// expansion layers.
+pub fn efficientnet_lite() -> Dnn {
+    let mut layers: Vec<Layer> = Vec::with_capacity(40);
+    layers.push(conv("stem", 224, 224, 3, 3, 32, 2, 1));
+    // (size, in_ch, expand, out_ch, stride)
+    let blocks = [
+        (112u32, 32u32, 1u32, 16u32, 1u32),
+        (112, 16, 6, 24, 2),
+        (56, 24, 6, 24, 1),
+        (56, 24, 6, 40, 2),
+        (28, 40, 6, 40, 1),
+        (28, 40, 6, 80, 2),
+        (14, 80, 6, 80, 1),
+        (14, 80, 6, 112, 1),
+        (14, 112, 6, 192, 2),
+        (7, 192, 6, 192, 1),
+        (7, 192, 6, 320, 1),
+    ];
+    for (i, &(sz, in_ch, expand, out_ch, stride)) in blocks.iter().enumerate() {
+        let mid = in_ch * expand;
+        let out_sz = sz / stride;
+        if expand > 1 {
+            layers.push(conv(&format!("mb{}_exp", i + 1), sz, sz, in_ch, 1, mid, 1, 0));
+        }
+        layers.push(dwconv(&format!("mb{}_dw", i + 1), sz, sz, mid, 3, stride, 1));
+        layers.push(conv(&format!("mb{}_proj", i + 1), out_sz, out_sz, mid, 1, out_ch, 1, 0));
+    }
+    layers.push(conv("head_conv", 7, 7, 320, 1, 1280, 1, 0));
+    layers.push(fc("classifier", 1280, 1000));
+    Dnn::new("EfficientNet-lite", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_macs_and_params_in_published_range() {
+        let net = vgg16();
+        let macs = net.total_macs() as f64 / 1e9;
+        assert!((14.0..17.0).contains(&macs), "got {macs} GMACs");
+        let params = net.total_filter_bytes() as f64 / 1e6;
+        assert!((130.0..145.0).contains(&params), "got {params} M params");
+    }
+
+    #[test]
+    fn tiny_yolo_is_light() {
+        let macs = tiny_yolo().total_macs() as f64 / 1e9;
+        assert!((1.5..5.0).contains(&macs), "got {macs} GMACs");
+    }
+
+    #[test]
+    fn bert_base_macs_in_expected_range() {
+        let macs = bert_base().total_macs() as f64 / 1e9;
+        assert!((8.0..16.0).contains(&macs), "got {macs} GMACs");
+    }
+
+    #[test]
+    fn efficientnet_lite_is_sub_gmac() {
+        let macs = efficientnet_lite().total_macs() as f64 / 1e9;
+        assert!((0.2..0.8).contains(&macs), "got {macs} GMACs");
+    }
+
+    #[test]
+    fn all_extra_nets_have_unique_layer_names() {
+        for net in [vgg16(), tiny_yolo(), bert_base(), efficientnet_lite()] {
+            let mut names: Vec<_> = net.layers().iter().map(|l| l.name().to_owned()).collect();
+            let total = names.len();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), total, "duplicates in {}", net.name());
+        }
+    }
+}

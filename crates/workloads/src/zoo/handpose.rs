@@ -1,0 +1,72 @@
+//! HandposeNet (hand-pose detection), 368x368 input.
+//!
+//! Modeled after the OpenPose-style hand keypoint detector used by the
+//! AR/VR workload of Kwon et al.: a VGG-19-style feature backbone followed
+//! by two prediction stages of wide 7x7 convolutions over 46x46 feature
+//! maps producing 22 keypoint confidence maps (the OpenPose hand detector
+//! runs at 368x368).
+
+use super::conv;
+use crate::{Dnn, Layer};
+
+/// Builds HandposeNet for 368x368x3 inputs (~74 GMACs): the OpenPose hand
+/// detector runs six refinement stages.
+pub fn handpose_net() -> Dnn {
+    let mut layers: Vec<Layer> = Vec::with_capacity(24);
+    // VGG-style backbone; pooling halves the spatial size between groups.
+    let backbone = [
+        ("bb1_a", 368u32, 3u32, 64u32),
+        ("bb1_b", 368, 64, 64),
+        ("bb2_a", 184, 64, 128),
+        ("bb2_b", 184, 128, 128),
+        ("bb3_a", 92, 128, 256),
+        ("bb3_b", 92, 256, 256),
+        ("bb3_c", 92, 256, 256),
+        ("bb3_d", 92, 256, 256),
+        ("bb4_a", 46, 256, 512),
+        ("bb4_b", 46, 512, 512),
+    ];
+    for &(name, sz, in_ch, out_ch) in &backbone {
+        layers.push(conv(name, sz, sz, in_ch, 3, out_ch, 1, 1));
+    }
+    // Feature squeeze.
+    layers.push(conv("feat", 46, 46, 512, 3, 128, 1, 1));
+    // Stage 1: three 3x3 convs + 1x1 head to 22 keypoint maps.
+    layers.push(conv("s1_1", 46, 46, 128, 3, 128, 1, 1));
+    layers.push(conv("s1_2", 46, 46, 128, 3, 128, 1, 1));
+    layers.push(conv("s1_3", 46, 46, 128, 3, 128, 1, 1));
+    layers.push(conv("s1_head", 46, 46, 128, 1, 22, 1, 0));
+    // Stages 2..6 refine over concatenated features (128 + 22 channels)
+    // with wide 7x7 receptive fields — OpenPose runs six stages total.
+    let stage_in = 150;
+    for stage in 2..=6 {
+        layers.push(conv(&format!("s{stage}_1"), 46, 46, stage_in, 7, 128, 1, 3));
+        for conv_i in 2..=5 {
+            layers.push(conv(&format!("s{stage}_{conv_i}"), 46, 46, 128, 7, 128, 1, 3));
+        }
+        layers.push(conv(&format!("s{stage}_head"), 46, 46, 128, 1, 22, 1, 0));
+    }
+    Dnn::new("HandposeNet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_in_expected_range() {
+        let macs = handpose_net().total_macs() as f64 / 1e9;
+        assert!((60.0..95.0).contains(&macs), "got {macs} GMACs");
+    }
+
+    #[test]
+    fn prediction_stages_keep_46x46_resolution() {
+        let net = handpose_net();
+        for l in net.layers().iter().filter(|l| l.name().starts_with("s6")) {
+            assert_eq!(l.ofmap_dims(), (46, 46), "layer {}", l.name());
+        }
+        // Six refinement-stage heads in total.
+        let heads = net.layers().iter().filter(|l| l.name().ends_with("_head")).count();
+        assert_eq!(heads, 6);
+    }
+}

@@ -1,0 +1,67 @@
+//! MobileNet-V1 (object detection backbone), 224x224 input.
+
+use super::{conv, dwconv, fc};
+use crate::{Dnn, Layer};
+
+/// Builds MobileNet-V1 (width 1.0) for 224x224x3 inputs
+/// (~0.57 GMACs, ~4.2 M weights).
+///
+/// Thirteen depthwise-separable blocks follow the stem; each block is a 3x3
+/// depthwise convolution and a 1x1 pointwise convolution. The depthwise
+/// layers have very short reduction dimensions (`k = 9`), which is what makes
+/// MobileNet's systolic-array utilization low — one of the topological
+/// differences the paper highlights across the AR/VR suite.
+pub fn mobilenet_v1() -> Dnn {
+    let mut layers: Vec<Layer> = Vec::with_capacity(28);
+    layers.push(conv("conv1", 224, 224, 3, 3, 32, 2, 1));
+    // (input_size, in_ch, out_ch, stride) per separable block.
+    let blocks = [
+        (112u32, 32u32, 64u32, 1u32),
+        (112, 64, 128, 2),
+        (56, 128, 128, 1),
+        (56, 128, 256, 2),
+        (28, 256, 256, 1),
+        (28, 256, 512, 2),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 1024, 2),
+        (7, 1024, 1024, 1),
+    ];
+    for (i, &(sz, in_ch, out_ch, stride)) in blocks.iter().enumerate() {
+        let out_sz = sz / stride;
+        layers.push(dwconv(&format!("dw{}", i + 1), sz, sz, in_ch, 3, stride, 1));
+        layers.push(conv(&format!("pw{}", i + 1), out_sz, out_sz, in_ch, 1, out_ch, 1, 0));
+    }
+    layers.push(fc("fc1000", 1024, 1000));
+    Dnn::new("MobileNet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_expected_layer_count() {
+        // stem + 13 * 2 + fc = 28.
+        assert_eq!(mobilenet_v1().num_layers(), 28);
+    }
+
+    #[test]
+    fn depthwise_layers_have_short_reduction() {
+        let net = mobilenet_v1();
+        for l in net.layers().iter().filter(|l| l.name().starts_with("dw")) {
+            let (_, k, _) = l.gemm_dims();
+            assert_eq!(k, 9, "depthwise reduction is kh*kw only");
+        }
+    }
+
+    #[test]
+    fn ends_at_7x7_spatial() {
+        let net = mobilenet_v1();
+        let pw13 = net.layers().iter().find(|l| l.name() == "pw13").expect("pw13");
+        assert_eq!(pw13.ofmap_dims(), (7, 7));
+    }
+}

@@ -1,0 +1,143 @@
+//! Constructors for the six DNNs of the paper's AR/VR workload.
+//!
+//! Five networks come from the representative AR/VR workload of
+//! Kwon et al. (HPCA 2021) — hand-pose detection, image segmentation, object
+//! detection, object recognition, depth estimation — and the sixth is a
+//! Transformer for speech recognition. The topologies are transcribed from
+//! the public architectures; see `DESIGN.md` for the substitution notes.
+//!
+//! # Examples
+//!
+//! ```
+//! use tesa_workloads::zoo;
+//!
+//! let nets = [
+//!     zoo::handpose_net(),
+//!     zoo::unet(),
+//!     zoo::mobilenet_v1(),
+//!     zoo::resnet50(),
+//!     zoo::dnl_net(),
+//!     zoo::transformer(),
+//! ];
+//! for net in &nets {
+//!     assert!(net.total_macs() > 100_000_000, "{} too small", net.name());
+//! }
+//! ```
+
+pub mod extra;
+
+mod dnl;
+mod handpose;
+mod mobilenet;
+mod resnet;
+mod transformer;
+mod unet;
+
+pub use dnl::dnl_net;
+pub use handpose::handpose_net;
+pub use mobilenet::mobilenet_v1;
+pub use resnet::resnet50;
+pub use transformer::transformer;
+pub use unet::unet;
+
+use crate::layer::{Layer, LayerKind};
+
+/// Shorthand for a square-kernel convolution layer.
+#[allow(clippy::too_many_arguments)] // mirrors the (ih, iw, ic, k, oc, stride, pad) table columns
+pub(crate) fn conv(
+    name: &str,
+    ih: u32,
+    iw: u32,
+    ic: u32,
+    k: u32,
+    oc: u32,
+    stride: u32,
+    pad: u32,
+) -> Layer {
+    Layer::new(name, LayerKind::Conv { ih, iw, ic, kh: k, kw: k, oc, stride, pad })
+}
+
+/// Shorthand for a square-kernel depthwise convolution layer.
+pub(crate) fn dwconv(name: &str, ih: u32, iw: u32, channels: u32, k: u32, stride: u32, pad: u32) -> Layer {
+    Layer::new(name, LayerKind::DwConv { ih, iw, channels, kh: k, kw: k, stride, pad })
+}
+
+/// Shorthand for a fully connected layer.
+pub(crate) fn fc(name: &str, in_features: u32, out_features: u32) -> Layer {
+    Layer::new(name, LayerKind::Fc { in_features, out_features })
+}
+
+/// Shorthand for a GEMM layer.
+pub(crate) fn gemm(name: &str, m: u32, k: u32, n: u32) -> Layer {
+    Layer::new(name, LayerKind::Gemm { m, k, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_macs_in_published_range() {
+        // Published: ~4.1 GMACs for 224x224 inference.
+        let macs = resnet50().total_macs() as f64 / 1e9;
+        assert!((3.5..4.5).contains(&macs), "got {macs} GMACs");
+    }
+
+    #[test]
+    fn mobilenet_macs_in_published_range() {
+        // Published: ~0.57 GMACs for 224x224 inference.
+        let macs = mobilenet_v1().total_macs() as f64 / 1e9;
+        assert!((0.45..0.70).contains(&macs), "got {macs} GMACs");
+    }
+
+    #[test]
+    fn unet_is_the_heavyweight() {
+        // U-Net dominates the suite; the paper notes it takes 12 h of
+        // SCALE-Sim time on a 16x16 array.
+        let unet = unet().total_macs();
+        for other in [resnet50(), mobilenet_v1(), handpose_net(), dnl_net(), transformer()] {
+            assert!(unet > other.total_macs(), "U-Net should exceed {}", other.name());
+        }
+    }
+
+    #[test]
+    fn unet_macs_in_expected_range() {
+        // 512x512 classic U-Net; heavy enough that a 16x16-array MCM misses
+        // 30 fps by well over an order of magnitude at 500 MHz, matching
+        // the paper's W1 observation, and that one 200x200 chiplet almost
+        // fills a 30 fps frame at 400 MHz (the paper's latency pressure).
+        let macs = unet().total_macs() as f64 / 1e9;
+        assert!((180.0..260.0).contains(&macs), "got {macs} GMACs");
+    }
+
+    #[test]
+    fn transformer_macs_in_expected_range() {
+        let macs = transformer().total_macs() as f64 / 1e9;
+        assert!((16.0..32.0).contains(&macs), "got {macs} GMACs");
+    }
+
+    #[test]
+    fn all_nets_have_unique_layer_names() {
+        for net in [handpose_net(), unet(), mobilenet_v1(), resnet50(), dnl_net(), transformer()] {
+            let mut names: Vec<_> = net.layers().iter().map(|l| l.name().to_owned()).collect();
+            let total = names.len();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), total, "duplicate layer names in {}", net.name());
+        }
+    }
+
+    #[test]
+    fn resnet50_param_count_in_published_range() {
+        // ~25.5 M parameters; conv + fc weights only (no batch-norm).
+        let params = resnet50().total_filter_bytes() as f64 / 1e6;
+        assert!((20.0..27.0).contains(&params), "got {params} M params");
+    }
+
+    #[test]
+    fn mobilenet_param_count_in_published_range() {
+        // ~4.2 M parameters.
+        let params = mobilenet_v1().total_filter_bytes() as f64 / 1e6;
+        assert!((3.0..5.0).contains(&params), "got {params} M params");
+    }
+}

@@ -1,0 +1,68 @@
+//! ResNet-50 (object recognition), 224x224 input.
+
+use super::{conv, fc};
+use crate::{Dnn, Layer};
+
+/// Builds ResNet-50 for 224x224x3 inputs (~4.1 GMACs, ~25.5 M weights).
+///
+/// The four stages use the standard bottleneck design (1x1 reduce, 3x3,
+/// 1x1 expand) with projection shortcuts on the first block of each stage.
+/// Batch-norm and activation layers carry no MACs and are omitted, matching
+/// what SCALE-Sim-class models simulate.
+pub fn resnet50() -> Dnn {
+    let mut layers: Vec<Layer> = Vec::with_capacity(54);
+    layers.push(conv("conv1", 224, 224, 3, 7, 64, 2, 3));
+    // (in_ch, mid_ch, out_ch, blocks, input_size, first_stride)
+    let stages = [
+        (64u32, 64u32, 256u32, 3u32, 56u32, 1u32),
+        (256, 128, 512, 4, 56, 2),
+        (512, 256, 1024, 6, 28, 2),
+        (1024, 512, 2048, 3, 14, 2),
+    ];
+    for (s, &(in_ch, mid, out, blocks, in_sz, first_stride)) in stages.iter().enumerate() {
+        let stage = s + 2; // conv2_x .. conv5_x
+        let out_sz = in_sz / first_stride;
+        for b in 0..blocks {
+            let (block_in, block_sz, stride) =
+                if b == 0 { (in_ch, in_sz, first_stride) } else { (out, out_sz, 1) };
+            let p = format!("conv{stage}_{}", b + 1);
+            layers.push(conv(&format!("{p}_a"), block_sz, block_sz, block_in, 1, mid, stride, 0));
+            layers.push(conv(&format!("{p}_b"), out_sz, out_sz, mid, 3, mid, 1, 1));
+            layers.push(conv(&format!("{p}_c"), out_sz, out_sz, mid, 1, out, 1, 0));
+            if b == 0 {
+                layers.push(conv(&format!("{p}_proj"), block_sz, block_sz, block_in, 1, out, stride, 0));
+            }
+        }
+    }
+    layers.push(fc("fc1000", 2048, 1000));
+    Dnn::new("ResNet-50", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_expected_layer_count() {
+        // 1 stem + 16 blocks * 3 convs + 4 projections + 1 fc = 54.
+        assert_eq!(resnet50().num_layers(), 54);
+    }
+
+    #[test]
+    fn stem_downsamples_to_112() {
+        let net = resnet50();
+        assert_eq!(net.layers()[0].ofmap_dims(), (112, 112));
+    }
+
+    #[test]
+    fn final_stage_is_7x7() {
+        let net = resnet50();
+        let last_conv = net
+            .layers()
+            .iter()
+            .rev()
+            .find(|l| l.name().starts_with("conv5"))
+            .expect("stage 5 exists");
+        assert_eq!(last_conv.ofmap_dims(), (7, 7));
+    }
+}

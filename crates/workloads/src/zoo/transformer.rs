@@ -1,0 +1,77 @@
+//! Transformer encoder (speech recognition), sequence length 256.
+//!
+//! A speech-scale Transformer encoder (12 layers, d_model = 768,
+//! 12 heads, d_ff = 3072) over a 256-frame acoustic sequence —
+//! Whisper-small-class dimensions. Attention and
+//! feed-forward blocks are expressed as GEMMs — the natural mapping for a
+//! systolic array and the reason the paper adds this network to stress FC-
+//! dominated utilization profiles.
+
+use super::{fc, gemm};
+use crate::{Dnn, Layer};
+
+const SEQ: u32 = 256;
+const D_MODEL: u32 = 768;
+const HEADS: u32 = 12;
+const D_HEAD: u32 = D_MODEL / HEADS;
+const D_FF: u32 = 3072;
+const LAYERS: u32 = 12;
+const VOCAB: u32 = 1000;
+
+/// Builds the 12-layer Transformer encoder (~24 GMACs).
+pub fn transformer() -> Dnn {
+    let mut layers: Vec<Layer> = Vec::with_capacity(64);
+    // Input projection from 80-dim filterbank features.
+    layers.push(gemm("in_proj", D_MODEL, 80, SEQ));
+    for l in 1..=LAYERS {
+        let p = format!("enc{l}");
+        // Q, K, V projections over the whole sequence.
+        layers.push(gemm(&format!("{p}_q"), D_MODEL, D_MODEL, SEQ));
+        layers.push(gemm(&format!("{p}_k"), D_MODEL, D_MODEL, SEQ));
+        layers.push(gemm(&format!("{p}_v"), D_MODEL, D_MODEL, SEQ));
+        // Scaled dot-product attention, one GEMM pair per head.
+        for h in 1..=HEADS {
+            layers.push(gemm(&format!("{p}_h{h}_qk"), SEQ, D_HEAD, SEQ));
+            layers.push(gemm(&format!("{p}_h{h}_av"), SEQ, SEQ, D_HEAD));
+        }
+        // Output projection and position-wise feed-forward.
+        layers.push(gemm(&format!("{p}_o"), D_MODEL, D_MODEL, SEQ));
+        layers.push(gemm(&format!("{p}_ff1"), D_FF, D_MODEL, SEQ));
+        layers.push(gemm(&format!("{p}_ff2"), D_MODEL, D_FF, SEQ));
+    }
+    // Token classification head (averaged representation).
+    layers.push(fc("head", D_MODEL, VOCAB));
+    Dnn::new("Transformer", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_matches_structure() {
+        // in_proj + 12 * (3 qkv + 24 attention + 3 proj/ff) + head.
+        assert_eq!(transformer().num_layers(), (1 + 12 * 30 + 1) as usize);
+    }
+
+    #[test]
+    fn attention_gemm_shapes() {
+        let net = transformer();
+        let qk = net.layers().iter().find(|l| l.name() == "enc1_h1_qk").expect("qk");
+        assert_eq!(qk.gemm_dims(), (256, 64, 256));
+        let av = net.layers().iter().find(|l| l.name() == "enc1_h1_av").expect("av");
+        assert_eq!(av.gemm_dims(), (256, 256, 64));
+    }
+
+    #[test]
+    fn ff_dominates_macs() {
+        let net = transformer();
+        let ff: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.name().contains("_ff"))
+            .map(|l| l.macs())
+            .sum();
+        assert!(ff * 2 > net.total_macs(), "feed-forward should be >50% of MACs");
+    }
+}

@@ -1,0 +1,81 @@
+//! U-Net (image segmentation), 512x512 single-channel input.
+
+use super::conv;
+use crate::{Dnn, Layer, LayerKind};
+
+/// Builds the classic U-Net encoder/decoder for 512x512x1 inputs
+/// (~217 GMACs, ~31 M weights).
+///
+/// Four 2x-downsampling encoder levels (64..512 channels, two 3x3 convs
+/// each), a 1024-channel bottleneck, and a mirrored decoder with 2x2
+/// transposed-convolution upsampling. Skip connections double the input
+/// channel count of the first conv at each decoder level.
+///
+/// U-Net is by far the heaviest network in the AR/VR suite; the paper notes
+/// its SCALE-Sim run takes ~12 hours on a 16x16 array, which motivates the
+/// analytical performance model used in this reproduction.
+pub fn unet() -> Dnn {
+    let mut layers: Vec<Layer> = Vec::with_capacity(23);
+    // Encoder: (level, size, in_ch, out_ch)
+    let enc = [
+        (1u32, 512u32, 1u32, 64u32),
+        (2, 256, 64, 128),
+        (3, 128, 128, 256),
+        (4, 64, 256, 512),
+    ];
+    for &(lvl, sz, in_ch, out_ch) in &enc {
+        layers.push(conv(&format!("enc{lvl}_a"), sz, sz, in_ch, 3, out_ch, 1, 1));
+        layers.push(conv(&format!("enc{lvl}_b"), sz, sz, out_ch, 3, out_ch, 1, 1));
+    }
+    // Bottleneck at 32x32.
+    layers.push(conv("bott_a", 32, 32, 512, 3, 1024, 1, 1));
+    layers.push(conv("bott_b", 32, 32, 1024, 3, 1024, 1, 1));
+    // Decoder: (level, size after upsample, up_in_ch, out_ch)
+    let dec = [
+        (4u32, 64u32, 1024u32, 512u32),
+        (3, 128, 512, 256),
+        (2, 256, 256, 128),
+        (1, 512, 128, 64),
+    ];
+    for &(lvl, sz, up_in, out_ch) in &dec {
+        // 2x2 transposed conv upsampling, modeled as a dense conv over the
+        // upsampled grid (same MAC count as the transposed form to within
+        // one border row/column).
+        layers.push(Layer::new(
+            format!("up{lvl}"),
+            LayerKind::Conv { ih: sz, iw: sz, ic: up_in, kh: 2, kw: 2, oc: out_ch, stride: 1, pad: 0 },
+        ));
+        // Skip concatenation doubles the channels into the first conv.
+        layers.push(conv(&format!("dec{lvl}_a"), sz, sz, out_ch * 2, 3, out_ch, 1, 1));
+        layers.push(conv(&format!("dec{lvl}_b"), sz, sz, out_ch, 3, out_ch, 1, 1));
+    }
+    // 1x1 output head (2-class segmentation).
+    layers.push(conv("head", 512, 512, 64, 1, 2, 1, 0));
+    Dnn::new("U-Net", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_expected_layer_count() {
+        // 8 encoder + 2 bottleneck + 12 decoder + 1 head = 23.
+        assert_eq!(unet().num_layers(), 23);
+    }
+
+    #[test]
+    fn decoder_mirrors_encoder_spatially() {
+        let net = unet();
+        let dec1b = net.layers().iter().find(|l| l.name() == "dec1_b").expect("dec1_b");
+        assert_eq!(dec1b.ofmap_dims(), (512, 512));
+    }
+
+    #[test]
+    fn largest_ifmap_is_first_decoder_level() {
+        // 512*512*128 bytes = 33.6 MB — far larger than any on-chip SRAM in
+        // the design space, so U-Net always generates DRAM traffic.
+        let net = unet();
+        assert!(net.max_layer_ifmap_bytes() > 8 * 1024 * 1024);
+    }
+}

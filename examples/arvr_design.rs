@@ -1,0 +1,70 @@
+//! Full TESA design run: size and place chiplets for the AR/VR workload.
+//!
+//! Runs the multi-start simulated-annealing optimizer over the paper's
+//! validation design space (kept smaller than Table II so the example
+//! finishes in about a minute) for a 2D MCM at 400 MHz under the paper's
+//! Sec. IV-A validation constraints (15 fps / 15 W / 85 °C) — the 64..128
+//! arrays of this subspace cannot reach 30 fps on the heavyweight AR/VR
+//! suite — then prints the chosen MCM and its schedule.
+//!
+//! Run with: `cargo run --release --example arvr_design`
+
+use tesa::anneal::{optimize, MsaConfig};
+use tesa::design::{DesignSpace, Integration};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::{Constraints, Objective};
+use tesa_suite::workloads::arvr_suite;
+
+fn main() {
+    let workload = arvr_suite();
+    let evaluator = Evaluator::new(
+        workload.clone(),
+        EvalOptions { lazy: true, ..EvalOptions::default() },
+    );
+    let space = DesignSpace::validation();
+    let constraints = Constraints::edge_device(15.0, 85.0);
+    let objective = Objective::balanced();
+
+    println!(
+        "optimizing over {} designs (multi-start simulated annealing) ...",
+        space.len()
+    );
+    let outcome = optimize(
+        &evaluator,
+        &space,
+        Integration::TwoD,
+        400,
+        &constraints,
+        &objective,
+        &MsaConfig::default(),
+    );
+    println!(
+        "explored {} unique designs ({:.1}% of the space) in {} evaluations",
+        outcome.unique_designs,
+        100.0 * outcome.explored_fraction(space.len()),
+        outcome.evaluations
+    );
+
+    let Some(best) = outcome.best else {
+        println!("no feasible MCM exists under these constraints");
+        return;
+    };
+    println!("\nchosen MCM: {}", best.design.chiplet);
+    println!("  mesh {} at ICS {} um", best.mesh.expect("mesh"), best.design.ics_um);
+    println!("  peak temperature {:.2} C", best.peak_temp_c);
+    println!("  total power {:.2} W (DRAM {:.2} W)", best.total_power_w, best.dram_power_w);
+    println!("  MCM cost ${:.2}", best.mcm_cost_usd);
+    println!("  objective (Eq. 6) = {:.4}", best.objective(&objective));
+
+    let schedule = best.schedule.as_ref().expect("feasible design has a schedule");
+    println!("\nschedule (corner-first, non-preemptive):");
+    for (chip, queue) in schedule.assignments.iter().enumerate() {
+        let names: Vec<&str> =
+            queue.iter().map(|d| workload.dnn(*d).name()).collect();
+        println!(
+            "  chiplet {chip}: {} ({} cycles)",
+            if names.is_empty() { "idle".to_owned() } else { names.join(" -> ") },
+            schedule.chiplet_cycles[chip]
+        );
+    }
+}

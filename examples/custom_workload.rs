@@ -1,0 +1,107 @@
+//! Size an MCM for a *custom* multi-DNN workload.
+//!
+//! TESA is not tied to the paper's AR/VR suite: any set of independent
+//! DNNs works. This example builds a three-DNN drone perception workload
+//! (detector + depth + tracker), then asks TESA for a 2D MCM at 400 MHz
+//! under a tight 10 W budget. Note the chiplet cap follows the workload:
+//! at most three chiplets are placed (one per DNN).
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use tesa::anneal::{optimize, MsaConfig};
+use tesa::design::{DesignSpace, Integration};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::{Constraints, Objective};
+use tesa_suite::workloads::{zoo, Dnn, Layer, LayerKind, MultiDnnWorkload};
+
+/// A compact single-shot detector head over a MobileNet-style backbone.
+fn tiny_detector() -> Dnn {
+    let mut layers = zoo::mobilenet_v1().layers().to_vec();
+    layers.pop(); // drop the classifier
+    layers.push(Layer::new(
+        "det_head",
+        LayerKind::Conv { ih: 7, iw: 7, ic: 1024, kh: 3, kw: 3, oc: 255, stride: 1, pad: 1 },
+    ));
+    Dnn::new("TinyDetector", layers)
+}
+
+/// A light stereo-depth network at 320x240.
+fn stereo_depth() -> Dnn {
+    let mut layers = Vec::new();
+    let widths = [(320u32, 32u32), (160, 64), (80, 128), (40, 256)];
+    let mut in_ch = 6; // stacked stereo pair
+    for (i, &(sz, oc)) in widths.iter().enumerate() {
+        layers.push(Layer::new(
+            format!("enc{i}"),
+            LayerKind::Conv { ih: sz, iw: sz * 3 / 4, ic: in_ch, kh: 3, kw: 3, oc, stride: 2, pad: 1 },
+        ));
+        in_ch = oc;
+    }
+    layers.push(Layer::new(
+        "cost_volume",
+        LayerKind::Gemm { m: 256, k: 256, n: 20 * 15 },
+    ));
+    layers.push(Layer::new(
+        "depth_head",
+        LayerKind::Conv { ih: 20, iw: 15, ic: 256, kh: 3, kw: 3, oc: 1, stride: 1, pad: 1 },
+    ));
+    Dnn::new("StereoDepth", layers)
+}
+
+/// A small siamese tracker: embedding FCs plus correlation GEMMs.
+fn tracker() -> Dnn {
+    Dnn::new(
+        "Tracker",
+        vec![
+            Layer::new("embed1", LayerKind::Fc { in_features: 4096, out_features: 1024 }),
+            Layer::new("embed2", LayerKind::Fc { in_features: 1024, out_features: 256 }),
+            Layer::new("corr", LayerKind::Gemm { m: 256, k: 256, n: 1024 }),
+            Layer::new("refine", LayerKind::Gemm { m: 128, k: 256, n: 1024 }),
+            Layer::new("box_head", LayerKind::Fc { in_features: 128, out_features: 4 }),
+        ],
+    )
+}
+
+fn main() {
+    let workload = MultiDnnWorkload::new(vec![tiny_detector(), stereo_depth(), tracker()]);
+    println!("custom workload:");
+    for dnn in &workload {
+        println!("  {dnn}");
+    }
+
+    let evaluator = Evaluator::new(
+        workload,
+        EvalOptions { lazy: true, ..EvalOptions::default() },
+    );
+    // A tighter budget than the AR/VR case: a small drone.
+    let constraints = Constraints {
+        power_budget_w: 10.0,
+        ..Constraints::edge_device(30.0, 75.0)
+    };
+    let space = DesignSpace::tesa_default();
+
+    println!("\nsizing a 2D MCM at 400 MHz under 10 W / 30 fps / 75 C ...");
+    let outcome = optimize(
+        &evaluator,
+        &space,
+        Integration::TwoD,
+        400,
+        &constraints,
+        &Objective::balanced(),
+        &MsaConfig::default(),
+    );
+    match outcome.best {
+        Some(best) => {
+            println!("chosen: {}", best.design.chiplet);
+            println!(
+                "  mesh {} (cap = 3 DNNs), ICS {} um, peak {:.2} C, total {:.2} W, ${:.2}",
+                best.mesh.expect("mesh"),
+                best.design.ics_um,
+                best.peak_temp_c,
+                best.total_power_w,
+                best.mcm_cost_usd
+            );
+        }
+        None => println!("no feasible MCM — relax a constraint or reduce frequency"),
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: evaluate one candidate MCM end to end.
+//!
+//! Builds the paper's six-DNN AR/VR workload, describes a single MCM
+//! design point (chiplet architecture + inter-chiplet spacing + frequency),
+//! and runs TESA's full evaluation pipeline: analytical systolic-array
+//! simulation, power models, floorplanning, scheduling, steady-state
+//! thermal analysis with leakage co-iteration, DRAM power, and MCM cost.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::Constraints;
+use tesa_suite::workloads::arvr_suite;
+
+fn main() {
+    let workload = arvr_suite();
+    println!("workload:");
+    for dnn in &workload {
+        println!("  {dnn}");
+    }
+
+    let evaluator = Evaluator::new(workload, EvalOptions::default());
+    let design = McmDesign {
+        chiplet: ChipletConfig {
+            array_dim: 200,
+            sram_kib_per_bank: 1024, // 3,072 KB total, paper convention
+            integration: Integration::TwoD,
+        },
+        ics_um: 500,
+        freq_mhz: 400,
+    };
+    let constraints = Constraints::edge_device(30.0, 75.0);
+
+    println!("\nevaluating {design} ...");
+    let eval = evaluator.evaluate(&design, &constraints);
+
+    println!("mesh:        {}", eval.mesh.expect("design fits the interposer"));
+    println!("latency:     {:.2} ms ({:.1} fps)", eval.latency_s * 1e3, eval.achieved_fps);
+    println!("peak temp:   {:.2} C", eval.peak_temp_c);
+    println!("chip power:  {:.2} W", eval.chip_power_w);
+    println!("DRAM power:  {:.2} W over {} channels", eval.dram_power_w, eval.dram_channels);
+    println!("total power: {:.2} W", eval.total_power_w);
+    println!("MCM cost:    ${:.2}", eval.mcm_cost_usd);
+    println!("throughput:  {:.2} TOPS", eval.ops / 1e12);
+    if eval.is_feasible() {
+        println!("verdict:     feasible under 30 fps / 15 W / 75 C");
+    } else {
+        println!("verdict:     infeasible:");
+        for v in &eval.violations {
+            println!("  - {v}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The SRAM-sizing tradeoff TESA balances (paper Sec. III): smaller SRAMs
+//! shrink the chiplet (cheaper silicon) but force more DRAM refetches;
+//! larger SRAMs reuse data on-chip at a higher area cost.
+//!
+//! Sweeps the per-bank SRAM capacity for a fixed 128x128 array and prints
+//! the resulting chiplet area, DRAM traffic, DRAM power, cost, and
+//! temperature — the raw material of TESA's Eq. (6) objective.
+//!
+//! Run with: `cargo run --release --example sram_tradeoff`
+
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::report::Table;
+use tesa::Constraints;
+use tesa_suite::workloads::arvr_suite;
+
+fn main() {
+    let evaluator = Evaluator::new(arvr_suite(), EvalOptions::default());
+    let constraints = Constraints::edge_device(15.0, 85.0);
+    let tech = evaluator.options().tech.clone();
+
+    let mut table = Table::new(vec![
+        "SRAM total",
+        "chiplet area",
+        "mesh",
+        "DRAM traffic/frame",
+        "DRAM power",
+        "MCM cost",
+        "peak temp",
+        "objective drivers",
+    ]);
+
+    for kib in [8u64, 32, 128, 512, 1024, 2048, 4096] {
+        let chiplet = ChipletConfig {
+            array_dim: 128,
+            sram_kib_per_bank: kib,
+            integration: Integration::TwoD,
+        };
+        let design = McmDesign { chiplet, ics_um: 500, freq_mhz: 400 };
+        let eval = evaluator.evaluate(&design, &constraints);
+        let geometry = chiplet.geometry(&tech);
+        let traffic_mb: f64 = evaluator
+            .perf(&chiplet)
+            .iter()
+            .map(|r| r.dram_traffic.total() as f64)
+            .sum::<f64>()
+            / 1e6;
+        table.row(vec![
+            format!("{} KB", chiplet.sram_total_kib()),
+            format!("{:.2} mm2", geometry.footprint_mm2),
+            eval.mesh.map_or("-".into(), |m| m.to_string()),
+            format!("{traffic_mb:.0} MB"),
+            format!("{:.2} W", eval.dram_power_w),
+            format!("${:.2}", eval.mcm_cost_usd),
+            format!("{:.1} C", eval.peak_temp_c),
+            format!("cost {} dram {}",
+                if kib >= 1024 { "high" } else { "low" },
+                if kib <= 128 { "high" } else { "low" }),
+        ]);
+    }
+
+    println!("SRAM sizing tradeoff for a 128x128 array (2D, 400 MHz, ICS 500 um):\n");
+    println!("{table}");
+    println!("TESA's optimizer balances the two ends via Eq. (6).");
+}

@@ -1,0 +1,61 @@
+//! Export a thermal map: run the steady-state solver for one MCM and write
+//! the device-tier temperature field as CSV (like the paper's Fig. 6).
+//!
+//! Also demonstrates the thermal crate directly: the same MCM is rebuilt
+//! by hand with `StackBuilder` to show what the evaluator assembles
+//! internally.
+//!
+//! Run with: `cargo run --release --example thermal_map`
+
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::Constraints;
+use tesa_suite::thermal::{Rect, StackBuilder};
+use tesa_suite::workloads::arvr_suite;
+
+fn main() {
+    // 1. The high-level path: evaluator-made thermal map of a 3D MCM.
+    let evaluator = Evaluator::new(arvr_suite(), EvalOptions::default());
+    let design = McmDesign {
+        chiplet: ChipletConfig {
+            array_dim: 160,
+            sram_kib_per_bank: 512,
+            integration: Integration::ThreeD,
+        },
+        ics_um: 800,
+        freq_mhz: 400,
+    };
+    let constraints = Constraints::edge_device(30.0, 85.0);
+    let eval = evaluator.evaluate(&design, &constraints);
+    println!(
+        "{} -> mesh {}, peak {:.2} C",
+        design,
+        eval.mesh.expect("fits"),
+        eval.peak_temp_c
+    );
+    let field = evaluator.thermal_map(&design, &constraints).expect("fits");
+    let path = std::env::temp_dir().join("tesa_thermal_map.csv");
+    // Layer 3 is the array tier of the 3D stack.
+    std::fs::write(&path, field.to_csv(3)).expect("write CSV");
+    println!("array-tier map written to {} ({}x{} cells)", path.display(), field.nx(), field.ny());
+
+    // 2. The low-level path: hand-built two-chiplet package.
+    let a = Rect::new(1.0e-3, 3.0e-3, 2.0e-3, 2.0e-3);
+    let b = Rect::new(5.0e-3, 3.0e-3, 2.0e-3, 2.0e-3);
+    let model = StackBuilder::new(8.0e-3, 8.0e-3, 64, 64)
+        .layer("interposer", 100e-6, 120.0)
+        .layer_with_patches("device", 150e-6, 0.9, vec![(a, 120.0), (b, 120.0)])
+        .layer("tim", 65e-6, 1.2)
+        .layer("lid", 300e-6, 200.0)
+        .convection(0.4, 45.0)
+        .build();
+    let mut power = model.zero_power();
+    power.add_uniform_rect(1, a, 2.0);
+    power.add_uniform_rect(1, b, 1.0);
+    let hand = model.solve(&power);
+    println!(
+        "hand-built package: peak {:.2} C (2 W chiplet) vs {:.2} C ambient",
+        hand.peak_c(),
+        model.ambient_c()
+    );
+}

@@ -1,0 +1,52 @@
+//! Transient temperature of a real frame timeline vs. the steady-state
+//! envelope the paper's optimizer guards against.
+//!
+//! Runs the corner-first schedule of a 2D MCM phase by phase with the
+//! backward-Euler transient solver (leakage re-evaluated as the package
+//! warms) and compares the trace's maximum against the steady-state peak.
+//!
+//! Run with: `cargo run --release --example transient_frame`
+
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::Constraints;
+use tesa_suite::workloads::arvr_suite;
+
+fn main() {
+    let evaluator = Evaluator::new(arvr_suite(), EvalOptions::default());
+    let design = McmDesign {
+        chiplet: ChipletConfig {
+            array_dim: 200,
+            sram_kib_per_bank: 1024,
+            integration: Integration::TwoD,
+        },
+        ics_um: 500,
+        freq_mhz: 400,
+    };
+    let constraints = Constraints::edge_device(30.0, 75.0);
+
+    let steady = evaluator.evaluate(&design, &constraints);
+    println!("steady-state peak (paper's analysis): {:.2} C", steady.peak_temp_c);
+
+    let trace = evaluator
+        .transient_trace(&design, &constraints, 2.0e-3, 4)
+        .expect("design fits the interposer");
+    println!(
+        "transient over 4 frames: max {:.2} C across {} steps",
+        trace.max_peak_c(),
+        trace.peaks_c.len()
+    );
+    println!(
+        "headroom left on the table by steady-state sizing: {:.2} K",
+        steady.peak_temp_c - trace.max_peak_c()
+    );
+
+    // A short ASCII profile of the warm-up.
+    let n = trace.peaks_c.len();
+    for i in (0..n).step_by((n / 12).max(1)) {
+        let t = trace.times_s[i];
+        let p = trace.peaks_c[i];
+        let bars = ((p - 45.0) / 2.0) as usize;
+        println!("  t={:>6.1} ms  {:>6.2} C  {}", t * 1e3, p, "#".repeat(bars));
+    }
+}

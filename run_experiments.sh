@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (see DESIGN.md E1-E9 and
+# EXPERIMENTS.md for the paper-vs-measured record). Total runtime is
+# dominated by the MSA optimizer runs in table5/fig6/savings/compare_2d3d;
+# on a 2-core machine expect ~1.5-2 h for the full set.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release -p tesa-bench
+
+run() {
+  local name="$1"
+  echo "=== $name ==="
+  cargo run --release -p tesa-bench --bin "$name" | tee "out_${name}.txt"
+}
+
+run fig5               # E4: SC1 max-parallelism baseline
+run table4             # E2: SC2 temperature-unaware sizing
+run table5             # E3: TESA outputs across all constraint combinations
+run table3             # E1: vs W1/W2 prior work (3D, 500 MHz)
+run fig6               # E5: thermal maps (CSV under out/)
+run validate_optimizer # E6: MSA vs exhaustive ground truth
+run savings            # E7: headline cost/DRAM savings
+run compare_2d3d       # E8: 2D vs 3D OPS/cost/DRAM
+run ablation           # extensions: scheduler/leakage/ICS ablations
+
+cargo bench --workspace 2>&1 | tee bench_output.txt   # E9: runtimes

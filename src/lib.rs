@@ -1,0 +1,28 @@
+//! Umbrella crate for the TESA reproduction.
+//!
+//! Re-exports the whole stack so examples and integration tests can depend on
+//! a single crate:
+//!
+//! * [`workloads`] — the six-DNN AR/VR workload zoo,
+//! * [`scalesim`] — the systolic-array performance simulator,
+//! * [`memsim`] — SRAM (CACTI-class) and DRAM (DDR4) models,
+//! * [`thermal`] — the HotSpot-class steady-state thermal solver,
+//! * [`tesa`] — the TESA evaluator, scheduler, cost models, baselines, and
+//!   multi-start simulated-annealing optimizer.
+//!
+//! # Examples
+//!
+//! ```
+//! use tesa_suite::workloads::arvr_suite;
+//!
+//! let workload = arvr_suite();
+//! assert_eq!(workload.len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use tesa;
+pub use tesa_memsim as memsim;
+pub use tesa_scalesim as scalesim;
+pub use tesa_thermal as thermal;
+pub use tesa_workloads as workloads;

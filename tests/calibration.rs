@@ -1,0 +1,158 @@
+//! Calibration-anchor regression tests: lock the qualitative results the
+//! technology constants were tuned to reproduce (see DESIGN.md,
+//! "Calibration targets"). If a model change breaks one of these, the
+//! paper's experiment shapes will silently drift — fail loudly instead.
+
+use tesa::baselines::{run_sc1, sc1_design};
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::power::LeakageModel;
+use tesa::Constraints;
+use tesa_suite::workloads::arvr_suite;
+
+fn evaluator() -> Evaluator {
+    // The anchors were calibrated at the paper's 125 um grid.
+    Evaluator::new(arvr_suite(), EvalOptions::default())
+}
+
+fn design(dim: u32, kib: u64, integration: Integration, ics: u32, mhz: u32) -> McmDesign {
+    McmDesign {
+        chiplet: ChipletConfig { array_dim: dim, sram_kib_per_bank: kib, integration },
+        ics_um: ics,
+        freq_mhz: mhz,
+    }
+}
+
+#[test]
+fn sc1_exceeds_75c_at_both_frequencies_2d() {
+    let w = arvr_suite();
+    let c = Constraints::edge_device(30.0, 75.0);
+    for freq in [400, 500] {
+        let r = run_sc1(&w, Integration::TwoD, freq, &c, 64);
+        assert!(
+            r.actual.peak_temp_c > 75.0,
+            "SC1 2D @{freq} MHz peaked at {:.2} C",
+            r.actual.peak_temp_c
+        );
+    }
+}
+
+#[test]
+fn sc1_3d_is_much_hotter_than_2d() {
+    let w = arvr_suite();
+    let c = Constraints::edge_device(30.0, 75.0);
+    let d2 = run_sc1(&w, Integration::TwoD, 500, &c, 64).actual;
+    let d3 = run_sc1(&w, Integration::ThreeD, 500, &c, 64).actual;
+    assert!(d3.peak_temp_c > d2.peak_temp_c + 5.0);
+}
+
+#[test]
+fn sc1_3d_at_500mhz_violates_the_power_budget() {
+    // Fig. 5b: the 3D max-parallelism baseline breaks 15 W once leakage is
+    // accounted for.
+    let w = arvr_suite();
+    let c = Constraints::edge_device(30.0, 75.0);
+    let d3 = run_sc1(&w, Integration::ThreeD, 500, &c, 64).actual;
+    assert!(d3.total_power_w > 15.0, "got {:.2} W", d3.total_power_w);
+}
+
+#[test]
+fn sc1_design_matches_fig5_description() {
+    let d = sc1_design(Integration::TwoD, 500);
+    assert_eq!(d.chiplet.array_dim, 180);
+    assert_eq!(d.chiplet.sram_total_kib(), 1536);
+    assert_eq!(d.ics_um, 1000);
+}
+
+#[test]
+fn tesa_flagship_2d_is_feasible_at_400mhz_75c() {
+    let e = evaluator();
+    let eval = e.evaluate(
+        &design(200, 1024, Integration::TwoD, 500, 400),
+        &Constraints::edge_device(30.0, 75.0),
+    );
+    assert!(eval.is_feasible(), "{:?}", eval.violations);
+}
+
+#[test]
+fn flagship_2d_at_500mhz_needs_the_relaxed_budget() {
+    // Matches the paper's Table V structure: 200x200 (3,072 KB) appears
+    // at 85 C for 500 MHz, not at 75 C.
+    let e = evaluator();
+    let d = design(200, 1024, Integration::TwoD, 500, 500);
+    let at75 = e.evaluate(&d, &Constraints::edge_device(15.0, 75.0));
+    let at85 = e.evaluate(&d, &Constraints::edge_device(15.0, 85.0));
+    assert!(!at75.is_feasible());
+    assert!(at85.is_feasible(), "{:?}", at85.violations);
+}
+
+#[test]
+fn small_3d_chiplet_rides_the_75c_boundary_at_500mhz() {
+    // The paper's 500 MHz / 15 fps / 75 C 3D output is a 96x96 array with
+    // 768 KB SRAM at 73.66 C, barely making 15 fps. Our calibrated models
+    // land the same config within ~1.5 C of that boundary and likewise
+    // right at the frame-rate limit.
+    let e = evaluator();
+    let eval = e.evaluate(
+        &design(96, 256, Integration::ThreeD, 950, 500),
+        &Constraints::edge_device(15.0, 85.0),
+    );
+    assert!(eval.is_feasible(), "{:?}", eval.violations);
+    assert!(
+        (72.0..77.0).contains(&eval.peak_temp_c),
+        "got {:.2} C (paper: 73.66 C)",
+        eval.peak_temp_c
+    );
+    assert!(
+        (15.0..18.0).contains(&eval.achieved_fps),
+        "latency-bound like the paper's output; got {:.1} fps",
+        eval.achieved_fps
+    );
+}
+
+#[test]
+fn leakage_inflation_matters_above_75c() {
+    // The exponential leakage model at 85 C must exceed the linear one by
+    // a margin that can flip feasibility — the W2 failure mechanism.
+    let tech = tesa::TechParams::default();
+    let chiplet = ChipletConfig {
+        array_dim: 200,
+        sram_kib_per_bank: 1024,
+        integration: Integration::ThreeD,
+    };
+    let exp = tesa::power::leakage_w(&chiplet, &tech, 85.0, LeakageModel::Exponential);
+    let lin = tesa::power::leakage_w(&chiplet, &tech, 85.0, LeakageModel::Linear);
+    assert!(exp / lin > 1.2, "exp {exp} vs lin {lin}");
+}
+
+#[test]
+fn big_3d_chiplets_run_away_when_overdriven() {
+    // Thermal runaway must be reachable in the design space (Table IV's
+    // SC2 3D rows) — a 256x256 3D chiplet mesh at 500 MHz diverges.
+    let e = evaluator();
+    let eval = e.evaluate(
+        &design(256, 1024, Integration::ThreeD, 0, 500),
+        &Constraints::edge_device(15.0, 85.0),
+    );
+    assert!(
+        eval.thermal_runaway || eval.peak_temp_c > 95.0,
+        "expected runaway or extreme heat, got {:.2} C",
+        eval.peak_temp_c
+    );
+}
+
+#[test]
+fn w1_latency_violation_magnitude() {
+    // Table III: running the workload on 16x16 chiplets misses 30 fps by
+    // an order of magnitude (paper: 36x; analytical model: same order).
+    let e = evaluator();
+    let eval = e.evaluate(
+        &design(16, 8, Integration::ThreeD, 800, 500),
+        &Constraints::edge_device(30.0, 75.0),
+    );
+    let ratio = 30.0 / eval.achieved_fps;
+    assert!(
+        (10.0..120.0).contains(&ratio),
+        "latency miss {ratio}x should be order-of-magnitude"
+    );
+}

@@ -1,0 +1,222 @@
+//! End-to-end pipeline tests: workload → performance simulation → power →
+//! floorplan → schedule → thermal → cost, across the crate boundaries.
+
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::{Constraints, Violation};
+use tesa_suite::workloads::arvr_suite;
+
+fn evaluator() -> Evaluator {
+    // The calibrated 125 um grid: coarser grids mis-rasterize the 2D
+    // array/SRAM split regions by several Kelvin.
+    Evaluator::new(arvr_suite(), EvalOptions::default())
+}
+
+fn design(dim: u32, kib: u64, integration: Integration, ics: u32, mhz: u32) -> McmDesign {
+    McmDesign {
+        chiplet: ChipletConfig { array_dim: dim, sram_kib_per_bank: kib, integration },
+        ics_um: ics,
+        freq_mhz: mhz,
+    }
+}
+
+#[test]
+fn flagship_2d_design_is_feasible_under_default_constraints() {
+    let e = evaluator();
+    let eval = e.evaluate(
+        &design(200, 1024, Integration::TwoD, 500, 400),
+        &Constraints::edge_device(30.0, 75.0),
+    );
+    assert!(eval.is_feasible(), "violations: {:?}", eval.violations);
+    assert!(eval.peak_temp_c < 75.0);
+    assert!(eval.total_power_w < 15.0);
+    assert!(eval.achieved_fps > 30.0);
+}
+
+#[test]
+fn every_dnn_is_scheduled_exactly_once() {
+    let e = evaluator();
+    let eval = e.evaluate(
+        &design(128, 512, Integration::TwoD, 500, 400),
+        &Constraints::default(),
+    );
+    let sched = eval.schedule.expect("feasible-sized design");
+    let mut seen: Vec<usize> = sched
+        .assignments
+        .iter()
+        .flatten()
+        .map(|d| d.0)
+        .collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..6).collect::<Vec<_>>());
+}
+
+#[test]
+fn makespan_equals_busiest_chiplet() {
+    let e = evaluator();
+    let eval = e.evaluate(
+        &design(128, 512, Integration::TwoD, 500, 400),
+        &Constraints::default(),
+    );
+    let sched = eval.schedule.expect("schedule");
+    let freq = eval.design.freq_hz();
+    let expected = sched.makespan_cycles() as f64 / freq;
+    assert!((eval.latency_s - expected).abs() < 1e-12);
+}
+
+#[test]
+fn power_accounting_is_consistent() {
+    let e = evaluator();
+    let eval = e.evaluate(
+        &design(160, 1024, Integration::TwoD, 500, 400),
+        &Constraints::edge_device(15.0, 85.0),
+    );
+    assert!(
+        (eval.total_power_w - eval.chip_power_w - eval.dram_power_w).abs() < 1e-9,
+        "total = chip + DRAM"
+    );
+    assert!(eval.chip_power_w > 0.0 && eval.dram_power_w > 0.0);
+}
+
+#[test]
+fn bigger_sram_reduces_dram_power_at_fixed_array() {
+    let e = evaluator();
+    let c = Constraints::edge_device(15.0, 85.0);
+    let small = e.evaluate(&design(128, 64, Integration::TwoD, 500, 400), &c);
+    let large = e.evaluate(&design(128, 2048, Integration::TwoD, 500, 400), &c);
+    assert!(large.dram_power_w < small.dram_power_w);
+}
+
+#[test]
+fn iso_architecture_3d_has_smaller_footprint_but_more_silicon_cost() {
+    let e = evaluator();
+    let c = Constraints::edge_device(15.0, 85.0);
+    let d2 = e.evaluate(&design(160, 512, Integration::TwoD, 500, 400), &c);
+    let d3 = e.evaluate(&design(160, 512, Integration::ThreeD, 500, 400), &c);
+    // Same architecture in 3D never costs less (two tiers + stack bond).
+    let per_chip_2d = d2.mcm_cost_usd / f64::from(d2.mesh.unwrap().count());
+    let per_chip_3d = d3.mcm_cost_usd / f64::from(d3.mesh.unwrap().count());
+    assert!(per_chip_3d > per_chip_2d * 0.99);
+    // And packs at least as many chiplets.
+    assert!(d3.mesh.unwrap().count() >= d2.mesh.unwrap().count());
+}
+
+#[test]
+fn thermal_map_matches_reported_peak() {
+    let e = evaluator();
+    let d = design(160, 1024, Integration::TwoD, 500, 400);
+    let c = Constraints::edge_device(15.0, 85.0);
+    let eval = e.evaluate(&d, &c);
+    let field = e.thermal_map(&d, &c).expect("fits");
+    // The device tier (layer 1 in 2D) peak matches the evaluation's peak.
+    assert!(
+        (field.layer_peak_c(1) - eval.peak_temp_c).abs() < 0.2,
+        "map {} vs eval {}",
+        field.layer_peak_c(1),
+        eval.peak_temp_c
+    );
+}
+
+#[test]
+fn lazy_mode_agrees_with_full_mode_on_feasible_designs() {
+    let full = evaluator();
+    let lazy = Evaluator::new(
+        arvr_suite(),
+        EvalOptions { lazy: true, ..EvalOptions::default() },
+    );
+    let c = Constraints::edge_device(15.0, 85.0);
+    let d = design(200, 1024, Integration::TwoD, 500, 400);
+    let a = full.evaluate(&d, &c);
+    let b = lazy.evaluate(&d, &c);
+    assert!(a.is_feasible() && b.is_feasible());
+    assert_eq!(a.peak_temp_c, b.peak_temp_c);
+    assert_eq!(a.mcm_cost_usd, b.mcm_cost_usd);
+}
+
+#[test]
+fn lazy_mode_never_flips_feasibility() {
+    let full = evaluator();
+    let lazy = Evaluator::new(
+        arvr_suite(),
+        EvalOptions { lazy: true, ..EvalOptions::default() },
+    );
+    let c = Constraints::edge_device(30.0, 75.0);
+    for (dim, kib) in [(16u32, 8u64), (64, 64), (128, 512), (200, 1024), (240, 2048)] {
+        for integration in [Integration::TwoD, Integration::ThreeD] {
+            let d = design(dim, kib, integration, 500, 500);
+            let a = full.evaluate(&d, &c);
+            let b = lazy.evaluate(&d, &c);
+            assert_eq!(
+                a.is_feasible(),
+                b.is_feasible(),
+                "lazy flipped feasibility for {d}: full {:?} lazy {:?}",
+                a.violations,
+                b.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn ics_spreading_cools_the_mcm() {
+    // At fixed everything else, more spacing must not heat the MCM —
+    // and with a mesh change it may also change power; compare two ICS
+    // values that keep the same mesh.
+    let e = evaluator();
+    let c = Constraints::edge_device(15.0, 85.0);
+    let tight = e.evaluate(&design(200, 1024, Integration::TwoD, 600, 400), &c);
+    let wide = e.evaluate(&design(200, 1024, Integration::TwoD, 950, 400), &c);
+    assert_eq!(tight.mesh, wide.mesh, "mesh must match for a clean comparison");
+    assert!(
+        wide.peak_temp_c <= tight.peak_temp_c + 0.05,
+        "wide {} vs tight {}",
+        wide.peak_temp_c,
+        tight.peak_temp_c
+    );
+}
+
+#[test]
+fn area_violation_reports_infinity_metrics() {
+    let e = evaluator();
+    let eval = e.evaluate(
+        &design(1024, 4096, Integration::TwoD, 0, 400),
+        &Constraints::default(),
+    );
+    assert!(eval.violations.iter().any(|v| matches!(v, Violation::Area { .. })));
+    assert!(eval.mcm_cost_usd.is_infinite());
+    assert!(eval.latency_s.is_infinite());
+    assert!(eval.mesh.is_none());
+}
+
+#[test]
+fn transient_peak_never_exceeds_steady_state() {
+    // The paper's steady-state-per-phase analysis is the conservative
+    // envelope: a real frame timeline (milliseconds per phase) cannot get
+    // hotter than the steady state of its hottest phase.
+    let e = evaluator();
+    let d = design(200, 1024, Integration::TwoD, 500, 400);
+    let c = Constraints::edge_device(30.0, 85.0);
+    let steady = e.evaluate(&d, &c);
+    let trace = e
+        .transient_trace(&d, &c, 2.0e-3, 3)
+        .expect("design fits and thermal is enabled");
+    assert!(!trace.peaks_c.is_empty());
+    assert!(
+        trace.max_peak_c() <= steady.peak_temp_c + 0.1,
+        "transient {:.2} vs steady {:.2}",
+        trace.max_peak_c(),
+        steady.peak_temp_c
+    );
+}
+
+#[test]
+fn transient_warms_monotonically_from_ambient_within_first_phase() {
+    let e = evaluator();
+    let d = design(160, 512, Integration::TwoD, 500, 400);
+    let c = Constraints::edge_device(15.0, 85.0);
+    let trace = e.transient_trace(&d, &c, 1.0e-3, 1).expect("fits");
+    assert!(trace.peaks_c[0] > e.options().tech.ambient_c);
+    // More frames accumulate heat toward (but not past) quasi-steady.
+    let longer = e.transient_trace(&d, &c, 1.0e-3, 4).expect("fits");
+    assert!(longer.max_peak_c() >= trace.max_peak_c() - 1e-9);
+}
