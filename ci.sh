@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Hermetic CI for the TESA workspace: offline build, tests, benches
+# compile, lints. Must pass with an empty cargo registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo build --offline --benches --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -1,17 +1,19 @@
-//! Criterion benchmark of a full (small-space) MSA optimization — the
-//! end-to-end cost of one TESA design run, and the basis for the paper's
-//! "<15 % of the space explored" efficiency claim.
+//! Benchmark of a full (small-space) MSA optimization — the end-to-end
+//! cost of one TESA design run, and the basis for the paper's "<15 % of
+//! the space explored" efficiency claim.
+//!
+//! Run with `cargo bench --bench bench_anneal [-- --bench-filter <substr>]`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tesa::anneal::{optimize, MsaConfig};
 use tesa::design::{DesignSpace, Integration};
 use tesa::eval::{EvalOptions, Evaluator};
 use tesa::{Constraints, Objective};
+use tesa_util::bench::BenchRunner;
 use tesa_workloads::arvr_suite;
 
-fn bench_msa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("anneal");
-    group.sample_size(10);
+fn main() {
+    let mut runner = BenchRunner::from_env_args();
+
     let space = DesignSpace {
         array_dims: (96..=192).step_by(32).collect(),
         sram_kib_options: vec![256, 512, 1024],
@@ -27,28 +29,14 @@ fn bench_msa(c: &mut Criterion) {
     };
     let constraints = Constraints::edge_device(15.0, 85.0);
     let objective = Objective::balanced();
-    group.bench_function("msa_small_space_warm_cache", |b| {
-        // One evaluator shared across iterations: measures the annealer's
-        // control flow + cached evaluation path (the steady-state regime of
-        // a long DSE session).
-        let evaluator = Evaluator::new(
-            arvr_suite(),
-            EvalOptions { lazy: true, ..EvalOptions::default() },
-        );
-        b.iter(|| {
-            optimize(
-                &evaluator,
-                &space,
-                Integration::TwoD,
-                400,
-                &constraints,
-                &objective,
-                &config,
-            )
-        })
+    // One evaluator shared across iterations: measures the annealer's
+    // control flow + cached evaluation path (the steady-state regime of
+    // a long DSE session).
+    let evaluator =
+        Evaluator::new(arvr_suite(), EvalOptions { lazy: true, ..EvalOptions::default() });
+    runner.bench("anneal/msa_small_space_warm_cache", || {
+        optimize(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, &config)
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_msa);
-criterion_main!(benches);
+    runner.report();
+}

@@ -1,11 +1,13 @@
-//! Criterion benchmarks of the full MCM evaluation pipeline — the unit of
-//! work the optimizer performs per design point (the paper's equivalent:
-//! one SCALE-Sim batch + one HotSpot run + leakage iterations).
+//! Benchmarks of the full MCM evaluation pipeline — the unit of work the
+//! optimizer performs per design point (the paper's equivalent: one
+//! SCALE-Sim batch + one HotSpot run + leakage iterations).
+//!
+//! Run with `cargo bench --bench bench_eval [-- --bench-filter <substr>]`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tesa::design::{ChipletConfig, Integration, McmDesign};
 use tesa::eval::{EvalOptions, Evaluator};
 use tesa::Constraints;
+use tesa_util::bench::BenchRunner;
 use tesa_workloads::arvr_suite;
 
 fn design(dim: u32, kib: u64, integration: Integration) -> McmDesign {
@@ -16,9 +18,9 @@ fn design(dim: u32, kib: u64, integration: Integration) -> McmDesign {
     }
 }
 
-fn bench_full_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eval/full");
-    group.sample_size(10);
+fn main() {
+    let mut runner = BenchRunner::from_env_args();
+
     let constraints = Constraints::edge_device(15.0, 85.0);
     for (label, integration) in [("2d", Integration::TwoD), ("3d", Integration::ThreeD)] {
         let evaluator = Evaluator::new(arvr_suite(), EvalOptions::default());
@@ -27,42 +29,24 @@ fn bench_full_eval(c: &mut Criterion) {
         // the steady-state solves + leakage iteration (the optimizer's
         // steady-state cost per candidate).
         let _ = evaluator.evaluate(&d, &constraints);
-        group.bench_function(label, |b| b.iter(|| evaluator.evaluate(&d, &constraints)));
+        runner.bench(&format!("eval/full/{label}"), || evaluator.evaluate(&d, &constraints));
     }
-    group.finish();
-}
 
-fn bench_cold_perf(c: &mut Criterion) {
     // Un-memoized performance simulation of the whole six-DNN workload —
     // what the paper's SCALE-Sim step costs us per (array, SRAM) pair.
-    let mut group = c.benchmark_group("eval/perf_cold");
-    group.sample_size(10);
-    group.bench_function("six_dnn_suite_128", |b| {
-        b.iter_with_setup(
-            || Evaluator::new(arvr_suite(), EvalOptions::default()),
-            |evaluator| {
-                evaluator.perf(&ChipletConfig {
-                    array_dim: 128,
-                    sram_kib_per_bank: 512,
-                    integration: Integration::TwoD,
-                })
-            },
-        )
+    runner.bench("eval/perf_cold/six_dnn_suite_128", || {
+        let evaluator = Evaluator::new(arvr_suite(), EvalOptions::default());
+        evaluator.perf(&ChipletConfig {
+            array_dim: 128,
+            sram_kib_per_bank: 512,
+            integration: Integration::TwoD,
+        })
     });
-    group.finish();
-}
 
-fn bench_cached_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eval/cached");
     let evaluator = Evaluator::new(arvr_suite(), EvalOptions::default());
-    let constraints = Constraints::edge_device(15.0, 85.0);
     let d = design(160, 512, Integration::TwoD);
     let _ = evaluator.evaluate_cached(&d, &constraints);
-    group.bench_function("revisit", |b| {
-        b.iter(|| evaluator.evaluate_cached(&d, &constraints))
-    });
-    group.finish();
-}
+    runner.bench("eval/cached/revisit", || evaluator.evaluate_cached(&d, &constraints));
 
-criterion_group!(benches, bench_full_eval, bench_cold_perf, bench_cached_eval);
-criterion_main!(benches);
+    runner.report();
+}

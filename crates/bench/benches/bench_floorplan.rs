@@ -1,31 +1,22 @@
-//! Criterion benchmarks of the mesh estimator / floorplanner and the
-//! scheduler — TESA's cheap inner-loop components.
+//! Benchmarks of the mesh estimator / floorplanner and the scheduler —
+//! TESA's cheap inner-loop components.
+//!
+//! Run with `cargo bench --bench bench_floorplan [-- --bench-filter <substr>]`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tesa::floorplan::estimate_mesh;
 use tesa::sched::schedule;
+use tesa_util::bench::BenchRunner;
 
-fn bench_mesh(c: &mut Criterion) {
-    let mut group = c.benchmark_group("floorplan");
-    group.bench_function("estimate_mesh", |b| {
-        b.iter(|| estimate_mesh(2.36, 0.5, 8.0, 8.0, 6))
-    });
-    group.bench_function("corner_first_order", |b| {
-        let layout = estimate_mesh(1.8, 0.25, 8.0, 8.0, 6).expect("fits");
-        b.iter(|| layout.corner_first_order())
-    });
-    group.finish();
-}
+fn main() {
+    let mut runner = BenchRunner::from_env_args();
 
-fn bench_schedule(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sched");
+    runner.bench("floorplan/estimate_mesh", || estimate_mesh(2.36, 0.5, 8.0, 8.0, 6));
+    let layout = estimate_mesh(1.8, 0.25, 8.0, 8.0, 6).expect("fits");
+    runner.bench("floorplan/corner_first_order", || layout.corner_first_order());
+
     let cycles = [11_279_286u64, 2_444_358, 151_505, 663_830, 4_111_904, 1_235_059];
     let power = [3.9f64, 4.0, 0.8, 1.2, 2.3, 1.7];
-    group.bench_function("six_dnns_on_four_chiplets", |b| {
-        b.iter(|| schedule(&[0, 3, 1, 2], &cycles, &power))
-    });
-    group.finish();
-}
+    runner.bench("sched/six_dnns_on_four_chiplets", || schedule(&[0, 3, 1, 2], &cycles, &power));
 
-criterion_group!(benches, bench_mesh, bench_schedule);
-criterion_main!(benches);
+    runner.report();
+}

@@ -1,36 +1,25 @@
-//! Criterion benchmarks of the SRAM (CACTI-class) and DRAM power models.
+//! Benchmarks of the SRAM (CACTI-class) and DRAM power models.
+//!
+//! Run with `cargo bench --bench bench_memsim [-- --bench-filter <substr>]`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tesa_memsim::{DramPowerModel, DramUsage, SramConfig, SramModel};
+use tesa_util::bench::BenchRunner;
 
-fn bench_sram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memsim/sram");
+fn main() {
+    let mut runner = BenchRunner::from_env_args();
+
     let model = SramModel::tech_22nm();
     for kib in [8u64, 512, 4096] {
-        group.bench_with_input(BenchmarkId::new("estimate", kib), &kib, |b, &kib| {
-            b.iter(|| model.estimate(SramConfig::with_capacity_kib(kib)))
+        runner.bench(&format!("memsim/sram/estimate/{kib}"), || {
+            model.estimate(SramConfig::with_capacity_kib(kib))
         });
     }
-    group.finish();
-}
 
-fn bench_dram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memsim/dram");
-    let model = DramPowerModel::default();
-    group.bench_function("power", |b| {
-        b.iter(|| {
-            model.power(DramUsage {
-                bytes_transferred: 2.5e9,
-                window_s: 1.0 / 30.0,
-                channels: 13,
-            })
-        })
+    let dram = DramPowerModel::default();
+    runner.bench("memsim/dram/power", || {
+        dram.power(DramUsage { bytes_transferred: 2.5e9, window_s: 1.0 / 30.0, channels: 13 })
     });
-    group.bench_function("channel_sizing", |b| {
-        b.iter(|| model.channels_for_peak_bandwidth(86.0e9))
-    });
-    group.finish();
-}
+    runner.bench("memsim/dram/channel_sizing", || dram.channels_for_peak_bandwidth(86.0e9));
 
-criterion_group!(benches, bench_sram, bench_dram);
-criterion_main!(benches);
+    runner.report();
+}

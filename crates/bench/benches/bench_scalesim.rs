@@ -1,14 +1,17 @@
-//! Criterion benchmarks of the analytical performance simulator — the
-//! component that replaces SCALE-Sim's minutes-to-hours per (DNN, design
-//! point) with microseconds, making the paper's exhaustive validation
-//! tractable (Sec. IV-A runtime discussion).
+//! Benchmarks of the analytical performance simulator — the component that
+//! replaces SCALE-Sim's minutes-to-hours per (DNN, design point) with
+//! microseconds, making the paper's exhaustive validation tractable
+//! (Sec. IV-A runtime discussion).
+//!
+//! Run with `cargo bench --bench bench_scalesim [-- --bench-filter <substr>]`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tesa_scalesim::{ArrayConfig, Dataflow, Simulator, SramCapacities};
+use tesa_util::bench::BenchRunner;
 use tesa_workloads::zoo;
 
-fn bench_dnn_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scalesim/dnn");
+fn main() {
+    let mut runner = BenchRunner::from_env_args();
+
     for dim in [16u32, 64, 128, 256] {
         let sim = Simulator::new(
             ArrayConfig::square(dim),
@@ -18,26 +21,16 @@ fn bench_dnn_simulation(c: &mut Criterion) {
         // The paper's extremes: U-Net (12 h in SCALE-Sim on 16x16) and
         // ResNet-50 (tens of minutes on 256x256).
         let unet = zoo::unet();
-        group.bench_with_input(BenchmarkId::new("unet", dim), &dim, |b, _| {
-            b.iter(|| sim.simulate_dnn(&unet))
-        });
+        runner.bench(&format!("scalesim/dnn/unet/{dim}"), || sim.simulate_dnn(&unet));
         let resnet = zoo::resnet50();
-        group.bench_with_input(BenchmarkId::new("resnet50", dim), &dim, |b, _| {
-            b.iter(|| sim.simulate_dnn(&resnet))
-        });
+        runner.bench(&format!("scalesim/dnn/resnet50/{dim}"), || sim.simulate_dnn(&resnet));
     }
-    group.finish();
-}
 
-fn bench_dataflows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scalesim/dataflow");
     let net = zoo::mobilenet_v1();
     for df in [Dataflow::WeightStationary, Dataflow::OutputStationary, Dataflow::InputStationary] {
         let sim = Simulator::new(ArrayConfig::square(128), SramCapacities::uniform_kib(512), df);
-        group.bench_function(df.to_string(), |b| b.iter(|| sim.simulate_dnn(&net)));
+        runner.bench(&format!("scalesim/dataflow/{df}"), || sim.simulate_dnn(&net));
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_dnn_simulation, bench_dataflows);
-criterion_main!(benches);
+    runner.report();
+}

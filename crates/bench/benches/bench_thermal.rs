@@ -1,10 +1,11 @@
-//! Criterion benchmarks of the steady-state thermal solver — the paper
-//! reports ~6 s (2D) and ~16 s (3D) per HotSpot steady-state run; this
-//! measures our finite-volume CG equivalent across grid resolutions and
-//! stack depths.
+//! Benchmarks of the steady-state thermal solver — the paper reports ~6 s
+//! (2D) and ~16 s (3D) per HotSpot steady-state run; this measures our
+//! finite-volume CG equivalent across grid resolutions and stack depths.
+//!
+//! Run with `cargo bench --bench bench_thermal [-- --bench-filter <substr>]`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tesa_thermal::{Rect, StackBuilder, ThermalModel};
+use tesa_util::bench::BenchRunner;
 
 fn model_2d(n: usize) -> ThermalModel {
     let chips: Vec<(Rect, f64)> = (0..4)
@@ -42,32 +43,23 @@ fn model_3d(n: usize) -> ThermalModel {
         .build()
 }
 
-fn bench_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("thermal/solve");
-    group.sample_size(20);
+fn main() {
+    let mut runner = BenchRunner::from_env_args();
+
     for n in [32usize, 64] {
         let m2 = model_2d(n);
         let mut p2 = m2.zero_power();
         p2.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 2.0);
         p2.add_uniform_rect(1, Rect::new(4.4e-3, 4.4e-3, 2.4e-3, 2.4e-3), 2.0);
-        group.bench_with_input(BenchmarkId::new("2d_4layer", n), &n, |b, _| {
-            b.iter(|| m2.solve(&p2))
-        });
+        runner.bench(&format!("thermal/solve/2d_4layer/{n}"), || m2.solve(&p2));
 
         let m3 = model_3d(n);
         let mut p3 = m3.zero_power();
         p3.add_uniform_rect(3, Rect::new(0.8e-3, 1.2e-3, 1.8e-3, 1.8e-3), 1.5);
         p3.add_uniform_rect(1, Rect::new(0.8e-3, 1.2e-3, 1.8e-3, 1.8e-3), 0.5);
-        group.bench_with_input(BenchmarkId::new("3d_6layer", n), &n, |b, _| {
-            b.iter(|| m3.solve(&p3))
-        });
+        runner.bench(&format!("thermal/solve/3d_6layer/{n}"), || m3.solve(&p3));
     }
-    group.finish();
-}
 
-fn bench_warm_start(c: &mut Criterion) {
-    let mut group = c.benchmark_group("thermal/warm_start");
-    group.sample_size(20);
     let m = model_2d(64);
     let mut p = m.zero_power();
     p.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 2.0);
@@ -75,11 +67,7 @@ fn bench_warm_start(c: &mut Criterion) {
     // Perturb the power slightly — the leakage-iteration access pattern.
     let mut p2 = m.zero_power();
     p2.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 2.1);
-    group.bench_function("perturbed_solve", |b| {
-        b.iter(|| m.solve_with_guess(&p2, &cold))
-    });
-    group.finish();
-}
+    runner.bench("thermal/warm_start/perturbed_solve", || m.solve_with_guess(&p2, &cold));
 
-criterion_group!(benches, bench_solve, bench_warm_start);
-criterion_main!(benches);
+    runner.report();
+}

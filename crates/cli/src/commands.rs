@@ -35,6 +35,23 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+/// Output format of the reporting subcommands: `--format text|json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
+fn output_format(args: &Args) -> Result<OutputFormat, CliError> {
+    match args.get("format").unwrap_or("text") {
+        "text" => Ok(OutputFormat::Text),
+        "json" => Ok(OutputFormat::Json),
+        other => {
+            Err(CliError { message: format!("unknown format '{other}' (use text or json)") })
+        }
+    }
+}
+
 fn integration(args: &Args) -> Result<Integration, CliError> {
     match args.get("integration").unwrap_or("2d") {
         "2d" | "2D" => Ok(Integration::TwoD),
@@ -85,9 +102,13 @@ pub fn cmd_workload(_args: &Args) -> Result<String, CliError> {
 /// `tesa evaluate --array N --sram-kib K [...]` — full evaluation of one
 /// design point.
 pub fn cmd_evaluate(args: &Args) -> Result<String, CliError> {
+    let format = output_format(args)?;
     let design = design_from(args)?;
     let c = constraints(args)?;
     let eval = evaluator(false).evaluate(&design, &c);
+    if format == OutputFormat::Json {
+        return Ok(format!("{}\n", tesa::report::evaluation_json(&eval)));
+    }
     let mut out = format!("design: {design}\n");
     match eval.mesh {
         Some(mesh) => out.push_str(&format!("mesh: {mesh} ({} chiplets)\n", mesh.count())),
@@ -121,6 +142,7 @@ pub fn cmd_evaluate(args: &Args) -> Result<String, CliError> {
 
 /// `tesa optimize [...]` — run the MSA optimizer over the Table II space.
 pub fn cmd_optimize(args: &Args) -> Result<String, CliError> {
+    let format = output_format(args)?;
     let integ = integration(args)?;
     let freq: u32 = args.get_or("freq", 400)?;
     let c = constraints(args)?;
@@ -136,6 +158,26 @@ pub fn cmd_optimize(args: &Args) -> Result<String, CliError> {
         &Objective::balanced(),
         &msa,
     );
+    if format == OutputFormat::Json {
+        let report = tesa_util::Json::obj([
+            ("unique_designs", tesa_util::Json::u64(outcome.unique_designs as u64)),
+            ("space_size", tesa_util::Json::u64(space.len() as u64)),
+            (
+                "explored_fraction",
+                tesa_util::Json::f64(outcome.explored_fraction(space.len())),
+            ),
+            ("evaluations", tesa_util::Json::u64(outcome.evaluations as u64)),
+            ("accepted_moves", tesa_util::Json::u64(outcome.accepted_moves as u64)),
+            (
+                "best",
+                match &outcome.best {
+                    Some(best) => tesa::report::evaluation_json(best),
+                    None => tesa_util::Json::Null,
+                },
+            ),
+        ]);
+        return Ok(format!("{report}\n"));
+    }
     let mut out = format!(
         "explored {} unique designs ({:.1}% of {}), {} evaluations\n",
         outcome.unique_designs,
@@ -330,6 +372,7 @@ COMMON FLAGS:
     --fps F           latency constraint           [default: 30]
     --temp-c T        thermal budget, C            [default: 75]
     --power-w P       power budget, W              [default: 15]
+    --format F        text | json (evaluate/optimize) [default: text]
     --out PATH        write CSV output to a file
     --seed N          optimizer RNG seed (optimize)
     --dt-ms X         transient step, ms (transient) [default: 1]
@@ -406,6 +449,26 @@ mod tests {
         let a = args(&["evaluate", "--array", "64", "--sram-kib", "64", "--integration", "4d"]);
         let err = cmd_evaluate(&a).expect_err("bad integration");
         assert!(err.to_string().contains("4d"));
+    }
+
+    #[test]
+    fn evaluate_emits_json_when_asked() {
+        let a = args(&[
+            "evaluate", "--array", "64", "--sram-kib", "128", "--freq", "400", "--fps", "1",
+            "--format", "json",
+        ]);
+        let out = cmd_evaluate(&a).expect("runs");
+        assert!(out.starts_with('{') && out.trim_end().ends_with('}'));
+        for key in ["\"design\"", "\"peak_temp_c\"", "\"feasible\"", "\"violations\""] {
+            assert!(out.contains(key), "JSON report missing {key}");
+        }
+    }
+
+    #[test]
+    fn unknown_format_is_rejected() {
+        let a = args(&["evaluate", "--array", "64", "--sram-kib", "128", "--format", "xml"]);
+        let err = cmd_evaluate(&a).expect_err("bad format");
+        assert!(err.to_string().contains("xml"));
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! End-to-end smoke tests of the `tesa` binary: spawn the real executable
+//! and check the text and JSON report paths.
+
+use std::process::Command;
+
+fn tesa(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tesa")).args(args).output().expect("binary runs")
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = tesa(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("USAGE") && text.contains("evaluate"));
+}
+
+#[test]
+fn unknown_command_fails_nonzero() {
+    let out = tesa(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn evaluate_text_report() {
+    let out = tesa(&["evaluate", "--array", "64", "--sram-kib", "128", "--fps", "1"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("design:") && text.contains("verdict:"));
+}
+
+#[test]
+fn evaluate_json_report_is_parseable_shape() {
+    let out = tesa(&[
+        "evaluate", "--array", "64", "--sram-kib", "128", "--fps", "1", "--format", "json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    let trimmed = text.trim();
+    // One JSON object on stdout, nothing else.
+    assert!(trimmed.starts_with('{') && trimmed.ends_with('}'), "not an object: {trimmed}");
+    for key in [
+        "\"design\"",
+        "\"array_dim\"",
+        "\"mesh\"",
+        "\"peak_temp_c\"",
+        "\"total_power_w\"",
+        "\"mcm_cost_usd\"",
+        "\"feasible\"",
+        "\"violations\"",
+    ] {
+        assert!(trimmed.contains(key), "JSON report missing {key}: {trimmed}");
+    }
+    // Balanced braces — cheap structural sanity without a parser.
+    let opens = trimmed.matches('{').count();
+    let closes = trimmed.matches('}').count();
+    assert_eq!(opens, closes);
+}
+
+#[test]
+fn evaluate_json_reports_infeasible_designs_too() {
+    // 10,000 fps is beyond any design: the report must list violations.
+    let out = tesa(&[
+        "evaluate", "--array", "64", "--sram-kib", "128", "--fps", "10000", "--format", "json",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("\"feasible\":false"));
+    assert!(!text.contains("\"violations\":[]"));
+}

@@ -14,14 +14,12 @@
 use crate::constraints::Constraints;
 use crate::design::{DesignSpace, Integration, McmDesign};
 use crate::eval::{Evaluator, McmEvaluation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tesa_util::Rng;
 
 /// MSA configuration. The defaults reproduce the paper's validation setup:
 /// three starts with decay rates 0.89 / 0.87 / 0.85, `T` from 19 down to
 /// 0.5, and `N = 10` perturbations per temperature step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MsaConfig {
     /// Decay rate (`delta`) of each parallel start.
     pub deltas: Vec<f64>,
@@ -77,7 +75,7 @@ impl AnnealOutcome {
 fn neighbor(
     design: &McmDesign,
     space: &DesignSpace,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Option<McmDesign> {
     let knob = rng.gen_range(0..3u8);
     let dir: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
@@ -110,7 +108,7 @@ fn random_design(
     space: &DesignSpace,
     integration: Integration,
     freq_mhz: u32,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> McmDesign {
     McmDesign {
         chiplet: crate::design::ChipletConfig {
@@ -146,7 +144,7 @@ fn run_start<S>(
 where
     S: Fn(&McmEvaluation) -> f64 + Sync,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = StartOutcome { best: None, evaluations: 0, visited: Vec::new(), accepted: 0 };
 
     // Initialization: draw random designs until one is feasible.
@@ -184,7 +182,7 @@ where
                 true
             } else {
                 let p = (-(s - cur_score) / t).exp();
-                rng.gen::<f64>() < p
+                rng.next_f64() < p
             };
             if accept {
                 out.accepted += 1;
@@ -220,13 +218,13 @@ where
     S: Fn(&McmEvaluation) -> f64 + Sync,
 {
     let score = &score;
-    let starts: Vec<StartOutcome> = crossbeam::thread::scope(|scope| {
+    let starts: Vec<StartOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = config
             .deltas
             .iter()
             .enumerate()
             .map(|(i, &delta)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     run_start(
                         evaluator,
                         space,
@@ -242,8 +240,7 @@ where
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("annealer start panicked")).collect()
-    })
-    .expect("annealer scope panicked");
+    });
 
     let mut best: Option<(f64, McmEvaluation)> = None;
     let mut evaluations = 0;
@@ -316,7 +313,7 @@ mod tests {
     #[test]
     fn neighbor_moves_one_step() {
         let space = small_space();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let d = McmDesign {
             chiplet: crate::design::ChipletConfig {
                 array_dim: 128,

@@ -1,11 +1,10 @@
 //! User-defined design constraints and constraint violations.
 
-use serde::{Deserialize, Serialize};
 
 /// The user-defined constraints an MCM must satisfy (paper Table II):
 /// latency (frame rate), total power, interposer area, peak junction
 /// temperature, and the maximum allowed ICS.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Constraints {
     /// Minimum frame rate: every DNN of the workload must complete within
     /// `1 / min_fps` seconds.
@@ -55,7 +54,7 @@ impl Default for Constraints {
 }
 
 /// A specific constraint violation found during evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Violation {
     /// Not even one chiplet fits the interposer.
     Area {

@@ -14,10 +14,9 @@
 //!   yield.
 
 use crate::design::{ChipletGeometry, Integration};
-use serde::{Deserialize, Serialize};
 
 /// Cost-model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Processed-wafer cost for the chiplet node, USD.
     pub wafer_cost_usd: f64,

@@ -3,12 +3,11 @@
 //! chiplet geometry.
 
 use crate::tech::TechParams;
-use serde::{Deserialize, Serialize};
 use tesa_memsim::SramConfig;
 use tesa_scalesim::SramCapacities;
 
 /// Integration technology of a chiplet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Integration {
     /// 2D: the systolic array and its three SRAMs sit side by side on one
     /// tier.
@@ -34,7 +33,7 @@ impl std::fmt::Display for Integration {
 /// The paper reports SRAM capacity as the *total* across the three banks
 /// (e.g. "3,072 KB SRAM" = 3 x 1,024 KB); [`ChipletConfig::sram_total_kib`]
 /// mirrors that convention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChipletConfig {
     /// Systolic-array dimension (the array is `array_dim x array_dim`).
     pub array_dim: u32,
@@ -113,7 +112,7 @@ impl std::fmt::Display for ChipletConfig {
 }
 
 /// Physical geometry of one chiplet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChipletGeometry {
     /// Systolic-array tier (or region) area, mm².
     pub array_area_mm2: f64,
@@ -151,7 +150,7 @@ impl ChipletGeometry {
 /// One complete MCM design point: chiplet architecture, inter-chiplet
 /// spacing, and operating frequency. The mesh (chiplet count and grid) is
 /// *derived* by the mesh estimator, not chosen directly (paper Sec. III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct McmDesign {
     /// Chiplet architecture.
     pub chiplet: ChipletConfig,
@@ -180,7 +179,7 @@ impl std::fmt::Display for McmDesign {
 }
 
 /// An enumerable chiplet-size/ICS design space (Table II of the paper).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DesignSpace {
     /// Allowed square-array dimensions.
     pub array_dims: Vec<u32>,

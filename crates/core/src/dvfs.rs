@@ -9,7 +9,6 @@
 //! scale factors, so frequency sweeps beyond the paper's two points can be
 //! modeled credibly.
 
-use serde::{Deserialize, Serialize};
 
 /// A piecewise-linear voltage/frequency operating curve.
 ///
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// let p500 = curve.dynamic_scale(500.0);
 /// assert!(p500 / p400 > 1.25);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsCurve {
     /// `(frequency MHz, voltage V)` anchor points, sorted by frequency.
     points: Vec<(f64, f64)>,

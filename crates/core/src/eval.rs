@@ -11,9 +11,9 @@ use crate::power::{
 };
 use crate::sched::{schedule, schedule_naive, Schedule, SchedulerPolicy};
 use crate::tech::TechParams;
-use parking_lot::RwLock;
+
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use tesa_memsim::{DramPowerModel, DramUsage};
 use tesa_scalesim::{ArrayConfig, Dataflow, DnnReport, Simulator};
 use tesa_thermal::{PowerMap, Rect, StackBuilder, ThermalModel};
@@ -202,11 +202,11 @@ impl Evaluator {
         constraints: &Constraints,
     ) -> Arc<McmEvaluation> {
         let key: EvalKey = (*design, constraints_key(constraints));
-        if let Some(hit) = self.eval_cache.read().get(&key) {
+        if let Some(hit) = self.eval_cache.read().expect("cache lock poisoned").get(&key) {
             return Arc::clone(hit);
         }
         let eval = Arc::new(self.evaluate(design, constraints));
-        self.eval_cache.write().insert(key, Arc::clone(&eval));
+        self.eval_cache.write().expect("cache lock poisoned").insert(key, Arc::clone(&eval));
         eval
     }
 
@@ -223,7 +223,7 @@ impl Evaluator {
     /// Per-DNN performance reports for a chiplet configuration (memoized).
     pub fn perf(&self, chiplet: &ChipletConfig) -> Arc<Vec<DnnReport>> {
         let key: PerfKey = (chiplet.array_dim, chiplet.sram_kib_per_bank);
-        if let Some(hit) = self.perf_cache.read().get(&key) {
+        if let Some(hit) = self.perf_cache.read().expect("cache lock poisoned").get(&key) {
             return Arc::clone(hit);
         }
         let sim = Simulator::new(
@@ -233,7 +233,7 @@ impl Evaluator {
         );
         let reports: Vec<DnnReport> = self.workload.iter().map(|d| sim.simulate_dnn(d)).collect();
         let arc = Arc::new(reports);
-        self.perf_cache.write().insert(key, Arc::clone(&arc));
+        self.perf_cache.write().expect("cache lock poisoned").insert(key, Arc::clone(&arc));
         arc
     }
 
@@ -251,7 +251,7 @@ impl Evaluator {
             layout.mesh.cols,
             matches!(integration, Integration::ThreeD),
         );
-        if let Some(hit) = self.thermal_cache.read().get(&key) {
+        if let Some(hit) = self.thermal_cache.read().expect("cache lock poisoned").get(&key) {
             return Arc::clone(hit);
         }
         let t = &self.opts.tech;
@@ -288,7 +288,7 @@ impl Evaluator {
                 .convection(t.convection_k_per_w, t.ambient_c)
                 .build(),
         );
-        self.thermal_cache.write().insert(key, Arc::clone(&model));
+        self.thermal_cache.write().expect("cache lock poisoned").insert(key, Arc::clone(&model));
         model
     }
 

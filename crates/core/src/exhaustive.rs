@@ -6,10 +6,9 @@ use crate::constraints::Constraints;
 use crate::design::{DesignSpace, Integration, McmDesign};
 use crate::eval::{Evaluator, McmEvaluation};
 use crate::objective::Objective;
-use serde::{Deserialize, Serialize};
 
 /// A compact per-design record kept for every point of a sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// The design.
     pub design: McmDesign,
@@ -68,11 +67,11 @@ pub fn sweep(
     let chunk = designs.len().div_ceil(threads).max(1);
 
     let mut points: Vec<SweepPoint> = Vec::with_capacity(designs.len());
-    let chunks: Vec<Vec<SweepPoint>> = crossbeam::thread::scope(|scope| {
+    let chunks: Vec<Vec<SweepPoint>> = std::thread::scope(|scope| {
         let handles: Vec<_> = designs
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     slice
                         .iter()
                         .map(|d| {
@@ -93,8 +92,7 @@ pub fn sweep(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
-    })
-    .expect("sweep scope panicked");
+    });
     for c in chunks {
         points.extend(c);
     }

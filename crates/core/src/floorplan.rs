@@ -8,11 +8,10 @@
 //! the workload to avoid over-provisioning.
 
 use crate::design::ChipletGeometry;
-use serde::{Deserialize, Serialize};
 use tesa_thermal::Rect;
 
 /// A chiplet mesh: `rows x cols` grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Mesh {
     /// Grid rows.
     pub rows: u32,
@@ -34,7 +33,7 @@ impl std::fmt::Display for Mesh {
 }
 
 /// A placed MCM: the mesh plus chiplet rectangles on the interposer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McmLayout {
     /// The chiplet grid.
     pub mesh: Mesh,

@@ -12,10 +12,9 @@
 //! against the DRAM subsystem itself.
 
 use crate::floorplan::McmLayout;
-use serde::{Deserialize, Serialize};
 
 /// Electrical characteristics of the interposer links to the DRAM PHYs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NopLinkModel {
     /// Wire energy per bit per millimeter of interposer routing, pJ.
     /// Representative for a 2.5D silicon-interposer parallel bus.
@@ -41,7 +40,7 @@ impl Default for NopLinkModel {
 }
 
 /// Per-chiplet NoP routing summary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NopRoute {
     /// Manhattan distance from the chiplet center to its nearest edge PHY,
     /// mm.
@@ -51,7 +50,7 @@ pub struct NopRoute {
 }
 
 /// Whole-MCM NoP evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NopEvaluation {
     /// Per-chiplet routes, in layout order.
     pub routes: Vec<NopRoute>,

@@ -1,7 +1,6 @@
 //! TESA's optimization objective (Eq. (6)):
 //! `Obj = alpha * MCMcost_norm + beta * DRAMpower_norm`.
 
-use serde::{Deserialize, Serialize};
 
 /// The weighted, normalized cost/DRAM-power objective.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// // Equal weights: matching both references scores 2.0.
 /// assert!((obj.value(obj.cost_ref_usd, obj.dram_ref_w) - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Objective {
     /// Weight on normalized MCM cost.
     pub alpha: f64,

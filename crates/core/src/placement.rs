@@ -10,14 +10,12 @@
 //! chiplets towards corners.
 
 use crate::tech::TechParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use tesa_thermal::{Rect, StackBuilder};
+use tesa_util::Rng;
 
 /// A free-placement problem: square chiplets with per-chiplet power on a
 /// rectangular interposer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacementProblem {
     /// Interposer width, mm.
     pub interposer_w_mm: f64,
@@ -53,7 +51,7 @@ impl PlacementProblem {
 }
 
 /// Result of a placement optimization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacementOutcome {
     /// Bottom-left corners of the chiplets, mm.
     pub positions_mm: Vec<(f64, f64)>,
@@ -141,7 +139,7 @@ pub fn optimize_placement(
     seed: u64,
 ) -> PlacementOutcome {
     assert!(!problem.chiplet_power_w.is_empty(), "need at least one chiplet");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = problem.chiplet_power_w.len();
 
     // Initial placement: the uniform mesh, or rejection-sampled random.
@@ -192,7 +190,7 @@ pub fn optimize_placement(
         }
         let peak = peak_temperature(problem, tech, grid, &candidate);
         evaluations += 1;
-        let accept = peak < cur_peak || rng.gen::<f64>() < (-(peak - cur_peak) / temp).exp();
+        let accept = peak < cur_peak || rng.next_f64() < (-(peak - cur_peak) / temp).exp();
         if accept {
             accepted += 1;
             positions = candidate;

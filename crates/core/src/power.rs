@@ -3,12 +3,11 @@
 
 use crate::design::ChipletConfig;
 use crate::tech::TechParams;
-use serde::{Deserialize, Serialize};
 use tesa_memsim::SramConfig;
 use tesa_scalesim::DnnReport;
 
 /// Dynamic-power breakdown of one chiplet running one DNN (watts).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DynamicPower {
     /// Systolic-array dynamic power (`SaDP`, Eq. (2)).
     pub array_w: f64,
@@ -63,7 +62,7 @@ pub fn dynamic_power(
 }
 
 /// Leakage-model variants used across TESA and the baselines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LeakageModel {
     /// The paper's representative exponential temperature dependence
     /// (TESA's own model).

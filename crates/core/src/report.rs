@@ -1,7 +1,10 @@
-//! Human-readable reporting helpers for experiment binaries: aligned text
-//! tables in the shape of the paper's Tables III–V.
+//! Reporting helpers for experiment binaries: aligned text tables in the
+//! shape of the paper's Tables III–V, plus machine-readable JSON views of
+//! evaluations (the CLI's `--format json` path).
 
+use crate::design::McmDesign;
 use crate::eval::McmEvaluation;
+use tesa_util::Json;
 
 /// A minimal fixed-width text-table builder.
 ///
@@ -104,6 +107,49 @@ pub fn feasibility_cell(eval: &McmEvaluation) -> String {
     } else {
         eval.violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
     }
+}
+
+/// JSON view of one design point (architecture knobs only).
+pub fn design_json(design: &McmDesign) -> Json {
+    Json::obj([
+        ("array_dim", Json::u64(design.chiplet.array_dim)),
+        ("sram_kib_per_bank", Json::u64(design.chiplet.sram_kib_per_bank)),
+        ("integration", Json::str(design.chiplet.integration.to_string())),
+        ("ics_um", Json::u64(design.ics_um)),
+        ("freq_mhz", Json::u64(design.freq_mhz)),
+    ])
+}
+
+/// JSON view of one full evaluation — everything the `tesa evaluate`
+/// text report prints, as a machine-readable object.
+pub fn evaluation_json(eval: &McmEvaluation) -> Json {
+    let mesh = match eval.mesh {
+        Some(m) => Json::obj([
+            ("rows", Json::u64(m.rows)),
+            ("cols", Json::u64(m.cols)),
+            ("chiplets", Json::u64(m.count())),
+        ]),
+        None => Json::Null,
+    };
+    Json::obj([
+        ("design", design_json(&eval.design)),
+        ("mesh", mesh),
+        ("latency_ms", Json::f64(eval.latency_s * 1e3)),
+        ("achieved_fps", Json::f64(eval.achieved_fps)),
+        ("peak_temp_c", Json::f64(eval.peak_temp_c)),
+        ("thermal_runaway", Json::from(eval.thermal_runaway)),
+        ("chip_power_w", Json::f64(eval.chip_power_w)),
+        ("dram_power_w", Json::f64(eval.dram_power_w)),
+        ("dram_channels", Json::u64(eval.dram_channels)),
+        ("total_power_w", Json::f64(eval.total_power_w)),
+        ("mcm_cost_usd", Json::f64(eval.mcm_cost_usd)),
+        ("tops", Json::f64(eval.ops / 1e12)),
+        ("feasible", Json::from(eval.is_feasible())),
+        (
+            "violations",
+            Json::arr(eval.violations.iter().map(|v| Json::str(v.to_string()))),
+        ),
+    ])
 }
 
 #[cfg(test)]

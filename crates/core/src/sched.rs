@@ -8,11 +8,10 @@
 //! than DNNs, the remaining DNNs are placed greedily on the chiplet that
 //! frees up earliest (minimum accumulated cycles).
 
-use serde::{Deserialize, Serialize};
 use tesa_workloads::DnnId;
 
 /// A static multi-DNN schedule on an MCM.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     /// Per chiplet (layout index), the DNNs it runs, in execution order.
     pub assignments: Vec<Vec<DnnId>>,
@@ -51,7 +50,7 @@ impl Schedule {
 
 /// Scheduling policies: TESA's corner-first power-aware policy and a
 /// naive baseline used for ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedulerPolicy {
     /// The paper's policy: hottest DNNs to the corner chiplets first, then
     /// greedy earliest-finish for the overflow (Sec. III-C).

@@ -9,7 +9,6 @@
 //! representative constants; `DESIGN.md` documents the calibration targets
 //! (the qualitative results the constants must reproduce).
 
-use serde::{Deserialize, Serialize};
 use tesa_memsim::{DramChannelSpec, SramModel};
 
 /// All technology constants used by the TESA models.
@@ -23,7 +22,7 @@ use tesa_memsim::{DramChannelSpec, SramModel};
 /// // One 8-bit MAC at 22 nm costs a fraction of a picojoule per cycle.
 /// assert!(tech.mac_energy_pj < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechParams {
     /// Dynamic energy of one 8-bit MAC operation (PE with local registers)
     /// in pJ. `DP_MAC,freq` of Eq. (2) is `mac_energy_pj * freq`.

@@ -1,163 +1,195 @@
 //! Property-based tests over TESA's core data structures and invariants.
 
-use proptest::prelude::*;
 use tesa::cost::CostModel;
 use tesa::design::{ChipletConfig, Integration};
 use tesa::floorplan::estimate_mesh;
 use tesa::power::{leakage_w, LeakageModel};
 use tesa::sched::schedule;
 use tesa::TechParams;
+use tesa_util::propcheck::{check, ranged, vec_of, Config};
+use tesa_util::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn cfg() -> Config {
+    Config::with_cases(128)
+}
 
-    // ---- floorplan ----
+// ---- floorplan ----
 
-    #[test]
-    fn placed_chiplets_never_overlap_and_respect_ics(
-        side_mm in 0.5f64..4.0,
-        ics_um in 0u32..=1000,
-        cap in 1u32..=6,
-    ) {
-        let ics_mm = f64::from(ics_um) * 1e-3;
-        if let Some(layout) = estimate_mesh(side_mm, ics_mm, 8.0, 8.0, cap) {
-            let eps = 1e-9;
-            prop_assert!(layout.mesh.count() <= cap);
-            for (i, a) in layout.positions_m.iter().enumerate() {
-                // Inside the interposer.
-                prop_assert!(a.x >= -eps && a.y >= -eps);
-                prop_assert!(a.x2() <= 8.0e-3 + eps && a.y2() <= 8.0e-3 + eps);
-                for b in layout.positions_m.iter().skip(i + 1) {
-                    prop_assert!(!a.intersects(b), "chiplets overlap");
-                    // Axis-aligned gap of at least ICS in one direction.
-                    let gap_x = (b.x - a.x2()).max(a.x - b.x2());
-                    let gap_y = (b.y - a.y2()).max(a.y - b.y2());
-                    prop_assert!(
-                        gap_x >= ics_mm * 1e-3 - eps || gap_y >= ics_mm * 1e-3 - eps,
-                        "spacing below ICS"
-                    );
+#[test]
+fn placed_chiplets_never_overlap_and_respect_ics() {
+    check(
+        cfg(),
+        (ranged(0.5f64..4.0), ranged(0u32..1001), ranged(1u32..7)),
+        |(side_mm, ics_um, cap)| {
+            let ics_mm = f64::from(ics_um) * 1e-3;
+            if let Some(layout) = estimate_mesh(side_mm, ics_mm, 8.0, 8.0, cap) {
+                let eps = 1e-9;
+                prop_assert!(layout.mesh.count() <= cap);
+                for (i, a) in layout.positions_m.iter().enumerate() {
+                    // Inside the interposer.
+                    prop_assert!(a.x >= -eps && a.y >= -eps);
+                    prop_assert!(a.x2() <= 8.0e-3 + eps && a.y2() <= 8.0e-3 + eps);
+                    for b in layout.positions_m.iter().skip(i + 1) {
+                        prop_assert!(!a.intersects(b), "chiplets overlap");
+                        // Axis-aligned gap of at least ICS in one direction.
+                        let gap_x = (b.x - a.x2()).max(a.x - b.x2());
+                        let gap_y = (b.y - a.y2()).max(a.y - b.y2());
+                        prop_assert!(
+                            gap_x >= ics_mm * 1e-3 - eps || gap_y >= ics_mm * 1e-3 - eps,
+                            "spacing below ICS"
+                        );
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn corner_first_order_is_a_permutation(
-        side_mm in 0.5f64..3.0,
-        ics_um in 0u32..=1000,
-        cap in 1u32..=6,
-    ) {
-        if let Some(layout) = estimate_mesh(side_mm, f64::from(ics_um) * 1e-3, 8.0, 8.0, cap) {
-            let mut order = layout.corner_first_order();
-            prop_assert_eq!(order.len(), layout.mesh.count() as usize);
-            order.sort_unstable();
-            prop_assert_eq!(order, (0..layout.mesh.count() as usize).collect::<Vec<_>>());
-        }
-    }
+#[test]
+fn corner_first_order_is_a_permutation() {
+    check(
+        cfg(),
+        (ranged(0.5f64..3.0), ranged(0u32..1001), ranged(1u32..7)),
+        |(side_mm, ics_um, cap)| {
+            if let Some(layout) = estimate_mesh(side_mm, f64::from(ics_um) * 1e-3, 8.0, 8.0, cap) {
+                let mut order = layout.corner_first_order();
+                prop_assert_eq!(order.len(), layout.mesh.count() as usize);
+                order.sort_unstable();
+                prop_assert_eq!(order, (0..layout.mesh.count() as usize).collect::<Vec<_>>());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn smaller_chiplets_never_fit_fewer(
-        small in 0.5f64..2.0,
-        factor in 1.0f64..3.0,
-        ics_um in 0u32..=1000,
-    ) {
-        let ics = f64::from(ics_um) * 1e-3;
-        let a = estimate_mesh(small, ics, 8.0, 8.0, 36).map(|l| l.mesh.count()).unwrap_or(0);
-        let b = estimate_mesh(small * factor, ics, 8.0, 8.0, 36).map(|l| l.mesh.count()).unwrap_or(0);
-        prop_assert!(a >= b, "shrinking a chiplet cannot reduce the fit");
-    }
+#[test]
+fn smaller_chiplets_never_fit_fewer() {
+    check(
+        cfg(),
+        (ranged(0.5f64..2.0), ranged(1.0f64..3.0), ranged(0u32..1001)),
+        |(small, factor, ics_um)| {
+            let ics = f64::from(ics_um) * 1e-3;
+            let a = estimate_mesh(small, ics, 8.0, 8.0, 36).map(|l| l.mesh.count()).unwrap_or(0);
+            let b = estimate_mesh(small * factor, ics, 8.0, 8.0, 36)
+                .map(|l| l.mesh.count())
+                .unwrap_or(0);
+            prop_assert!(a >= b, "shrinking a chiplet cannot reduce the fit");
+            Ok(())
+        },
+    );
+}
 
-    // ---- scheduler ----
+// ---- scheduler ----
 
-    #[test]
-    fn schedule_covers_every_dnn_exactly_once(
-        cycles in prop::collection::vec(1u64..100_000_000, 1..12),
-        chiplets in 1usize..6,
-    ) {
-        let power: Vec<f64> = cycles.iter().map(|&c| c as f64 * 1e-6).collect();
-        let order: Vec<usize> = (0..chiplets).collect();
-        let s = schedule(&order, &cycles, &power);
-        let mut seen: Vec<usize> = s.assignments.iter().flatten().map(|d| d.0).collect();
-        seen.sort_unstable();
-        prop_assert_eq!(seen, (0..cycles.len()).collect::<Vec<_>>());
-        // Chiplet totals are consistent.
-        for (chip, q) in s.assignments.iter().enumerate() {
-            let sum: u64 = q.iter().map(|d| cycles[d.0]).sum();
-            prop_assert_eq!(sum, s.chiplet_cycles[chip]);
-        }
-    }
+#[test]
+fn schedule_covers_every_dnn_exactly_once() {
+    check(
+        cfg(),
+        (vec_of(ranged(1u64..100_000_000), 1..12), ranged(1usize..6)),
+        |(cycles, chiplets)| {
+            let power: Vec<f64> = cycles.iter().map(|&c| c as f64 * 1e-6).collect();
+            let order: Vec<usize> = (0..chiplets).collect();
+            let s = schedule(&order, &cycles, &power);
+            let mut seen: Vec<usize> = s.assignments.iter().flatten().map(|d| d.0).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..cycles.len()).collect::<Vec<_>>());
+            // Chiplet totals are consistent.
+            for (chip, q) in s.assignments.iter().enumerate() {
+                let sum: u64 = q.iter().map(|d| cycles[d.0]).sum();
+                prop_assert_eq!(sum, s.chiplet_cycles[chip]);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn makespan_bounds(
-        cycles in prop::collection::vec(1u64..10_000_000, 1..12),
-        chiplets in 1usize..6,
-    ) {
-        let power: Vec<f64> = cycles.iter().rev().map(|&c| c as f64).collect();
-        let order: Vec<usize> = (0..chiplets).collect();
-        let s = schedule(&order, &cycles, &power);
-        let max = *cycles.iter().max().expect("non-empty");
-        let sum: u64 = cycles.iter().sum();
-        prop_assert!(s.makespan_cycles() >= max, "cannot beat the longest DNN");
-        prop_assert!(s.makespan_cycles() <= sum, "cannot exceed serial execution");
-        // Greedy earliest-finish is a 2-approximation of optimal makespan.
-        let lower = (sum as f64 / chiplets as f64).max(max as f64);
-        prop_assert!(
-            (s.makespan_cycles() as f64) <= 2.0 * lower + 1.0,
-            "greedy bound violated: {} > 2*{}",
-            s.makespan_cycles(),
-            lower
-        );
-    }
+#[test]
+fn makespan_bounds() {
+    check(
+        cfg(),
+        (vec_of(ranged(1u64..10_000_000), 1..12), ranged(1usize..6)),
+        |(cycles, chiplets)| {
+            let power: Vec<f64> = cycles.iter().rev().map(|&c| c as f64).collect();
+            let order: Vec<usize> = (0..chiplets).collect();
+            let s = schedule(&order, &cycles, &power);
+            let max = *cycles.iter().max().expect("non-empty");
+            let sum: u64 = cycles.iter().sum();
+            prop_assert!(s.makespan_cycles() >= max, "cannot beat the longest DNN");
+            prop_assert!(s.makespan_cycles() <= sum, "cannot exceed serial execution");
+            // Greedy earliest-finish is a 2-approximation of optimal makespan.
+            let lower = (sum as f64 / chiplets as f64).max(max as f64);
+            prop_assert!(
+                (s.makespan_cycles() as f64) <= 2.0 * lower + 1.0,
+                "greedy bound violated: {} > 2*{}",
+                s.makespan_cycles(),
+                lower
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn phases_partition_the_assignments(
-        cycles in prop::collection::vec(1u64..1_000_000, 1..12),
-        chiplets in 1usize..6,
-    ) {
-        let power: Vec<f64> = cycles.iter().map(|&c| (c % 97) as f64).collect();
-        let order: Vec<usize> = (0..chiplets).collect();
-        let s = schedule(&order, &cycles, &power);
-        let total: usize = s.phases().iter().map(Vec::len).sum();
-        prop_assert_eq!(total, cycles.len());
-        // Each phase uses each chiplet at most once.
-        for phase in s.phases() {
-            let mut chips: Vec<usize> = phase.iter().map(|&(c, _)| c).collect();
-            let n = chips.len();
-            chips.sort_unstable();
-            chips.dedup();
-            prop_assert_eq!(chips.len(), n);
-        }
-    }
+#[test]
+fn phases_partition_the_assignments() {
+    check(
+        cfg(),
+        (vec_of(ranged(1u64..1_000_000), 1..12), ranged(1usize..6)),
+        |(cycles, chiplets)| {
+            let power: Vec<f64> = cycles.iter().map(|&c| (c % 97) as f64).collect();
+            let order: Vec<usize> = (0..chiplets).collect();
+            let s = schedule(&order, &cycles, &power);
+            let total: usize = s.phases().iter().map(Vec::len).sum();
+            prop_assert_eq!(total, cycles.len());
+            // Each phase uses each chiplet at most once.
+            for phase in s.phases() {
+                let mut chips: Vec<usize> = phase.iter().map(|&(c, _)| c).collect();
+                let n = chips.len();
+                chips.sort_unstable();
+                chips.dedup();
+                prop_assert_eq!(chips.len(), n);
+            }
+            Ok(())
+        },
+    );
+}
 
-    // ---- cost model ----
+// ---- cost model ----
 
-    #[test]
-    fn yield_is_a_probability(area in 0.01f64..1000.0) {
+#[test]
+fn yield_is_a_probability() {
+    check(cfg(), ranged(0.01f64..1000.0), |area| {
         let m = CostModel::default();
         let y = m.die_yield(area);
         prop_assert!(y > 0.0 && y <= 1.0);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cost_monotone_in_chiplet_count(
-        dim in 16u32..256,
-        n_a in 1u32..6,
-        extra in 1u32..4,
-    ) {
-        let m = CostModel::default();
-        let g = ChipletConfig {
-            array_dim: dim,
-            sram_kib_per_bank: 512,
-            integration: Integration::TwoD,
-        }
-        .geometry(&TechParams::default());
-        let a = m.mcm_cost_usd(n_a, &g, Integration::TwoD, 64.0);
-        let b = m.mcm_cost_usd(n_a + extra, &g, Integration::TwoD, 64.0);
-        prop_assert!(b > a);
-    }
+#[test]
+fn cost_monotone_in_chiplet_count() {
+    check(
+        cfg(),
+        (ranged(16u32..256), ranged(1u32..6), ranged(1u32..4)),
+        |(dim, n_a, extra)| {
+            let m = CostModel::default();
+            let g = ChipletConfig {
+                array_dim: dim,
+                sram_kib_per_bank: 512,
+                integration: Integration::TwoD,
+            }
+            .geometry(&TechParams::default());
+            let a = m.mcm_cost_usd(n_a, &g, Integration::TwoD, 64.0);
+            let b = m.mcm_cost_usd(n_a + extra, &g, Integration::TwoD, 64.0);
+            prop_assert!(b > a);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn three_d_never_cheaper_per_chiplet(dim in 16u32..256, kib_pow in 3u32..12) {
+#[test]
+fn three_d_never_cheaper_per_chiplet() {
+    check(cfg(), (ranged(16u32..256), ranged(3u32..12)), |(dim, kib_pow)| {
         let m = CostModel::default();
         let kib = 1u64 << kib_pow;
         let mk = |i: Integration| {
@@ -166,34 +198,37 @@ proptest! {
             m.chiplet_cost_usd(&g, i)
         };
         prop_assert!(mk(Integration::ThreeD) > mk(Integration::TwoD) * 0.999);
-    }
+        Ok(())
+    });
+}
 
-    // ---- power / leakage ----
+// ---- power / leakage ----
 
-    #[test]
-    fn leakage_monotone_in_temperature(
-        dim in 16u32..256,
-        t_a in 25.0f64..140.0,
-        dt in 0.1f64..40.0,
-    ) {
-        let tech = TechParams::default();
-        let c = ChipletConfig {
-            array_dim: dim,
-            sram_kib_per_bank: 512,
-            integration: Integration::TwoD,
-        };
-        for model in [LeakageModel::Exponential, LeakageModel::Linear] {
-            let a = leakage_w(&c, &tech, t_a, model);
-            let b = leakage_w(&c, &tech, t_a + dt, model);
-            prop_assert!(b >= a, "{model:?} leakage decreased with temperature");
-        }
-    }
+#[test]
+fn leakage_monotone_in_temperature() {
+    check(
+        cfg(),
+        (ranged(16u32..256), ranged(25.0f64..140.0), ranged(0.1f64..40.0)),
+        |(dim, t_a, dt)| {
+            let tech = TechParams::default();
+            let c = ChipletConfig {
+                array_dim: dim,
+                sram_kib_per_bank: 512,
+                integration: Integration::TwoD,
+            };
+            for model in [LeakageModel::Exponential, LeakageModel::Linear] {
+                let a = leakage_w(&c, &tech, t_a, model);
+                let b = leakage_w(&c, &tech, t_a + dt, model);
+                prop_assert!(b >= a, "{model:?} leakage decreased with temperature");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn exponential_dominates_linear_above_reference(
-        dim in 16u32..256,
-        dt in 0.5f64..80.0,
-    ) {
+#[test]
+fn exponential_dominates_linear_above_reference() {
+    check(cfg(), (ranged(16u32..256), ranged(0.5f64..80.0)), |(dim, dt)| {
         let tech = TechParams::default();
         let c = ChipletConfig {
             array_dim: dim,
@@ -204,15 +239,15 @@ proptest! {
         let exp = leakage_w(&c, &tech, t, LeakageModel::Exponential);
         let lin = leakage_w(&c, &tech, t, LeakageModel::Linear);
         prop_assert!(exp >= lin);
-    }
+        Ok(())
+    });
+}
 
-    // ---- geometry ----
+// ---- geometry ----
 
-    #[test]
-    fn geometry_monotone_in_architecture(
-        dim in 16u32..255,
-        kib_pow in 3u32..11,
-    ) {
+#[test]
+fn geometry_monotone_in_architecture() {
+    check(cfg(), (ranged(16u32..255), ranged(3u32..11)), |(dim, kib_pow)| {
         let tech = TechParams::default();
         let g1 = ChipletConfig {
             array_dim: dim,
@@ -228,21 +263,46 @@ proptest! {
         .geometry(&tech);
         prop_assert!(g2.footprint_mm2 > g1.footprint_mm2);
         prop_assert!(g2.silicon_area_mm2 > g1.silicon_area_mm2);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn three_d_footprint_never_exceeds_2d(
-        dim in 16u32..=256,
-        kib_pow in 3u32..=12,
-    ) {
+#[test]
+fn three_d_footprint_never_exceeds_2d() {
+    check(cfg(), (ranged(16u32..257), ranged(3u32..13)), |(dim, kib_pow)| {
         let tech = TechParams::default();
         let kib = 1u64 << kib_pow;
-        let f2 = ChipletConfig { array_dim: dim, sram_kib_per_bank: kib, integration: Integration::TwoD }
-            .geometry(&tech)
-            .footprint_mm2;
-        let f3 = ChipletConfig { array_dim: dim, sram_kib_per_bank: kib, integration: Integration::ThreeD }
-            .geometry(&tech)
-            .footprint_mm2;
+        let f2 =
+            ChipletConfig { array_dim: dim, sram_kib_per_bank: kib, integration: Integration::TwoD }
+                .geometry(&tech)
+                .footprint_mm2;
+        let f3 = ChipletConfig {
+            array_dim: dim,
+            sram_kib_per_bank: kib,
+            integration: Integration::ThreeD,
+        }
+        .geometry(&tech)
+        .footprint_mm2;
         prop_assert!(f3 <= f2 + 1e-12, "stacking cannot grow the footprint");
-    }
+        Ok(())
+    });
+}
+
+// ---- harness self-check ----
+
+/// Shrinking smoke test: a deliberately failing property must shrink to the
+/// minimal counterexample (the first value at/above the failure threshold).
+#[test]
+fn propcheck_shrinks_to_minimal_counterexample() {
+    let result = std::panic::catch_unwind(|| {
+        check(Config::with_cases(64), ranged(0u64..1000), |v| {
+            prop_assert!(v < 40, "boundary");
+            Ok(())
+        });
+    });
+    let msg = *result.expect_err("property must fail").downcast::<String>().expect("panic message");
+    assert!(
+        msg.contains("minimal failing input: 40"),
+        "shrinking did not reach the boundary: {msg}"
+    );
 }

@@ -16,10 +16,9 @@
 //! Each chiplet owns dedicated channels (paper Sec. III-A); the number of
 //! channels a chiplet needs follows from its peak bandwidth demand.
 
-use serde::{Deserialize, Serialize};
 
 /// Electrical/bandwidth characteristics of one DRAM channel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramChannelSpec {
     /// Peak usable bandwidth per channel in bytes/second.
     pub bandwidth_bytes_per_s: f64,
@@ -64,7 +63,7 @@ impl Default for DramChannelSpec {
 }
 
 /// Aggregate DRAM activity of one chiplet over an execution window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramUsage {
     /// Total bytes moved to/from DRAM during the window.
     pub bytes_transferred: f64,
@@ -75,7 +74,7 @@ pub struct DramUsage {
 }
 
 /// Per-component DRAM power for one usage record, all in watts.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DramPowerBreakdown {
     /// Standby power of all powered channels.
     pub background_w: f64,
@@ -107,7 +106,7 @@ impl DramPowerBreakdown {
 /// let p = model.power(usage);
 /// assert!(p.total_w() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DramPowerModel {
     /// Per-channel characteristics.
     pub channel: DramChannelSpec,
@@ -150,7 +149,8 @@ impl DramPowerModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tesa_util::propcheck::{check, ranged, Config};
+    use tesa_util::{prop_assert, prop_assume};
 
     #[test]
     fn channel_sizing_rounds_up() {
@@ -199,30 +199,47 @@ mod tests {
             .power(DramUsage { bytes_transferred: 1.0, window_s: 0.0, channels: 1 });
     }
 
-    proptest! {
-        #[test]
-        fn power_monotone_in_traffic(a in 0.0f64..1e12, b in 0.0f64..1e12) {
-            prop_assume!(a < b);
-            let m = DramPowerModel::default();
-            let pa = m.power(DramUsage { bytes_transferred: a, window_s: 0.033, channels: 2 });
-            let pb = m.power(DramUsage { bytes_transferred: b, window_s: 0.033, channels: 2 });
-            prop_assert!(pb.total_w() >= pa.total_w());
-        }
+    #[test]
+    fn power_monotone_in_traffic() {
+        check(
+            Config::default(),
+            (ranged(0.0f64..1e12), ranged(0.0f64..1e12)),
+            |(a, b)| {
+                prop_assume!(a < b);
+                let m = DramPowerModel::default();
+                let pa = m.power(DramUsage { bytes_transferred: a, window_s: 0.033, channels: 2 });
+                let pb = m.power(DramUsage { bytes_transferred: b, window_s: 0.033, channels: 2 });
+                prop_assert!(pb.total_w() >= pa.total_w());
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn power_monotone_in_channels(ch_a in 1u32..16, ch_b in 1u32..16) {
-            prop_assume!(ch_a < ch_b);
-            let m = DramPowerModel::default();
-            let pa = m.power(DramUsage { bytes_transferred: 1e8, window_s: 0.033, channels: ch_a });
-            let pb = m.power(DramUsage { bytes_transferred: 1e8, window_s: 0.033, channels: ch_b });
-            prop_assert!(pb.total_w() > pa.total_w());
-        }
+    #[test]
+    fn power_monotone_in_channels() {
+        check(
+            Config::default(),
+            (ranged(1u32..16), ranged(1u32..16)),
+            |(ch_a, ch_b)| {
+                prop_assume!(ch_a < ch_b);
+                let m = DramPowerModel::default();
+                let pa =
+                    m.power(DramUsage { bytes_transferred: 1e8, window_s: 0.033, channels: ch_a });
+                let pb =
+                    m.power(DramUsage { bytes_transferred: 1e8, window_s: 0.033, channels: ch_b });
+                prop_assert!(pb.total_w() > pa.total_w());
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn channel_count_sufficient_for_demand(peak in 0.0f64..1e11) {
+    #[test]
+    fn channel_count_sufficient_for_demand() {
+        check(Config::default(), ranged(0.0f64..1e11), |peak| {
             let m = DramPowerModel::default();
             let ch = m.channels_for_peak_bandwidth(peak);
             prop_assert!(f64::from(ch) * m.channel.bandwidth_bytes_per_s >= peak);
-        }
+            Ok(())
+        });
     }
 }

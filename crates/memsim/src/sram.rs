@@ -17,10 +17,9 @@
 //! The 22 nm constants are anchored to published CACTI-7 numbers for
 //! single-ported, low-standby-power SRAM macros.
 
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one SRAM macro.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SramConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -43,7 +42,7 @@ impl SramConfig {
 }
 
 /// Output of the SRAM model for one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramEstimate {
     /// Macro area in mm².
     pub area_mm2: f64,
@@ -67,7 +66,7 @@ pub struct SramEstimate {
 /// // A 1 MiB macro at 22 nm is on the order of 1 mm².
 /// assert!(e.area_mm2 > 0.5 && e.area_mm2 < 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramModel {
     /// Bit-cell area in µm² (includes intra-array wiring overhead).
     pub bitcell_area_um2: f64,
@@ -138,7 +137,8 @@ impl Default for SramModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tesa_util::propcheck::{check, ranged, Config};
+    use tesa_util::{prop_assert, prop_assume};
 
     #[test]
     fn calibration_64kib() {
@@ -179,24 +179,32 @@ mod tests {
         assert!(density_large > density_small, "large macros are denser (KiB/mm²)");
     }
 
-    proptest! {
-        #[test]
-        fn monotone_in_capacity(kib_a in 1u64..8192, kib_b in 1u64..8192) {
-            prop_assume!(kib_a < kib_b);
-            let m = SramModel::tech_22nm();
-            let a = m.estimate(SramConfig::with_capacity_kib(kib_a));
-            let b = m.estimate(SramConfig::with_capacity_kib(kib_b));
-            prop_assert!(b.area_mm2 > a.area_mm2);
-            prop_assert!(b.leakage_mw > a.leakage_mw);
-            prop_assert!(b.read_energy_pj_per_byte > a.read_energy_pj_per_byte);
-        }
+    #[test]
+    fn monotone_in_capacity() {
+        check(
+            Config::default(),
+            (ranged(1u64..8192), ranged(1u64..8192)),
+            |(kib_a, kib_b)| {
+                prop_assume!(kib_a < kib_b);
+                let m = SramModel::tech_22nm();
+                let a = m.estimate(SramConfig::with_capacity_kib(kib_a));
+                let b = m.estimate(SramConfig::with_capacity_kib(kib_b));
+                prop_assert!(b.area_mm2 > a.area_mm2);
+                prop_assert!(b.leakage_mw > a.leakage_mw);
+                prop_assert!(b.read_energy_pj_per_byte > a.read_energy_pj_per_byte);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn estimates_are_finite_and_positive(kib in 1u64..16384) {
+    #[test]
+    fn estimates_are_finite_and_positive() {
+        check(Config::default(), ranged(1u64..16384), |kib| {
             let e = SramModel::tech_22nm().estimate(SramConfig::with_capacity_kib(kib));
             prop_assert!(e.area_mm2.is_finite() && e.area_mm2 > 0.0);
             prop_assert!(e.read_energy_pj_per_byte.is_finite() && e.read_energy_pj_per_byte > 0.0);
             prop_assert!(e.leakage_mw.is_finite() && e.leakage_mw > 0.0);
-        }
+            Ok(())
+        });
     }
 }

@@ -1,9 +1,8 @@
 //! Simulator configuration: array geometry, SRAM capacities, dataflow.
 
-use serde::{Deserialize, Serialize};
 
 /// Dimensions of the systolic array (a grid of MAC processing elements).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ArrayConfig {
     /// Number of PE rows.
     pub rows: u32,
@@ -34,7 +33,7 @@ impl ArrayConfig {
 /// Following the paper's area model assumption (ii), the three SRAMs are the
 /// same size in the TESA design space, but the simulator accepts independent
 /// capacities.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SramCapacities {
     /// IFMAP SRAM capacity in bytes.
     pub ifmap_bytes: u64,
@@ -63,7 +62,7 @@ impl SramCapacities {
 }
 
 /// Systolic-array dataflow: which operand stays resident in the PEs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Dataflow {
     /// Weights pinned in PEs; inputs stream through rows, partial sums move
     /// down columns. TPU-style; the default for the TESA design space.

@@ -195,7 +195,8 @@ pub fn simulate_layer(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tesa_util::propcheck::{check, ranged, Config};
+    use tesa_util::{prop_assert, prop_assert_eq};
     use tesa_workloads::LayerKind;
 
     fn conv_layer(ih: u32, ic: u32, k: u32, oc: u32) -> Layer {
@@ -298,55 +299,105 @@ mod tests {
         assert_eq!(r.dram_traffic.ifmap, layer.ifmap_bytes());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn macs_invariant_across_dataflows() {
+        check(
+            Config::with_cases(64),
+            (ranged(1u32..512), ranged(1u32..512), ranged(1u32..512), ranged(4u32..8)),
+            |(m, k, n, dim_pow)| {
+                let layer = Layer::new("g", LayerKind::Gemm { m, k, n });
+                let array = ArrayConfig::square(1 << dim_pow);
+                for df in [
+                    Dataflow::WeightStationary,
+                    Dataflow::OutputStationary,
+                    Dataflow::InputStationary,
+                ] {
+                    let r = simulate_layer(&layer, array, big_sram(), df);
+                    prop_assert_eq!(r.macs, u64::from(m) * u64::from(k) * u64::from(n));
+                    prop_assert!(r.utilization <= 1.0 + 1e-12);
+                    prop_assert!(r.cycles > 0);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn macs_invariant_across_dataflows(
-            m in 1u32..512, k in 1u32..512, n in 1u32..512, dim_pow in 4u32..8
-        ) {
-            let layer = Layer::new("g", LayerKind::Gemm { m, k, n });
-            let array = ArrayConfig::square(1 << dim_pow);
-            for df in [Dataflow::WeightStationary, Dataflow::OutputStationary, Dataflow::InputStationary] {
-                let r = simulate_layer(&layer, array, big_sram(), df);
-                prop_assert_eq!(r.macs, u64::from(m) * u64::from(k) * u64::from(n));
-                prop_assert!(r.utilization <= 1.0 + 1e-12);
-                prop_assert!(r.cycles > 0);
-            }
-        }
+    #[test]
+    fn bigger_array_never_slower() {
+        check(
+            Config::with_cases(64),
+            (ranged(1u32..512), ranged(1u32..512), ranged(1u32..2048)),
+            |(m, k, n)| {
+                let layer = Layer::new("g", LayerKind::Gemm { m, k, n });
+                let small = simulate_layer(
+                    &layer,
+                    ArrayConfig::square(32),
+                    big_sram(),
+                    Dataflow::WeightStationary,
+                );
+                let large = simulate_layer(
+                    &layer,
+                    ArrayConfig::square(128),
+                    big_sram(),
+                    Dataflow::WeightStationary,
+                );
+                prop_assert!(large.cycles <= small.cycles);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn bigger_array_never_slower(
-            m in 1u32..512, k in 1u32..512, n in 1u32..2048
-        ) {
-            let layer = Layer::new("g", LayerKind::Gemm { m, k, n });
-            let small = simulate_layer(&layer, ArrayConfig::square(32), big_sram(), Dataflow::WeightStationary);
-            let large = simulate_layer(&layer, ArrayConfig::square(128), big_sram(), Dataflow::WeightStationary);
-            prop_assert!(large.cycles <= small.cycles);
-        }
+    #[test]
+    fn bigger_sram_never_more_dram_traffic() {
+        check(
+            Config::with_cases(64),
+            (
+                ranged(1u32..256),
+                ranged(1u32..256),
+                ranged(1u32..256),
+                ranged(2u64..64),
+                ranged(2u64..64),
+            ),
+            |(m, k, n, kib_small, factor)| {
+                let layer = Layer::new("g", LayerKind::Gemm { m, k, n });
+                let array = ArrayConfig::square(64);
+                let a = simulate_layer(
+                    &layer,
+                    array,
+                    SramCapacities::uniform_kib(kib_small),
+                    Dataflow::WeightStationary,
+                );
+                let b = simulate_layer(
+                    &layer,
+                    array,
+                    SramCapacities::uniform_kib(kib_small * factor),
+                    Dataflow::WeightStationary,
+                );
+                prop_assert!(b.dram_traffic.total() <= a.dram_traffic.total());
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn bigger_sram_never_more_dram_traffic(
-            m in 1u32..256, k in 1u32..256, n in 1u32..256,
-            kib_small in 2u64..64, factor in 2u64..64
-        ) {
-            let layer = Layer::new("g", LayerKind::Gemm { m, k, n });
-            let array = ArrayConfig::square(64);
-            let a = simulate_layer(&layer, array, SramCapacities::uniform_kib(kib_small), Dataflow::WeightStationary);
-            let b = simulate_layer(&layer, array, SramCapacities::uniform_kib(kib_small * factor), Dataflow::WeightStationary);
-            prop_assert!(b.dram_traffic.total() <= a.dram_traffic.total());
-        }
-
-        #[test]
-        fn dram_traffic_at_least_compulsory(
-            m in 1u32..256, k in 1u32..256, n in 1u32..256, kib in 2u64..4096
-        ) {
-            let layer = Layer::new("g", LayerKind::Gemm { m, k, n });
-            let r = simulate_layer(&layer, ArrayConfig::square(64), SramCapacities::uniform_kib(kib), Dataflow::WeightStationary);
-            prop_assert!(r.dram_traffic.ifmap >= layer.ifmap_bytes());
-            prop_assert!(r.dram_traffic.filter >= layer.filter_bytes());
-            prop_assert!(r.dram_traffic.ofmap >= layer.ofmap_bytes());
-        }
+    #[test]
+    fn dram_traffic_at_least_compulsory() {
+        check(
+            Config::with_cases(64),
+            (ranged(1u32..256), ranged(1u32..256), ranged(1u32..256), ranged(2u64..4096)),
+            |(m, k, n, kib)| {
+                let layer = Layer::new("g", LayerKind::Gemm { m, k, n });
+                let r = simulate_layer(
+                    &layer,
+                    ArrayConfig::square(64),
+                    SramCapacities::uniform_kib(kib),
+                    Dataflow::WeightStationary,
+                );
+                prop_assert!(r.dram_traffic.ifmap >= layer.ifmap_bytes());
+                prop_assert!(r.dram_traffic.filter >= layer.filter_bytes());
+                prop_assert!(r.dram_traffic.ofmap >= layer.ofmap_bytes());
+                Ok(())
+            },
+        );
     }
 }
 

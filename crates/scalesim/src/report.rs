@@ -1,9 +1,8 @@
 //! Per-layer and per-DNN simulation reports.
 
-use serde::{Deserialize, Serialize};
 
 /// Byte counts for the three operands (IFMAP, FILTER, OFMAP).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OperandTraffic {
     /// IFMAP bytes.
     pub ifmap: u64,
@@ -38,7 +37,7 @@ impl std::iter::Sum for OperandTraffic {
 }
 
 /// Simulation result for a single layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerReport {
     /// Layer name, copied from the workload description.
     pub name: String,
@@ -63,7 +62,7 @@ impl LayerReport {
 }
 
 /// Simulation result for a whole DNN on one accelerator configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DnnReport {
     /// Network name.
     pub dnn_name: String,

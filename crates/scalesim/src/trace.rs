@@ -8,11 +8,10 @@
 //! the event view agree exactly).
 
 use crate::config::{ArrayConfig, Dataflow};
-use serde::{Deserialize, Serialize};
 use tesa_workloads::Layer;
 
 /// One fold of a layer's execution on the array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FoldEvent {
     /// Cycle at which the fold begins (0-based, within the layer).
     pub start_cycle: u64,
@@ -33,7 +32,7 @@ impl FoldEvent {
 }
 
 /// The complete fold schedule of one layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoldTrace {
     /// Temporal steps per fold (`t` of the mapping).
     pub temporal_steps: u64,
@@ -120,7 +119,8 @@ mod tests {
     use super::*;
     use crate::layer_sim::simulate_layer;
     use crate::SramCapacities;
-    use proptest::prelude::*;
+    use tesa_util::propcheck::{check, ranged, Config};
+    use tesa_util::{prop_assert, prop_assert_eq};
     use tesa_workloads::LayerKind;
 
     fn gemm(m: u32, k: u32, n: u32) -> Layer {
@@ -167,42 +167,52 @@ mod tests {
         assert!(occ <= 1.0);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn trace_and_closed_form_agree_everywhere() {
+        check(
+            Config::with_cases(96),
+            (ranged(1u32..300), ranged(1u32..300), ranged(1u32..300), ranged(3u32..8)),
+            |(m, k, n, dim_pow)| {
+                let layer = gemm(m, k, n);
+                let array = ArrayConfig::square(1 << dim_pow);
+                for df in [
+                    Dataflow::WeightStationary,
+                    Dataflow::OutputStationary,
+                    Dataflow::InputStationary,
+                ] {
+                    let trace = trace_layer(&layer, array, df);
+                    let closed =
+                        simulate_layer(&layer, array, SramCapacities::uniform_kib(64), df);
+                    prop_assert_eq!(trace.total_cycles(), closed.cycles, "{} mismatch", df);
+                    // Fold count matches the ceil-division grid.
+                    let (sr, sc) = match df {
+                        Dataflow::WeightStationary => (k, m),
+                        Dataflow::OutputStationary => (n, m),
+                        Dataflow::InputStationary => (k, n),
+                    };
+                    let expected = u64::from(sr).div_ceil(u64::from(array.rows))
+                        * u64::from(sc).div_ceil(u64::from(array.cols));
+                    prop_assert_eq!(trace.len() as u64, expected);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn trace_and_closed_form_agree_everywhere(
-            m in 1u32..300, k in 1u32..300, n in 1u32..300,
-            dim_pow in 3u32..8,
-        ) {
-            let layer = gemm(m, k, n);
-            let array = ArrayConfig::square(1 << dim_pow);
-            for df in [Dataflow::WeightStationary, Dataflow::OutputStationary, Dataflow::InputStationary] {
-                let trace = trace_layer(&layer, array, df);
-                let closed = simulate_layer(&layer, array, SramCapacities::uniform_kib(64), df);
-                prop_assert_eq!(trace.total_cycles(), closed.cycles, "{} mismatch", df);
-                // Fold count matches the ceil-division grid.
-                let (sr, sc) = match df {
-                    Dataflow::WeightStationary => (k, m),
-                    Dataflow::OutputStationary => (n, m),
-                    Dataflow::InputStationary => (k, n),
-                };
-                let expected = u64::from(sr).div_ceil(u64::from(array.rows))
-                    * u64::from(sc).div_ceil(u64::from(array.cols));
-                prop_assert_eq!(trace.len() as u64, expected);
-            }
-        }
-
-        #[test]
-        fn no_fold_exceeds_the_array(
-            m in 1u32..500, k in 1u32..500, n in 1u32..100, dim_pow in 3u32..8
-        ) {
-            let array = ArrayConfig::square(1 << dim_pow);
-            let trace = trace_layer(&gemm(m, k, n), array, Dataflow::WeightStationary);
-            for f in &trace.folds {
-                prop_assert!(f.rows_used <= array.rows && f.cols_used <= array.cols);
-                prop_assert!(f.rows_used > 0 && f.cols_used > 0);
-            }
-        }
+    #[test]
+    fn no_fold_exceeds_the_array() {
+        check(
+            Config::with_cases(96),
+            (ranged(1u32..500), ranged(1u32..500), ranged(1u32..100), ranged(3u32..8)),
+            |(m, k, n, dim_pow)| {
+                let array = ArrayConfig::square(1 << dim_pow);
+                let trace = trace_layer(&gemm(m, k, n), array, Dataflow::WeightStationary);
+                for f in &trace.folds {
+                    prop_assert!(f.rows_used <= array.rows && f.cols_used <= array.cols);
+                    prop_assert!(f.rows_used > 0 && f.cols_used > 0);
+                }
+                Ok(())
+            },
+        );
     }
 }

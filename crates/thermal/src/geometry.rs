@@ -1,9 +1,8 @@
 //! Planar geometry helpers shared by the thermal grid.
 
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle in package coordinates (meters).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Left edge (m).
     pub x: f64,

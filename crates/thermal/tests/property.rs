@@ -1,8 +1,9 @@
 //! Property-based tests of the steady-state solver: for arbitrary
 //! power injections the solution must be physical.
 
-use proptest::prelude::*;
 use tesa_thermal::{Rect, StackBuilder, ThermalModel};
+use tesa_util::propcheck::{check, ranged, vec_of, Config};
+use tesa_util::prop_assert;
 
 const AMBIENT: f64 = 45.0;
 
@@ -16,43 +17,53 @@ fn model() -> ThermalModel {
         .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn cfg() -> Config {
+    Config::with_cases(24)
+}
 
-    #[test]
-    fn temperatures_bounded_below_by_ambient_and_finite(
-        sources in prop::collection::vec(
-            (0.0f64..6.0e-3, 0.0f64..6.0e-3, 0.5f64..2.0e3, 0.5f64..2.0e3, 0.0f64..3.0),
+#[test]
+fn temperatures_bounded_below_by_ambient_and_finite() {
+    check(
+        cfg(),
+        vec_of(
+            (
+                ranged(0.0f64..6.0e-3),
+                ranged(0.0f64..6.0e-3),
+                ranged(0.5f64..2.0e3),
+                ranged(0.5f64..2.0e3),
+                ranged(0.0f64..3.0),
+            ),
             1..5,
-        )
-    ) {
-        let m = model();
-        let mut p = m.zero_power();
-        let mut total = 0.0;
-        for (x, y, w_um, h_um, watts) in sources {
-            let rect = Rect::new(x, y, w_um * 1e-6 + 1e-4, h_um * 1e-6 + 1e-4);
-            if rect.x2() <= 8e-3 && rect.y2() <= 8e-3 {
-                p.add_uniform_rect(1, rect, watts);
-                total += watts;
+        ),
+        |sources| {
+            let m = model();
+            let mut p = m.zero_power();
+            let mut total = 0.0;
+            for (x, y, w_um, h_um, watts) in sources {
+                let rect = Rect::new(x, y, w_um * 1e-6 + 1e-4, h_um * 1e-6 + 1e-4);
+                if rect.x2() <= 8e-3 && rect.y2() <= 8e-3 {
+                    p.add_uniform_rect(1, rect, watts);
+                    total += watts;
+                }
             }
-        }
-        let f = m.solve(&p);
-        for l in 0..f.num_layers() {
-            for &t in f.layer(l) {
-                prop_assert!(t.is_finite());
-                prop_assert!(t >= AMBIENT - 1e-6, "below ambient: {t}");
+            let f = m.solve(&p);
+            for l in 0..f.num_layers() {
+                for &t in f.layer(l) {
+                    prop_assert!(t.is_finite());
+                    prop_assert!(t >= AMBIENT - 1e-6, "below ambient: {t}");
+                }
             }
-        }
-        // Lumped bound: mean rise through the convection path is P * R.
-        let mean_top = f.layer_mean_c(f.num_layers() - 1);
-        prop_assert!(mean_top <= AMBIENT + total * 0.4 + 1.0);
-    }
+            // Lumped bound: mean rise through the convection path is P * R.
+            let mean_top = f.layer_mean_c(f.num_layers() - 1);
+            prop_assert!(mean_top <= AMBIENT + total * 0.4 + 1.0);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn peak_monotone_in_power(
-        watts_a in 0.1f64..4.0,
-        extra in 0.1f64..4.0,
-    ) {
+#[test]
+fn peak_monotone_in_power() {
+    check(cfg(), (ranged(0.1f64..4.0), ranged(0.1f64..4.0)), |(watts_a, extra)| {
         let m = model();
         let rect = Rect::new(2e-3, 2e-3, 2e-3, 2e-3);
         let mut pa = m.zero_power();
@@ -60,32 +71,36 @@ proptest! {
         let mut pb = m.zero_power();
         pb.add_uniform_rect(1, rect, watts_a + extra);
         prop_assert!(m.solve(&pb).peak_c() > m.solve(&pa).peak_c());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn peak_cell_is_inside_the_heated_region(
-        ix in 0usize..12,
-        iy in 0usize..12,
-        watts in 0.5f64..4.0,
-    ) {
-        let m = model();
-        let cell = 0.5e-3; // 16-cell grid over 8 mm
-        let rect = Rect::new(ix as f64 * cell, iy as f64 * cell, 4.0 * cell, 4.0 * cell);
-        let mut p = m.zero_power();
-        p.add_uniform_rect(1, rect, watts);
-        let f = m.solve(&p);
-        // Find the argmax on the heated layer.
-        let layer = f.layer(1);
-        let (mut best, mut arg) = (f64::NEG_INFINITY, 0);
-        for (i, &t) in layer.iter().enumerate() {
-            if t > best {
-                best = t;
-                arg = i;
+#[test]
+fn peak_cell_is_inside_the_heated_region() {
+    check(
+        cfg(),
+        (ranged(0usize..12), ranged(0usize..12), ranged(0.5f64..4.0)),
+        |(ix, iy, watts)| {
+            let m = model();
+            let cell = 0.5e-3; // 16-cell grid over 8 mm
+            let rect = Rect::new(ix as f64 * cell, iy as f64 * cell, 4.0 * cell, 4.0 * cell);
+            let mut p = m.zero_power();
+            p.add_uniform_rect(1, rect, watts);
+            let f = m.solve(&p);
+            // Find the argmax on the heated layer.
+            let layer = f.layer(1);
+            let (mut best, mut arg) = (f64::NEG_INFINITY, 0);
+            for (i, &t) in layer.iter().enumerate() {
+                if t > best {
+                    best = t;
+                    arg = i;
+                }
             }
-        }
-        let (px, py) = (arg % 16, arg / 16);
-        // Peak within (or adjacent to) the heated cells.
-        prop_assert!(px + 1 >= ix && px <= ix + 4, "peak x {px} outside {ix}..{}", ix + 4);
-        prop_assert!(py + 1 >= iy && py <= iy + 4, "peak y {py} outside {iy}..{}", iy + 4);
-    }
+            let (px, py) = (arg % 16, arg / 16);
+            // Peak within (or adjacent to) the heated cells.
+            prop_assert!(px + 1 >= ix && px <= ix + 4, "peak x {px} outside {ix}..{}", ix + 4);
+            prop_assert!(py + 1 >= iy && py <= iy + 4, "peak y {py} outside {iy}..{}", iy + 4);
+            Ok(())
+        },
+    );
 }

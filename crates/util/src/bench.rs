@@ -1,0 +1,234 @@
+//! A lightweight benchmark harness (criterion replacement).
+//!
+//! Each bench target is a plain binary (`harness = false`) that registers
+//! closures with a [`BenchRunner`]. Every benchmark runs a warmup phase
+//! followed by N timed iterations and reports the median and p95 iteration
+//! time in an aligned table.
+//!
+//! Command-line flags (unknown flags, like cargo's own `--bench`, are
+//! ignored):
+//!
+//! * `--bench-filter SUBSTRING` — run only benchmarks whose name contains
+//!   the substring (a bare positional token works too);
+//! * `--warmup N` — warmup iterations per benchmark (default 3);
+//! * `--iters N` — timed iterations per benchmark (default 15).
+//!
+//! # Examples
+//!
+//! ```
+//! use tesa_util::bench::BenchRunner;
+//!
+//! let mut runner = BenchRunner::new();
+//! runner.bench("square", || 42u64 * 42);
+//! let report = runner.finish();
+//! assert!(report.contains("square"));
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Collects and times benchmarks, then renders a report table.
+#[derive(Debug)]
+pub struct BenchRunner {
+    filter: Option<String>,
+    warmup: u32,
+    iters: u32,
+    results: Vec<BenchResult>,
+    skipped: usize,
+}
+
+#[derive(Debug)]
+struct BenchResult {
+    name: String,
+    median: Duration,
+    p95: Duration,
+    iters: u32,
+}
+
+impl Default for BenchRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BenchRunner {
+    /// A runner with default settings and no filter.
+    pub fn new() -> Self {
+        Self { filter: None, warmup: 3, iters: 15, results: Vec::new(), skipped: 0 }
+    }
+
+    /// A runner configured from the process command line (see the module
+    /// docs for the recognized flags).
+    pub fn from_env_args() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// A runner configured from an explicit token stream.
+    pub fn from_args<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut runner = Self::new();
+        let mut iter = tokens.into_iter();
+        while let Some(tok) = iter.next() {
+            match tok.as_str() {
+                "--bench-filter" => runner.filter = iter.next(),
+                "--warmup" => {
+                    if let Some(n) = iter.next().and_then(|v| v.parse().ok()) {
+                        runner.warmup = n;
+                    }
+                }
+                "--iters" => {
+                    if let Some(n) = iter.next().and_then(|v| v.parse().ok()) {
+                        runner.iters = n;
+                    }
+                }
+                other if !other.starts_with('-') => runner.filter = Some(other.to_owned()),
+                _ => {} // cargo bench passes e.g. `--bench`; ignore.
+            }
+        }
+        runner
+    }
+
+    /// Restricts the run to benchmarks whose name contains `filter`.
+    pub fn set_filter<S: Into<String>>(&mut self, filter: S) {
+        self.filter = Some(filter.into());
+    }
+
+    /// Times `f` (warmup + timed iterations) under `name`, unless filtered
+    /// out. The closure's return value is passed through [`black_box`] so
+    /// the measured work is not optimized away.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let n = self.iters.max(1);
+        let mut samples: Vec<Duration> = (0..n)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let p95 = samples[((samples.len() as f64 * 0.95) as usize).min(samples.len() - 1)];
+        let result = BenchResult { name: name.to_owned(), median, p95, iters: n };
+        eprintln!(
+            "bench {:<44} median {:>12}  p95 {:>12}  ({} iters)",
+            result.name,
+            format_duration(result.median),
+            format_duration(result.p95),
+            result.iters
+        );
+        self.results.push(result);
+    }
+
+    /// Renders the report table and returns it (callers usually print it).
+    pub fn finish(self) -> String {
+        let mut out = String::new();
+        let name_w =
+            self.results.iter().map(|r| r.name.len()).max().unwrap_or(9).max("benchmark".len());
+        out.push_str(&format!(
+            "{:<name_w$}  {:>12}  {:>12}  {:>6}\n",
+            "benchmark", "median", "p95", "iters"
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(name_w + 38)));
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>12}  {:>12}  {:>6}\n",
+                r.name,
+                format_duration(r.median),
+                format_duration(r.p95),
+                r.iters
+            ));
+        }
+        if self.skipped > 0 {
+            out.push_str(&format!("({} benchmark(s) filtered out)\n", self.skipped));
+        }
+        out
+    }
+
+    /// Runs `finish` and prints the report to stdout — the usual last line
+    /// of a bench target's `main`.
+    pub fn report(self) {
+        println!("\n{}", self.finish());
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports_a_benchmark() {
+        let mut r = BenchRunner::new();
+        r.warmup = 1;
+        r.iters = 5;
+        let mut acc = 0u64;
+        r.bench("acc", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        let report = r.finish();
+        assert!(report.contains("acc"));
+        assert!(report.contains("median"));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = BenchRunner::from_args(["--bench-filter".to_owned(), "thermal".to_owned()]);
+        r.iters = 1;
+        r.warmup = 0;
+        let mut ran = false;
+        r.bench("scalesim/unet", || ran = true);
+        assert!(!ran, "filtered benchmark must not run");
+        r.bench("thermal/solve", || ran = true);
+        assert!(ran);
+        assert!(r.finish().contains("filtered out"));
+    }
+
+    #[test]
+    fn positional_token_acts_as_filter() {
+        let r = BenchRunner::from_args(["eval".to_owned()]);
+        assert_eq!(r.filter.as_deref(), Some("eval"));
+    }
+
+    #[test]
+    fn cargo_bench_flag_is_ignored() {
+        let r = BenchRunner::from_args(["--bench".to_owned()]);
+        assert_eq!(r.filter, None);
+    }
+
+    #[test]
+    fn args_configure_iterations() {
+        let r = BenchRunner::from_args(
+            ["--warmup", "7", "--iters", "21"].map(str::to_owned),
+        );
+        assert_eq!((r.warmup, r.iters), (7, 21));
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(format_duration(Duration::from_micros(500)).ends_with("us"));
+        assert!(format_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(50)).ends_with(" s"));
+    }
+}

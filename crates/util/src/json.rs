@@ -1,0 +1,214 @@
+//! A hand-written minimal JSON emitter.
+//!
+//! Replaces the `serde` derive machinery for the workspace's
+//! machine-readable outputs (the CLI's `--json` reports). Only emission is
+//! provided — the workspace never parses JSON.
+//!
+//! Non-finite floats have no JSON representation and are emitted as
+//! `null`; 64-bit integers are kept exact via dedicated variants.
+//!
+//! # Examples
+//!
+//! ```
+//! use tesa_util::Json;
+//!
+//! let j = Json::obj([
+//!     ("design", Json::str("128x128")),
+//!     ("peak_c", Json::f64(71.25)),
+//!     ("feasible", Json::Bool(true)),
+//! ]);
+//! assert_eq!(
+//!     j.to_string(),
+//!     r#"{"design":"128x128","peak_c":71.25,"feasible":true}"#
+//! );
+//! ```
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A 64-bit unsigned integer, emitted exactly.
+    U64(u64),
+    /// A 64-bit signed integer, emitted exactly.
+    I64(i64),
+    /// A double (non-finite values emit as `null`).
+    F64(f64),
+    /// A string (escaped on emission).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str<S: Into<String>>(s: S) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// A float value.
+    pub fn f64(x: f64) -> Self {
+        Json::F64(x)
+    }
+
+    /// An unsigned integer value.
+    pub fn u64<T: Into<u64>>(x: T) -> Self {
+        Json::U64(x.into())
+    }
+
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn arr<I: IntoIterator<Item = Json>>(items: I) -> Self {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::I64(n) => out.push_str(&n.to_string()),
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // `{x}` prints the shortest round-trippable form.
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::F64(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Self {
+        Json::U64(x)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(x: u32) -> Self {
+        Json::U64(u64::from(x))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_emit_canonically() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(false).to_string(), "false");
+        assert_eq!(Json::U64(18_446_744_073_709_551_615).to_string(), "18446744073709551615");
+        assert_eq!(Json::I64(-42).to_string(), "-42");
+        assert_eq!(Json::F64(1.5).to_string(), "1.5");
+        assert_eq!(Json::str("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn floats_round_trip_shortest_form() {
+        assert_eq!(Json::F64(0.1).to_string(), "0.1");
+        assert_eq!(Json::F64(71.25).to_string(), "71.25");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_compose() {
+        let j = Json::obj([
+            ("xs", Json::arr([Json::U64(1), Json::U64(2)])),
+            ("inner", Json::obj([("k", Json::Null)])),
+        ]);
+        assert_eq!(j.to_string(), r#"{"xs":[1,2],"inner":{"k":null}}"#);
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let j = Json::obj([("z", Json::U64(1)), ("a", Json::U64(2))]);
+        assert_eq!(j.to_string(), r#"{"z":1,"a":2}"#);
+    }
+}

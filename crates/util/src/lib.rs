@@ -1,0 +1,31 @@
+//! `tesa-util` — the in-tree evaluation substrates of the TESA workspace.
+//!
+//! The workspace is *hermetic*: it builds and tests offline with an empty
+//! cargo registry. Everything the test suites and experiment harnesses
+//! would normally pull from crates.io lives here instead:
+//!
+//! * [`rng`] — a small deterministic RNG (SplitMix64-seeded xoshiro256++)
+//!   with `gen_range` / `gen_bool` / `shuffle`, replacing `rand`;
+//! * [`propcheck`] — a minimal property-testing harness (generator trait,
+//!   configurable case count, shrinking by halving, seed printed on
+//!   failure), replacing `proptest`;
+//! * [`bench`] — a lightweight benchmark harness (warmup + N timed
+//!   iterations, median/p95 report, name filtering), replacing `criterion`;
+//! * [`json`] — a hand-written minimal JSON emitter, replacing the `serde`
+//!   derive machinery for the report paths that need machine-readable
+//!   output.
+//!
+//! Determinism is a design goal throughout: the RNG is seed-for-seed
+//! reproducible across platforms, and `propcheck` replays any failure from
+//! the seed it prints.
+
+#![forbid(unsafe_code)]
+#![deny(warnings, missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod propcheck;
+pub mod rng;
+
+pub use json::Json;
+pub use rng::Rng;

@@ -1,0 +1,442 @@
+//! A minimal property-based testing harness.
+//!
+//! `propcheck` replaces the external `proptest` crate for this workspace's
+//! needs: draw N random inputs from a generator, run a property on each,
+//! and — on failure — shrink the counterexample by repeatedly halving
+//! toward the generator's lower bound before reporting it together with
+//! the seed that reproduces the run.
+//!
+//! Properties return `Result<(), String>`; the [`prop_assert!`],
+//! [`prop_assert_eq!`] and [`prop_assume!`] macros keep ported test bodies
+//! close to their `proptest` originals.
+//!
+//! # Examples
+//!
+//! ```
+//! use tesa_util::propcheck::{check, ranged, Config};
+//! use tesa_util::prop_assert;
+//!
+//! check(Config::with_cases(64), (ranged(0u32..100), ranged(0u32..100)), |(a, b)| {
+//!     prop_assert!(a + b >= a, "unsigned addition is monotone");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! To replay a failure, set `TESA_PROPCHECK_SEED` to the seed printed in
+//! the panic message.
+//!
+//! [`prop_assert!`]: crate::prop_assert
+//! [`prop_assert_eq!`]: crate::prop_assert_eq
+//! [`prop_assume!`]: crate::prop_assume
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Default seed of a property run (overridable via `TESA_PROPCHECK_SEED`).
+pub const DEFAULT_SEED: u64 = 0x7E5A_C4EC;
+
+/// Harness configuration: number of cases and base seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Base RNG seed; case `i` uses `seed + i`.
+    pub seed: u64,
+    /// Upper bound on successful shrink steps (a safety net).
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let seed = std::env::var("TESA_PROPCHECK_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        Self { cases: 256, seed, max_shrink_steps: 1024 }
+    }
+}
+
+impl Config {
+    /// The default configuration with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+/// A value generator with optional shrinking.
+pub trait Gen {
+    /// The type of generated values.
+    type Value: Debug + Clone;
+
+    /// Draws one random value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. The harness
+    /// keeps the first candidate that still fails the property and repeats
+    /// until no candidate fails. The default generator has nothing to try.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Runs `prop` against `cases` random values from `gen`.
+///
+/// # Panics
+///
+/// Panics on the first failing case, after shrinking, with a message that
+/// includes the seed, the case index, and the minimal failing input.
+pub fn check<G, F>(config: Config, gen: G, prop: F)
+where
+    G: Gen,
+    F: Fn(G::Value) -> Result<(), String>,
+{
+    for case in 0..config.cases {
+        let mut rng = Rng::seed_from_u64(config.seed.wrapping_add(u64::from(case)));
+        let value = gen.generate(&mut rng);
+        if let Err(first_err) = prop(value.clone()) {
+            let (minimal, err, steps) = shrink_failure(&config, &gen, &prop, value, first_err);
+            panic!(
+                "property failed (seed {} case {case}, {steps} shrink steps; \
+                 set TESA_PROPCHECK_SEED={} to replay)\n  minimal failing input: {:?}\n  error: {err}",
+                config.seed, config.seed, minimal
+            );
+        }
+    }
+}
+
+fn shrink_failure<G, F>(
+    config: &Config,
+    gen: &G,
+    prop: &F,
+    mut value: G::Value,
+    mut err: String,
+) -> (G::Value, String, u32)
+where
+    G: Gen,
+    F: Fn(G::Value) -> Result<(), String>,
+{
+    let mut steps = 0;
+    while steps < config.max_shrink_steps {
+        let mut improved = false;
+        for candidate in gen.shrink(&value) {
+            if let Err(e) = prop(candidate.clone()) {
+                value = candidate;
+                err = e;
+                improved = true;
+                steps += 1;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (value, err, steps)
+}
+
+// ---------------------------------------------------------------- ranges
+
+/// A generator drawing uniformly from a half-open range, shrinking toward
+/// the range's lower bound by halving.
+#[derive(Debug, Clone)]
+pub struct Ranged<T> {
+    range: Range<T>,
+}
+
+/// Uniform values from `range`, e.g. `ranged(1u32..300)` or
+/// `ranged(0.5f64..4.0)`.
+pub fn ranged<T>(range: Range<T>) -> Ranged<T> {
+    Ranged { range }
+}
+
+macro_rules! impl_gen_int {
+    ($($t:ty),*) => {$(
+        impl Gen for Ranged<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.range.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.range.start;
+                let mut out = Vec::new();
+                if *value > lo {
+                    // Simplest first: the lower bound, then the halfway
+                    // point, then one step down.
+                    out.push(lo);
+                    let half = lo + (*value - lo) / 2;
+                    if half != lo && half != *value {
+                        out.push(half);
+                    }
+                    if *value - 1 != lo && (*value - 1) != half {
+                        out.push(*value - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_gen_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Gen for Ranged<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.range.clone())
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let lo = self.range.start;
+        let mut out = Vec::new();
+        if *value > lo {
+            out.push(lo);
+            let half = lo + (*value - lo) / 2.0;
+            if half > lo && half < *value {
+                out.push(half);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- vectors
+
+/// A generator of vectors with a length drawn from a range; see [`vec_of`].
+#[derive(Debug, Clone)]
+pub struct VecOf<G> {
+    element: G,
+    len: Range<usize>,
+}
+
+/// Vectors of `len` elements from `element`, e.g.
+/// `vec_of(ranged(1u64..100), 1..12)`. Shrinks by halving the length, then
+/// by shrinking individual elements.
+pub fn vec_of<G: Gen>(element: G, len: Range<usize>) -> VecOf<G> {
+    VecOf { element, len }
+}
+
+impl<G: Gen> Gen for VecOf<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let min = self.len.start;
+        // Halve the length (keeping a prefix) while respecting the minimum.
+        if value.len() > min {
+            let half = min.max(value.len() / 2);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        // Shrink each element once, holding the rest fixed.
+        for (i, v) in value.iter().enumerate() {
+            if let Some(simpler) = self.element.shrink(v).into_iter().next() {
+                let mut copy = value.clone();
+                copy[i] = simpler;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! impl_gen_tuple {
+    ($(($($g:ident $idx:tt),+);)+) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = candidate;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_gen_tuple! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Asserts a condition inside a property, failing the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property, failing the case with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!("assertion failed: {:?} != {:?}", lhs, rhs));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!(
+                "assertion failed: {:?} != {:?}: {}",
+                lhs, rhs, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (treated as a pass) when a precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check(Config::with_cases(50), ranged(0u32..100), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            check(Config { cases: 64, seed: 1, max_shrink_steps: 64 }, ranged(0u32..100), |x| {
+                if x >= 10 {
+                    Err(format!("{x} too big"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().expect("string panic");
+        assert!(msg.contains("seed 1"), "seed missing from: {msg}");
+        assert!(msg.contains("TESA_PROPCHECK_SEED"), "replay hint missing: {msg}");
+    }
+
+    #[test]
+    fn shrinking_reaches_the_minimal_counterexample() {
+        // Property fails for x >= 10; halving from any failing draw must
+        // land exactly on the boundary value 10.
+        let result = std::panic::catch_unwind(|| {
+            check(Config { cases: 32, seed: 3, max_shrink_steps: 256 }, ranged(0u32..1000), |x| {
+                if x >= 10 {
+                    Err("boundary".into())
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().expect("string panic");
+        assert!(
+            msg.contains("minimal failing input: 10"),
+            "shrinker did not reach 10: {msg}"
+        );
+    }
+
+    #[test]
+    fn tuple_components_shrink_independently() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                Config { cases: 16, seed: 5, max_shrink_steps: 256 },
+                (ranged(0u64..500), ranged(0u64..500)),
+                |(a, b)| {
+                    if a >= 7 && b >= 3 {
+                        Err("both big".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().expect("string panic");
+        assert!(msg.contains("(7, 3)"), "expected minimal (7, 3), got: {msg}");
+    }
+
+    #[test]
+    fn vec_generator_respects_length_bounds() {
+        check(Config::with_cases(64), vec_of(ranged(1u64..50), 2..6), |v| {
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| (1..50).contains(&x)));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn vec_shrinks_toward_short_vectors() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                Config { cases: 16, seed: 9, max_shrink_steps: 512 },
+                vec_of(ranged(0u32..100), 1..10),
+                |v| {
+                    if v.len() >= 3 {
+                        Err("long".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().expect("string panic");
+        // Minimal vector violating len < 3 has exactly 3 elements, all 0.
+        assert!(msg.contains("[0, 0, 0]"), "expected [0, 0, 0], got: {msg}");
+    }
+
+    #[test]
+    fn assume_skips_without_failing() {
+        check(Config::with_cases(64), (ranged(0u32..10), ranged(0u32..10)), |(a, b)| {
+            prop_assume!(a < b);
+            prop_assert!(b > a);
+            Ok(())
+        });
+    }
+}

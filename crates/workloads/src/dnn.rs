@@ -1,7 +1,6 @@
 //! A DNN as an ordered list of layers.
 
 use crate::layer::Layer;
-use serde::{Deserialize, Serialize};
 
 /// A deep neural network described layer by layer.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(net.num_layers() > 20);
 /// assert!(net.total_macs() > 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dnn {
     name: String,
     layers: Vec<Layer>,

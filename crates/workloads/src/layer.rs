@@ -1,13 +1,12 @@
 //! Layer-wise DNN descriptors.
 
-use serde::{Deserialize, Serialize};
 
 /// The computational shape of a single DNN layer.
 ///
 /// Every variant reduces to a GEMM-like workload that a systolic array
 /// executes; see [`Layer::gemm_dims`]. All tensors use 8-bit integer data
 /// (one byte per element) at batch size 1, as in the paper's AR/VR setting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Standard 2-D convolution.
     Conv {
@@ -80,7 +79,7 @@ pub enum LayerKind {
 /// assert_eq!(conv1.ofmap_dims(), (112, 112));
 /// assert_eq!(conv1.macs(), 112 * 112 * 64 * 7 * 7 * 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layer {
     name: String,
     kind: LayerKind,

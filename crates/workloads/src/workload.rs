@@ -2,10 +2,9 @@
 
 use crate::dnn::Dnn;
 use crate::zoo;
-use serde::{Deserialize, Serialize};
 
 /// Index of a DNN within a [`MultiDnnWorkload`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DnnId(pub usize);
 
 impl std::fmt::Display for DnnId {
@@ -31,7 +30,7 @@ impl std::fmt::Display for DnnId {
 /// let heaviest = w.iter().max_by_key(|d| d.total_macs()).expect("non-empty");
 /// assert_eq!(heaviest.name(), "U-Net");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MultiDnnWorkload {
     dnns: Vec<Dnn>,
 }

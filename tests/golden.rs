@@ -1,0 +1,97 @@
+//! Golden regression tests: pinned outputs of the performance simulator,
+//! the SRAM model, and the thermal evaluation pipeline for representative
+//! designs. All models are pure, deterministic f64 arithmetic, so these
+//! values are exact on any platform; a change here means the underlying
+//! model changed and the paper-facing numbers moved with it.
+
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::Constraints;
+use tesa_memsim::{SramConfig, SramModel};
+use tesa_scalesim::{ArrayConfig, Dataflow, Simulator, SramCapacities};
+use tesa_workloads::{arvr_suite, zoo};
+
+fn assert_close(actual: f64, expected: f64, what: &str) {
+    let tol = expected.abs() * 1e-9 + 1e-12;
+    assert!(
+        (actual - expected).abs() <= tol,
+        "{what}: got {actual:.12e}, pinned {expected:.12e}"
+    );
+}
+
+#[test]
+fn scalesim_cycle_counts_are_pinned() {
+    // (array dim, SRAM KiB) -> exact cycle counts for three zoo DNNs under
+    // weight-stationary dataflow: small edge array, the paper's mid-size
+    // validation point, and a large monolithic-class array.
+    let cases: [(u32, u64, [u64; 3]); 3] = [
+        (32, 256, [6_121_880, 216_268_752, 992_000]),
+        (128, 512, [898_886, 17_700_440, 187_430]),
+        (256, 1024, [434_846, 7_818_202, 116_096]),
+    ];
+    for (dim, kib, [resnet, unet, mobilenet]) in cases {
+        let sim = Simulator::new(
+            ArrayConfig::square(dim),
+            SramCapacities::uniform_kib(kib),
+            Dataflow::WeightStationary,
+        );
+        assert_eq!(
+            sim.simulate_dnn(&zoo::resnet50()).total_cycles,
+            resnet,
+            "resnet50 on {dim}x{dim}/{kib} KiB"
+        );
+        assert_eq!(
+            sim.simulate_dnn(&zoo::unet()).total_cycles,
+            unet,
+            "unet on {dim}x{dim}/{kib} KiB"
+        );
+        assert_eq!(
+            sim.simulate_dnn(&zoo::mobilenet_v1()).total_cycles,
+            mobilenet,
+            "mobilenet_v1 on {dim}x{dim}/{kib} KiB"
+        );
+    }
+}
+
+#[test]
+fn sram_area_and_energy_are_pinned() {
+    let m = SramModel::tech_22nm();
+    let cases: [(u64, [f64; 4]); 3] = [
+        // capacity KiB -> [area mm2, read pJ/B, write pJ/B, leakage mW]
+        (64, [6.9536e-2, 6.86e-1, 7.546e-1, 7.68e-1]),
+        (512, [5.28288e-1, 1.300351513915, 1.430386665306, 6.144]),
+        (4096, [4.198304, 3.038, 3.3418, 4.9152e1]),
+    ];
+    for (kib, [area, read, write, leak]) in cases {
+        let e = m.estimate(SramConfig::with_capacity_kib(kib));
+        assert_close(e.area_mm2, area, &format!("sram {kib} KiB area"));
+        assert_close(e.read_energy_pj_per_byte, read, &format!("sram {kib} KiB read energy"));
+        assert_close(e.write_energy_pj_per_byte, write, &format!("sram {kib} KiB write energy"));
+        assert_close(e.leakage_mw, leak, &format!("sram {kib} KiB leakage"));
+    }
+}
+
+#[test]
+fn thermal_peak_temperatures_are_pinned() {
+    let evaluator =
+        Evaluator::new(arvr_suite(), EvalOptions { grid_cells: 32, ..Default::default() });
+    let c = Constraints::edge_device(15.0, 85.0);
+    // Three representative designs: a small 2D MCM, a mid-size 2D MCM with
+    // wide spacing, and a 3D-stacked MCM (hotter: SRAM under the array).
+    let cases: [(u32, u64, u32, Integration, f64, f64); 3] = [
+        (112, 256, 500, Integration::TwoD, 77.728284338, 9.779194087),
+        (160, 512, 1000, Integration::TwoD, 79.666177355, 10.655104168),
+        (128, 512, 500, Integration::ThreeD, 84.359651415, 12.060040578),
+    ];
+    for (dim, kib, ics, integ, peak_c, cost_usd) in cases {
+        let d = McmDesign {
+            chiplet: ChipletConfig { array_dim: dim, sram_kib_per_bank: kib, integration: integ },
+            ics_um: ics,
+            freq_mhz: 400,
+        };
+        let e = evaluator.evaluate(&d, &c);
+        assert!(!e.thermal_runaway, "{dim}/{kib}/{ics} {integ:?} ran away");
+        assert_close(e.peak_temp_c, peak_c, &format!("{dim}/{kib}/{ics} {integ:?} peak"));
+        assert_close(e.mcm_cost_usd, cost_usd, &format!("{dim}/{kib}/{ics} {integ:?} cost"));
+    }
+}
