@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Hermetic CI for the TESA workspace: offline build, tests, benches
-# compile, lints. Must pass with an empty cargo registry.
+# (run, with JSON artifacts), lints. Must pass with an empty cargo
+# registry.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -8,3 +9,12 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo build --offline --benches --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Bench trend artifacts: short runs, machine-readable. BENCH_*.json land
+# in the repo root (gitignored) for the CI runner to archive and diff
+# against the previous build. Paths are absolute because cargo runs
+# bench binaries from the package directory, not the workspace root.
+cargo bench -q --offline -p tesa-bench --bench bench_thermal -- \
+    --warmup 1 --iters 5 --format json --out "$PWD/BENCH_thermal.json"
+cargo bench -q --offline -p tesa-bench --bench bench_anneal -- \
+    --warmup 1 --iters 3 --format json --out "$PWD/BENCH_anneal.json"

@@ -38,5 +38,28 @@ fn main() {
         optimize(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, &config)
     });
 
+    // Fresh evaluator per iteration: every unique design pays its real
+    // evaluation (including the production-grid steady-state thermal
+    // solves) — the cost profile of the *first* pass over a design space.
+    let cold_space = DesignSpace {
+        array_dims: (96..=160).step_by(32).collect(),
+        sram_kib_options: vec![256, 512],
+        ics_um_options: vec![0, 500],
+    };
+    let cold_config = MsaConfig { moves_per_temp: 3, ..config };
+    runner.bench("anneal/msa_small_space_cold_cache", || {
+        let evaluator =
+            Evaluator::new(arvr_suite(), EvalOptions { lazy: true, ..EvalOptions::default() });
+        optimize(
+            &evaluator,
+            &cold_space,
+            Integration::TwoD,
+            400,
+            &constraints,
+            &objective,
+            &cold_config,
+        )
+    });
+
     runner.report();
 }

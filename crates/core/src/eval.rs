@@ -12,7 +12,8 @@ use crate::power::{
 use crate::sched::{schedule, schedule_naive, Schedule, SchedulerPolicy};
 use crate::tech::TechParams;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use tesa_memsim::{DramPowerModel, DramUsage};
 use tesa_scalesim::{ArrayConfig, Dataflow, DnnReport, Simulator};
@@ -164,6 +165,40 @@ fn constraints_key(c: &Constraints) -> [u64; 6] {
     ]
 }
 
+/// Capacity of the evaluation memo: a full TESA design-space sweep is a
+/// few thousand distinct points, so this keeps every sweep resident while
+/// bounding memory for open-ended callers (long annealing runs over huge
+/// spaces, servers evaluating many workloads through one `Evaluator`).
+const EVAL_CACHE_CAP: usize = 65_536;
+
+/// Size-capped memo for full evaluations: a `HashMap` plus a FIFO of
+/// insertion order. When full, the oldest entry is evicted — revisit
+/// patterns in annealing are dominated by *recent* neighbors, so FIFO
+/// keeps the useful window without LRU bookkeeping on the read path
+/// (reads stay under the `RwLock` read lock, shared across threads).
+#[derive(Default)]
+struct EvalCache {
+    map: HashMap<EvalKey, Arc<McmEvaluation>>,
+    order: VecDeque<EvalKey>,
+}
+
+impl EvalCache {
+    fn get(&self, key: &EvalKey) -> Option<&Arc<McmEvaluation>> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: EvalKey, value: Arc<McmEvaluation>) {
+        if self.map.insert(key, value).is_some() {
+            return; // Re-insert of a racing miss; order entry already queued.
+        }
+        self.order.push_back(key);
+        while self.map.len() > EVAL_CACHE_CAP {
+            let Some(oldest) = self.order.pop_front() else { break };
+            self.map.remove(&oldest);
+        }
+    }
+}
+
 /// Evaluates MCM design points for one workload.
 ///
 /// Performance simulations are memoized per (array, SRAM) pair — ICS and
@@ -175,7 +210,9 @@ pub struct Evaluator {
     opts: EvalOptions,
     perf_cache: RwLock<HashMap<PerfKey, Arc<Vec<DnnReport>>>>,
     thermal_cache: RwLock<HashMap<ThermalKey, Arc<ThermalModel>>>,
-    eval_cache: RwLock<HashMap<EvalKey, Arc<McmEvaluation>>>,
+    eval_cache: RwLock<EvalCache>,
+    eval_hits: AtomicU64,
+    eval_misses: AtomicU64,
     dram: DramPowerModel,
 }
 
@@ -188,7 +225,9 @@ impl Evaluator {
             opts,
             perf_cache: RwLock::new(HashMap::new()),
             thermal_cache: RwLock::new(HashMap::new()),
-            eval_cache: RwLock::new(HashMap::new()),
+            eval_cache: RwLock::new(EvalCache::default()),
+            eval_hits: AtomicU64::new(0),
+            eval_misses: AtomicU64::new(0),
             dram,
         }
     }
@@ -203,11 +242,22 @@ impl Evaluator {
     ) -> Arc<McmEvaluation> {
         let key: EvalKey = (*design, constraints_key(constraints));
         if let Some(hit) = self.eval_cache.read().expect("cache lock poisoned").get(&key) {
+            self.eval_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
+        self.eval_misses.fetch_add(1, Ordering::Relaxed);
         let eval = Arc::new(self.evaluate(design, constraints));
         self.eval_cache.write().expect("cache lock poisoned").insert(key, Arc::clone(&eval));
         eval
+    }
+
+    /// `(hits, misses)` counts of [`Evaluator::evaluate_cached`] since
+    /// construction. A design-space search should see hits dominate once
+    /// it starts revisiting neighbors; a near-zero hit rate means the
+    /// search is exploring an unbounded space and the memo (capped at
+    /// `EVAL_CACHE_CAP` entries, FIFO eviction) is doing little.
+    pub fn eval_cache_stats(&self) -> (u64, u64) {
+        (self.eval_hits.load(Ordering::Relaxed), self.eval_misses.load(Ordering::Relaxed))
     }
 
     /// The workload being targeted.
@@ -525,6 +575,7 @@ impl Evaluator {
         let mut worst_power = 0.0f64;
         let mut guess: Option<Vec<f64>> = None;
         let mut hottest_field: Option<tesa_thermal::ThermalField> = None;
+        let mut pmap = model.zero_power();
 
         for phase in sched.phases() {
             // Dynamic power per chiplet in this phase.
@@ -539,7 +590,7 @@ impl Evaluator {
             let mut last_field: Option<tesa_thermal::ThermalField> = None;
             let mut phase_power = 0.0f64;
             for _iter in 0..LEAK_MAX_ITERS {
-                let mut pmap = model.zero_power();
+                pmap.clear();
                 phase_power = self.inject_phase_power(
                     &mut pmap,
                     layout,
@@ -560,7 +611,12 @@ impl Evaluator {
                     max_delta = max_delta.max((t - temps[c]).abs());
                     temps[c] = t;
                 }
-                guess = Some(field.clone().into_inner());
+                // Warm-start buffer for the next solve; copy into the
+                // existing allocation rather than cloning the field.
+                match guess.as_mut() {
+                    Some(g) => g.copy_from_slice(field.as_slice()),
+                    None => guess = Some(field.as_slice().to_vec()),
+                }
                 let converged = max_delta < LEAK_CONVERGENCE_K;
                 let diverged = temps.iter().any(|&t| t > RUNAWAY_TEMP_C);
                 last_field = Some(field);
@@ -696,6 +752,7 @@ impl Evaluator {
         let mut times = Vec::new();
         let mut peaks = Vec::new();
         let mut t = 0.0f64;
+        let mut pmap = model.zero_power();
         for _ in 0..frames {
             for phase in sched.phases() {
                 let duration = phase
@@ -713,7 +770,7 @@ impl Evaluator {
                         .iter()
                         .map(|r| field.region_mean_c(array_tier, r.0, r.1, r.2, r.3))
                         .collect();
-                    let mut pmap = model.zero_power();
+                    pmap.clear();
                     self.inject_phase_power(
                         &mut pmap,
                         &layout,
@@ -886,6 +943,45 @@ mod tests {
         let eval = e.evaluate(&design(128, 512, Integration::TwoD, 500, 400), &Constraints::default());
         assert_eq!(eval.peak_temp_c, e.options().tech.ambient_c);
         assert!(!eval.violations.iter().any(|v| matches!(v, Violation::Thermal { .. })));
+    }
+
+    #[test]
+    fn eval_cache_counts_hits_and_misses() {
+        let e = evaluator();
+        let d = design(96, 256, Integration::TwoD, 500, 400);
+        let c = Constraints::default();
+        assert_eq!(e.eval_cache_stats(), (0, 0));
+        let first = e.evaluate_cached(&d, &c);
+        assert_eq!(e.eval_cache_stats(), (0, 1));
+        let second = e.evaluate_cached(&d, &c);
+        let _ = e.evaluate_cached(&d, &c);
+        assert_eq!(e.eval_cache_stats(), (2, 1));
+        assert!(Arc::ptr_eq(&first, &second), "hit returns the cached value");
+    }
+
+    #[test]
+    fn eval_cache_evicts_oldest_beyond_capacity() {
+        let e = evaluator();
+        let d = design(96, 256, Integration::TwoD, 500, 400);
+        let c = Constraints::default();
+        let eval = e.evaluate_cached(&d, &c);
+        {
+            // Flood the memo with synthetic keys; the real entry is the
+            // oldest and must be the one evicted.
+            let mut cache = e.eval_cache.write().unwrap();
+            for f in 0..EVAL_CACHE_CAP as u32 {
+                let mut k: EvalKey = (d, constraints_key(&c));
+                k.0.freq_mhz = 100_000 + f;
+                cache.insert(k, Arc::clone(&eval));
+            }
+            assert_eq!(cache.map.len(), EVAL_CACHE_CAP);
+            assert_eq!(cache.order.len(), EVAL_CACHE_CAP);
+            assert!(cache.get(&(d, constraints_key(&c))).is_none());
+        }
+        // A re-request recomputes (a miss), it does not fail.
+        let again = e.evaluate_cached(&d, &c);
+        assert_eq!(again.peak_temp_c, eval.peak_temp_c);
+        assert_eq!(e.eval_cache_stats().0, 0, "no hit: the entry was evicted");
     }
 
     #[test]

@@ -125,6 +125,13 @@ impl ThermalField {
     pub fn into_inner(self) -> Vec<f64> {
         self.temps_c
     }
+
+    /// Borrows the raw per-cell temperatures (bottom layer first,
+    /// row-major within a layer) — the warm-start view used by
+    /// [`crate::ThermalModel::solve_with_guess`] without cloning.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.temps_c
+    }
 }
 
 #[cfg(test)]

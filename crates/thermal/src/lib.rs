@@ -5,8 +5,9 @@
 //! thermal cells stacked through the package layers, with a convection
 //! boundary at the heat-sink surface. This crate implements the same
 //! finite-volume discretization and solves the resulting sparse
-//! symmetric-positive-definite system with a Jacobi-preconditioned
-//! conjugate-gradient solver.
+//! symmetric-positive-definite system with preconditioned conjugate
+//! gradients — geometric multigrid on production-size grids, Jacobi on
+//! small ones (see [`Preconditioner`]).
 //!
 //! Matching the paper's setup: 125 µm grid cells (`detailed_3D`-style
 //! heterogeneous layers via per-cell conductivity patches), 45 °C ambient,
@@ -41,12 +42,13 @@
 mod field;
 mod geometry;
 mod model;
+mod multigrid;
 mod power;
 mod solver;
 mod stack;
 
 pub use field::ThermalField;
 pub use geometry::Rect;
-pub use model::ThermalModel;
+pub use model::{Preconditioner, ThermalModel};
 pub use power::PowerMap;
 pub use stack::StackBuilder;

@@ -1,0 +1,708 @@
+//! Geometric multigrid V-cycle preconditioner for the conductance system.
+//!
+//! The fine grid is the model's `nl x ny x nx` finite-volume network.
+//! Coarsening aggregates 2x2 cells in x/y **within each layer** (layers are
+//! few and strongly coupled vertically, so the stack is never coarsened in
+//! z). With piecewise-constant prolongation over those aggregates, the
+//! Galerkin coarse operator `P^T A P` is again a conductance network:
+//!
+//! * a coarse lateral conductance is the **sum of the fine conductances
+//!   crossing** between the two aggregates,
+//! * a coarse vertical/ambient conductance is the sum over the aggregate,
+//! * the coarse diagonal is the aggregate's diagonal sum minus twice the
+//!   conductances interior to the aggregate.
+//!
+//! So every level is the same kind of SPD system and reuses the same
+//! mat-vec. Smoothing is red-black **z-line Gauss-Seidel**: for each (x, y)
+//! column of one color, the tridiagonal system through the stack is solved
+//! exactly (Thomas algorithm). Point smoothers stall on layered packages
+//! because the thin-layer vertical conductances dwarf the lateral ones;
+//! line relaxation in z removes exactly that stiff direction. The coarsest
+//! level (at most [`COARSE_CELLS`] cells per layer) is solved directly via
+//! a dense Cholesky factorization computed once at setup.
+//!
+//! The V-cycle (one red-black pre-sweep, coarse-grid correction, one
+//! black-red post-sweep) is a symmetric positive-definite linear operator,
+//! as required of a CG preconditioner; used inside
+//! [`crate::ThermalModel::solve`] it cuts iteration counts on the 64x64
+//! production grid from hundreds to tens.
+
+/// Stop coarsening once a level has at most this many cells per layer.
+const COARSE_CELLS: usize = 16;
+
+/// Over-correction factor on the coarse-grid correction. Piecewise-constant
+/// aggregation underestimates the correction's energy norm (the classic
+/// defect of unsmoothed aggregation), and scaling the prolonged correction
+/// recovers most of the lost convergence rate. The preconditioner stays
+/// symmetric for any positive factor.
+const OMEGA: f64 = 1.8;
+
+/// One level of the hierarchy: a conductance network plus its scratch-free
+/// structural data. Level 0 is the fine grid.
+#[derive(Debug, Clone)]
+pub(crate) struct Level {
+    nx: usize,
+    ny: usize,
+    nl: usize,
+    /// Lateral conductance to the +x neighbor: `nl * ny * (nx-1)`.
+    gx: Vec<f64>,
+    /// Lateral conductance to the +y neighbor: `nl * (ny-1) * nx`.
+    gy: Vec<f64>,
+    /// Vertical conductance to the layer above: `(nl-1) * ny * nx`.
+    gz: Vec<f64>,
+    /// Matrix diagonal (includes ambient conductances on the fine grid and
+    /// their aggregate sums on coarse grids).
+    diag: Vec<f64>,
+    /// Precomputed Thomas factors for the z-line solves, per node: the
+    /// modified upper diagonal `c'` and the reciprocal pivot `1/denom`.
+    /// They depend only on `diag`/`gz`, so factoring once at build time
+    /// removes every division from the smoothing sweeps.
+    line_c: Vec<f64>,
+    line_inv: Vec<f64>,
+}
+
+/// The assembled hierarchy plus the coarsest-level Cholesky factor.
+#[derive(Debug, Clone)]
+pub(crate) struct Multigrid {
+    levels: Vec<Level>,
+    /// Lower-triangular Cholesky factor of the coarsest operator, dense
+    /// row-major `n_c x n_c`.
+    chol: Vec<f64>,
+}
+
+/// Per-solve scratch for the V-cycle: one (rhs, x, residual) triple per
+/// level plus Thomas-algorithm workspaces sized to the stack depth.
+#[derive(Debug, Default)]
+pub(crate) struct MgScratch {
+    rhs: Vec<Vec<f64>>,
+    x: Vec<Vec<f64>>,
+    r: Vec<Vec<f64>>,
+    /// Thomas sweep rhs workspace, one `nl * nx` row block (sized for the
+    /// fine level; coarser levels use a prefix).
+    buf: Vec<f64>,
+}
+
+impl MgScratch {
+    fn ensure(&mut self, mg: &Multigrid) {
+        if self.rhs.len() != mg.levels.len() {
+            self.rhs = mg.levels.iter().map(|l| vec![0.0; l.n()]).collect();
+            self.x = mg.levels.iter().map(|l| vec![0.0; l.n()]).collect();
+            self.r = mg.levels.iter().map(|l| vec![0.0; l.n()]).collect();
+        }
+        let need = mg.levels[0].nl * mg.levels[0].nx;
+        if self.buf.len() != need {
+            self.buf = vec![0.0; need];
+        }
+    }
+}
+
+/// The `gx` row for one `(layer, iy)` pair: `nx - 1` +x-edge conductances.
+#[inline]
+fn gx_row(gx: &[f64], l: usize, iy: usize, nx: usize, ny: usize) -> &[f64] {
+    &gx[l * ny * (nx - 1) + iy * (nx - 1)..]
+}
+
+impl Level {
+    fn new(
+        nx: usize,
+        ny: usize,
+        nl: usize,
+        gx: Vec<f64>,
+        gy: Vec<f64>,
+        gz: Vec<f64>,
+        diag: Vec<f64>,
+    ) -> Self {
+        let mut level =
+            Self { nx, ny, nl, gx, gy, gz, diag, line_c: Vec::new(), line_inv: Vec::new() };
+        level.factor_lines();
+        level
+    }
+
+    /// Factors every z-line tridiagonal (Thomas forward elimination on
+    /// `diag`/`-gz`) so the smoothing sweeps are division-free.
+    fn factor_lines(&mut self) {
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let plane = ny * nx;
+        let n = self.n();
+        self.line_c = vec![0.0; n];
+        self.line_inv = vec![0.0; n];
+        for c in 0..plane {
+            let mut denom = self.diag[c];
+            self.line_inv[c] = 1.0 / denom;
+            if nl > 1 {
+                self.line_c[c] = -self.gz[c] / denom;
+            }
+            for l in 1..nl {
+                let i = l * plane + c;
+                // denom_l = diag_l - gz_{l-1}^2 / denom_{l-1}.
+                denom = self.diag[i] + self.gz[(l - 1) * plane + c] * self.line_c[i - plane];
+                self.line_inv[i] = 1.0 / denom;
+                if l + 1 < nl {
+                    self.line_c[i] = -self.gz[l * plane + c] / denom;
+                }
+            }
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.nl * self.ny * self.nx
+    }
+
+    #[inline]
+    fn idx(&self, l: usize, ix: usize, iy: usize) -> usize {
+        l * self.ny * self.nx + iy * self.nx + ix
+    }
+
+    /// `y = A x` in gather form (every output cell is written exactly once).
+    #[cfg(test)]
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        crate::model::apply_network(
+            self.nx, self.ny, self.nl, &self.gx, &self.gy, &self.gz, &self.diag, x, y,
+        );
+    }
+
+    /// Builds the Galerkin coarse level under 2x aggregation in x and y.
+    fn coarsen(&self) -> Level {
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let nxc = nx.div_ceil(2);
+        let nyc = ny.div_ceil(2);
+        let mut c = Level {
+            nx: nxc,
+            ny: nyc,
+            nl,
+            gx: vec![0.0; nl * nyc * (nxc - 1).max(1)],
+            gy: vec![0.0; nl * (nyc - 1).max(1) * nxc],
+            gz: vec![0.0; nl.saturating_sub(1) * nyc * nxc],
+            diag: vec![0.0; nl * nyc * nxc],
+            line_c: Vec::new(),
+            line_inv: Vec::new(),
+        };
+        // Aggregate diagonal sums; interior conductances are subtracted
+        // below while classifying edges.
+        for l in 0..nl {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let ci = c.idx(l, ix / 2, iy / 2);
+                    c.diag[ci] += self.diag[self.idx(l, ix, iy)];
+                }
+            }
+        }
+        // x-edges: interior to an aggregate (even fine index) fold into the
+        // coarse diagonal; crossing edges (odd fine index) sum into gx.
+        for l in 0..nl {
+            for iy in 0..ny {
+                for ix in 0..nx.saturating_sub(1) {
+                    let g = self.gx[l * ny * (nx - 1) + iy * (nx - 1) + ix];
+                    let (cix, ciy) = (ix / 2, iy / 2);
+                    if ix % 2 == 0 {
+                        let ci = c.idx(l, cix, ciy);
+                        c.diag[ci] -= 2.0 * g;
+                    } else {
+                        c.gx[l * nyc * (nxc - 1) + ciy * (nxc - 1) + cix] += g;
+                    }
+                }
+            }
+        }
+        for l in 0..nl {
+            for iy in 0..ny.saturating_sub(1) {
+                for ix in 0..nx {
+                    let g = self.gy[l * (ny - 1) * nx + iy * nx + ix];
+                    let (cix, ciy) = (ix / 2, iy / 2);
+                    if iy % 2 == 0 {
+                        let ci = c.idx(l, cix, ciy);
+                        c.diag[ci] -= 2.0 * g;
+                    } else {
+                        c.gy[l * (nyc - 1) * nxc + ciy * nxc + cix] += g;
+                    }
+                }
+            }
+        }
+        // z-edges always cross between (aligned) aggregates of adjacent
+        // layers, never within one.
+        for l in 0..nl.saturating_sub(1) {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    c.gz[l * nyc * nxc + (iy / 2) * nxc + ix / 2] +=
+                        self.gz[l * ny * nx + iy * nx + ix];
+                }
+            }
+        }
+        c.factor_lines();
+        c
+    }
+
+    /// One red-black sweep of z-line Gauss-Seidel: columns with
+    /// `(ix + iy) % 2 == color` are each solved exactly through the stack
+    /// (pre-factored Thomas algorithm), reading the latest neighbor values.
+    ///
+    /// `gather` controls whether lateral neighbor values are folded into the
+    /// column rhs. Pass `false` for the very first sweep of a V-cycle,
+    /// where the iterate is (implicitly) zero and there is nothing to
+    /// gather — the caller then does not even need to zero `x`, because a
+    /// sweep pair writes every entry before any is read.
+    ///
+    /// The work runs row-major in short per-layer passes over a `nl * nx`
+    /// buffer, not column-at-a-time, so the hot loops stay in L1 and free
+    /// of index arithmetic on the `plane` stride.
+    fn line_sweep(&self, b: &[f64], x: &mut [f64], color: usize, gather: bool, buf: &mut [f64]) {
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let plane = ny * nx;
+        for iy in 0..ny {
+            let start = (color + iy) % 2;
+            // Column rhs per layer: b plus the lateral couplings.
+            for l in 0..nl {
+                let row = l * plane + iy * nx;
+                let brow = &b[row..row + nx];
+                let bufl = &mut buf[l * nx..(l + 1) * nx];
+                for ix in (start..nx).step_by(2) {
+                    bufl[ix] = brow[ix];
+                }
+                if !gather {
+                    continue;
+                }
+                if nx > 1 {
+                    let xrow = &x[row..row + nx];
+                    let gxrow = &gx_row(&self.gx, l, iy, nx, ny)[..nx - 1];
+                    for ix in (if start == 0 { 2 } else { start }..nx).step_by(2) {
+                        bufl[ix] += gxrow[ix - 1] * xrow[ix - 1];
+                    }
+                    for ix in (start..nx - 1).step_by(2) {
+                        bufl[ix] += gxrow[ix] * xrow[ix + 1];
+                    }
+                }
+                if iy > 0 {
+                    let gyrow = &self.gy[l * (ny - 1) * nx + (iy - 1) * nx..][..nx];
+                    let xprev = &x[row - nx..row];
+                    for ix in (start..nx).step_by(2) {
+                        bufl[ix] += gyrow[ix] * xprev[ix];
+                    }
+                }
+                if iy + 1 < ny {
+                    let gyrow = &self.gy[l * (ny - 1) * nx + iy * nx..][..nx];
+                    let xnext = &x[row + nx..row + 2 * nx];
+                    for ix in (start..nx).step_by(2) {
+                        bufl[ix] += gyrow[ix] * xnext[ix];
+                    }
+                }
+            }
+            // Division-free Thomas forward elimination with the factors
+            // from [`Level::factor_lines`], row-major down the stack.
+            {
+                let invrow = &self.line_inv[iy * nx..][..nx];
+                for ix in (start..nx).step_by(2) {
+                    buf[ix] *= invrow[ix];
+                }
+            }
+            for l in 1..nl {
+                let (prev, cur) = buf.split_at_mut(l * nx);
+                let prev = &prev[(l - 1) * nx..];
+                let cur = &mut cur[..nx];
+                let gzrow = &self.gz[(l - 1) * plane + iy * nx..][..nx];
+                let invrow = &self.line_inv[l * plane + iy * nx..][..nx];
+                for ix in (start..nx).step_by(2) {
+                    cur[ix] = (cur[ix] + gzrow[ix] * prev[ix]) * invrow[ix];
+                }
+            }
+            // Back substitution, writing the solved columns into x.
+            {
+                let row = (nl - 1) * plane + iy * nx;
+                let bufl = &buf[(nl - 1) * nx..nl * nx];
+                for ix in (start..nx).step_by(2) {
+                    x[row + ix] = bufl[ix];
+                }
+            }
+            for l in (0..nl.saturating_sub(1)).rev() {
+                let row = l * plane + iy * nx;
+                let crow = &self.line_c[row..row + nx];
+                let bufl = &buf[l * nx..(l + 1) * nx];
+                for ix in (start..nx).step_by(2) {
+                    x[row + ix] = bufl[ix] - crow[ix] * x[row + plane + ix];
+                }
+            }
+        }
+    }
+
+    /// Residual `res = b - A x` after a (red, black) pre-smoothing pair.
+    /// The black columns were solved last against final red values, so
+    /// their equations hold exactly and the residual is computed only on
+    /// red columns (`(ix + iy) % 2 == 0`); black entries are set to zero.
+    fn residual_red(&self, b: &[f64], x: &[f64], res: &mut [f64]) {
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let plane = ny * nx;
+        res.fill(0.0);
+        for l in 0..nl {
+            for iy in 0..ny {
+                let start = iy % 2;
+                let row = l * plane + iy * nx;
+                let xrow = &x[row..row + nx];
+                let brow = &b[row..row + nx];
+                let drow = &self.diag[row..row + nx];
+                let rrow = &mut res[row..row + nx];
+                for ix in (start..nx).step_by(2) {
+                    rrow[ix] = brow[ix] - drow[ix] * xrow[ix];
+                }
+                if nx > 1 {
+                    let gxrow = &gx_row(&self.gx, l, iy, nx, ny)[..nx - 1];
+                    for ix in (if start == 0 { 2 } else { start }..nx).step_by(2) {
+                        rrow[ix] += gxrow[ix - 1] * xrow[ix - 1];
+                    }
+                    for ix in (start..nx - 1).step_by(2) {
+                        rrow[ix] += gxrow[ix] * xrow[ix + 1];
+                    }
+                }
+                if iy > 0 {
+                    let gyrow = &self.gy[l * (ny - 1) * nx + (iy - 1) * nx..][..nx];
+                    let xprev = &x[row - nx..row];
+                    for ix in (start..nx).step_by(2) {
+                        rrow[ix] += gyrow[ix] * xprev[ix];
+                    }
+                }
+                if iy + 1 < ny {
+                    let gyrow = &self.gy[l * (ny - 1) * nx + iy * nx..][..nx];
+                    let xnext = &x[row + nx..row + 2 * nx];
+                    for ix in (start..nx).step_by(2) {
+                        rrow[ix] += gyrow[ix] * xnext[ix];
+                    }
+                }
+                if l > 0 {
+                    let gzrow = &self.gz[(l - 1) * plane + iy * nx..][..nx];
+                    let xbelow = &x[row - plane..row - plane + nx];
+                    for ix in (start..nx).step_by(2) {
+                        rrow[ix] += gzrow[ix] * xbelow[ix];
+                    }
+                }
+                if l + 1 < nl {
+                    let gzrow = &self.gz[l * plane + iy * nx..][..nx];
+                    let xabove = &x[row + plane..row + plane + nx];
+                    for ix in (start..nx).step_by(2) {
+                        rrow[ix] += gzrow[ix] * xabove[ix];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restriction `r_c[I] = sum_{i in I} r_f[i]` (transpose of the
+    /// piecewise-constant prolongation).
+    fn restrict_to(&self, coarse: &Level, fine_r: &[f64], coarse_b: &mut [f64]) {
+        coarse_b.fill(0.0);
+        for l in 0..self.nl {
+            for iy in 0..self.ny {
+                for ix in 0..self.nx {
+                    coarse_b[coarse.idx(l, ix / 2, iy / 2)] += fine_r[self.idx(l, ix, iy)];
+                }
+            }
+        }
+    }
+
+    /// Prolongation: adds the coarse correction, scaled by [`OMEGA`], to
+    /// every covered fine cell.
+    fn prolong_add(&self, coarse: &Level, coarse_x: &[f64], fine_x: &mut [f64]) {
+        for l in 0..self.nl {
+            for iy in 0..self.ny {
+                for ix in 0..self.nx {
+                    fine_x[self.idx(l, ix, iy)] +=
+                        OMEGA * coarse_x[coarse.idx(l, ix / 2, iy / 2)];
+                }
+            }
+        }
+    }
+
+    /// Dense row-major matrix of this level's operator (coarsest level
+    /// only; used to compute the Cholesky factor).
+    fn dense(&self) -> Vec<f64> {
+        let n = self.n();
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = self.diag[i];
+        }
+        let mut couple = |i: usize, j: usize, g: f64| {
+            a[i * n + j] -= g;
+            a[j * n + i] -= g;
+        };
+        for l in 0..nl {
+            for iy in 0..ny {
+                for ix in 0..nx.saturating_sub(1) {
+                    let i = l * ny * nx + iy * nx + ix;
+                    couple(i, i + 1, self.gx[l * ny * (nx - 1) + iy * (nx - 1) + ix]);
+                }
+            }
+            for iy in 0..ny.saturating_sub(1) {
+                for ix in 0..nx {
+                    let i = l * ny * nx + iy * nx + ix;
+                    couple(i, i + nx, self.gy[l * (ny - 1) * nx + iy * nx + ix]);
+                }
+            }
+        }
+        for l in 0..nl.saturating_sub(1) {
+            for c in 0..ny * nx {
+                couple(l * ny * nx + c, (l + 1) * ny * nx + c, self.gz[l * ny * nx + c]);
+            }
+        }
+        a
+    }
+}
+
+/// In-place dense Cholesky `A = L L^T`; returns the lower factor (upper
+/// entries left untouched and never read).
+///
+/// # Panics
+///
+/// Panics if the matrix is not positive definite — for a conductance
+/// network with an ambient anchor that indicates a malformed stack.
+fn cholesky(mut a: Vec<f64>, n: usize) -> Vec<f64> {
+    for j in 0..n {
+        for k in 0..j {
+            let ljk = a[j * n + k];
+            for i in j..n {
+                a[i * n + j] -= a[i * n + k] * ljk;
+            }
+        }
+        let d = a[j * n + j];
+        assert!(d > 0.0, "coarse thermal operator is not positive definite");
+        let inv = 1.0 / d.sqrt();
+        for i in j..n {
+            a[i * n + j] *= inv;
+        }
+    }
+    a
+}
+
+/// Solves `L L^T x = b` given the lower factor.
+fn cholesky_solve(chol: &[f64], n: usize, b: &[f64], x: &mut [f64]) {
+    x.copy_from_slice(b);
+    for i in 0..n {
+        let mut s = x[i];
+        for k in 0..i {
+            s -= chol[i * n + k] * x[k];
+        }
+        x[i] = s / chol[i * n + i];
+    }
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for k in i + 1..n {
+            s -= chol[k * n + i] * x[k];
+        }
+        x[i] = s / chol[i * n + i];
+    }
+}
+
+impl Multigrid {
+    /// Builds the hierarchy from the fine-grid conductance network.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build(
+        nx: usize,
+        ny: usize,
+        nl: usize,
+        gx: &[f64],
+        gy: &[f64],
+        gz: &[f64],
+        diag: &[f64],
+    ) -> Self {
+        let mut levels =
+            vec![Level::new(nx, ny, nl, gx.to_vec(), gy.to_vec(), gz.to_vec(), diag.to_vec())];
+        loop {
+            let last = levels.last().expect("at least the fine level");
+            if last.nx * last.ny <= COARSE_CELLS {
+                break;
+            }
+            let coarse = last.coarsen();
+            if coarse.nx == last.nx && coarse.ny == last.ny {
+                break; // 1-wide in both axes: cannot coarsen further.
+            }
+            levels.push(coarse);
+        }
+        let coarsest = levels.last().expect("hierarchy is non-empty");
+        let chol = cholesky(coarsest.dense(), coarsest.n());
+        Self { levels, chol }
+    }
+
+    /// Number of levels (>= 1; 1 means the fine grid is already coarse).
+    #[cfg(test)]
+    pub(crate) fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Applies the V-cycle preconditioner: `z ~= A^{-1} r`, starting from a
+    /// zero initial guess. Symmetric by construction (red-black pre-sweep,
+    /// black-red post-sweep) so it is a valid SPD preconditioner for CG.
+    pub(crate) fn vcycle(&self, r: &[f64], z: &mut [f64], scratch: &mut MgScratch) {
+        scratch.ensure(self);
+        let depth = self.levels.len();
+        scratch.rhs[0].copy_from_slice(r);
+        // Downward leg: smooth, compute residual, restrict.
+        for li in 0..depth - 1 {
+            let level = &self.levels[li];
+            let coarse = &self.levels[li + 1];
+            let x = &mut scratch.x[li];
+            let b = &scratch.rhs[li];
+            // Pre-smooth from a zero iterate: the red sweep needs no
+            // lateral gather (and no explicit zeroing of x — the pair
+            // writes every entry before any is read).
+            level.line_sweep(b, x, 0, false, &mut scratch.buf);
+            level.line_sweep(b, x, 1, true, &mut scratch.buf);
+            // The black columns were solved last, so b - A x vanishes there
+            // and only the red half needs computing.
+            level.residual_red(b, x, &mut scratch.r[li]);
+            level.restrict_to(coarse, &scratch.r[li], &mut scratch.rhs[li + 1]);
+        }
+        // Coarsest level: direct solve.
+        let coarsest = depth - 1;
+        let n_c = self.levels[coarsest].n();
+        cholesky_solve(&self.chol, n_c, &scratch.rhs[coarsest], &mut scratch.x[coarsest]);
+        // Upward leg: prolong, post-smooth in reversed color order.
+        for li in (0..depth - 1).rev() {
+            let level = &self.levels[li];
+            let coarse = &self.levels[li + 1];
+            let (head, tail) = scratch.x.split_at_mut(li + 1);
+            let x = &mut head[li];
+            level.prolong_add(coarse, &tail[0], x);
+            let b = &scratch.rhs[li];
+            level.line_sweep(b, x, 1, true, &mut scratch.buf);
+            level.line_sweep(b, x, 0, true, &mut scratch.buf);
+        }
+        z.copy_from_slice(&scratch.x[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny uniform 2-layer network for structural checks.
+    fn uniform_level(nx: usize, ny: usize, nl: usize) -> Level {
+        let mut diag = vec![0.0; nl * ny * nx];
+        let gx = vec![1.0; nl * ny * (nx - 1).max(1)];
+        let gy = vec![1.0; nl * (ny - 1).max(1) * nx];
+        let gz = vec![2.0; nl.saturating_sub(1) * ny * nx];
+        // Row sums + a weak ambient anchor on every top cell keep it SPD.
+        for l in 0..nl {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let i = l * ny * nx + iy * nx + ix;
+                    let mut d = 0.0;
+                    if ix > 0 {
+                        d += 1.0;
+                    }
+                    if ix + 1 < nx {
+                        d += 1.0;
+                    }
+                    if iy > 0 {
+                        d += 1.0;
+                    }
+                    if iy + 1 < ny {
+                        d += 1.0;
+                    }
+                    if l > 0 {
+                        d += 2.0;
+                    }
+                    if l + 1 < nl {
+                        d += 2.0;
+                    }
+                    if l == nl - 1 {
+                        d += 0.5;
+                    }
+                    diag[i] = d;
+                }
+            }
+        }
+        Level::new(nx, ny, nl, gx, gy, gz, diag)
+    }
+
+    /// Galerkin invariant: row sums of `A` equal the total anchor
+    /// conductance, and aggregation must preserve that sum exactly.
+    #[test]
+    fn coarsening_conserves_anchor_conductance() {
+        let fine = uniform_level(8, 6, 3);
+        let ones = vec![1.0; fine.n()];
+        let mut row_sums = vec![0.0; fine.n()];
+        fine.apply(&ones, &mut row_sums);
+        let fine_total: f64 = row_sums.iter().sum();
+
+        let coarse = fine.coarsen();
+        let ones_c = vec![1.0; coarse.n()];
+        let mut row_sums_c = vec![0.0; coarse.n()];
+        coarse.apply(&ones_c, &mut row_sums_c);
+        let coarse_total: f64 = row_sums_c.iter().sum();
+        assert!(
+            (fine_total - coarse_total).abs() < 1e-9 * fine_total.abs().max(1.0),
+            "fine {fine_total} vs coarse {coarse_total}"
+        );
+    }
+
+    #[test]
+    fn coarse_dims_halve_and_round_up() {
+        let fine = uniform_level(7, 4, 2);
+        let coarse = fine.coarsen();
+        assert_eq!((coarse.nx, coarse.ny, coarse.nl), (4, 2, 2));
+    }
+
+    #[test]
+    fn cholesky_solves_a_known_system() {
+        // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+        let chol = cholesky(vec![4.0, 1.0, 1.0, 3.0], 2);
+        let mut x = vec![0.0; 2];
+        cholesky_solve(&chol, 2, &[1.0, 2.0], &mut x);
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vcycle_is_symmetric() {
+        // <M u, v> == <u, M v> for the V-cycle operator M — the property
+        // that makes it admissible as a CG preconditioner.
+        let fine = uniform_level(8, 8, 3);
+        let mg = Multigrid::build(
+            8,
+            8,
+            3,
+            &fine.gx,
+            &fine.gy,
+            &fine.gz,
+            &fine.diag,
+        );
+        assert!(mg.num_levels() >= 2);
+        let n = fine.n();
+        let mut rng_state = 0x1234_5678_u64;
+        let mut next = || {
+            // xorshift: enough to make two uncorrelated test vectors.
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state % 1000) as f64 / 1000.0 - 0.5
+        };
+        let u: Vec<f64> = (0..n).map(|_| next()).collect();
+        let v: Vec<f64> = (0..n).map(|_| next()).collect();
+        let mut scratch = MgScratch::default();
+        let mut mu = vec![0.0; n];
+        let mut mv = vec![0.0; n];
+        mg.vcycle(&u, &mut mu, &mut scratch);
+        mg.vcycle(&v, &mut mv, &mut scratch);
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+        let (muv, umv) = (dot(&mu, &v), dot(&u, &mv));
+        assert!(
+            (muv - umv).abs() <= 1e-9 * muv.abs().max(umv.abs()).max(1e-12),
+            "<Mu,v> = {muv} vs <u,Mv> = {umv}"
+        );
+    }
+
+    #[test]
+    fn single_level_hierarchy_direct_solves() {
+        // A grid at or below the coarse limit produces a 1-level hierarchy
+        // whose V-cycle is exactly the direct solve.
+        let fine = uniform_level(4, 4, 2);
+        let mg = Multigrid::build(4, 4, 2, &fine.gx, &fine.gy, &fine.gz, &fine.diag);
+        assert_eq!(mg.num_levels(), 1);
+        let n = fine.n();
+        let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut x = vec![0.0; n];
+        let mut scratch = MgScratch::default();
+        mg.vcycle(&b, &mut x, &mut scratch);
+        let mut ax = vec![0.0; n];
+        fine.apply(&x, &mut ax);
+        for (a, bb) in ax.iter().zip(&b) {
+            assert!((a - bb).abs() < 1e-9, "direct solve residual too large");
+        }
+    }
+}

@@ -30,6 +30,13 @@ impl PowerMap {
         self.watts.iter().sum()
     }
 
+    /// Resets every cell to zero watts, keeping the allocation — hot
+    /// loops (leakage co-iteration, transient stepping) reuse one map
+    /// instead of allocating a fresh one per pass.
+    pub fn clear(&mut self) {
+        self.watts.fill(0.0);
+    }
+
     /// Adds `watts` distributed uniformly over `rect` in layer
     /// `layer_idx` (0 = bottom). Cells receive power proportional to their
     /// overlap with the rectangle.
@@ -121,6 +128,16 @@ mod tests {
     #[should_panic(expected = "outside the grid")]
     fn fully_outside_rect_panics() {
         map().add_uniform_rect(0, Rect::new(20e-3, 20e-3, 1e-3, 1e-3), 1.0);
+    }
+
+    #[test]
+    fn clear_zeroes_without_reallocating() {
+        let mut p = map();
+        p.add_uniform_rect(0, Rect::new(1e-3, 1e-3, 3e-3, 2e-3), 5.0);
+        let cells = p.watts.len();
+        p.clear();
+        assert_eq!(p.total_w(), 0.0);
+        assert_eq!(p.watts.len(), cells);
     }
 
     #[test]

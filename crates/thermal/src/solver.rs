@@ -1,4 +1,10 @@
-//! Jacobi-preconditioned conjugate gradient for the SPD conductance system.
+//! Preconditioned conjugate gradient for the SPD conductance system.
+//!
+//! The preconditioner is a closure `z = M^{-1} r`, so the same loop serves
+//! both the Jacobi (diagonal) fallback and the multigrid V-cycle used on
+//! production-size grids. All per-solve vectors live in a caller-owned
+//! [`CgScratch`] so hot loops (leakage co-iteration, annealing sweeps) do
+//! not allocate per solve.
 
 /// Convergence criteria for the CG solve.
 #[derive(Debug, Clone, Copy)]
@@ -25,13 +31,106 @@ pub(crate) enum CgOutcome {
     MaxIterations { residual: f64 },
 }
 
+/// Reusable per-solve work vectors (residual, preconditioned residual,
+/// search direction, `A p`).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct CgScratch {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgScratch {
+    fn ensure(&mut self, n: usize) {
+        if self.r.len() != n {
+            self.r = vec![0.0; n];
+            self.z = vec![0.0; n];
+            self.p = vec![0.0; n];
+            self.ap = vec![0.0; n];
+        }
+    }
+}
+
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Solves `A x = b` for SPD `A` given as a mat-vec closure, with Jacobi
-/// (diagonal) preconditioning. `x` holds the initial guess on entry and the
-/// solution on exit.
+/// Solves `A x = b` for SPD `A` given as a mat-vec closure, preconditioned
+/// by the `precond` closure (`z = M^{-1} r`). `x` holds the initial guess
+/// on entry and the solution on exit.
+///
+/// The residual 2-norm used for the stopping test is accumulated inside
+/// the `x`/`r` update loop — there is no separate O(n) norm pass per
+/// iteration — and the stopping criterion is unchanged:
+/// `||r|| <= rel * ||b||`, checked before the first iteration and after
+/// every update.
+pub(crate) fn preconditioned_cg<A, M>(
+    apply: A,
+    mut precond: M,
+    b: &[f64],
+    x: &mut [f64],
+    tol: Tolerance,
+    scratch: &mut CgScratch,
+) -> CgOutcome
+where
+    A: Fn(&[f64], &mut [f64]),
+    M: FnMut(&[f64], &mut [f64]),
+{
+    let n = b.len();
+    scratch.ensure(n);
+    let CgScratch { r, z, p, ap } = scratch;
+
+    apply(x, r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let b_norm = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
+    let target = tol.rel * b_norm;
+    let mut r_norm2 = dot(r, r);
+    if r_norm2.sqrt() <= target {
+        return CgOutcome::Converged { iterations: 0 };
+    }
+
+    precond(r, z);
+    p.copy_from_slice(z);
+    let mut rz = dot(r, z);
+
+    for it in 0..tol.max_iters {
+        apply(p, ap);
+        let alpha = rz / dot(p, ap);
+        r_norm2 = 0.0;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+            r_norm2 += r[i] * r[i];
+        }
+        if r_norm2.sqrt() <= target {
+            return CgOutcome::Converged { iterations: it + 1 };
+        }
+        precond(r, z);
+        let rz_new = dot(r, z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    CgOutcome::MaxIterations { residual: r_norm2.sqrt() }
+}
+
+/// Jacobi preconditioner closure over the matrix diagonal.
+pub(crate) fn jacobi<'a>(diag: &'a [f64]) -> impl FnMut(&[f64], &mut [f64]) + 'a {
+    move |r: &[f64], z: &mut [f64]| {
+        for ((zi, &ri), &di) in z.iter_mut().zip(r).zip(diag) {
+            *zi = ri / di;
+        }
+    }
+}
+
+/// [`preconditioned_cg`] with Jacobi preconditioning — the historical entry
+/// point, kept for small systems and tests.
+#[cfg(test)]
 pub(crate) fn conjugate_gradient<F>(
     apply: F,
     diag: &[f64],
@@ -42,47 +141,8 @@ pub(crate) fn conjugate_gradient<F>(
 where
     F: Fn(&[f64], &mut [f64]),
 {
-    let n = b.len();
-    let mut r = vec![0.0; n];
-    let mut z = vec![0.0; n];
-    let mut p = vec![0.0; n];
-    let mut ap = vec![0.0; n];
-
-    apply(x, &mut r);
-    for i in 0..n {
-        r[i] = b[i] - r[i];
-    }
-    let b_norm = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
-    let target = tol.rel * b_norm;
-
-    for i in 0..n {
-        z[i] = r[i] / diag[i];
-    }
-    p.copy_from_slice(&z);
-    let mut rz = dot(&r, &z);
-
-    for it in 0..tol.max_iters {
-        let r_norm = dot(&r, &r).sqrt();
-        if r_norm <= target {
-            return CgOutcome::Converged { iterations: it };
-        }
-        apply(&p, &mut ap);
-        let alpha = rz / dot(&p, &ap);
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
-        for i in 0..n {
-            z[i] = r[i] / diag[i];
-        }
-        let rz_new = dot(&r, &z);
-        let beta = rz_new / rz;
-        rz = rz_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
-    }
-    CgOutcome::MaxIterations { residual: dot(&r, &r).sqrt() }
+    let mut scratch = CgScratch::default();
+    preconditioned_cg(apply, jacobi(diag), b, x, tol, &mut scratch)
 }
 
 #[cfg(test)]
@@ -134,5 +194,23 @@ mod tests {
             Tolerance { rel: 1e-12, max_iters: 0 },
         );
         assert!(matches!(outcome, CgOutcome::MaxIterations { .. }));
+    }
+
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        // Two different solves through one scratch give the same answers
+        // as fresh solves.
+        let apply = |v: &[f64], out: &mut [f64]| {
+            out[0] = 4.0 * v[0] + v[1];
+            out[1] = v[0] + 3.0 * v[1];
+        };
+        let mut scratch = CgScratch::default();
+        let mut x1 = vec![0.0, 0.0];
+        preconditioned_cg(apply, jacobi(&[4.0, 3.0]), &[1.0, 2.0], &mut x1, Tolerance::default(), &mut scratch);
+        let mut x2 = vec![0.0, 0.0];
+        preconditioned_cg(apply, jacobi(&[4.0, 3.0]), &[2.0, 1.0], &mut x2, Tolerance::default(), &mut scratch);
+        assert!((x1[0] - 1.0 / 11.0).abs() < 1e-9 && (x1[1] - 7.0 / 11.0).abs() < 1e-9);
+        // A x2 = [2,1] -> x2 = [5/11, 2/11].
+        assert!((x2[0] - 5.0 / 11.0).abs() < 1e-9 && (x2[1] - 2.0 / 11.0).abs() < 1e-9);
     }
 }

@@ -1,7 +1,7 @@
 //! Package-stack description and model construction.
 
 use crate::geometry::Rect;
-use crate::model::ThermalModel;
+use crate::model::{Preconditioner, ThermalModel};
 
 /// One physical layer being assembled: background conductivity plus
 /// rectangular patches of different material (e.g. silicon chiplets in an
@@ -55,6 +55,7 @@ pub struct StackBuilder {
     layers: Vec<LayerDef>,
     convection_k_per_w: f64,
     ambient_c: f64,
+    precond: Preconditioner,
 }
 
 impl StackBuilder {
@@ -75,7 +76,17 @@ impl StackBuilder {
             layers: Vec::new(),
             convection_k_per_w: 0.4,
             ambient_c: 45.0,
+            precond: Preconditioner::default(),
         }
+    }
+
+    /// Overrides the steady-state CG preconditioner. The default,
+    /// [`Preconditioner::Auto`], picks multigrid on production-size grids
+    /// and Jacobi on small ones; forcing either is mainly useful for
+    /// solver-equivalence testing and benchmarking.
+    pub fn preconditioner(mut self, precond: Preconditioner) -> Self {
+        self.precond = precond;
+        self
     }
 
     /// Adds a homogeneous layer of the given thickness (m) and thermal
@@ -167,6 +178,7 @@ impl StackBuilder {
             self.layers,
             self.convection_k_per_w,
             self.ambient_c,
+            self.precond,
         )
     }
 }

@@ -1,0 +1,145 @@
+//! Solver-equivalence suite: the multigrid-preconditioned CG and the
+//! Jacobi-preconditioned CG solve the same SPD system to the same
+//! tolerance, so on any stack the two temperature fields must agree to
+//! well under the leakage-loop convergence threshold (0.1 K). Golden
+//! bit-for-bit checks of the default path live in `tests/golden.rs` at
+//! the workspace root.
+
+use tesa_thermal::{Preconditioner, Rect, StackBuilder, ThermalField, ThermalModel};
+use tesa_util::propcheck::{check, ranged, vec_of, Config};
+use tesa_util::prop_assert;
+
+const AMBIENT: f64 = 45.0;
+/// Agreement bound between the two preconditioner paths, Kelvin.
+const EQUIV_TOL_K: f64 = 1e-6;
+
+/// A randomized 2.5D-style stack: interposer, patched device layer, TIM,
+/// lid — with conductivities, thicknesses, and grid drawn by propcheck.
+fn random_stack(
+    nx: usize,
+    ny: usize,
+    device_k: f64,
+    tim_k: f64,
+    patches: &[(f64, f64, f64)],
+    precond: Preconditioner,
+) -> ThermalModel {
+    let side = 8e-3;
+    let patch_rects: Vec<(Rect, f64)> = patches
+        .iter()
+        .filter_map(|&(x, y, k)| {
+            let r = Rect::new(x, y, 1.5e-3, 1.5e-3);
+            (r.x2() <= side && r.y2() <= side).then_some((r, k))
+        })
+        .collect();
+    StackBuilder::new(side, side, nx, ny)
+        .preconditioner(precond)
+        .layer("interposer", 100e-6, 120.0)
+        .layer_with_patches("device", 150e-6, device_k, patch_rects)
+        .layer("tim", 65e-6, tim_k)
+        .layer("lid", 300e-6, 200.0)
+        .convection(0.4, AMBIENT)
+        .build()
+}
+
+fn max_abs_diff(a: &ThermalField, b: &ThermalField) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn multigrid_matches_jacobi_on_random_stacks() {
+    check(
+        Config::with_cases(12),
+        (
+            ranged(12usize..48),
+            ranged(12usize..48),
+            ranged(0.8f64..150.0),
+            ranged(0.8f64..5.0),
+            vec_of(
+                (ranged(0.0f64..6.0e-3), ranged(0.0f64..6.0e-3), ranged(10.0f64..150.0)),
+                0..4,
+            ),
+            vec_of(
+                (
+                    ranged(0.0f64..6.5e-3),
+                    ranged(0.0f64..6.5e-3),
+                    ranged(0.2f64..4.0),
+                ),
+                1..5,
+            ),
+        ),
+        |(nx, ny, device_k, tim_k, patches, sources)| {
+            let mj = random_stack(nx, ny, device_k, tim_k, &patches, Preconditioner::Jacobi);
+            let mm = random_stack(nx, ny, device_k, tim_k, &patches, Preconditioner::Multigrid);
+            prop_assert!(mj.preconditioner() == Preconditioner::Jacobi);
+            prop_assert!(mm.preconditioner() == Preconditioner::Multigrid);
+
+            let mut pj = mj.zero_power();
+            let mut pm = mm.zero_power();
+            for &(x, y, watts) in &sources {
+                let rect = Rect::new(x, y, 1.0e-3, 1.0e-3);
+                if rect.x2() <= 8e-3 && rect.y2() <= 8e-3 {
+                    pj.add_uniform_rect(1, rect, watts);
+                    pm.add_uniform_rect(1, rect, watts);
+                }
+            }
+
+            let fj = mj.solve(&pj);
+            let fm = mm.solve(&pm);
+            let diff = max_abs_diff(&fj, &fm);
+            prop_assert!(
+                diff < EQUIV_TOL_K,
+                "fields disagree by {diff:e} K on {nx}x{ny} grid"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn multigrid_matches_jacobi_with_warm_start() {
+    // Warm-started re-solves (the leakage co-iteration pattern) must also
+    // agree: warm starts change the CG trajectory, not the fixed point.
+    let patches = [(2.0e-3, 2.0e-3, 120.0)];
+    let mj = random_stack(40, 40, 120.0, 1.2, &patches, Preconditioner::Jacobi);
+    let mm = random_stack(40, 40, 120.0, 1.2, &patches, Preconditioner::Multigrid);
+
+    let mut p = mj.zero_power();
+    p.add_uniform_rect(1, Rect::new(2.0e-3, 2.0e-3, 1.5e-3, 1.5e-3), 3.0);
+    let fj = mj.solve(&p);
+    let fm = mm.solve(&p);
+
+    // Re-solve at higher power from the previous field.
+    let mut p2 = mj.zero_power();
+    p2.add_uniform_rect(1, Rect::new(2.0e-3, 2.0e-3, 1.5e-3, 1.5e-3), 4.5);
+    let fj2 = mj.solve_with_guess(&p2, fj.as_slice());
+    let fm2 = mm.solve_with_guess(&p2, fm.as_slice());
+
+    let diff = max_abs_diff(&fj2, &fm2);
+    assert!(diff < EQUIV_TOL_K, "warm-started fields disagree by {diff:e} K");
+}
+
+#[test]
+fn auto_preconditioner_matches_forced_choices() {
+    // Whatever Auto resolves to, the produced field must agree with both
+    // forced paths — selection is a performance decision, not a numerical
+    // one.
+    for n in [16usize, 64] {
+        let patches = [(1.0e-3, 4.0e-3, 140.0)];
+        let ma = random_stack(n, n, 110.0, 1.5, &patches, Preconditioner::Auto);
+        let mj = random_stack(n, n, 110.0, 1.5, &patches, Preconditioner::Jacobi);
+        let mm = random_stack(n, n, 110.0, 1.5, &patches, Preconditioner::Multigrid);
+        assert!(ma.preconditioner() != Preconditioner::Auto, "Auto must resolve");
+
+        let mut p = ma.zero_power();
+        p.add_uniform_rect(1, Rect::new(3.0e-3, 1.0e-3, 2.0e-3, 2.0e-3), 2.0);
+        let fa = ma.solve(&p);
+        let fj = mj.solve(&p);
+        let fm = mm.solve(&p);
+        assert!(max_abs_diff(&fa, &fj) < EQUIV_TOL_K, "auto vs jacobi at {n}");
+        assert!(max_abs_diff(&fa, &fm) < EQUIV_TOL_K, "auto vs multigrid at {n}");
+    }
+}

@@ -11,7 +11,12 @@
 //! * `--bench-filter SUBSTRING` — run only benchmarks whose name contains
 //!   the substring (a bare positional token works too);
 //! * `--warmup N` — warmup iterations per benchmark (default 3);
-//! * `--iters N` — timed iterations per benchmark (default 15).
+//! * `--iters N` — timed iterations per benchmark (default 15);
+//! * `--format table|json` — report format (default `table`); `json`
+//!   emits `{"benchmarks":[{name, median_ns, p95_ns, iters}…]}` for CI
+//!   trend tracking;
+//! * `--out PATH` — write the report to a file instead of stdout (the
+//!   per-benchmark progress lines still go to stderr).
 //!
 //! # Examples
 //!
@@ -24,8 +29,20 @@
 //! assert!(report.contains("square"));
 //! ```
 
+use crate::json::Json;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Report format of [`BenchRunner::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Format {
+    /// Human-readable aligned table.
+    #[default]
+    Table,
+    /// Machine-readable JSON (median/p95 in integer nanoseconds).
+    Json,
+}
 
 /// Collects and times benchmarks, then renders a report table.
 #[derive(Debug)]
@@ -33,6 +50,8 @@ pub struct BenchRunner {
     filter: Option<String>,
     warmup: u32,
     iters: u32,
+    format: Format,
+    out: Option<PathBuf>,
     results: Vec<BenchResult>,
     skipped: usize,
 }
@@ -54,7 +73,15 @@ impl Default for BenchRunner {
 impl BenchRunner {
     /// A runner with default settings and no filter.
     pub fn new() -> Self {
-        Self { filter: None, warmup: 3, iters: 15, results: Vec::new(), skipped: 0 }
+        Self {
+            filter: None,
+            warmup: 3,
+            iters: 15,
+            format: Format::default(),
+            out: None,
+            results: Vec::new(),
+            skipped: 0,
+        }
     }
 
     /// A runner configured from the process command line (see the module
@@ -80,6 +107,16 @@ impl BenchRunner {
                         runner.iters = n;
                     }
                 }
+                "--format" => {
+                    if let Some(v) = iter.next() {
+                        runner.format = if v.eq_ignore_ascii_case("json") {
+                            Format::Json
+                        } else {
+                            Format::Table
+                        };
+                    }
+                }
+                "--out" => runner.out = iter.next().map(PathBuf::from),
                 other if !other.starts_with('-') => runner.filter = Some(other.to_owned()),
                 _ => {} // cargo bench passes e.g. `--bench`; ignore.
             }
@@ -127,8 +164,40 @@ impl BenchRunner {
         self.results.push(result);
     }
 
-    /// Renders the report table and returns it (callers usually print it).
+    /// Renders the report in the configured format and returns it
+    /// (callers usually print it, or use [`BenchRunner::report`] which
+    /// also honors `--out`).
     pub fn finish(self) -> String {
+        match self.format {
+            Format::Table => self.table(),
+            Format::Json => {
+                let mut s = self.json().to_string();
+                s.push('\n');
+                s
+            }
+        }
+    }
+
+    /// The JSON report: every timed benchmark with integer-nanosecond
+    /// median and p95, plus how many were filtered out.
+    fn json(&self) -> Json {
+        Json::obj([
+            (
+                "benchmarks",
+                Json::arr(self.results.iter().map(|r| {
+                    Json::obj([
+                        ("name", Json::str(r.name.as_str())),
+                        ("median_ns", Json::u64(duration_ns(r.median))),
+                        ("p95_ns", Json::u64(duration_ns(r.p95))),
+                        ("iters", Json::u64(r.iters)),
+                    ])
+                })),
+            ),
+            ("skipped", Json::u64(self.skipped as u64)),
+        ])
+    }
+
+    fn table(self) -> String {
         let mut out = String::new();
         let name_w =
             self.results.iter().map(|r| r.name.len()).max().unwrap_or(9).max("benchmark".len());
@@ -152,11 +221,28 @@ impl BenchRunner {
         out
     }
 
-    /// Runs `finish` and prints the report to stdout — the usual last line
-    /// of a bench target's `main`.
+    /// Runs `finish` and delivers the report — to the `--out` file when
+    /// one was given, to stdout otherwise. The usual last line of a bench
+    /// target's `main`.
     pub fn report(self) {
-        println!("\n{}", self.finish());
+        let path = self.out.clone();
+        let text = self.finish();
+        match path {
+            Some(path) => match std::fs::write(&path, &text) {
+                Ok(()) => eprintln!("bench report written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write bench report to {}: {e}", path.display());
+                    println!("\n{text}");
+                }
+            },
+            None => println!("\n{text}"),
+        }
     }
+}
+
+/// Saturating nanosecond count of a duration (u64 covers ~584 years).
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn format_duration(d: Duration) -> String {
@@ -222,6 +308,33 @@ mod tests {
             ["--warmup", "7", "--iters", "21"].map(str::to_owned),
         );
         assert_eq!((r.warmup, r.iters), (7, 21));
+    }
+
+    #[test]
+    fn format_and_out_flags_parse() {
+        let r = BenchRunner::from_args(
+            ["--format", "json", "--out", "/tmp/bench.json"].map(str::to_owned),
+        );
+        assert_eq!(r.format, Format::Json);
+        assert_eq!(r.out.as_deref(), Some(std::path::Path::new("/tmp/bench.json")));
+        let r = BenchRunner::from_args(["--format", "table"].map(str::to_owned));
+        assert_eq!(r.format, Format::Table);
+    }
+
+    #[test]
+    fn json_report_lists_benchmarks() {
+        let mut r = BenchRunner::new();
+        r.format = Format::Json;
+        r.warmup = 0;
+        r.iters = 3;
+        r.bench("thermal/steady", || 2u64 + 2);
+        let report = r.finish();
+        assert!(report.starts_with('{') && report.ends_with("}\n"), "{report}");
+        assert!(report.contains(r#""name":"thermal/steady""#));
+        assert!(report.contains(r#""median_ns":"#));
+        assert!(report.contains(r#""p95_ns":"#));
+        assert!(report.contains(r#""iters":3"#));
+        assert!(report.contains(r#""skipped":0"#));
     }
 
     #[test]
