@@ -3,6 +3,14 @@
 //! the space explored" efficiency claim.
 //!
 //! Run with `cargo bench --bench bench_anneal [-- --bench-filter <substr>]`.
+//!
+//! The `warm_cache` / `warm_cache_traced` pair measures the observability
+//! layer's overhead in one run: the first executes with tracing compiled
+//! in but disabled (the production default — one atomic load per
+//! instrumentation point), the second with a live session draining to a
+//! null sink. The disabled-path regression guard in `ci.sh` additionally
+//! diffs `warm_cache` against the previous build's `BENCH_anneal.json`
+//! via the `bench_guard` binary.
 
 use tesa::anneal::{optimize, MsaConfig};
 use tesa::design::{DesignSpace, Integration};
@@ -37,6 +45,18 @@ fn main() {
     runner.bench("anneal/msa_small_space_warm_cache", || {
         optimize(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, &config)
     });
+
+    // Same workload with an active trace session draining to a null sink:
+    // the difference against `warm_cache` is the *enabled* tracing cost
+    // (event construction + serialization), an upper bound on what a real
+    // `--trace` run adds.
+    {
+        let session = tesa_util::trace::init_writer(Box::new(std::io::sink()));
+        runner.bench("anneal/msa_small_space_warm_cache_traced", || {
+            optimize(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, &config)
+        });
+        drop(session);
+    }
 
     // Fresh evaluator per iteration: every unique design pays its real
     // evaluation (including the production-grid steady-state thermal

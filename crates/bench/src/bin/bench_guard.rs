@@ -1,0 +1,127 @@
+//! `bench_guard` — regression gate over two `BENCH_*.json` artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_guard <baseline.json> <current.json> [--tolerance 0.05] [--filter substr]
+//! ```
+//!
+//! Compares `median_ns` per benchmark name and fails (exit 1) when any
+//! benchmark present in both files regressed by more than the tolerance
+//! (default 5%, overridable with `--tolerance` or the
+//! `TESA_BENCH_TOLERANCE` environment variable — the flag wins).
+//! Benchmarks present in only one file are reported but never fail the
+//! guard, so adding or removing benchmarks does not break CI.
+//!
+//! `ci.sh` uses this as the disabled-path overhead guard for the trace
+//! layer: the traced-off `bench_anneal` medians of the current build must
+//! stay within tolerance of the previous build's `BENCH_anneal.json`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use tesa_util::json::{self, Json};
+
+/// `name -> median_ns` from a BenchRunner `--format json` artifact.
+fn load_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let root = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let benchmarks = root
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: no 'benchmarks' array"))?;
+    let mut out = BTreeMap::new();
+    for b in benchmarks {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: benchmark without a name"))?;
+        let median = b
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: '{name}' has no median_ns"))?;
+        out.insert(name.to_owned(), median);
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance: Option<f64> = None;
+    let mut filter: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(tok) = iter.next() {
+        match tok.as_str() {
+            "--tolerance" => {
+                let v = iter.next().ok_or("--tolerance needs a value")?;
+                tolerance =
+                    Some(v.parse().map_err(|_| format!("bad tolerance '{v}'"))?);
+            }
+            "--filter" => {
+                filter = Some(iter.next().ok_or("--filter needs a value")?);
+            }
+            _ => paths.push(tok),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err("usage: bench_guard <baseline.json> <current.json> \
+                    [--tolerance 0.05] [--filter substr]"
+            .into());
+    };
+    let tolerance = tolerance
+        .or_else(|| std::env::var("TESA_BENCH_TOLERANCE").ok()?.parse().ok())
+        .unwrap_or(0.05);
+
+    let baseline = load_medians(baseline_path)?;
+    let current = load_medians(current_path)?;
+
+    let mut ok = true;
+    let mut compared = 0;
+    for (name, &base_ns) in &baseline {
+        if filter.as_ref().is_some_and(|f| !name.contains(f.as_str())) {
+            continue;
+        }
+        let Some(&cur_ns) = current.get(name) else {
+            println!("~ {name}: removed (baseline {:.3} ms)", base_ns / 1e6);
+            continue;
+        };
+        compared += 1;
+        let ratio = cur_ns / base_ns.max(f64::MIN_POSITIVE);
+        let delta_pct = 100.0 * (ratio - 1.0);
+        let verdict = if ratio <= 1.0 + tolerance { "ok" } else { "REGRESSED" };
+        println!(
+            "{} {name}: {:.3} ms -> {:.3} ms ({delta_pct:+.1}%) [{verdict}]",
+            if verdict == "ok" { "✓" } else { "✗" },
+            base_ns / 1e6,
+            cur_ns / 1e6,
+        );
+        if verdict != "ok" {
+            ok = false;
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            println!("~ {name}: new (no baseline)");
+        }
+    }
+    if compared == 0 {
+        println!("no common benchmarks to compare — guard passes vacuously");
+    }
+    println!(
+        "guard: {} of {compared} compared benchmark(s) within {:.0}% of baseline",
+        if ok { "all" } else { "NOT all" },
+        100.0 * tolerance
+    );
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

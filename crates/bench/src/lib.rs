@@ -1,6 +1,11 @@
 //! Shared setup for the TESA experiment binaries (one per paper table and
-//! figure — see `DESIGN.md` for the experiment index) and the Criterion
-//! micro-benchmarks.
+//! figure — see `DESIGN.md` for the experiment index) and the in-tree
+//! micro-benchmarks built on [`tesa_util::bench::BenchRunner`].
+//!
+//! The crate also ships the `bench_guard` binary (`src/bin/bench_guard.rs`),
+//! which diffs two `BENCH_*.json` artifacts and fails when a benchmark's
+//! median regressed beyond a tolerance — `ci.sh` uses it as the
+//! disabled-path overhead gate for the observability layer.
 
 pub mod table5_data;
 

@@ -1,14 +1,19 @@
 //! Minimal dependency-free argument parsing for the `tesa` CLI.
 //!
-//! Flags are `--name value` pairs; the first free token is the subcommand.
+//! Flags are `--name value` pairs; the first free token is the subcommand
+//! and later free tokens are positional operands (e.g.
+//! `tesa trace summarize run.jsonl`).
 
 use std::collections::HashMap;
 
-/// Parsed command line: subcommand plus `--flag value` options.
+/// Parsed command line: subcommand plus `--flag value` options and
+/// positional operands.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     /// The subcommand (first non-flag token), if any.
     pub command: Option<String>,
+    /// Free tokens after the subcommand, in order.
+    positionals: Vec<String>,
     flags: HashMap<String, String>,
 }
 
@@ -61,6 +66,8 @@ impl Args {
                 out.flags.insert(name.to_owned(), value);
             } else if out.command.is_none() {
                 out.command = Some(tok);
+            } else {
+                out.positionals.push(tok);
             }
         }
         Ok(out)
@@ -69,6 +76,11 @@ impl Args {
     /// Raw string value of a flag.
     pub fn get(&self, flag: &str) -> Option<&str> {
         self.flags.get(flag).map(String::as_str)
+    }
+
+    /// The `i`-th positional operand after the subcommand.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
     }
 
     /// Typed value of an optional flag, with a default.
@@ -158,5 +170,15 @@ mod tests {
     fn later_flags_override_earlier() {
         let a = parse(&["x", "--n", "1", "--n", "2"]).expect("parses");
         assert_eq!(a.require::<u32>("n").expect("u32"), 2);
+    }
+
+    #[test]
+    fn positionals_follow_the_subcommand() {
+        let a = parse(&["trace", "summarize", "run.jsonl", "--top", "5"]).expect("parses");
+        assert_eq!(a.command.as_deref(), Some("trace"));
+        assert_eq!(a.positional(0), Some("summarize"));
+        assert_eq!(a.positional(1), Some("run.jsonl"));
+        assert_eq!(a.positional(2), None);
+        assert_eq!(a.require::<u32>("top").expect("u32"), 5);
     }
 }

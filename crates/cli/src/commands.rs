@@ -299,6 +299,27 @@ pub fn cmd_transient(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// `tesa trace summarize <path.jsonl>` — aggregate a `--trace` capture
+/// into per-phase wall times, the MSA acceptance curve, the evaluator
+/// cache hit ratio, and CG solver statistics.
+pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    match args.positional(0) {
+        Some("summarize") => {
+            let path = args.positional(1).ok_or_else(|| CliError {
+                message: "usage: tesa trace summarize <path.jsonl>".into(),
+            })?;
+            let text = std::fs::read_to_string(path)?;
+            let summary = crate::summarize::Summary::from_jsonl(&text)
+                .map_err(|e| CliError { message: format!("{path}: {e}") })?;
+            Ok(summary.render())
+        }
+        Some(other) => Err(CliError {
+            message: format!("unknown trace action '{other}' (use: trace summarize <path>)"),
+        }),
+        None => Err(CliError { message: "usage: tesa trace summarize <path.jsonl>".into() }),
+    }
+}
+
 /// `tesa placement --chiplets 4 --side-mm 1.8 --powers 3.0,0.5,0.5,0.5` —
 /// free-form thermally-aware placement vs the uniform mesh.
 pub fn cmd_placement(args: &Args) -> Result<String, CliError> {
@@ -361,9 +382,12 @@ COMMANDS:
     thermal-map   export the steady-state device-tier heat map (CSV)
     transient     simulate the schedule's transient temperature trace
     placement     free-form SA placement vs the uniform mesh (extension)
+    trace         summarize a --trace capture: trace summarize <path.jsonl>
     help          print this text
 
 COMMON FLAGS:
+    --trace PATH      capture structured JSONL trace events to PATH
+                      (any command; inspect with: tesa trace summarize PATH)
     --array N         systolic array dimension (evaluate/thermal-map/transient)
     --sram-kib K      per-bank SRAM capacity in KiB (paper total = 3x this)
     --integration X   2d | 3d                      [default: 2d]
@@ -382,6 +406,7 @@ EXAMPLES:
     tesa evaluate --array 200 --sram-kib 1024 --freq 400
     tesa optimize --integration 3d --freq 500 --temp-c 85
     tesa thermal-map --array 200 --sram-kib 1024 --out map.csv
+    tesa optimize --trace run.jsonl && tesa trace summarize run.jsonl
 "
     .to_owned()
 }
@@ -396,6 +421,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some("thermal-map") => cmd_thermal_map(args),
         Some("transient") => cmd_transient(args),
         Some("placement") => cmd_placement(args),
+        Some("trace") => cmd_trace(args),
         Some("help") | None => Ok(help()),
         Some(other) => Err(CliError { message: format!("unknown command '{other}'\n\n{}", help()) }),
     }

@@ -1,10 +1,17 @@
 //! `tesa` — the command-line interface of the TESA reproduction.
 //!
 //! Run `tesa help` for usage; see the workspace README for the library
-//! behind it.
+//! behind it. Subcommand logic lives in [`commands`], argument parsing in
+//! [`args`], and the `trace summarize` aggregation in [`summarize`].
+//!
+//! The global `--trace <path.jsonl>` flag opens a
+//! [`tesa_util::trace`] session for the duration of the command, so every
+//! instrumented layer (annealer, evaluator, thermal solver, SCALE-Sim)
+//! streams structured events to the given file.
 
 mod args;
 mod commands;
+mod summarize;
 
 use std::process::ExitCode;
 
@@ -15,6 +22,18 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
+    };
+    // Holds the trace session (if any) across the command; dropping it at
+    // the end of main flushes and closes the JSONL sink.
+    let _trace_session = match parsed.get("trace") {
+        Some(path) => match tesa_util::trace::init_file(path) {
+            Ok(session) => Some(session),
+            Err(e) => {
+                eprintln!("error: cannot open trace file '{path}': {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
     };
     match commands::run(&parsed) {
         Ok(output) => {

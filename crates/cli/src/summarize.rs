@@ -1,0 +1,377 @@
+//! Aggregation of a `--trace` JSONL file into the human-readable report
+//! behind `tesa trace summarize`.
+//!
+//! The summarizer is schema-tolerant: unknown event names still contribute
+//! to the generic span/counter tables, so new instrumentation shows up in
+//! summaries without touching this module. The pipeline-specific sections
+//! (MSA acceptance curve, evaluator cache ratio, CG statistics) key off
+//! the event names emitted by `tesa`/`tesa-thermal` instrumentation.
+
+use std::collections::BTreeMap;
+use tesa_util::json::{self, Json};
+
+/// Aggregate statistics of one span name.
+#[derive(Debug, Default, Clone)]
+struct SpanStats {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// One temperature step of the MSA schedule, merged across starts.
+#[derive(Debug, Default, Clone)]
+struct TempBucket {
+    moves: u64,
+    accepted: u64,
+}
+
+/// Everything `trace summarize` reports, aggregated from a JSONL trace.
+#[derive(Debug, Default)]
+pub struct Summary {
+    events: u64,
+    threads: std::collections::HashSet<u64>,
+    spans: BTreeMap<String, SpanStats>,
+    counters: BTreeMap<String, (u64, f64)>,
+    /// Acceptance curve keyed by annealing temperature (bits of the f64
+    /// keep the map exact; descending t = schedule order).
+    msa_curve: BTreeMap<u64, TempBucket>,
+    msa_moves: u64,
+    msa_accepted: u64,
+    msa_starts: u64,
+    msa_starts_feasible: u64,
+    cg_solves: u64,
+    cg_iters_total: u64,
+    cg_iters_max: u64,
+    cg_warm: u64,
+    cg_by_precond: BTreeMap<String, u64>,
+    leak_phases: u64,
+    leak_iters_total: u64,
+}
+
+impl Summary {
+    /// Parses and aggregates a JSONL trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line. Lines that are
+    /// valid JSON but missing the `kind` key are skipped, not errors.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut s = Summary::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            s.ingest(&v);
+        }
+        Ok(s)
+    }
+
+    fn ingest(&mut self, v: &Json) {
+        let Some(kind) = v.get("kind").and_then(Json::as_str) else { return };
+        self.events += 1;
+        if let Some(tid) = v.get("tid").and_then(Json::as_u64) {
+            self.threads.insert(tid);
+        }
+        let name = v.get("name").and_then(Json::as_str).unwrap_or("?");
+        let f = v.get("f");
+        let field = |key: &str| f.and_then(|f| f.get(key));
+        match kind {
+            "span" => {
+                let dur = v.get("dur_us").and_then(Json::as_u64).unwrap_or(0);
+                let e = self.spans.entry(name.to_owned()).or_default();
+                e.count += 1;
+                e.total_us += dur;
+                e.max_us = e.max_us.max(dur);
+                if name == "msa.start" {
+                    self.msa_starts += 1;
+                    if field("feasible").and_then(Json::as_bool) == Some(true) {
+                        self.msa_starts_feasible += 1;
+                    }
+                }
+            }
+            "counter" => {
+                let value = v.get("value").and_then(Json::as_f64).unwrap_or(0.0);
+                let e = self.counters.entry(name.to_owned()).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += value;
+            }
+            "event" => match name {
+                "msa.temp" => {
+                    let moves = field("moves").and_then(Json::as_u64).unwrap_or(0);
+                    let accepted = field("accepted").and_then(Json::as_u64).unwrap_or(0);
+                    self.msa_moves += moves;
+                    self.msa_accepted += accepted;
+                    if let Some(t) = field("t").and_then(Json::as_f64) {
+                        let b = self.msa_curve.entry(t.to_bits()).or_default();
+                        b.moves += moves;
+                        b.accepted += accepted;
+                    }
+                }
+                "thermal.cg" => {
+                    let iters = field("iters").and_then(Json::as_u64).unwrap_or(0);
+                    self.cg_solves += 1;
+                    self.cg_iters_total += iters;
+                    self.cg_iters_max = self.cg_iters_max.max(iters);
+                    if field("warm").and_then(Json::as_bool) == Some(true) {
+                        self.cg_warm += 1;
+                    }
+                    if let Some(p) = field("precond").and_then(Json::as_str) {
+                        *self.cg_by_precond.entry(p.to_owned()).or_default() += 1;
+                    }
+                }
+                "eval.phase" => {
+                    self.leak_phases += 1;
+                    self.leak_iters_total +=
+                        field("leak_iters").and_then(Json::as_u64).unwrap_or(0);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    /// Overall MSA move acceptance rate in `[0, 1]`, if any moves ran.
+    pub fn msa_acceptance_rate(&self) -> Option<f64> {
+        (self.msa_moves > 0).then(|| self.msa_accepted as f64 / self.msa_moves as f64)
+    }
+
+    /// Evaluator cache hit ratio in `[0, 1]`, if any lookups ran.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        let hits = self.counters.get("eval.cache.hit").map_or(0.0, |c| c.1);
+        let misses = self.counters.get("eval.cache.miss").map_or(0.0, |c| c.1);
+        (hits + misses > 0.0).then(|| hits / (hits + misses))
+    }
+
+    /// Mean CG iterations per steady-state solve, if any solves ran.
+    pub fn mean_cg_iters(&self) -> Option<f64> {
+        (self.cg_solves > 0).then(|| self.cg_iters_total as f64 / self.cg_solves as f64)
+    }
+
+    /// The human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "trace: {} events on {} thread(s)\n",
+            self.events,
+            self.threads.len()
+        );
+
+        if !self.spans.is_empty() {
+            out.push_str("\nper-phase wall time (spans):\n");
+            out.push_str(&format!(
+                "  {:<18} {:>7} {:>12} {:>10} {:>10}\n",
+                "span", "count", "total", "mean", "max"
+            ));
+            // Widest total first: the table reads as a wall-time profile.
+            let mut rows: Vec<_> = self.spans.iter().collect();
+            rows.sort_by_key(|r| std::cmp::Reverse(r.1.total_us));
+            for (name, s) in rows {
+                out.push_str(&format!(
+                    "  {:<18} {:>7} {:>12} {:>10} {:>10}\n",
+                    name,
+                    s.count,
+                    fmt_us(s.total_us),
+                    fmt_us(s.total_us / s.count.max(1)),
+                    fmt_us(s.max_us),
+                ));
+            }
+        }
+
+        if self.msa_starts > 0 || self.msa_moves > 0 {
+            out.push_str("\nMSA optimizer:\n");
+            out.push_str(&format!(
+                "  starts: {} ({} found a feasible init)\n",
+                self.msa_starts, self.msa_starts_feasible
+            ));
+            if let Some(rate) = self.msa_acceptance_rate() {
+                out.push_str(&format!(
+                    "  moves: {} proposed, {} accepted ({:.1}% acceptance)\n",
+                    self.msa_moves,
+                    self.msa_accepted,
+                    100.0 * rate
+                ));
+            }
+            if !self.msa_curve.is_empty() {
+                out.push_str("  acceptance-rate curve (temperature descending):\n");
+                // Long anneals have hundreds of temperature steps; elide the
+                // middle of the curve past a screenful.
+                const CURVE_HEAD_TAIL: usize = 6;
+                let n = self.msa_curve.len();
+                let elide = n > 2 * CURVE_HEAD_TAIL + 1;
+                for (i, (bits, b)) in self.msa_curve.iter().rev().enumerate() {
+                    if elide && i == CURVE_HEAD_TAIL {
+                        out.push_str(&format!(
+                            "    ... {} more temperature steps ...\n",
+                            n - 2 * CURVE_HEAD_TAIL
+                        ));
+                    }
+                    if elide && (CURVE_HEAD_TAIL..n - CURVE_HEAD_TAIL).contains(&i) {
+                        continue;
+                    }
+                    let t = f64::from_bits(*bits);
+                    let rate = if b.moves > 0 {
+                        100.0 * b.accepted as f64 / b.moves as f64
+                    } else {
+                        0.0
+                    };
+                    out.push_str(&format!(
+                        "    T={t:<8.3} {:>4}/{:<4} accepted ({rate:5.1}%)\n",
+                        b.accepted, b.moves
+                    ));
+                }
+            }
+        }
+
+        if self.cache_hit_ratio().is_some() {
+            let hits = self.counters.get("eval.cache.hit").map_or(0.0, |c| c.1) as u64;
+            let misses = self.counters.get("eval.cache.miss").map_or(0.0, |c| c.1) as u64;
+            out.push_str(&format!(
+                "\nevaluator cache: {} hits / {} misses ({:.1}% hit ratio)\n",
+                hits,
+                misses,
+                100.0 * self.cache_hit_ratio().unwrap_or(0.0)
+            ));
+        }
+
+        if self.cg_solves > 0 {
+            out.push_str(&format!(
+                "\nthermal CG: {} solves, mean {:.1} / max {} iterations, {} warm-started\n",
+                self.cg_solves,
+                self.mean_cg_iters().unwrap_or(0.0),
+                self.cg_iters_max,
+                self.cg_warm
+            ));
+            for (p, n) in &self.cg_by_precond {
+                out.push_str(&format!("  preconditioner {p}: {n} solves\n"));
+            }
+            if self.leak_phases > 0 {
+                out.push_str(&format!(
+                    "  leakage co-iteration: {} phases, mean {:.1} iterations\n",
+                    self.leak_phases,
+                    self.leak_iters_total as f64 / self.leak_phases as f64
+                ));
+            }
+        }
+
+        // Counters other than the cache pair already reported above.
+        let misc: Vec<_> = self
+            .counters
+            .iter()
+            .filter(|(k, _)| !k.starts_with("eval.cache."))
+            .collect();
+        if !misc.is_empty() {
+            out.push_str("\ncounters:\n");
+            for (name, (count, total)) in misc {
+                out.push_str(&format!("  {name}: {count} samples, total {total}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Microseconds as a human-scaled duration.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2} s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> String {
+        [
+            r#"{"ts_us":1,"tid":0,"kind":"span","name":"eval.design","dur_us":5000,"depth":0}"#,
+            r#"{"ts_us":2,"tid":0,"kind":"span","name":"eval.design","dur_us":7000,"depth":0}"#,
+            r#"{"ts_us":3,"tid":1,"kind":"span","name":"msa.start","dur_us":90000,"depth":0,"f":{"delta":0.89,"feasible":true}}"#,
+            r#"{"ts_us":4,"tid":0,"kind":"counter","name":"eval.cache.hit","value":1}"#,
+            r#"{"ts_us":5,"tid":0,"kind":"counter","name":"eval.cache.hit","value":1}"#,
+            r#"{"ts_us":6,"tid":0,"kind":"counter","name":"eval.cache.miss","value":1}"#,
+            r#"{"ts_us":7,"tid":1,"kind":"event","name":"msa.temp","f":{"t":19.0,"moves":10,"accepted":6}}"#,
+            r#"{"ts_us":8,"tid":1,"kind":"event","name":"msa.temp","f":{"t":16.91,"moves":10,"accepted":2}}"#,
+            r#"{"ts_us":9,"tid":0,"kind":"event","name":"thermal.cg","f":{"n":4096,"precond":"multigrid","warm":false,"iters":12,"residual":1e-10}}"#,
+            r#"{"ts_us":10,"tid":0,"kind":"event","name":"thermal.cg","f":{"n":4096,"precond":"multigrid","warm":true,"iters":4,"residual":2e-10}}"#,
+            r#"{"ts_us":11,"tid":0,"kind":"event","name":"eval.phase","f":{"leak_iters":3,"power_w":9.5,"peak_c":71.0,"runaway":false}}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn aggregates_the_headline_ratios() {
+        let s = Summary::from_jsonl(&sample_trace()).expect("valid trace");
+        assert_eq!(s.events, 11);
+        assert_eq!(s.threads.len(), 2);
+        assert!((s.msa_acceptance_rate().unwrap() - 0.4).abs() < 1e-12);
+        assert!((s.cache_hit_ratio().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_cg_iters().unwrap() - 8.0).abs() < 1e-12);
+        assert_eq!(s.cg_warm, 1);
+        assert_eq!(s.cg_iters_max, 12);
+    }
+
+    #[test]
+    fn render_contains_every_section() {
+        let s = Summary::from_jsonl(&sample_trace()).expect("valid trace");
+        let r = s.render();
+        for needle in [
+            "per-phase wall time",
+            "eval.design",
+            "acceptance-rate curve",
+            "T=19",
+            "evaluator cache: 2 hits / 1 misses",
+            "thermal CG: 2 solves",
+            "preconditioner multigrid: 2 solves",
+            "leakage co-iteration: 1 phases",
+        ] {
+            assert!(r.contains(needle), "report missing {needle:?}:\n{r}");
+        }
+    }
+
+    #[test]
+    fn long_acceptance_curves_are_elided_in_the_middle() {
+        let lines: Vec<String> = (0..30)
+            .map(|i| {
+                format!(
+                    r#"{{"ts_us":{},"tid":0,"kind":"event","name":"msa.temp","f":{{"t":{}.5,"moves":10,"accepted":5}}}}"#,
+                    i + 1,
+                    30 - i
+                )
+            })
+            .collect();
+        let s = Summary::from_jsonl(&lines.join("\n")).expect("valid trace");
+        let r = s.render();
+        assert!(r.contains("... 18 more temperature steps ..."), "{r}");
+        // Hottest and coldest steps survive the elision; the middle does not.
+        assert!(r.contains("T=30.5"), "{r}");
+        assert!(r.contains("T=1.5"), "{r}");
+        assert!(!r.contains("T=15.5"), "{r}");
+    }
+
+    #[test]
+    fn spans_sorted_by_total_time() {
+        let s = Summary::from_jsonl(&sample_trace()).expect("valid trace");
+        let r = s.render();
+        let msa = r.find("msa.start").expect("msa row");
+        let eval = r.find("eval.design").expect("eval row");
+        assert!(msa < eval, "90 ms msa.start must precede 12 ms eval.design");
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_its_number() {
+        let text = format!("{}\nnot json\n", sample_trace());
+        let err = Summary::from_jsonl(&text).expect_err("must fail");
+        assert!(err.starts_with("line 12:"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_renders_without_sections() {
+        let s = Summary::from_jsonl("").expect("empty ok");
+        let r = s.render();
+        assert!(r.contains("0 events"));
+        assert!(!r.contains("MSA optimizer"));
+    }
+}

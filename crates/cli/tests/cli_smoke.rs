@@ -60,6 +60,72 @@ fn evaluate_json_report_is_parseable_shape() {
 }
 
 #[test]
+fn trace_flag_emits_schema_valid_jsonl() {
+    use tesa_util::json::{self, Json};
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tesa_smoke_trace_{}.jsonl", std::process::id()));
+    let path_s = path.to_str().expect("utf8 temp path");
+    let out = tesa(&[
+        "evaluate", "--array", "64", "--sram-kib", "128", "--fps", "1", "--trace", path_s,
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    assert!(!text.trim().is_empty(), "trace must not be empty");
+    let mut kinds = std::collections::HashSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("line {}: {e}: {line}", i + 1));
+        // Schema: every event has ts_us, tid, kind, name; spans also
+        // carry dur_us and depth, counters a numeric value.
+        assert!(v.get("ts_us").and_then(Json::as_u64).is_some(), "line {}: ts_us", i + 1);
+        assert!(v.get("tid").and_then(Json::as_u64).is_some(), "line {}: tid", i + 1);
+        assert!(v.get("name").and_then(Json::as_str).is_some(), "line {}: name", i + 1);
+        let kind = v.get("kind").and_then(Json::as_str).expect("kind");
+        match kind {
+            "span" => {
+                assert!(v.get("dur_us").and_then(Json::as_u64).is_some());
+                assert!(v.get("depth").and_then(Json::as_u64).is_some());
+            }
+            "counter" => assert!(v.get("value").and_then(Json::as_f64).is_some()),
+            "event" => {}
+            other => panic!("line {}: unknown kind {other}", i + 1),
+        }
+        kinds.insert(kind.to_owned());
+    }
+    // An end-to-end evaluate crosses the evaluator and thermal layers.
+    assert!(kinds.contains("span"), "kinds seen: {kinds:?}");
+    assert!(text.contains("\"name\":\"eval.design\""));
+    assert!(text.contains("\"name\":\"thermal.cg\""));
+    assert!(text.contains("\"name\":\"scalesim.dnn\""));
+}
+
+#[test]
+fn trace_summarize_renders_a_capture() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tesa_smoke_summarize_{}.jsonl", std::process::id()));
+    let path_s = path.to_str().expect("utf8 temp path");
+    let run = tesa(&[
+        "evaluate", "--array", "64", "--sram-kib", "128", "--fps", "1", "--trace", path_s,
+    ]);
+    assert!(run.status.success(), "stderr: {}", String::from_utf8_lossy(&run.stderr));
+    let out = tesa(&["trace", "summarize", path_s]);
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("per-phase wall time"), "{text}");
+    assert!(text.contains("eval.design"), "{text}");
+    assert!(text.contains("thermal CG"), "{text}");
+}
+
+#[test]
+fn trace_summarize_without_path_fails_with_usage() {
+    let out = tesa(&["trace", "summarize"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("usage: tesa trace summarize"));
+}
+
+#[test]
 fn evaluate_json_reports_infeasible_designs_too() {
     // 10,000 fps is beyond any design: the report must list violations.
     let out = tesa(&[

@@ -14,7 +14,7 @@
 use crate::constraints::Constraints;
 use crate::design::{DesignSpace, Integration, McmDesign};
 use crate::eval::{Evaluator, McmEvaluation};
-use tesa_util::Rng;
+use tesa_util::{trace, Json, Rng};
 
 /// MSA configuration. The defaults reproduce the paper's validation setup:
 /// three starts with decay rates 0.89 / 0.87 / 0.85, `T` from 19 down to
@@ -146,13 +146,18 @@ where
 {
     let mut rng = Rng::seed_from_u64(seed);
     let mut out = StartOutcome { best: None, evaluations: 0, visited: Vec::new(), accepted: 0 };
+    let mut start_span = trace::span("msa.start");
+    start_span.field("delta", Json::F64(delta));
+    start_span.field("seed", Json::U64(seed));
 
     // Initialization: draw random designs until one is feasible.
     let mut current: Option<(McmDesign, f64)> = None;
+    let mut init_attempts_used = 0u32;
     for _ in 0..config.init_attempts {
         let d = random_design(space, integration, freq_mhz, &mut rng);
         let eval = evaluator.evaluate_cached(&d, constraints);
         out.evaluations += 1;
+        init_attempts_used += 1;
         out.visited.push(d);
         if eval.is_feasible() {
             let s = score(&eval);
@@ -161,20 +166,35 @@ where
             break;
         }
     }
+    trace::event("msa.init", || {
+        vec![
+            ("delta", Json::F64(delta)),
+            ("attempts", Json::U64(u64::from(init_attempts_used))),
+            ("feasible", Json::Bool(current.is_some())),
+            ("init_cost", current.map_or(Json::Null, |(_, s)| Json::F64(s))),
+        ]
+    });
     let Some((mut cur_design, mut cur_score)) = current else {
+        start_span.field("feasible", Json::Bool(false));
         return out;
     };
 
     let mut t = config.t_init;
     while t > config.t_final {
+        // Per-temperature-step tallies: aggregate (rather than per-move)
+        // events keep the trace size proportional to the schedule length.
+        let (mut accepted, mut rej_infeasible, mut rej_offspace, mut rej_metropolis) =
+            (0u32, 0u32, 0u32, 0u32);
         for _ in 0..config.moves_per_temp {
             let Some(candidate) = neighbor(&cur_design, space, &mut rng) else {
+                rej_offspace += 1;
                 continue;
             };
             let eval = evaluator.evaluate_cached(&candidate, constraints);
             out.evaluations += 1;
             out.visited.push(candidate);
             if !eval.is_feasible() {
+                rej_infeasible += 1;
                 continue;
             }
             let s = score(&eval);
@@ -185,15 +205,39 @@ where
                 rng.next_f64() < p
             };
             if accept {
+                accepted += 1;
                 out.accepted += 1;
                 cur_design = candidate;
                 cur_score = s;
                 if out.best.as_ref().is_none_or(|(bs, _)| s < *bs) {
                     out.best = Some((s, (*eval).clone()));
                 }
+            } else {
+                rej_metropolis += 1;
             }
         }
+        trace::event("msa.temp", || {
+            vec![
+                ("delta", Json::F64(delta)),
+                ("t", Json::F64(t)),
+                ("moves", Json::U64(u64::from(config.moves_per_temp))),
+                ("accepted", Json::U64(u64::from(accepted))),
+                ("rej_infeasible", Json::U64(u64::from(rej_infeasible))),
+                ("rej_offspace", Json::U64(u64::from(rej_offspace))),
+                ("rej_metropolis", Json::U64(u64::from(rej_metropolis))),
+                ("cur_cost", Json::F64(cur_score)),
+                ("best_cost", out.best.as_ref().map_or(Json::Null, |(s, _)| Json::F64(*s))),
+            ]
+        });
         t *= delta;
+    }
+    if trace::enabled() {
+        start_span.field("feasible", Json::Bool(true));
+        start_span.field("evaluations", Json::U64(out.evaluations as u64));
+        start_span.field("accepted", Json::U64(out.accepted as u64));
+        if let Some((s, _)) = &out.best {
+            start_span.field("best_cost", Json::F64(*s));
+        }
     }
     out
 }
@@ -218,6 +262,8 @@ where
     S: Fn(&McmEvaluation) -> f64 + Sync,
 {
     let score = &score;
+    let mut opt_span = trace::span("msa.optimize");
+    opt_span.field("starts", Json::U64(config.deltas.len() as u64));
     let starts: Vec<StartOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = config
             .deltas
@@ -255,6 +301,12 @@ where
                 best = Some((score, eval));
             }
         }
+    }
+    if trace::enabled() {
+        opt_span.field("evaluations", Json::U64(evaluations as u64));
+        opt_span.field("unique_designs", Json::U64(visited.len() as u64));
+        opt_span.field("accepted", Json::U64(accepted as u64));
+        opt_span.field("found_feasible", Json::Bool(best.is_some()));
     }
     AnnealOutcome {
         best: best.map(|(_, e)| e),

@@ -1,6 +1,6 @@
 //! Voltage–frequency scaling — an opt-in refinement of the paper's
 //! iso-voltage frequency comparison (its future work lists "more
-//! frequencies" [25]).
+//! frequencies" \[25\]).
 //!
 //! The paper evaluates 400 and 500 MHz with dynamic power scaled linearly
 //! in frequency (constant voltage). Real silicon rides a V(f) curve:

@@ -16,6 +16,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use tesa_memsim::{DramPowerModel, DramUsage};
+use tesa_util::{trace, Json};
 use tesa_scalesim::{ArrayConfig, Dataflow, DnnReport, Simulator};
 use tesa_thermal::{PowerMap, Rect, StackBuilder, ThermalModel};
 use tesa_workloads::MultiDnnWorkload;
@@ -243,9 +244,11 @@ impl Evaluator {
         let key: EvalKey = (*design, constraints_key(constraints));
         if let Some(hit) = self.eval_cache.read().expect("cache lock poisoned").get(&key) {
             self.eval_hits.fetch_add(1, Ordering::Relaxed);
+            trace::counter("eval.cache.hit", 1.0);
             return Arc::clone(hit);
         }
         self.eval_misses.fetch_add(1, Ordering::Relaxed);
+        trace::counter("eval.cache.miss", 1.0);
         let eval = Arc::new(self.evaluate(design, constraints));
         self.eval_cache.write().expect("cache lock poisoned").insert(key, Arc::clone(&eval));
         eval
@@ -276,6 +279,9 @@ impl Evaluator {
         if let Some(hit) = self.perf_cache.read().expect("cache lock poisoned").get(&key) {
             return Arc::clone(hit);
         }
+        let mut perf_span = trace::span("eval.perf");
+        perf_span.field("array", Json::U64(u64::from(chiplet.array_dim)));
+        perf_span.field("sram_kib", Json::U64(chiplet.sram_kib_per_bank));
         let sim = Simulator::new(
             ArrayConfig::square(chiplet.array_dim),
             chiplet.sram_capacities(),
@@ -348,6 +354,13 @@ impl Evaluator {
         let tech = &self.opts.tech;
         let geometry = chiplet.geometry(tech);
         let mut violations = Vec::new();
+        let mut eval_span = trace::span("eval.design");
+        if trace::enabled() {
+            eval_span.field("array", Json::U64(u64::from(chiplet.array_dim)));
+            eval_span.field("sram_kib", Json::U64(chiplet.sram_kib_per_bank));
+            eval_span.field("ics_um", Json::U64(u64::from(design.ics_um)));
+            eval_span.field("freq_mhz", Json::U64(u64::from(design.freq_mhz)));
+        }
 
         if design.ics_um > constraints.max_ics_um {
             violations.push(Violation::Ics { ics_um: design.ics_um });
@@ -362,6 +375,7 @@ impl Evaluator {
             self.workload.len() as u32,
         ) else {
             violations.push(Violation::Area { chiplet_side_mm: geometry.side_mm() });
+            eval_span.field("feasible", Json::Bool(false));
             return McmEvaluation {
                 design: *design,
                 mesh: None,
@@ -450,6 +464,8 @@ impl Evaluator {
             }
             if !lazy_violations.is_empty() {
                 let total_macs: u64 = reports.iter().map(|r| r.total_macs()).sum();
+                eval_span.field("feasible", Json::Bool(false));
+                eval_span.field("lazy_skip", Json::Bool(true));
                 return McmEvaluation {
                     design: *design,
                     mesh: Some(layout.mesh),
@@ -516,6 +532,11 @@ impl Evaluator {
         let total_macs: u64 = reports.iter().map(|r| r.total_macs()).sum();
         let ops = 2.0 * total_macs as f64 / latency_s;
 
+        if trace::enabled() {
+            eval_span.field("feasible", Json::Bool(violations.is_empty()));
+            eval_span.field("peak_c", Json::F64(peak_temp_c));
+            eval_span.field("cost_usd", Json::F64(mcm_cost_usd));
+        }
         McmEvaluation {
             design: *design,
             mesh: Some(layout.mesh),
@@ -548,6 +569,8 @@ impl Evaluator {
     ) -> (f64, bool, f64, Option<tesa_thermal::ThermalField>) {
         let chiplet = design.chiplet;
         let tech = &self.opts.tech;
+        let mut thermal_span = trace::span("eval.thermal");
+        thermal_span.field("phases", Json::U64(sched.phases().len() as u64));
         let model = self.thermal_model(layout, geometry, chiplet.integration);
         let n_chiplets = layout.mesh.count() as usize;
         let (nx, ny) = model.grid_dims();
@@ -589,7 +612,9 @@ impl Evaluator {
             let mut runaway = false;
             let mut last_field: Option<tesa_thermal::ThermalField> = None;
             let mut phase_power = 0.0f64;
+            let mut leak_iters = 0usize;
             for _iter in 0..LEAK_MAX_ITERS {
+                leak_iters += 1;
                 pmap.clear();
                 phase_power = self.inject_phase_power(
                     &mut pmap,
@@ -628,7 +653,19 @@ impl Evaluator {
                     break;
                 }
             }
+            trace::event("eval.phase", || {
+                let phase_peak = last_field.as_ref().map_or(tech.ambient_c, |f| {
+                    f.layer_peak_c(array_tier).max(f.layer_peak_c(sram_tier))
+                });
+                vec![
+                    ("leak_iters", Json::U64(leak_iters as u64)),
+                    ("power_w", Json::F64(phase_power)),
+                    ("peak_c", Json::F64(phase_peak)),
+                    ("runaway", Json::Bool(runaway)),
+                ]
+            });
             if runaway {
+                thermal_span.field("runaway", Json::Bool(true));
                 return (RUNAWAY_TEMP_C, true, phase_power.max(worst_power), last_field);
             }
             if let Some(field) = last_field {
@@ -642,6 +679,10 @@ impl Evaluator {
                 peak = peak.max(phase_peak);
             }
             worst_power = worst_power.max(phase_power);
+        }
+        if trace::enabled() {
+            thermal_span.field("peak_c", Json::F64(peak));
+            thermal_span.field("worst_power_w", Json::F64(worst_power));
         }
         (peak, false, worst_power, hottest_field)
     }

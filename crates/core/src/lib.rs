@@ -28,6 +28,12 @@
 //! Temperature-unaware baselines (SC1, SC2) and prior-work adaptations
 //! (W1, W2) used in the paper's evaluation live in [`baselines`].
 //!
+//! The DSE hot path is instrumented with `tesa_util::trace`: the annealer
+//! emits `msa.*` spans and per-temperature acceptance events, and the
+//! evaluator emits `eval.*` spans plus cache hit/miss counters. With no
+//! active trace session (the default) each site costs one relaxed atomic
+//! load; `tesa --trace run.jsonl <command>` streams them to JSONL.
+//!
 //! # Examples
 //!
 //! Evaluate one candidate MCM end to end:

@@ -13,6 +13,11 @@
 //! a double-buffered tiling model — exactly the quantities TESA's power,
 //! DRAM, and latency models consume (Eqs. (1)–(5) of the paper).
 //!
+//! [`Simulator::simulate_dnn`] is instrumented with `tesa_util::trace`:
+//! a `scalesim.dnn` span per network and a `scalesim.layer` span per layer
+//! (cycles, utilization). This observability trace is unrelated to
+//! [`FoldTrace`], the per-fold *timing* trace of the analytical model.
+//!
 //! # Examples
 //!
 //! ```

@@ -3,6 +3,7 @@
 use crate::config::{ArrayConfig, Dataflow, SramCapacities};
 use crate::layer_sim::simulate_layer;
 use crate::report::DnnReport;
+use tesa_util::{trace, Json};
 use tesa_workloads::Dnn;
 
 /// A configured simulator: one accelerator (array + SRAMs + dataflow) that
@@ -55,12 +56,30 @@ impl Simulator {
     /// Runs one stall-free inference of `dnn` (batch 1, int8) and returns
     /// the aggregated report.
     pub fn simulate_dnn(&self, dnn: &Dnn) -> DnnReport {
+        let mut dnn_span = trace::span("scalesim.dnn");
         let layers = dnn
             .layers()
             .iter()
-            .map(|l| simulate_layer(l, self.array, self.srams, self.dataflow))
+            .enumerate()
+            .map(|(i, l)| {
+                let mut layer_span = trace::span("scalesim.layer");
+                let rep = simulate_layer(l, self.array, self.srams, self.dataflow);
+                if trace::enabled() {
+                    layer_span.field("dnn", Json::str(dnn.name()));
+                    layer_span.field("index", Json::U64(i as u64));
+                    layer_span.field("cycles", Json::U64(rep.cycles));
+                    layer_span.field("utilization", Json::F64(rep.utilization));
+                }
+                rep
+            })
             .collect();
-        DnnReport::from_layers(dnn.name(), layers)
+        let report = DnnReport::from_layers(dnn.name(), layers);
+        if trace::enabled() {
+            dnn_span.field("dnn", Json::str(dnn.name()));
+            dnn_span.field("layers", Json::U64(report.layers.len() as u64));
+            dnn_span.field("cycles", Json::U64(report.total_cycles));
+        }
+        report
     }
 }
 

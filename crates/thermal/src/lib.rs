@@ -18,6 +18,11 @@
 //! the `tesa` crate, which owns the leakage models; this crate exposes a
 //! pure linear solve.
 //!
+//! Every CG solve emits a `thermal.cg` (or `thermal.transient_cg`) trace
+//! event — unknown count, preconditioner, warm-start flag, iterations,
+//! final residual — through `tesa_util::trace`, so `tesa trace summarize`
+//! can report solver health (mean/max iterations) for a whole DSE run.
+//!
 //! # Examples
 //!
 //! ```

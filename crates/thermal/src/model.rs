@@ -7,6 +7,7 @@ use crate::solver::{self, CgOutcome, CgScratch};
 use crate::stack::LayerDef;
 
 use std::sync::{Arc, Mutex};
+use tesa_util::{trace, Json};
 
 /// Node count above which the mat-vec is chunked across threads. The
 /// per-cell arithmetic is identical in every chunking, so results do not
@@ -36,7 +37,8 @@ pub enum Preconditioner {
     /// Diagonal scaling — cheap per iteration, iteration count grows with
     /// grid resolution.
     Jacobi,
-    /// Geometric multigrid V-cycle (see [`crate::multigrid`]) — grid-size
+    /// Geometric multigrid V-cycle (the private `multigrid` module) —
+    /// grid-size
     /// independent iteration counts.
     Multigrid,
 }
@@ -486,7 +488,7 @@ impl ThermalModel {
     /// malformed stack, not a user input problem).
     pub fn solve(&self, power: &PowerMap) -> ThermalField {
         let mut x = vec![self.ambient_c; self.nl * self.ny * self.nx];
-        self.steady_solve(power, &mut x);
+        self.steady_solve(power, &mut x, false);
         ThermalField { nx: self.nx, ny: self.ny, num_layers: self.nl, temps_c: x }
     }
 
@@ -501,13 +503,14 @@ impl ThermalModel {
         let n = self.nl * self.ny * self.nx;
         assert_eq!(guess.len(), n, "warm-start guess has the wrong length");
         let mut x = guess.to_vec();
-        self.steady_solve(power, &mut x);
+        self.steady_solve(power, &mut x, true);
         ThermalField { nx: self.nx, ny: self.ny, num_layers: self.nl, temps_c: x }
     }
 
     /// The steady-state CG solve into a caller-owned field buffer; all
-    /// other work vectors come from the pooled scratch.
-    fn steady_solve(&self, power: &PowerMap, x: &mut [f64]) {
+    /// other work vectors come from the pooled scratch. `warm` tags the
+    /// trace event with whether `x` is a reused previous solution.
+    fn steady_solve(&self, power: &PowerMap, x: &mut [f64], warm: bool) {
         let n = self.nl * self.ny * self.nx;
         assert_eq!(power.watts.len(), n, "power map does not match this model's grid");
         let mut s = self.scratch.take();
@@ -538,6 +541,16 @@ impl ThermalModel {
             ),
         };
         self.scratch.put(s);
+        trace::event("thermal.cg", || {
+            let (iters, residual) = outcome.stats(tol.max_iters);
+            vec![
+                ("n", Json::U64(n as u64)),
+                ("precond", Json::str(if self.mg.is_some() { "multigrid" } else { "jacobi" })),
+                ("warm", Json::Bool(warm)),
+                ("iters", Json::U64(iters as u64)),
+                ("residual", Json::F64(residual)),
+            ]
+        });
         match outcome {
             CgOutcome::Converged { .. } => {}
             CgOutcome::MaxIterations { residual } => {
@@ -615,6 +628,14 @@ impl ThermalModel {
             &mut s.cg,
         );
         self.scratch.put(s);
+        trace::event("thermal.transient_cg", || {
+            let (iters, residual) = outcome.stats(solver::Tolerance::default().max_iters);
+            vec![
+                ("n", Json::U64(n as u64)),
+                ("iters", Json::U64(iters as u64)),
+                ("residual", Json::F64(residual)),
+            ]
+        });
         match outcome {
             CgOutcome::Converged { .. } => {}
             CgOutcome::MaxIterations { residual } => {
@@ -713,7 +734,7 @@ mod tests {
             ),
         };
         let iters = match outcome {
-            CgOutcome::Converged { iterations } => iterations,
+            CgOutcome::Converged { iterations, .. } => iterations,
             CgOutcome::MaxIterations { residual } => panic!("no convergence ({residual:e})"),
         };
         (iters, ThermalField { nx: m.nx, ny: m.ny, num_layers: m.nl, temps_c: x })

@@ -24,11 +24,20 @@ impl Default for Tolerance {
 /// Result of a CG run.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum CgOutcome {
-    /// Converged within tolerance.
-    #[allow(dead_code)]
-    Converged { iterations: usize },
+    /// Converged within tolerance; `residual` is the final 2-norm.
+    Converged { iterations: usize, residual: f64 },
     /// Hit the iteration cap; `residual` is the final 2-norm.
     MaxIterations { residual: f64 },
+}
+
+impl CgOutcome {
+    /// `(iterations, final residual)` regardless of outcome.
+    pub(crate) fn stats(&self, max_iters: usize) -> (usize, f64) {
+        match *self {
+            CgOutcome::Converged { iterations, residual } => (iterations, residual),
+            CgOutcome::MaxIterations { residual } => (max_iters, residual),
+        }
+    }
 }
 
 /// Reusable per-solve work vectors (residual, preconditioned residual,
@@ -89,7 +98,7 @@ where
     let target = tol.rel * b_norm;
     let mut r_norm2 = dot(r, r);
     if r_norm2.sqrt() <= target {
-        return CgOutcome::Converged { iterations: 0 };
+        return CgOutcome::Converged { iterations: 0, residual: r_norm2.sqrt() };
     }
 
     precond(r, z);
@@ -106,7 +115,7 @@ where
             r_norm2 += r[i] * r[i];
         }
         if r_norm2.sqrt() <= target {
-            return CgOutcome::Converged { iterations: it + 1 };
+            return CgOutcome::Converged { iterations: it + 1, residual: r_norm2.sqrt() };
         }
         precond(r, z);
         let rz_new = dot(r, z);
@@ -173,7 +182,7 @@ mod tests {
         let mut x = vec![1.0 / 11.0, 7.0 / 11.0];
         let outcome = conjugate_gradient(apply, &[4.0, 3.0], &[1.0, 2.0], &mut x, Tolerance::default());
         match outcome {
-            CgOutcome::Converged { iterations } => assert!(iterations <= 1),
+            CgOutcome::Converged { iterations, .. } => assert!(iterations <= 1),
             CgOutcome::MaxIterations { .. } => panic!("should converge"),
         }
     }

@@ -1,11 +1,15 @@
-//! A hand-written minimal JSON emitter.
+//! A hand-written minimal JSON emitter and parser.
 //!
-//! Replaces the `serde` derive machinery for the workspace's
-//! machine-readable outputs (the CLI's `--json` reports). Only emission is
-//! provided — the workspace never parses JSON.
+//! Replaces the `serde` machinery for the workspace's machine-readable
+//! formats: emission for the CLI's `--json` reports and the trace sink,
+//! parsing ([`parse`]) for reading those artifacts back — `tesa trace
+//! summarize` aggregating a JSONL trace, and the bench guard diffing
+//! `BENCH_*.json` files.
 //!
 //! Non-finite floats have no JSON representation and are emitted as
-//! `null`; 64-bit integers are kept exact via dedicated variants.
+//! `null`; 64-bit integers are kept exact via dedicated variants. The
+//! parser mirrors that convention: integer literals that fit become
+//! [`Json::U64`]/[`Json::I64`], everything else [`Json::F64`].
 //!
 //! # Examples
 //!
@@ -68,6 +72,63 @@ impl Json {
     /// An array from values.
     pub fn arr<I: IntoIterator<Item = Json>>(items: I) -> Self {
         Json::Arr(items.into_iter().collect())
+    }
+
+    /// Looks up `key` in an object (first occurrence); `None` for other
+    /// variants or a missing key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, widening any of the three numeric variants to
+    /// `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer: `U64` directly, or `I64`/`F64`
+    /// when they represent one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            Json::I64(n) => u64::try_from(*n).ok(),
+            Json::F64(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents of a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value of a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements of an `Arr` value.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String) {
@@ -165,6 +226,240 @@ impl From<&str> for Json {
     }
 }
 
+/// Parses one JSON document from `text` (surrounding whitespace allowed).
+///
+/// # Errors
+///
+/// Returns a message with a byte offset on malformed input, including
+/// trailing garbage after the document.
+///
+/// # Examples
+///
+/// ```
+/// use tesa_util::json;
+///
+/// let v = json::parse(r#"{"name":"cg","iters":12,"res":1e-9}"#).unwrap();
+/// assert_eq!(v.get("iters").and_then(json::Json::as_u64), Some(12));
+/// ```
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped runs in one slice to keep the common case fast.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?;
+                out.push_str(run);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or_else(|| format!("bad escape at byte {}", self.pos))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: a low surrogate must follow.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                    } else {
+                        return Err(format!("lone surrogate at byte {}", self.pos));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(format!("invalid low surrogate at byte {}", self.pos));
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    hi
+                };
+                char::from_u32(code)
+                    .ok_or_else(|| format!("invalid codepoint at byte {}", self.pos))?
+            }
+            _ => return Err(format!("bad escape '\\{}' at byte {}", c as char, self.pos - 1)),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|s| std::str::from_utf8(s).ok())
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if !is_float {
+            // Keep 64-bit integers exact, matching the emitter's variants.
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +505,53 @@ mod tests {
     fn object_preserves_insertion_order() {
         let j = Json::obj([("z", Json::U64(1)), ("a", Json::U64(2))]);
         assert_eq!(j.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_documents() {
+        let j = Json::obj([
+            ("design", Json::str("128x128")),
+            ("peak_c", Json::f64(71.25)),
+            ("feasible", Json::Bool(true)),
+            ("xs", Json::arr([Json::U64(1), Json::I64(-2), Json::Null])),
+            ("escaped", Json::str("a\"b\\c\nd\u{1}")),
+        ]);
+        assert_eq!(parse(&j.to_string()), Ok(j));
+    }
+
+    #[test]
+    fn parse_numbers_preserve_integer_variants() {
+        assert_eq!(parse("18446744073709551615"), Ok(Json::U64(u64::MAX)));
+        assert_eq!(parse("-42"), Ok(Json::I64(-42)));
+        assert_eq!(parse("1.5e3"), Ok(Json::F64(1500.0)));
+        assert_eq!(parse("-0.25"), Ok(Json::F64(-0.25)));
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_unicode_escapes() {
+        let v = parse(" { \"k\" : [ \"\\u00e9\\ud83d\\ude00\" , true ] } ").unwrap();
+        let arr = v.get("k").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0].as_str(), Some("é😀"));
+        assert_eq!(arr[1].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"open", "{\"k\":}", "nul", "1 2", "{\"a\":1,}"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_trees() {
+        let v = parse(r#"{"stats":{"hits":10,"ratio":0.5},"names":["a","b"]}"#).unwrap();
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(10));
+        assert_eq!(stats.get("hits").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(stats.get("ratio").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(v.get("names").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::F64(3.0).as_u64(), Some(3));
+        assert_eq!(Json::F64(3.5).as_u64(), None);
     }
 }

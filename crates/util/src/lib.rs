@@ -9,11 +9,14 @@
 //! * [`propcheck`] — a minimal property-testing harness (generator trait,
 //!   configurable case count, shrinking by halving, seed printed on
 //!   failure), replacing `proptest`;
-//! * [`bench`] — a lightweight benchmark harness (warmup + N timed
+//! * [`bench`](mod@bench) — a lightweight benchmark harness (warmup + N timed
 //!   iterations, median/p95 report, name filtering), replacing `criterion`;
-//! * [`json`] — a hand-written minimal JSON emitter, replacing the `serde`
-//!   derive machinery for the report paths that need machine-readable
-//!   output.
+//! * [`json`] — a hand-written minimal JSON emitter *and parser*,
+//!   replacing the `serde` machinery for the report paths that need
+//!   machine-readable output and for reading those artifacts back;
+//! * [`trace`] — a structured-observability layer (spans, events,
+//!   counters → JSONL) with near-zero disabled-path overhead, replacing
+//!   `tracing`/`tracing-subscriber` for pipeline introspection.
 //!
 //! Determinism is a design goal throughout: the RNG is seed-for-seed
 //! reproducible across platforms, and `propcheck` replays any failure from
@@ -26,6 +29,7 @@ pub mod bench;
 pub mod json;
 pub mod propcheck;
 pub mod rng;
+pub mod trace;
 
 pub use json::Json;
 pub use rng::Rng;

@@ -1,0 +1,508 @@
+//! Structured observability for the DSE pipeline: spans, events, and
+//! counters emitted as JSONL.
+//!
+//! TESA's headline result is a search *trajectory* — MSA start quality,
+//! acceptance rates, evaluator cache behaviour, CG iteration counts — and
+//! this module is the substrate that captures it. Design goals, in order:
+//!
+//! 1. **Near-zero overhead when disabled.** Every entry point checks one
+//!    relaxed atomic load and returns without allocating, reading the
+//!    clock, or touching thread-local state. Tracing is off unless a
+//!    session is active, so instrumented hot loops (the annealer, the CG
+//!    solve) pay only the branch.
+//! 2. **Thread-safe without contention.** Events buffer in a thread-local
+//!    `Vec` and reach the shared sink only when the thread's *outermost*
+//!    span closes, on overflow, or at thread exit. The workspace's
+//!    parallelism is `std::thread::scope`-based and every worker wraps its
+//!    work in a span, so worker events are in the sink by the time the
+//!    spawning call returns (scope join alone does not wait for TLS
+//!    destructors — spanless worker events are only guaranteed at thread
+//!    exit).
+//! 3. **Zero dependencies.** Events serialize through [`crate::Json`];
+//!    the sink is any `Write + Send`.
+//!
+//! # Event schema
+//!
+//! One JSON object per line. Common keys: `ts_us` (microseconds since the
+//! first session of the process), `tid` (small per-thread integer), `kind`
+//! and `name`. Per kind:
+//!
+//! * `"span"` — a timed region: `dur_us`, `depth` (nesting level on its
+//!   thread, 0 = outermost), optional `f` (fields object). Emitted when
+//!   the span *ends*, stamped with its start time, so inner spans appear
+//!   before their parent on each thread.
+//! * `"event"` — a point-in-time record with an optional `f` object.
+//! * `"counter"` — a named numeric sample: `value`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tesa_util::trace;
+//!
+//! let buf = trace::SharedBuf::default();
+//! let session = trace::init_writer(Box::new(buf.clone()));
+//! {
+//!     let mut span = trace::span("demo.work");
+//!     span.field("items", tesa_util::Json::U64(3));
+//!     trace::counter("demo.count", 3.0);
+//! }
+//! drop(session); // flush
+//! let text = buf.contents();
+//! assert!(text.lines().count() == 2);
+//! assert!(text.contains(r#""name":"demo.work""#));
+//! ```
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Global on/off switch — the only cost instrumentation pays when no
+/// session is active.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Session generation; thread buffers stamped with an older generation are
+/// discarded rather than flushed into the wrong sink.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+/// Monotonic source of small per-thread ids.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+/// Process-wide time origin (set once, at the first session).
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The shared sink of the active session.
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Thread-local event buffer: flushed to [`SINK`] when it overflows, when
+/// a depth-0 span ends on the thread, or at thread exit.
+const BUF_FLUSH_LEN: usize = 4096;
+
+thread_local! {
+    static TLS: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        generation: GENERATION.load(Ordering::Relaxed),
+        depth: 0,
+        events: Vec::new(),
+    });
+}
+
+struct ThreadBuf {
+    tid: u64,
+    generation: u64,
+    depth: u32,
+    events: Vec<Event>,
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        flush_events(self);
+    }
+}
+
+struct Event {
+    ts_us: u64,
+    tid: u64,
+    kind: EventKind,
+    name: &'static str,
+    fields: Vec<(&'static str, Json)>,
+}
+
+enum EventKind {
+    Span { dur_us: u64, depth: u32 },
+    Instant,
+    Counter { value: f64 },
+}
+
+impl Event {
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("ts_us".into(), Json::U64(self.ts_us)),
+            ("tid".into(), Json::U64(self.tid)),
+        ];
+        match &self.kind {
+            EventKind::Span { dur_us, depth } => {
+                pairs.push(("kind".into(), Json::str("span")));
+                pairs.push(("name".into(), Json::str(self.name)));
+                pairs.push(("dur_us".into(), Json::U64(*dur_us)));
+                pairs.push(("depth".into(), Json::U64(u64::from(*depth))));
+            }
+            EventKind::Instant => {
+                pairs.push(("kind".into(), Json::str("event")));
+                pairs.push(("name".into(), Json::str(self.name)));
+            }
+            EventKind::Counter { value } => {
+                pairs.push(("kind".into(), Json::str("counter")));
+                pairs.push(("name".into(), Json::str(self.name)));
+                pairs.push(("value".into(), Json::F64(*value)));
+            }
+        }
+        if !self.fields.is_empty() {
+            let f = Json::obj(self.fields.iter().map(|(k, v)| (*k, v.clone())));
+            pairs.push(("f".into(), f));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// Serializes and writes a buffer's events to the sink, if the buffer
+/// belongs to the current generation and a sink is installed.
+fn flush_events(buf: &mut ThreadBuf) {
+    if buf.events.is_empty() {
+        return;
+    }
+    let events = std::mem::take(&mut buf.events);
+    if buf.generation != GENERATION.load(Ordering::Relaxed) {
+        return; // stale events from a previous session
+    }
+    let mut text = String::new();
+    for e in &events {
+        text.push_str(&e.to_json().to_string());
+        text.push('\n');
+    }
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    if let Some(w) = sink.as_mut() {
+        // A sink write failure must not panic the traced computation.
+        let _ = w.write_all(text.as_bytes());
+    }
+}
+
+fn now_us() -> u64 {
+    u64::try_from(EPOCH.get_or_init(Instant::now).elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Appends one event to the current thread's buffer.
+fn record(kind: EventKind, name: &'static str, fields: Vec<(&'static str, Json)>) {
+    record_at(now_us(), kind, name, fields);
+}
+
+/// Appends one event with an explicit timestamp (spans are stamped with
+/// their *start* time even though they are recorded at drop).
+fn record_at(ts_us: u64, kind: EventKind, name: &'static str, fields: Vec<(&'static str, Json)>) {
+    // `std::thread::scope` joins when the worker *closure* returns, which is
+    // before the thread's TLS destructors (and their flush) run — so a
+    // depth-0 span end must flush eagerly. Instrumented worker code wraps
+    // its work in a span, making "scope joined ⇒ events in the sink" hold.
+    let root_span_end = matches!(kind, EventKind::Span { depth: 0, .. });
+    TLS.with(|tls| {
+        let mut buf = tls.borrow_mut();
+        let generation = GENERATION.load(Ordering::Relaxed);
+        if buf.generation != generation {
+            buf.events.clear();
+            buf.generation = generation;
+            buf.depth = 0;
+        }
+        let tid = buf.tid;
+        buf.events.push(Event { ts_us, tid, kind, name, fields });
+        if buf.events.len() >= BUF_FLUSH_LEN || root_span_end {
+            flush_events(&mut buf);
+        }
+    });
+}
+
+/// Whether a trace session is active. Instrumentation that has to do any
+/// work *before* calling [`span`]/[`event`]/[`counter`] (building field
+/// values, reading stats) should gate on this.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// An active trace session. Dropping it disables tracing, flushes the
+/// dropping thread's buffer, and closes the sink.
+///
+/// Only one session can be active at a time; initializing while another
+/// session is active replaces its sink (intended for tests — production
+/// callers hold one session for the process lifetime).
+#[must_use = "dropping the session is what flushes and closes the trace"]
+pub struct TraceSession(());
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Relaxed);
+        TLS.with(|tls| flush_events(&mut tls.borrow_mut()));
+        let mut sink = SINK.lock().expect("trace sink poisoned");
+        if let Some(w) = sink.as_mut() {
+            let _ = w.flush();
+        }
+        *sink = None;
+    }
+}
+
+/// Starts a session writing JSONL to `writer`.
+pub fn init_writer(writer: Box<dyn Write + Send>) -> TraceSession {
+    let _ = EPOCH.get_or_init(Instant::now);
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    *SINK.lock().expect("trace sink poisoned") = Some(writer);
+    ENABLED.store(true, Ordering::Relaxed);
+    TraceSession(())
+}
+
+/// Starts a session writing JSONL to a (buffered) file at `path`,
+/// truncating any existing file.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be created.
+pub fn init_file<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<TraceSession> {
+    let file = std::fs::File::create(path)?;
+    Ok(init_writer(Box::new(std::io::BufWriter::new(file))))
+}
+
+/// A timed region. Created by [`span`]; the record is emitted when the
+/// value drops, carrying the start timestamp, the duration, and the
+/// nesting depth on its thread.
+pub struct Span {
+    /// `Some` only while tracing is enabled at creation time.
+    start: Option<(u64, Instant)>,
+    name: &'static str,
+    fields: Vec<(&'static str, Json)>,
+}
+
+impl Span {
+    /// Attaches a key/value field to the span record (no-op when the span
+    /// is disabled).
+    pub fn field(&mut self, key: &'static str, value: Json) {
+        if self.start.is_some() {
+            self.fields.push((key, value));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((ts_us, start)) = self.start.take() else { return };
+        let dur_us =
+            u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let fields = std::mem::take(&mut self.fields);
+        let depth = TLS.with(|tls| {
+            let mut buf = tls.borrow_mut();
+            buf.depth = buf.depth.saturating_sub(1);
+            buf.depth
+        });
+        record_at(ts_us, EventKind::Span { dur_us, depth }, self.name, fields);
+    }
+}
+
+/// Opens a span named `name`. When tracing is disabled this allocates
+/// nothing and does not read the clock.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { start: None, name, fields: Vec::new() };
+    }
+    TLS.with(|tls| tls.borrow_mut().depth += 1);
+    Span { start: Some((now_us(), Instant::now())), name, fields: Vec::new() }
+}
+
+/// Records a point-in-time event. `fields` is only invoked when tracing is
+/// enabled, so building the field values costs nothing on the disabled
+/// path.
+pub fn event<F>(name: &'static str, fields: F)
+where
+    F: FnOnce() -> Vec<(&'static str, Json)>,
+{
+    if !enabled() {
+        return;
+    }
+    record(EventKind::Instant, name, fields());
+}
+
+/// Records a named numeric sample.
+pub fn counter(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    record(EventKind::Counter { value }, name, Vec::new());
+}
+
+/// Flushes the calling thread's buffer to the sink. Useful before handing
+/// a trace file to a reader while the session is still open.
+pub fn flush() {
+    if !enabled() {
+        return;
+    }
+    TLS.with(|tls| flush_events(&mut tls.borrow_mut()));
+}
+
+/// An `Arc<Mutex<Vec<u8>>>`-backed sink for capturing a trace in memory —
+/// the writer half clones into [`init_writer`], the reader half stays with
+/// the test.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// The bytes written so far, as UTF-8 (trace output is always UTF-8).
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().expect("shared buf poisoned").clone())
+            .expect("trace output is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("shared buf poisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    /// Trace state is process-global; tests that open sessions serialize
+    /// on this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn capture<F: FnOnce()>(f: F) -> String {
+        let buf = SharedBuf::default();
+        let session = init_writer(Box::new(buf.clone()));
+        f();
+        drop(session);
+        buf.contents()
+    }
+
+    fn parse_lines(text: &str) -> Vec<Json> {
+        text.lines().map(|l| json::parse(l).expect("valid JSONL")).collect()
+    }
+
+    #[test]
+    fn disabled_entry_points_are_noops() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        assert!(!enabled());
+        let mut s = span("never");
+        s.field("k", Json::U64(1));
+        drop(s);
+        event("never", || panic!("fields must not be built when disabled"));
+        counter("never", 1.0);
+        flush();
+    }
+
+    #[test]
+    fn events_serialize_with_schema_keys() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let text = capture(|| {
+            event("e.alpha", || vec![("x", Json::U64(7))]);
+            counter("c.beta", 2.5);
+            let _s = span("s.gamma");
+        });
+        let lines = parse_lines(&text);
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            assert!(l.get("ts_us").is_some() && l.get("tid").is_some());
+        }
+        assert_eq!(lines[0].get("kind").and_then(Json::as_str), Some("event"));
+        assert_eq!(
+            lines[0].get("f").and_then(|f| f.get("x")).and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(lines[1].get("kind").and_then(Json::as_str), Some("counter"));
+        assert_eq!(lines[1].get("value").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(lines[2].get("kind").and_then(Json::as_str), Some("span"));
+        assert!(lines[2].get("dur_us").is_some());
+    }
+
+    #[test]
+    fn span_nesting_emits_inner_before_outer_with_depths() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let text = capture(|| {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                let _innermost = span("innermost");
+            }
+        });
+        let lines = parse_lines(&text);
+        let names: Vec<_> =
+            lines.iter().map(|l| l.get("name").and_then(Json::as_str).unwrap()).collect();
+        assert_eq!(names, ["innermost", "inner", "outer"]);
+        let depths: Vec<_> =
+            lines.iter().map(|l| l.get("depth").and_then(Json::as_u64).unwrap()).collect();
+        assert_eq!(depths, [2, 1, 0]);
+    }
+
+    #[test]
+    fn scoped_threads_flush_on_join() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let buf = SharedBuf::default();
+        let session = init_writer(Box::new(buf.clone()));
+        std::thread::scope(|scope| {
+            for i in 0..3 {
+                scope.spawn(move || {
+                    let _s = span("worker");
+                    counter("worker.i", f64::from(i));
+                });
+            }
+        });
+        // Scope has joined: every worker's buffer is already in the sink,
+        // before the session closes.
+        let mid = buf.contents();
+        assert_eq!(mid.lines().count(), 6, "3 spans + 3 counters: {mid}");
+        drop(session);
+        // Per-thread ordering: each tid's span/counter pair stays ordered
+        // (counter recorded inside the span's lifetime precedes its end
+        // record, which is stamped at drop).
+        let lines = parse_lines(&buf.contents());
+        let tids: std::collections::HashSet<u64> =
+            lines.iter().map(|l| l.get("tid").and_then(Json::as_u64).unwrap()).collect();
+        assert_eq!(tids.len(), 3, "one tid per worker");
+    }
+
+    #[test]
+    fn session_drop_disables_and_later_events_are_dropped() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let buf = SharedBuf::default();
+        let session = init_writer(Box::new(buf.clone()));
+        event("kept", Vec::new);
+        drop(session);
+        assert!(!enabled());
+        event("lost", Vec::new);
+        let text = buf.contents();
+        assert!(text.contains("kept") && !text.contains("lost"));
+    }
+
+    #[test]
+    fn stale_buffered_events_do_not_leak_into_a_new_session() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        // Record into session A from a thread that outlives it, then open
+        // session B from that same thread: A's unflushed events must not
+        // appear in B's sink.
+        let buf_a = SharedBuf::default();
+        let buf_b = SharedBuf::default();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let session_a = init_writer(Box::new(buf_a.clone()));
+        let handle = std::thread::spawn(move || {
+            event("from_a", Vec::new);
+            done_tx.send(()).unwrap();
+            rx.recv().unwrap(); // hold the thread (and its buffer) alive
+            event("from_b", Vec::new);
+        });
+        done_rx.recv().unwrap();
+        drop(session_a);
+        let session_b = init_writer(Box::new(buf_b.clone()));
+        tx.send(()).unwrap();
+        handle.join().unwrap();
+        drop(session_b);
+        assert!(!buf_b.contents().contains("from_a"), "stale event leaked");
+        assert!(buf_b.contents().contains("from_b"));
+    }
+
+    #[test]
+    fn timestamps_are_monotone_within_a_thread() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let text = capture(|| {
+            for _ in 0..100 {
+                event("tick", Vec::new);
+            }
+        });
+        let ts: Vec<u64> = parse_lines(&text)
+            .iter()
+            .map(|l| l.get("ts_us").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

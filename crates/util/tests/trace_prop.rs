@@ -1,0 +1,71 @@
+//! Property tests for the trace layer: for any workload shape, event
+//! timestamps recorded within a span are monotone and bounded by the
+//! span's `[start, start + duration]` window.
+
+use tesa_util::json::{self, Json};
+use tesa_util::prop_assert;
+use tesa_util::propcheck::{check, ranged, Config};
+use tesa_util::trace;
+
+#[test]
+fn timestamps_within_a_span_are_monotone_and_bounded() {
+    // One process-global trace; cases run sequentially inside check(), so
+    // each case gets its own clean session.
+    check(
+        Config::with_cases(32),
+        (ranged(1usize..5), ranged(1usize..9)),
+        |(spans, events_per_span)| {
+            let buf = trace::SharedBuf::default();
+            let session = trace::init_writer(Box::new(buf.clone()));
+            for _ in 0..spans {
+                let _s = trace::span("prop.span");
+                for i in 0..events_per_span {
+                    trace::event("prop.event", || vec![("i", Json::U64(i as u64))]);
+                }
+            }
+            drop(session);
+
+            let lines: Vec<Json> = buf
+                .contents()
+                .lines()
+                .map(|l| json::parse(l).expect("trace lines are valid JSON"))
+                .collect();
+            prop_assert!(
+                lines.len() == spans * (events_per_span + 1),
+                "one record per event plus one per span: {} lines",
+                lines.len()
+            );
+
+            // The single-threaded emission order groups each span's events
+            // before the span record itself (spans are written at drop).
+            for group in lines.chunks(events_per_span + 1) {
+                let span = group.last().expect("non-empty group");
+                prop_assert!(
+                    span.get("kind").and_then(Json::as_str) == Some("span"),
+                    "group must end with its span record"
+                );
+                let start = span.get("ts_us").and_then(Json::as_u64).expect("ts_us");
+                let dur = span.get("dur_us").and_then(Json::as_u64).expect("dur_us");
+                // Start and duration are each truncated to whole
+                // microseconds, so the reconstructed window can under-cover
+                // the true one by up to 2 us.
+                let end = start + dur + 2;
+                let mut prev = start;
+                for ev in &group[..events_per_span] {
+                    prop_assert!(
+                        ev.get("kind").and_then(Json::as_str) == Some("event"),
+                        "interior records are events"
+                    );
+                    let ts = ev.get("ts_us").and_then(Json::as_u64).expect("ts_us");
+                    prop_assert!(ts >= prev, "timestamps monotone: {ts} < {prev}");
+                    prop_assert!(
+                        ts <= end,
+                        "event at {ts} outside span window [{start}, {end}]"
+                    );
+                    prev = ts;
+                }
+            }
+            Ok(())
+        },
+    );
+}

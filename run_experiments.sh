@@ -10,18 +10,19 @@ cargo build --release -p tesa-bench
 
 run() {
   local name="$1"
+  local out="${2:-out_${name}.txt}"
   echo "=== $name ==="
-  cargo run --release -p tesa-bench --bin "$name" | tee "out_${name}.txt"
+  cargo run --release -p tesa-bench --bin "$name" | tee "$out"
 }
 
-run fig5               # E4: SC1 max-parallelism baseline
-run table4             # E2: SC2 temperature-unaware sizing
-run table5             # E3: TESA outputs across all constraint combinations
-run table3             # E1: vs W1/W2 prior work (3D, 500 MHz)
-run fig6               # E5: thermal maps (CSV under out/)
-run validate_optimizer # E6: MSA vs exhaustive ground truth
-run savings            # E7: headline cost/DRAM savings
-run compare_2d3d       # E8: 2D vs 3D OPS/cost/DRAM
-run ablation           # extensions: scheduler/leakage/ICS ablations
+run fig5                                # E4: SC1 max-parallelism baseline
+run table4                              # E2: SC2 temperature-unaware sizing
+run table5                              # E3: TESA outputs across all constraint combinations
+run table3                              # E1: vs W1/W2 prior work (3D, 500 MHz)
+run fig6                                # E5: thermal maps (CSV under out/)
+run validate_optimizer out_validate.txt # E6: MSA vs exhaustive ground truth
+run savings                             # E7: headline cost/DRAM savings
+run compare_2d3d out_compare.txt        # E8: 2D vs 3D OPS/cost/DRAM
+run ablation                            # extensions: scheduler/leakage/ICS ablations
 
 cargo bench --workspace 2>&1 | tee bench_output.txt   # E9: runtimes

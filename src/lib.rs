@@ -10,6 +10,13 @@
 //! * [`tesa`] — the TESA evaluator, scheduler, cost models, baselines, and
 //!   multi-start simulated-annealing optimizer.
 //!
+//! Two more workspace crates sit outside the re-export: `tesa-util` (the
+//! zero-dependency substrate: RNG, JSON emit/parse, property-test and
+//! bench harnesses, and the `trace` observability layer every crate above
+//! is instrumented with) and `tesa-cli` (the `tesa` binary; its global
+//! `--trace out.jsonl` flag captures a structured trace of any command,
+//! summarized by `tesa trace summarize out.jsonl`).
+//!
 //! # Examples
 //!
 //! ```
