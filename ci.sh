@@ -37,6 +37,11 @@ cargo bench -q --offline -p tesa-bench --bench bench_thermal -- \
 # the added wall time to a couple of seconds).
 cargo bench -q --offline -p tesa-bench --bench bench_anneal -- \
     --warmup 3 --iters 15 --format json --out "$PWD/BENCH_anneal.json"
+cargo bench -q --offline -p tesa-bench --bench bench_sweep -- \
+    --warmup 1 --iters 5 --format json --out "$PWD/BENCH_sweep.json"
+# Disabled-path overhead gate: the warm-cache benchmarks run with tracing,
+# screening, and speculation all off, so a regression here means the new
+# machinery costs wall time even when nobody asked for it.
 if [[ -f BENCH_anneal.baseline.json ]]; then
     cargo run -q --offline --release -p tesa-bench --bin bench_guard -- \
         BENCH_anneal.baseline.json BENCH_anneal.json \
@@ -45,4 +50,17 @@ if [[ -f BENCH_anneal.baseline.json ]]; then
     rm -f BENCH_anneal.baseline.json
 else
     echo "bench_guard: no previous BENCH_anneal.json — baseline recorded, guard skipped"
+fi
+# Enabled-path speedup gate: screening + speculation must beat the serial
+# cold-cache anneal by the required factor *within this run's artifact*.
+# Speculation hides work on idle cores, so the gate only binds on runners
+# with enough of them; on narrower machines speculation auto-disables and
+# the disabled-path guard above is the binding check.
+if [[ "$(nproc)" -ge 4 ]]; then
+    cargo run -q --offline --release -p tesa-bench --bin bench_guard -- \
+        BENCH_anneal.json \
+        --speedup "anneal/msa_small_space_cold_cache=anneal/msa_small_space_cold_cache_spec" \
+        --min-speedup "${TESA_BENCH_MIN_SPEEDUP:-2.0}"
+else
+    echo "bench_guard: <4 cores — speculative speedup gate skipped"
 fi

@@ -34,6 +34,8 @@ fn main() {
         moves_per_temp: 5,
         init_attempts: 30,
         seed: 3,
+        screening: false,
+        speculation: 0,
     };
     let constraints = Constraints::edge_device(15.0, 85.0);
     let objective = Objective::balanced();
@@ -66,7 +68,7 @@ fn main() {
         sram_kib_options: vec![256, 512],
         ics_um_options: vec![0, 500],
     };
-    let cold_config = MsaConfig { moves_per_temp: 3, ..config };
+    let cold_config = MsaConfig { moves_per_temp: 3, ..config.clone() };
     runner.bench("anneal/msa_small_space_cold_cache", || {
         let evaluator =
             Evaluator::new(arvr_suite(), EvalOptions { lazy: true, ..EvalOptions::default() });
@@ -78,6 +80,29 @@ fn main() {
             &constraints,
             &objective,
             &cold_config,
+        )
+    });
+
+    // The same cold-cache workload with the two-tier accelerations on:
+    // surrogate screening short-circuits clearly-infeasible candidates,
+    // and speculative pre-evaluation warms the cache from a work-stealing
+    // pool while the serial chain replays. The trajectory (and best
+    // design) is bit-identical to `cold_cache`; only the wall time moves.
+    // `ci.sh` gates the ratio of the two medians via bench_guard's
+    // `--speedup` mode.
+    let spec_config =
+        MsaConfig { screening: true, speculation: 8, ..cold_config.clone() };
+    runner.bench("anneal/msa_small_space_cold_cache_spec", || {
+        let evaluator =
+            Evaluator::new(arvr_suite(), EvalOptions { lazy: true, ..EvalOptions::default() });
+        optimize(
+            &evaluator,
+            &cold_space,
+            Integration::TwoD,
+            400,
+            &constraints,
+            &objective,
+            &spec_config,
         )
     });
 

@@ -1,0 +1,48 @@
+//! Benchmark of the exhaustive design-space sweep — the ground-truth pass
+//! the paper validates its optimizer against, and the workload the
+//! work-stealing pool ([`tesa_util::pool`]) was built for: per-design cost
+//! varies by an order of magnitude, so scheduling (not raw throughput)
+//! decides the wall time.
+//!
+//! Run with `cargo bench --bench bench_sweep [-- --bench-filter <substr>]`.
+//!
+//! The `serial` / `pooled` pair shares one warmed evaluator, so the pair
+//! isolates scheduling overhead and scaling from evaluation cost. On a
+//! single-core runner the two collapse to the same work; the artifact
+//! (`BENCH_sweep.json`) still tracks the pool's dispatch overhead there.
+
+use tesa::design::{DesignSpace, Integration};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::exhaustive::sweep;
+use tesa::{Constraints, Objective};
+use tesa_util::bench::BenchRunner;
+use tesa_workloads::arvr_suite;
+
+fn main() {
+    let mut runner = BenchRunner::from_env_args();
+
+    let space = DesignSpace {
+        array_dims: (96..=160).step_by(32).collect(),
+        sram_kib_options: vec![256, 512],
+        ics_um_options: vec![0, 500],
+    };
+    let constraints = Constraints::edge_device(15.0, 85.0);
+    let objective = Objective::balanced();
+    let evaluator =
+        Evaluator::new(arvr_suite(), EvalOptions { lazy: true, ..EvalOptions::default() });
+    // One pass up front populates the performance/thermal-model memos, so
+    // both variants measure the per-design leakage co-iteration (the real
+    // per-point cost) without first-touch model construction skew.
+    sweep(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, 1);
+
+    runner.bench("sweep/small_space_serial", || {
+        sweep(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, 1)
+    });
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).max(2);
+    runner.bench("sweep/small_space_pooled", || {
+        sweep(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, threads)
+    });
+
+    runner.report();
+}

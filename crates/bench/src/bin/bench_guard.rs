@@ -1,21 +1,30 @@
-//! `bench_guard` — regression gate over two `BENCH_*.json` artifacts.
+//! `bench_guard` — regression gate over `BENCH_*.json` artifacts.
 //!
 //! Usage:
 //!
 //! ```text
 //! bench_guard <baseline.json> <current.json> [--tolerance 0.05] [--filter substr]
+//! bench_guard <current.json> --speedup <slow_name>=<fast_name> [--min-speedup 2.0]
 //! ```
 //!
-//! Compares `median_ns` per benchmark name and fails (exit 1) when any
-//! benchmark present in both files regressed by more than the tolerance
-//! (default 5%, overridable with `--tolerance` or the
+//! The two-file form compares `median_ns` per benchmark name and fails
+//! (exit 1) when any benchmark present in both files regressed by more
+//! than the tolerance (default 5%, overridable with `--tolerance` or the
 //! `TESA_BENCH_TOLERANCE` environment variable — the flag wins).
 //! Benchmarks present in only one file are reported but never fail the
 //! guard, so adding or removing benchmarks does not break CI.
 //!
-//! `ci.sh` uses this as the disabled-path overhead guard for the trace
-//! layer: the traced-off `bench_anneal` medians of the current build must
-//! stay within tolerance of the previous build's `BENCH_anneal.json`.
+//! The one-file `--speedup` form is an *intra-run* gate: it fails unless
+//! `median(slow) / median(fast) >= min-speedup` within the same artifact.
+//! Because both medians come from one run on one machine, the gate is
+//! immune to cross-run machine drift.
+//!
+//! `ci.sh` uses the two-file form as the disabled-path overhead guard
+//! (the traced-off, speculation-off `bench_anneal` medians of the current
+//! build must stay within tolerance of the previous build's
+//! `BENCH_anneal.json`), and the `--speedup` form to require the
+//! screened+speculative cold-cache anneal to actually beat the serial one
+//! on multi-core runners.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -44,11 +53,37 @@ fn load_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(out)
 }
 
+/// The `--speedup` gate: `slow` must be at least `min_speedup` times the
+/// median of `fast` within one artifact.
+fn run_speedup(path: &str, pair: &str, min_speedup: f64) -> Result<bool, String> {
+    let (slow, fast) = pair
+        .split_once('=')
+        .ok_or_else(|| format!("--speedup wants <slow_name>=<fast_name>, got '{pair}'"))?;
+    let medians = load_medians(path)?;
+    let slow_ns =
+        *medians.get(slow).ok_or_else(|| format!("{path}: no benchmark '{slow}'"))?;
+    let fast_ns =
+        *medians.get(fast).ok_or_else(|| format!("{path}: no benchmark '{fast}'"))?;
+    let speedup = slow_ns / fast_ns.max(f64::MIN_POSITIVE);
+    let ok = speedup >= min_speedup;
+    println!(
+        "{} speedup: {slow} {:.3} ms / {fast} {:.3} ms = {speedup:.2}x \
+         (required {min_speedup:.2}x) [{}]",
+        if ok { "✓" } else { "✗" },
+        slow_ns / 1e6,
+        fast_ns / 1e6,
+        if ok { "ok" } else { "TOO SLOW" },
+    );
+    Ok(ok)
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance: Option<f64> = None;
     let mut filter: Option<String> = None;
+    let mut speedup_pair: Option<String> = None;
+    let mut min_speedup = 2.0;
     let mut iter = args.into_iter();
     while let Some(tok) = iter.next() {
         match tok.as_str() {
@@ -60,12 +95,28 @@ fn run() -> Result<bool, String> {
             "--filter" => {
                 filter = Some(iter.next().ok_or("--filter needs a value")?);
             }
+            "--speedup" => {
+                speedup_pair = Some(iter.next().ok_or("--speedup needs a value")?);
+            }
+            "--min-speedup" => {
+                let v = iter.next().ok_or("--min-speedup needs a value")?;
+                min_speedup =
+                    v.parse().map_err(|_| format!("bad min-speedup '{v}'"))?;
+            }
             _ => paths.push(tok),
         }
     }
+    if let Some(pair) = speedup_pair {
+        let [path] = paths.as_slice() else {
+            return Err("--speedup wants exactly one artifact".into());
+        };
+        return run_speedup(path, &pair, min_speedup);
+    }
     let [baseline_path, current_path] = paths.as_slice() else {
         return Err("usage: bench_guard <baseline.json> <current.json> \
-                    [--tolerance 0.05] [--filter substr]"
+                    [--tolerance 0.05] [--filter substr] | \
+                    bench_guard <current.json> --speedup <slow>=<fast> \
+                    [--min-speedup 2.0]"
             .into());
     };
     let tolerance = tolerance

@@ -148,6 +148,8 @@ pub fn cmd_optimize(args: &Args) -> Result<String, CliError> {
     let c = constraints(args)?;
     let mut msa = MsaConfig::default();
     msa.seed = args.get_or("seed", msa.seed)?;
+    msa.screening = args.get_or("screening", msa.screening)?;
+    msa.speculation = args.get_or("speculation", msa.speculation)?;
     let space = DesignSpace::tesa_default();
     let outcome = optimize(
         &evaluator(true),
@@ -399,6 +401,8 @@ COMMON FLAGS:
     --format F        text | json (evaluate/optimize) [default: text]
     --out PATH        write CSV output to a file
     --seed N          optimizer RNG seed (optimize)
+    --screening B     surrogate-screen moves, true|false (optimize) [default: false]
+    --speculation K   pre-evaluate K lookahead moves (optimize) [default: 0]
     --dt-ms X         transient step, ms (transient) [default: 1]
     --frames N        frames to simulate (transient) [default: 3]
 

@@ -148,6 +148,27 @@ impl Summary {
         (self.cg_solves > 0).then(|| self.cg_iters_total as f64 / self.cg_solves as f64)
     }
 
+    /// Sum of a counter's values across the trace.
+    fn counter_total(&self, name: &str) -> f64 {
+        self.counters.get(name).map_or(0.0, |c| c.1)
+    }
+
+    /// Fraction of surrogate screens that were decisive (skipped the exact
+    /// solve), in `[0, 1]`, if any screens ran.
+    pub fn screen_decisive_ratio(&self) -> Option<f64> {
+        let decisive = self.counter_total("eval.surrogate.screened");
+        let ambiguous = self.counter_total("eval.surrogate.ambiguous");
+        (decisive + ambiguous > 0.0).then(|| decisive / (decisive + ambiguous))
+    }
+
+    /// Fraction of speculative pre-evaluations the serial replay actually
+    /// consumed, in `[0, 1]`, if any speculation ran.
+    pub fn spec_hit_ratio(&self) -> Option<f64> {
+        let used = self.counter_total("msa.spec.used");
+        let wasted = self.counter_total("msa.spec.wasted");
+        (used + wasted > 0.0).then(|| used / (used + wasted))
+    }
+
     /// The human-readable report.
     pub fn render(&self) -> String {
         let mut out = format!(
@@ -233,6 +254,24 @@ impl Summary {
             ));
         }
 
+        if let Some(ratio) = self.screen_decisive_ratio() {
+            out.push_str(&format!(
+                "\nsurrogate screen: {} decisive / {} ambiguous ({:.1}% skipped the exact solve)\n",
+                self.counter_total("eval.surrogate.screened") as u64,
+                self.counter_total("eval.surrogate.ambiguous") as u64,
+                100.0 * ratio
+            ));
+        }
+
+        if let Some(ratio) = self.spec_hit_ratio() {
+            out.push_str(&format!(
+                "\nspeculation: {} pre-evaluations used / {} wasted ({:.1}% hit rate)\n",
+                self.counter_total("msa.spec.used") as u64,
+                self.counter_total("msa.spec.wasted") as u64,
+                100.0 * ratio
+            ));
+        }
+
         if self.cg_solves > 0 {
             out.push_str(&format!(
                 "\nthermal CG: {} solves, mean {:.1} / max {} iterations, {} warm-started\n",
@@ -253,11 +292,15 @@ impl Summary {
             }
         }
 
-        // Counters other than the cache pair already reported above.
+        // Counters other than those already folded into sections above.
         let misc: Vec<_> = self
             .counters
             .iter()
-            .filter(|(k, _)| !k.starts_with("eval.cache."))
+            .filter(|(k, _)| {
+                !k.starts_with("eval.cache.")
+                    && !k.starts_with("eval.surrogate.")
+                    && !k.starts_with("msa.spec.")
+            })
             .collect();
         if !misc.is_empty() {
             out.push_str("\ncounters:\n");
@@ -297,6 +340,14 @@ mod tests {
             r#"{"ts_us":9,"tid":0,"kind":"event","name":"thermal.cg","f":{"n":4096,"precond":"multigrid","warm":false,"iters":12,"residual":1e-10}}"#,
             r#"{"ts_us":10,"tid":0,"kind":"event","name":"thermal.cg","f":{"n":4096,"precond":"multigrid","warm":true,"iters":4,"residual":2e-10}}"#,
             r#"{"ts_us":11,"tid":0,"kind":"event","name":"eval.phase","f":{"leak_iters":3,"power_w":9.5,"peak_c":71.0,"runaway":false}}"#,
+            r#"{"ts_us":12,"tid":0,"kind":"counter","name":"eval.surrogate.screened","value":1}"#,
+            r#"{"ts_us":13,"tid":0,"kind":"counter","name":"eval.surrogate.screened","value":1}"#,
+            r#"{"ts_us":14,"tid":0,"kind":"counter","name":"eval.surrogate.screened","value":1}"#,
+            r#"{"ts_us":15,"tid":0,"kind":"counter","name":"eval.surrogate.ambiguous","value":1}"#,
+            r#"{"ts_us":16,"tid":1,"kind":"counter","name":"msa.spec.used","value":1}"#,
+            r#"{"ts_us":17,"tid":1,"kind":"counter","name":"msa.spec.used","value":1}"#,
+            r#"{"ts_us":18,"tid":1,"kind":"counter","name":"msa.spec.used","value":1}"#,
+            r#"{"ts_us":19,"tid":1,"kind":"counter","name":"msa.spec.wasted","value":2}"#,
         ]
         .join("\n")
     }
@@ -304,13 +355,17 @@ mod tests {
     #[test]
     fn aggregates_the_headline_ratios() {
         let s = Summary::from_jsonl(&sample_trace()).expect("valid trace");
-        assert_eq!(s.events, 11);
+        assert_eq!(s.events, 19);
         assert_eq!(s.threads.len(), 2);
         assert!((s.msa_acceptance_rate().unwrap() - 0.4).abs() < 1e-12);
         assert!((s.cache_hit_ratio().unwrap() - 2.0 / 3.0).abs() < 1e-12);
         assert!((s.mean_cg_iters().unwrap() - 8.0).abs() < 1e-12);
         assert_eq!(s.cg_warm, 1);
         assert_eq!(s.cg_iters_max, 12);
+        // 3 decisive screens vs 1 ambiguous; 3 speculations used vs 2 wasted
+        // (the wasted counter carries the flushed batch size as its value).
+        assert!((s.screen_decisive_ratio().unwrap() - 0.75).abs() < 1e-12);
+        assert!((s.spec_hit_ratio().unwrap() - 0.6).abs() < 1e-12);
     }
 
     #[test]
@@ -323,12 +378,17 @@ mod tests {
             "acceptance-rate curve",
             "T=19",
             "evaluator cache: 2 hits / 1 misses",
+            "surrogate screen: 3 decisive / 1 ambiguous (75.0% skipped the exact solve)",
+            "speculation: 3 pre-evaluations used / 2 wasted (60.0% hit rate)",
             "thermal CG: 2 solves",
             "preconditioner multigrid: 2 solves",
             "leakage co-iteration: 1 phases",
         ] {
             assert!(r.contains(needle), "report missing {needle:?}:\n{r}");
         }
+        // Sectioned counters must not repeat in the generic counters table.
+        assert!(!r.contains("eval.surrogate.screened:"), "{r}");
+        assert!(!r.contains("msa.spec.used:"), "{r}");
     }
 
     #[test]
@@ -364,7 +424,7 @@ mod tests {
     fn malformed_line_is_reported_with_its_number() {
         let text = format!("{}\nnot json\n", sample_trace());
         let err = Summary::from_jsonl(&text).expect_err("must fail");
-        assert!(err.starts_with("line 12:"), "{err}");
+        assert!(err.starts_with("line 20:"), "{err}");
     }
 
     #[test]

@@ -13,8 +13,8 @@
 
 use crate::constraints::Constraints;
 use crate::design::{DesignSpace, Integration, McmDesign};
-use crate::eval::{Evaluator, McmEvaluation};
-use tesa_util::{trace, Json, Rng};
+use crate::eval::{Evaluator, McmEvaluation, ScreenVerdict};
+use tesa_util::{pool, trace, Json, Rng};
 
 /// MSA configuration. The defaults reproduce the paper's validation setup:
 /// three starts with decay rates 0.89 / 0.87 / 0.85, `T` from 19 down to
@@ -34,6 +34,22 @@ pub struct MsaConfig {
     pub init_attempts: u32,
     /// RNG seed; start `i` uses `seed + i`.
     pub seed: u64,
+    /// Surrogate screening: skip the full evaluation of candidates the
+    /// cheap screen proves infeasible
+    /// ([`ScreenVerdict::ClearlyInfeasible`]). Every design the annealer
+    /// accepts or reports is still evaluated exactly, and the
+    /// accept/reject trajectory is bit-identical to the unscreened run;
+    /// only [`AnnealOutcome::evaluations`] shrinks.
+    pub screening: bool,
+    /// Speculative lookahead: pre-evaluate up to this many predicted
+    /// upcoming candidates concurrently (on a work-stealing pool) to warm
+    /// the evaluation cache, then replay the moves serially. `0` disables
+    /// speculation. The trajectory is bit-identical to the serial chain
+    /// regardless of prediction accuracy — mispredictions only waste
+    /// background work (traced as `msa.spec.wasted`). On a machine with
+    /// no spare core per start, speculation auto-disables: serialized
+    /// mispredictions would cost wall time instead of hiding it.
+    pub speculation: usize,
 }
 
 impl Default for MsaConfig {
@@ -45,6 +61,8 @@ impl Default for MsaConfig {
             moves_per_temp: 10,
             init_attempts: 400,
             seed: 0x7E5A_2023,
+            screening: false,
+            speculation: 0,
         }
     }
 }
@@ -150,14 +168,72 @@ where
     start_span.field("delta", Json::F64(delta));
     start_span.field("seed", Json::U64(seed));
 
+    // Worker threads for speculative pre-evaluation: the parallel starts
+    // share the machine, so each start gets an equal slice. With no idle
+    // core to hide the mispredicted work on, speculation is pure overhead
+    // (every wasted pre-evaluation runs serially, in line), so it
+    // disables itself and the chain falls back to the plain serial loop —
+    // the trajectory is identical either way.
+    let spec_threads = std::thread::available_parallelism()
+        .map_or(1, |n| (n.get() / config.deltas.len().max(1)).max(1));
+    let spec = if spec_threads > 1 { config.speculation } else { 0 };
+    // Designs pre-evaluated speculatively but not yet replayed serially.
+    let mut spec_pending: std::collections::HashSet<McmDesign> = std::collections::HashSet::new();
+    // Warms the caches for one predicted design: cheap screen first (when
+    // enabled), full evaluation only where the serial replay would also
+    // evaluate. Results land in the evaluator's memos; the replay
+    // re-requests them, so the accepted trajectory is bit-identical
+    // whether or not the prediction comes true.
+    let warm = |d: &McmDesign| {
+        if config.screening
+            && evaluator.screen_infeasible_only(d, constraints) == ScreenVerdict::ClearlyInfeasible
+        {
+            return;
+        }
+        let _ = evaluator.evaluate_cached(d, constraints);
+    };
+    let flush_spec = |pending: &mut std::collections::HashSet<McmDesign>| {
+        if !pending.is_empty() {
+            trace::counter("msa.spec.wasted", pending.len() as f64);
+            pending.clear();
+        }
+    };
+
     // Initialization: draw random designs until one is feasible.
     let mut current: Option<(McmDesign, f64)> = None;
     let mut init_attempts_used = 0u32;
-    for _ in 0..config.init_attempts {
+    for a in 0..config.init_attempts {
+        if spec > 0 && (a as usize).is_multiple_of(spec) {
+            flush_spec(&mut spec_pending);
+            // The draw sequence is exactly predictable (each attempt
+            // consumes three RNG draws), so simulate it on a clone.
+            let win = spec.min((config.init_attempts - a) as usize);
+            let mut sim = rng.clone();
+            let mut batch: Vec<McmDesign> = Vec::with_capacity(win);
+            for _ in 0..win {
+                let d = random_design(space, integration, freq_mhz, &mut sim);
+                if spec_pending.insert(d) {
+                    batch.push(d);
+                }
+            }
+            pool::for_each_dynamic(spec_threads, batch.len(), |i| warm(&batch[i]));
+        }
         let d = random_design(space, integration, freq_mhz, &mut rng);
+        init_attempts_used += 1;
+        if spec_pending.remove(&d) {
+            trace::counter("msa.spec.used", 1.0);
+        }
+        if config.screening
+            && evaluator.screen_infeasible_only(&d, constraints) == ScreenVerdict::ClearlyInfeasible
+        {
+            // The screen is sound in this direction: the full evaluation
+            // would be rejected as infeasible, so only the evaluation
+            // count changes, never the chain.
+            out.visited.push(d);
+            continue;
+        }
         let eval = evaluator.evaluate_cached(&d, constraints);
         out.evaluations += 1;
-        init_attempts_used += 1;
         out.visited.push(d);
         if eval.is_feasible() {
             let s = score(&eval);
@@ -185,11 +261,40 @@ where
         // events keep the trace size proportional to the schedule length.
         let (mut accepted, mut rej_infeasible, mut rej_offspace, mut rej_metropolis) =
             (0u32, 0u32, 0u32, 0u32);
-        for _ in 0..config.moves_per_temp {
+        for m in 0..config.moves_per_temp {
+            if spec > 0 && (m as usize).is_multiple_of(spec) {
+                flush_spec(&mut spec_pending);
+                // Predict the window's candidates by running the move
+                // generator on a clone of the chain RNG under the
+                // all-rejected assumption. Accepted moves and Metropolis
+                // draws desynchronize the clone; stale predictions are
+                // wasted background work, never wrong results.
+                let win = spec.min((config.moves_per_temp - m) as usize);
+                let mut sim = rng.clone();
+                let mut batch: Vec<McmDesign> = Vec::with_capacity(win);
+                for _ in 0..win {
+                    if let Some(c) = neighbor(&cur_design, space, &mut sim) {
+                        if spec_pending.insert(c) {
+                            batch.push(c);
+                        }
+                    }
+                }
+                pool::for_each_dynamic(spec_threads, batch.len(), |i| warm(&batch[i]));
+            }
             let Some(candidate) = neighbor(&cur_design, space, &mut rng) else {
                 rej_offspace += 1;
                 continue;
             };
+            if spec_pending.remove(&candidate) {
+                trace::counter("msa.spec.used", 1.0);
+            }
+            if config.screening
+                && evaluator.screen_infeasible_only(&candidate, constraints) == ScreenVerdict::ClearlyInfeasible
+            {
+                out.visited.push(candidate);
+                rej_infeasible += 1;
+                continue;
+            }
             let eval = evaluator.evaluate_cached(&candidate, constraints);
             out.evaluations += 1;
             out.visited.push(candidate);
@@ -231,6 +336,7 @@ where
         });
         t *= delta;
     }
+    flush_spec(&mut spec_pending);
     if trace::enabled() {
         start_span.field("feasible", Json::Bool(true));
         start_span.field("evaluations", Json::U64(out.evaluations as u64));
@@ -359,6 +465,8 @@ mod tests {
             moves_per_temp: 4,
             init_attempts: 40,
             seed: 7,
+            screening: false,
+            speculation: 0,
         }
     }
 
@@ -437,6 +545,48 @@ mod tests {
     }
 
     #[test]
+    fn screening_and_speculation_preserve_the_trajectory() {
+        // A tight thermal budget so the space holds clearly infeasible
+        // designs: the screen must skip their evaluation without changing
+        // which designs are visited, accepted, or reported.
+        let constraints = Constraints::edge_device(15.0, 76.0);
+        let run = |screening: bool, speculation: usize| {
+            let evaluator = Evaluator::new(
+                arvr_suite(),
+                EvalOptions { grid_cells: 32, ..Default::default() },
+            );
+            optimize(
+                &evaluator,
+                &small_space(),
+                Integration::TwoD,
+                400,
+                &constraints,
+                &crate::objective::Objective::balanced(),
+                &MsaConfig { screening, speculation, ..config() },
+            )
+        };
+        let base = run(false, 0);
+        let fast = run(true, 4);
+        assert_eq!(
+            base.best.as_ref().map(|e| e.design),
+            fast.best.as_ref().map(|e| e.design),
+            "screening/speculation must not change the best design"
+        );
+        if let (Some(b), Some(f)) = (&base.best, &fast.best) {
+            assert_eq!(b.peak_temp_c, f.peak_temp_c, "reported fields stay exact");
+            assert_eq!(b.mcm_cost_usd, f.mcm_cost_usd);
+        }
+        assert_eq!(base.accepted_moves, fast.accepted_moves);
+        assert_eq!(base.unique_designs, fast.unique_designs);
+        assert!(
+            fast.evaluations <= base.evaluations,
+            "screening can only remove full evaluations ({} vs {})",
+            fast.evaluations,
+            base.evaluations
+        );
+    }
+
+    #[test]
     fn impossible_constraints_yield_no_best() {
         let evaluator = Evaluator::new(
             arvr_suite(),
@@ -510,6 +660,8 @@ mod frequency_tests {
             moves_per_temp: 4,
             init_attempts: 24,
             seed: 5,
+            screening: false,
+            speculation: 0,
         };
         // A thermal budget tight enough that high frequencies struggle.
         let constraints = Constraints::edge_device(15.0, 76.0);

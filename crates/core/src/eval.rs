@@ -18,7 +18,7 @@ use std::sync::{Arc, RwLock};
 use tesa_memsim::{DramPowerModel, DramUsage};
 use tesa_util::{trace, Json};
 use tesa_scalesim::{ArrayConfig, Dataflow, DnnReport, Simulator};
-use tesa_thermal::{PowerMap, Rect, StackBuilder, ThermalModel};
+use tesa_thermal::{PowerMap, Rect, StackBuilder, Surrogate, ThermalModel};
 use tesa_workloads::MultiDnnWorkload;
 
 /// Temperature above which the leakage–temperature iteration is declared a
@@ -28,6 +28,9 @@ const RUNAWAY_TEMP_C: f64 = 150.0;
 const LEAK_CONVERGENCE_K: f64 = 0.1;
 /// Leakage-loop iteration cap.
 const LEAK_MAX_ITERS: usize = 25;
+/// Headroom multiplier on sustained DRAM bandwidth demand (double
+/// buffering smooths per-layer bursts; 25% covers prefetch overlap).
+const DRAM_BURST_MARGIN: f64 = 1.25;
 
 /// Configuration of the evaluator: models, dataflow, and switches the
 /// baselines use to *disable* parts of the pipeline.
@@ -150,6 +153,64 @@ impl McmEvaluation {
     }
 }
 
+/// Verdict of the cheap screening pass ([`Evaluator::screen`]).
+///
+/// Screening combines the *exact* pre-thermal pipeline (ICS, area,
+/// latency, DRAM, dynamic-power lower bound) with coarse-grid surrogate
+/// thermal solves whose error is covered by a calibrated bound. Both
+/// decisive verdicts are one-sided monotone arguments:
+///
+/// * [`ScreenVerdict::ClearlyInfeasible`] — an exact violation, or the
+///   surrogate's *lower-bound* solve (leakage frozen at ambient — true
+///   leakage can only be higher) already exceeds the temperature budget
+///   by more than the surrogate error bound.
+/// * [`ScreenVerdict::ClearlyFeasible`] — the *upper-bound* solve
+///   (leakage frozen at the temperature budget) stays below the budget by
+///   more than the error bound and is self-consistent, so the true
+///   leakage fixed point sits below it.
+/// * [`ScreenVerdict::Ambiguous`] — the surrogate interval straddles a
+///   limit; only the exact pipeline can decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScreenVerdict {
+    /// The design provably violates a constraint; a full evaluation would
+    /// report it infeasible.
+    ClearlyInfeasible,
+    /// Every constraint provably holds; a full evaluation would report it
+    /// feasible.
+    ClearlyFeasible,
+    /// The screen cannot decide; run [`Evaluator::evaluate_cached`].
+    Ambiguous,
+}
+
+/// Grid-layer indices of the (array, SRAM) device tiers in the stack
+/// built by `Evaluator::thermal_model`.
+fn device_tiers(integration: Integration) -> (usize, usize) {
+    match integration {
+        Integration::TwoD => (1, 1),
+        Integration::ThreeD => (3, 1),
+    }
+}
+
+/// Fine-grid cell ranges per chiplet for mean-temperature queries.
+fn chip_cell_ranges(
+    layout: &McmLayout,
+    model: &ThermalModel,
+) -> Vec<(usize, usize, usize, usize)> {
+    let (nx, ny) = model.grid_dims();
+    let (w_m, h_m) = model.footprint_m();
+    layout
+        .positions_m
+        .iter()
+        .map(|r| {
+            let ix0 = ((r.x / w_m * nx as f64).floor() as usize).min(nx - 1);
+            let ix1 = ((r.x2() / w_m * nx as f64).ceil() as usize).clamp(ix0 + 1, nx);
+            let iy0 = ((r.y / h_m * ny as f64).floor() as usize).min(ny - 1);
+            let iy1 = ((r.y2() / h_m * ny as f64).ceil() as usize).clamp(iy0 + 1, ny);
+            (ix0, ix1, iy0, iy1)
+        })
+        .collect()
+}
+
 type PerfKey = (u32, u64);
 type ThermalKey = (u64, u32, u32, u32, bool);
 /// A design plus the bit patterns of the constraint fields.
@@ -171,29 +232,44 @@ fn constraints_key(c: &Constraints) -> [u64; 6] {
 /// bounding memory for open-ended callers (long annealing runs over huge
 /// spaces, servers evaluating many workloads through one `Evaluator`).
 const EVAL_CACHE_CAP: usize = 65_536;
+/// Screening-verdict memo capacity (verdicts are tiny; match the memo).
+const SCREEN_CACHE_CAP: usize = 65_536;
+/// Performance-report memo capacity. Entries are per `(array, SRAM)` pair
+/// — a handful per design space — but each holds full per-DNN reports, so
+/// open-ended callers need a bound too.
+const PERF_CACHE_CAP: usize = 1_024;
+/// Thermal-model (and surrogate) memo capacity. Models are the heaviest
+/// cached objects (conductance network + multigrid hierarchy, megabytes on
+/// production grids); one entry serves every design sharing a layout.
+const THERMAL_CACHE_CAP: usize = 256;
 
-/// Size-capped memo for full evaluations: a `HashMap` plus a FIFO of
-/// insertion order. When full, the oldest entry is evicted — revisit
-/// patterns in annealing are dominated by *recent* neighbors, so FIFO
-/// keeps the useful window without LRU bookkeeping on the read path
-/// (reads stay under the `RwLock` read lock, shared across threads).
-#[derive(Default)]
-struct EvalCache {
-    map: HashMap<EvalKey, Arc<McmEvaluation>>,
-    order: VecDeque<EvalKey>,
+/// Size-capped memo: a `HashMap` plus a FIFO of insertion order. When
+/// full, the oldest entry is evicted — revisit patterns in annealing and
+/// sweeps are dominated by *recent* neighbors, so FIFO keeps the useful
+/// window without LRU bookkeeping on the read path (reads stay under the
+/// `RwLock` read lock, shared across threads). Used for evaluations,
+/// performance reports, thermal models, surrogates, and screen verdicts.
+struct CappedCache<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    cap: usize,
 }
 
-impl EvalCache {
-    fn get(&self, key: &EvalKey) -> Option<&Arc<McmEvaluation>> {
+impl<K: std::hash::Hash + Eq + Copy, V> CappedCache<K, V> {
+    fn with_cap(cap: usize) -> Self {
+        Self { map: HashMap::new(), order: VecDeque::new(), cap }
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
         self.map.get(key)
     }
 
-    fn insert(&mut self, key: EvalKey, value: Arc<McmEvaluation>) {
+    fn insert(&mut self, key: K, value: V) {
         if self.map.insert(key, value).is_some() {
             return; // Re-insert of a racing miss; order entry already queued.
         }
         self.order.push_back(key);
-        while self.map.len() > EVAL_CACHE_CAP {
+        while self.map.len() > self.cap {
             let Some(oldest) = self.order.pop_front() else { break };
             self.map.remove(&oldest);
         }
@@ -209,9 +285,11 @@ impl EvalCache {
 pub struct Evaluator {
     workload: MultiDnnWorkload,
     opts: EvalOptions,
-    perf_cache: RwLock<HashMap<PerfKey, Arc<Vec<DnnReport>>>>,
-    thermal_cache: RwLock<HashMap<ThermalKey, Arc<ThermalModel>>>,
-    eval_cache: RwLock<EvalCache>,
+    perf_cache: RwLock<CappedCache<PerfKey, Arc<Vec<DnnReport>>>>,
+    thermal_cache: RwLock<CappedCache<ThermalKey, Arc<ThermalModel>>>,
+    surrogate_cache: RwLock<CappedCache<ThermalKey, Arc<Surrogate>>>,
+    screen_cache: RwLock<CappedCache<EvalKey, ScreenVerdict>>,
+    eval_cache: RwLock<CappedCache<EvalKey, Arc<McmEvaluation>>>,
     eval_hits: AtomicU64,
     eval_misses: AtomicU64,
     dram: DramPowerModel,
@@ -224,9 +302,11 @@ impl Evaluator {
         Self {
             workload,
             opts,
-            perf_cache: RwLock::new(HashMap::new()),
-            thermal_cache: RwLock::new(HashMap::new()),
-            eval_cache: RwLock::new(EvalCache::default()),
+            perf_cache: RwLock::new(CappedCache::with_cap(PERF_CACHE_CAP)),
+            thermal_cache: RwLock::new(CappedCache::with_cap(THERMAL_CACHE_CAP)),
+            surrogate_cache: RwLock::new(CappedCache::with_cap(THERMAL_CACHE_CAP)),
+            screen_cache: RwLock::new(CappedCache::with_cap(SCREEN_CACHE_CAP)),
+            eval_cache: RwLock::new(CappedCache::with_cap(EVAL_CACHE_CAP)),
             eval_hits: AtomicU64::new(0),
             eval_misses: AtomicU64::new(0),
             dram,
@@ -263,6 +343,258 @@ impl Evaluator {
         (self.eval_hits.load(Ordering::Relaxed), self.eval_misses.load(Ordering::Relaxed))
     }
 
+    /// Cheap feasibility screen for `design` (memoized on
+    /// `(design, constraints)` like [`Evaluator::evaluate_cached`]).
+    ///
+    /// Runs the exact pre-thermal pipeline (ICS, area, performance,
+    /// schedule, latency, DRAM, a power lower bound) and then two
+    /// coarse-grid surrogate thermal solves per schedule phase — orders of
+    /// magnitude cheaper than the fine-grid leakage co-iteration. Each
+    /// decisive verdict is sound in the direction it claims (see
+    /// [`ScreenVerdict`]), so a search loop may discard
+    /// [`ScreenVerdict::ClearlyInfeasible`] candidates without ever
+    /// running [`Evaluator::evaluate`]; the multi-start annealer does
+    /// exactly that when screening is enabled, and still evaluates every
+    /// design it accepts or reports, so emitted artifacts never contain
+    /// surrogate numbers.
+    ///
+    /// Emits one `eval.surrogate.screened` (decisive) or
+    /// `eval.surrogate.ambiguous` trace counter per call.
+    pub fn screen(&self, design: &McmDesign, constraints: &Constraints) -> ScreenVerdict {
+        self.screen_mode(design, constraints, true)
+    }
+
+    /// [`Evaluator::screen`] without the clearly-feasible classification:
+    /// per phase it runs only the lower-bound surrogate solve, so a
+    /// returned [`ScreenVerdict::Ambiguous`] means just "not clearly
+    /// infeasible" — the design may well be clearly feasible.
+    ///
+    /// This is the right screen for callers that must run the exact
+    /// evaluation on every surviving candidate anyway (the annealer needs
+    /// the exact objective score to accept a move, so a clearly-feasible
+    /// verdict saves it nothing): the upper-bound solves are pure
+    /// overhead there, and skipping them roughly halves the screening
+    /// cost of every candidate that survives.
+    pub fn screen_infeasible_only(
+        &self,
+        design: &McmDesign,
+        constraints: &Constraints,
+    ) -> ScreenVerdict {
+        self.screen_mode(design, constraints, false)
+    }
+
+    fn screen_mode(
+        &self,
+        design: &McmDesign,
+        constraints: &Constraints,
+        classify_feasible: bool,
+    ) -> ScreenVerdict {
+        let key: EvalKey = (*design, constraints_key(constraints));
+        if let Some(hit) = self.eval_cache.read().expect("cache lock poisoned").get(&key) {
+            // The exact answer is already known — no surrogate involved,
+            // so no screening counters.
+            return if hit.is_feasible() {
+                ScreenVerdict::ClearlyFeasible
+            } else {
+                ScreenVerdict::ClearlyInfeasible
+            };
+        }
+        if let Some(&v) = self.screen_cache.read().expect("cache lock poisoned").get(&key) {
+            Self::count_screen(v);
+            return v;
+        }
+        let v = self.screen_uncached(design, constraints, classify_feasible);
+        // An infeasible-only screen that let a candidate through may have
+        // skipped the upper-bound solves, so its `Ambiguous` must not
+        // shadow the full screen's (possibly `ClearlyFeasible`) answer.
+        if classify_feasible || v == ScreenVerdict::ClearlyInfeasible {
+            self.screen_cache.write().expect("cache lock poisoned").insert(key, v);
+        }
+        Self::count_screen(v);
+        v
+    }
+
+    fn count_screen(v: ScreenVerdict) {
+        match v {
+            ScreenVerdict::Ambiguous => trace::counter("eval.surrogate.ambiguous", 1.0),
+            _ => trace::counter("eval.surrogate.screened", 1.0),
+        }
+    }
+
+    fn screen_uncached(
+        &self,
+        design: &McmDesign,
+        constraints: &Constraints,
+        classify_feasible: bool,
+    ) -> ScreenVerdict {
+        let chiplet = design.chiplet;
+        let tech = &self.opts.tech;
+        let geometry = chiplet.geometry(tech);
+
+        // Exact cheap pipeline — the same maths as `evaluate` steps 1–4.
+        if design.ics_um > constraints.max_ics_um {
+            return ScreenVerdict::ClearlyInfeasible;
+        }
+        let Some(layout) = estimate_mesh(
+            geometry.side_mm(),
+            design.ics_mm(),
+            constraints.interposer_w_mm,
+            constraints.interposer_h_mm,
+            self.workload.len() as u32,
+        ) else {
+            return ScreenVerdict::ClearlyInfeasible;
+        };
+        let reports = self.perf(&chiplet);
+        let freq_hz = design.freq_hz();
+        let dnn_cycles: Vec<u64> = reports.iter().map(|r| r.total_cycles).collect();
+        let dnn_power: Vec<DynamicPower> =
+            reports.iter().map(|r| dynamic_power(r, &chiplet, tech, freq_hz)).collect();
+        let dnn_power_total: Vec<f64> = dnn_power.iter().map(DynamicPower::total_w).collect();
+        let order = layout.corner_first_order();
+        let sched = match self.opts.scheduler {
+            SchedulerPolicy::CornerFirstPowerAware => {
+                schedule(&order, &dnn_cycles, &dnn_power_total)
+            }
+            SchedulerPolicy::NaiveRoundRobin => {
+                schedule_naive(order.len(), &dnn_cycles, &dnn_power_total)
+            }
+        };
+        let latency_s = sched.makespan_cycles() as f64 / freq_hz;
+        let achieved_fps = 1.0 / latency_s;
+        if achieved_fps + 1e-9 < constraints.min_fps {
+            return ScreenVerdict::ClearlyInfeasible;
+        }
+        let mut dram_channels = 0u32;
+        let mut dram_bytes = 0.0f64;
+        for q in &sched.assignments {
+            if q.is_empty() {
+                continue;
+            }
+            let demand = q
+                .iter()
+                .map(|d| reports[d.0].avg_dram_bytes_per_cycle() * freq_hz * DRAM_BURST_MARGIN)
+                .fold(0.0, f64::max);
+            dram_channels += self.dram.channels_for_peak_bandwidth(demand);
+            dram_bytes += q.iter().map(|d| reports[d.0].dram_traffic.total() as f64).sum::<f64>();
+        }
+        let dram_power_w = self
+            .dram
+            .power(DramUsage {
+                bytes_transferred: dram_bytes,
+                window_s: constraints.frame_window_s(),
+                channels: dram_channels,
+            })
+            .total_w();
+
+        let n_chiplets = layout.mesh.count() as usize;
+        let leak_chip_ambient = array_leakage_w(&chiplet, tech, tech.ambient_c, self.opts.leakage)
+            + sram_leakage_w(&chiplet, tech, tech.ambient_c, self.opts.leakage);
+        let dyn_worst_phase_w = sched
+            .phases()
+            .iter()
+            .map(|phase| phase.iter().map(|&(_, d)| dnn_power_total[d.0]).sum::<f64>())
+            .fold(0.0, f64::max);
+
+        if !self.opts.thermal_enabled {
+            // No solver in the full pipeline either — the remaining Power
+            // check is exact, so the screen always decides. The repeated
+            // sum mirrors `evaluate` term for term so the comparison is
+            // bit-identical.
+            let mut worst = 0.0f64;
+            for phase in sched.phases() {
+                let dyn_w: f64 = phase.iter().map(|&(_, d)| dnn_power_total[d.0]).sum();
+                let leak: f64 = (0..layout.mesh.count()).map(|_| leak_chip_ambient).sum();
+                worst = worst.max(dyn_w + leak);
+            }
+            return if worst + dram_power_w > constraints.power_budget_w {
+                ScreenVerdict::ClearlyInfeasible
+            } else {
+                ScreenVerdict::ClearlyFeasible
+            };
+        }
+
+        // Power lower bound: leakage frozen at ambient only grows with
+        // temperature (all leakage models are monotone), so exceeding the
+        // budget here is decisive.
+        let leak_all_ambient: f64 = (0..layout.mesh.count()).map(|_| leak_chip_ambient).sum();
+        if dyn_worst_phase_w + leak_all_ambient + dram_power_w > constraints.power_budget_w {
+            return ScreenVerdict::ClearlyInfeasible;
+        }
+
+        // Surrogate thermal screen: one lower-bound and one upper-bound
+        // coarse solve per phase.
+        let model = self.thermal_model(&layout, &geometry, chiplet.integration);
+        let sur = self.surrogate_of(&model, &layout, chiplet.integration);
+        let (array_tier, sram_tier) = device_tiers(chiplet.integration);
+        let ranges = chip_cell_ranges(&layout, &model);
+        let mut pmap = model.zero_power();
+        let budget_c = constraints.temp_budget_c;
+        let mut all_clearly_feasible = classify_feasible;
+        for phase in sched.phases() {
+            let mut dyn_by_chip: Vec<Option<DynamicPower>> = vec![None; n_chiplets];
+            for &(chip, dnn) in &phase {
+                dyn_by_chip[chip] = Some(dnn_power[dnn.0]);
+            }
+
+            // Lower bound: ambient leakage is a floor on the co-iterated
+            // power map, and the SPD network responds monotonically to
+            // power, so the true fine-grid peak is at least `est − bound`.
+            pmap.clear();
+            self.inject_phase_power(
+                &mut pmap,
+                &layout,
+                &geometry,
+                &chiplet,
+                &dyn_by_chip,
+                &vec![tech.ambient_c; n_chiplets],
+                array_tier,
+                sram_tier,
+            );
+            let low = sur.solve(&pmap);
+            let low_peak = low.layer_peak_c(array_tier).max(low.layer_peak_c(sram_tier));
+            if low_peak - low.bound_c() > budget_c {
+                return ScreenVerdict::ClearlyInfeasible;
+            }
+            if !classify_feasible {
+                continue;
+            }
+
+            // Upper bound: freeze leakage at the temperature budget. If
+            // the resulting field stays below the budget at every chip
+            // region mean (the temperatures the leakage loop feeds on) and
+            // at the peak, the co-iteration from ambient is a monotone
+            // sequence bounded by the budget — the true fixed point sits
+            // below it, so the phase can neither breach the budget nor run
+            // away (the budget itself is below the runaway threshold).
+            pmap.clear();
+            let p_high = self.inject_phase_power(
+                &mut pmap,
+                &layout,
+                &geometry,
+                &chiplet,
+                &dyn_by_chip,
+                &vec![budget_c; n_chiplets],
+                array_tier,
+                sram_tier,
+            );
+            let high = sur.solve(&pmap);
+            let high_peak = high.layer_peak_c(array_tier).max(high.layer_peak_c(sram_tier));
+            let regions_below_budget = ranges.iter().all(|r| {
+                high.region_mean_c(array_tier, r.0, r.1, r.2, r.3) + high.bound_c() <= budget_c
+            });
+            let phase_clear = high_peak + high.bound_c() < budget_c
+                && regions_below_budget
+                && p_high + dram_power_w <= constraints.power_budget_w
+                && budget_c < RUNAWAY_TEMP_C;
+            all_clearly_feasible &= phase_clear;
+        }
+        if all_clearly_feasible {
+            ScreenVerdict::ClearlyFeasible
+        } else {
+            ScreenVerdict::Ambiguous
+        }
+    }
+
     /// The workload being targeted.
     pub fn workload(&self) -> &MultiDnnWorkload {
         &self.workload
@@ -293,20 +625,45 @@ impl Evaluator {
         arc
     }
 
+    /// Cache key of the thermal model (and surrogate) shared by every
+    /// design with this layout. Quantizes the side to nanometers for a
+    /// stable key.
+    fn thermal_key(layout: &McmLayout, integration: Integration) -> ThermalKey {
+        (
+            (layout.chiplet_side_mm * 1e6).round() as u64,
+            (layout.ics_mm * 1e3).round() as u32,
+            layout.mesh.rows,
+            layout.mesh.cols,
+            matches!(integration, Integration::ThreeD),
+        )
+    }
+
+    /// The coarse-grid thermal surrogate for `model`, memoized per layout.
+    /// Built lazily on first screening of a layout; shares the model's
+    /// multigrid hierarchy, so construction is cheap after the model
+    /// itself exists.
+    fn surrogate_of(
+        &self,
+        model: &ThermalModel,
+        layout: &McmLayout,
+        integration: Integration,
+    ) -> Arc<Surrogate> {
+        let key = Self::thermal_key(layout, integration);
+        if let Some(hit) = self.surrogate_cache.read().expect("cache lock poisoned").get(&key) {
+            return Arc::clone(hit);
+        }
+        let sur = Arc::new(model.surrogate());
+        self.surrogate_cache.write().expect("cache lock poisoned").insert(key, Arc::clone(&sur));
+        sur
+    }
+
     fn thermal_model(
         &self,
         layout: &McmLayout,
         geometry: &ChipletGeometry,
         integration: Integration,
     ) -> Arc<ThermalModel> {
-        // Quantize the side to nanometers for a stable cache key.
-        let key: ThermalKey = (
-            (layout.chiplet_side_mm * 1e6).round() as u64,
-            (layout.ics_mm * 1e3).round() as u32,
-            layout.mesh.rows,
-            layout.mesh.cols,
-            matches!(integration, Integration::ThreeD),
-        );
+        let key = Self::thermal_key(layout, integration);
         if let Some(hit) = self.thermal_cache.read().expect("cache lock poisoned").get(&key) {
             return Arc::clone(hit);
         }
@@ -425,7 +782,6 @@ impl Evaluator {
         //    bursts; a 25% margin covers prefetch overlap), traffic over
         //    the frame window. A chiplet running several DNNs sequentially
         //    gets the maximum channel count across them (Sec. III-B).
-        const DRAM_BURST_MARGIN: f64 = 1.25;
         let window_s = constraints.frame_window_s();
         let mut dram_channels = 0u32;
         let mut dram_bytes = 0.0f64;
@@ -573,26 +929,8 @@ impl Evaluator {
         thermal_span.field("phases", Json::U64(sched.phases().len() as u64));
         let model = self.thermal_model(layout, geometry, chiplet.integration);
         let n_chiplets = layout.mesh.count() as usize;
-        let (nx, ny) = model.grid_dims();
-        let (w_m, h_m) = model.footprint_m();
-        // Tier indices that receive power.
-        let (array_tier, sram_tier) = match chiplet.integration {
-            Integration::TwoD => (1usize, 1usize),
-            Integration::ThreeD => (3usize, 1usize),
-        };
-
-        // Cell ranges per chiplet for mean-temperature queries.
-        let ranges: Vec<(usize, usize, usize, usize)> = layout
-            .positions_m
-            .iter()
-            .map(|r| {
-                let ix0 = ((r.x / w_m * nx as f64).floor() as usize).min(nx - 1);
-                let ix1 = ((r.x2() / w_m * nx as f64).ceil() as usize).clamp(ix0 + 1, nx);
-                let iy0 = ((r.y / h_m * ny as f64).floor() as usize).min(ny - 1);
-                let iy1 = ((r.y2() / h_m * ny as f64).ceil() as usize).clamp(iy0 + 1, ny);
-                (ix0, ix1, iy0, iy1)
-            })
-            .collect();
+        let (array_tier, sram_tier) = device_tiers(chiplet.integration);
+        let ranges = chip_cell_ranges(layout, &model);
 
         let mut peak = tech.ambient_c;
         let mut worst_power = 0.0f64;
@@ -770,24 +1108,9 @@ impl Evaluator {
         let sched = schedule(&layout.corner_first_order(), &dnn_cycles, &dnn_power_total);
 
         let model = self.thermal_model(&layout, &geometry, chiplet.integration);
-        let (nx, ny) = model.grid_dims();
-        let (w_m, h_m) = model.footprint_m();
-        let (array_tier, sram_tier) = match chiplet.integration {
-            Integration::TwoD => (1usize, 1usize),
-            Integration::ThreeD => (3usize, 1usize),
-        };
+        let (array_tier, sram_tier) = device_tiers(chiplet.integration);
         let n_chiplets = layout.mesh.count() as usize;
-        let ranges: Vec<(usize, usize, usize, usize)> = layout
-            .positions_m
-            .iter()
-            .map(|r| {
-                let ix0 = ((r.x / w_m * nx as f64).floor() as usize).min(nx - 1);
-                let ix1 = ((r.x2() / w_m * nx as f64).ceil() as usize).clamp(ix0 + 1, nx);
-                let iy0 = ((r.y / h_m * ny as f64).floor() as usize).min(ny - 1);
-                let iy1 = ((r.y2() / h_m * ny as f64).ceil() as usize).clamp(iy0 + 1, ny);
-                (ix0, ix1, iy0, iy1)
-            })
-            .collect();
+        let ranges = chip_cell_ranges(&layout, &model);
 
         let mut field = model.ambient_field();
         let mut times = Vec::new();
@@ -1023,6 +1346,126 @@ mod tests {
         let again = e.evaluate_cached(&d, &c);
         assert_eq!(again.peak_temp_c, eval.peak_temp_c);
         assert_eq!(e.eval_cache_stats().0, 0, "no hit: the entry was evicted");
+    }
+
+    #[test]
+    fn perf_and_thermal_caches_evict_beyond_capacity() {
+        let e = evaluator();
+        let d = design(96, 256, Integration::TwoD, 500, 400);
+        let _ = e.evaluate(&d, &Constraints::default());
+        {
+            // Flood with synthetic keys: both memos must stay bounded and
+            // evict their oldest (the real) entry first.
+            let report = Arc::clone(e.perf_cache.read().unwrap().get(&(96, 256)).unwrap());
+            let mut perf = e.perf_cache.write().unwrap();
+            for f in 0..PERF_CACHE_CAP as u32 {
+                perf.insert((100_000 + f, 256), Arc::clone(&report));
+            }
+            assert_eq!(perf.map.len(), PERF_CACHE_CAP);
+            assert_eq!(perf.order.len(), PERF_CACHE_CAP);
+            assert!(perf.get(&(96, 256)).is_none(), "oldest perf entry evicted");
+        }
+        {
+            let mut thermal = e.thermal_cache.write().unwrap();
+            let (&key, model) = thermal.map.iter().next().unwrap();
+            let model = Arc::clone(model);
+            for f in 0..THERMAL_CACHE_CAP as u32 {
+                thermal.insert((u64::from(f), key.1, key.2, key.3, key.4), Arc::clone(&model));
+            }
+            assert_eq!(thermal.map.len(), THERMAL_CACHE_CAP);
+            assert_eq!(thermal.order.len(), THERMAL_CACHE_CAP);
+            assert!(thermal.get(&key).is_none(), "oldest thermal entry evicted");
+        }
+        // The evaluator recomputes what was evicted; nothing breaks.
+        let again = e.evaluate(&d, &Constraints::default());
+        assert!(again.latency_s.is_finite());
+    }
+
+    #[test]
+    fn screen_never_contradicts_exact_evaluation() {
+        let e = evaluator();
+        // Tight thermal budget so the space spans both verdict directions.
+        let c = Constraints { temp_budget_c: 70.0, ..Constraints::edge_device(15.0, 70.0) };
+        for dim in [64, 128, 192, 256] {
+            for integration in [Integration::TwoD, Integration::ThreeD] {
+                let d = design(dim, 512, integration, 500, 400);
+                let verdict = e.screen(&d, &c);
+                let exact = e.evaluate(&d, &c);
+                match verdict {
+                    ScreenVerdict::ClearlyInfeasible => assert!(
+                        !exact.is_feasible(),
+                        "screen claimed infeasible but exact is feasible: {d:?}"
+                    ),
+                    ScreenVerdict::ClearlyFeasible => assert!(
+                        exact.is_feasible(),
+                        "screen claimed feasible but exact found {:?}: {d:?}",
+                        exact.violations
+                    ),
+                    ScreenVerdict::Ambiguous => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn screen_is_decisive_without_thermal_solver() {
+        let e = Evaluator::new(
+            arvr_suite(),
+            EvalOptions { grid_cells: 32, ..EvalOptions::temperature_unaware() },
+        );
+        let c = Constraints::default();
+        for dim in [32, 128, 256] {
+            let d = design(dim, 256, Integration::TwoD, 500, 400);
+            let verdict = e.screen(&d, &c);
+            assert_ne!(
+                verdict,
+                ScreenVerdict::Ambiguous,
+                "no thermal solve means the screen is exact: {d:?}"
+            );
+            assert_eq!(
+                verdict == ScreenVerdict::ClearlyFeasible,
+                e.evaluate(&d, &c).is_feasible(),
+            );
+        }
+    }
+
+    #[test]
+    fn fast_screen_agrees_with_the_full_screen_and_never_poisons_its_memo() {
+        let c = Constraints { temp_budget_c: 70.0, ..Constraints::edge_device(15.0, 70.0) };
+        for dim in [64, 128, 192, 256] {
+            for integration in [Integration::TwoD, Integration::ThreeD] {
+                let d = design(dim, 512, integration, 500, 400);
+                // Fresh evaluators: both screens must run from scratch.
+                let fast = evaluator().screen_infeasible_only(&d, &c);
+                let full = evaluator().screen(&d, &c);
+                // The infeasible side is identical (same lower-bound
+                // solves); the fast path only collapses the feasible side
+                // into Ambiguous.
+                assert_eq!(fast == ScreenVerdict::ClearlyInfeasible,
+                           full == ScreenVerdict::ClearlyInfeasible,
+                           "{d:?}");
+
+                // A fast screen followed by a full screen on one evaluator
+                // must still reach the full verdict: an infeasible-only
+                // Ambiguous is not cacheable.
+                let e = evaluator();
+                let first = e.screen_infeasible_only(&d, &c);
+                assert_eq!(first == ScreenVerdict::ClearlyInfeasible,
+                           full == ScreenVerdict::ClearlyInfeasible);
+                assert_eq!(e.screen(&d, &c), full, "{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn screen_reuses_cached_exact_answer() {
+        let e = evaluator();
+        let d = design(128, 512, Integration::TwoD, 500, 400);
+        let c = Constraints::edge_device(15.0, 85.0);
+        let exact = e.evaluate_cached(&d, &c);
+        let verdict = e.screen(&d, &c);
+        assert_eq!(verdict == ScreenVerdict::ClearlyFeasible, exact.is_feasible());
+        assert!(e.screen_cache.read().unwrap().map.is_empty(), "no surrogate work needed");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::constraints::Constraints;
 use crate::design::{DesignSpace, Integration, McmDesign};
 use crate::eval::{Evaluator, McmEvaluation};
 use crate::objective::Objective;
+use tesa_util::pool;
 
 /// A compact per-design record kept for every point of a sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +51,13 @@ impl SweepResult {
 /// frequency), in parallel across `threads` worker threads, and returns the
 /// global optimum of `objective` among feasible designs.
 ///
+/// The workers share a work-stealing scheduler
+/// ([`tesa_util::pool::map_dynamic`]) rather than static chunks:
+/// per-design cost varies by an order of magnitude (lazy-rejected
+/// infeasible points vs full leakage co-iteration), so a static split
+/// leaves whole threads idle behind the unluckiest chunk. Results come
+/// back in enumeration order regardless of which worker evaluated what.
+///
 /// # Panics
 ///
 /// Panics if `threads` is zero.
@@ -64,38 +72,20 @@ pub fn sweep(
 ) -> SweepResult {
     assert!(threads > 0, "need at least one worker thread");
     let designs: Vec<McmDesign> = space.designs(integration, freq_mhz).collect();
-    let chunk = designs.len().div_ceil(threads).max(1);
-
-    let mut points: Vec<SweepPoint> = Vec::with_capacity(designs.len());
-    let chunks: Vec<Vec<SweepPoint>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = designs
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || {
-                    slice
-                        .iter()
-                        .map(|d| {
-                            let e = evaluator.evaluate(d, constraints);
-                            SweepPoint {
-                                design: *d,
-                                objective: e.objective(objective),
-                                feasible: e.is_feasible(),
-                                peak_temp_c: e.peak_temp_c,
-                                thermal_runaway: e.thermal_runaway,
-                                mcm_cost_usd: e.mcm_cost_usd,
-                                dram_power_w: e.dram_power_w,
-                                chiplets: e.mesh.map_or(0, |m| m.count()),
-                            }
-                        })
-                        .collect()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    let points: Vec<SweepPoint> = pool::map_dynamic(threads, designs.len(), |i| {
+        let d = &designs[i];
+        let e = evaluator.evaluate(d, constraints);
+        SweepPoint {
+            design: *d,
+            objective: e.objective(objective),
+            feasible: e.is_feasible(),
+            peak_temp_c: e.peak_temp_c,
+            thermal_runaway: e.thermal_runaway,
+            mcm_cost_usd: e.mcm_cost_usd,
+            dram_power_w: e.dram_power_w,
+            chiplets: e.mesh.map_or(0, |m| m.count()),
+        }
     });
-    for c in chunks {
-        points.extend(c);
-    }
 
     let feasible_count = points.iter().filter(|p| p.feasible).count();
     let best_design = points

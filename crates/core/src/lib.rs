@@ -81,6 +81,6 @@ pub mod tech;
 
 pub use constraints::{Constraints, Violation};
 pub use design::{ChipletConfig, DesignSpace, Integration, McmDesign};
-pub use eval::{Evaluator, McmEvaluation};
+pub use eval::{Evaluator, McmEvaluation, ScreenVerdict};
 pub use objective::Objective;
 pub use tech::TechParams;

@@ -25,6 +25,8 @@ fn config(seed: u64) -> MsaConfig {
         moves_per_temp: 4,
         init_attempts: 40,
         seed,
+        screening: false,
+        speculation: 0,
     }
 }
 
@@ -58,6 +60,47 @@ fn same_seed_same_best_design_and_evaluation_count() {
     assert_eq!(a.evaluations, b.evaluations, "same seed must evaluate the same trajectory");
     assert_eq!(a.unique_designs, b.unique_designs);
     assert_eq!(a.accepted_moves, b.accepted_moves);
+}
+
+#[test]
+fn determinism_holds_with_screening_and_speculation() {
+    // The surrogate screen and the speculative pre-evaluation are pure
+    // accelerations: the accepted trajectory — and everything derived
+    // from it — must be bit-identical to the serial, unscreened chain.
+    let constraints = Constraints::edge_device(15.0, 85.0);
+    let objective = Objective::balanced();
+    let run = |screening: bool, speculation: usize| {
+        optimize(
+            &evaluator(),
+            &space(),
+            Integration::TwoD,
+            400,
+            &constraints,
+            &objective,
+            &MsaConfig { screening, speculation, ..config(42) },
+        )
+    };
+    let serial = run(false, 0);
+    let spec = run(true, 4);
+    let spec_again = run(true, 4);
+    assert_eq!(
+        serial.best.as_ref().map(|e| e.design),
+        spec.best.as_ref().map(|e| e.design),
+        "speculation/screening must not change the best design"
+    );
+    if let (Some(a), Some(b)) = (&serial.best, &spec.best) {
+        assert_eq!(a.peak_temp_c, b.peak_temp_c, "reported fields are from exact solves");
+        assert_eq!(a.mcm_cost_usd, b.mcm_cost_usd);
+        assert_eq!(a.total_power_w, b.total_power_w);
+    }
+    assert_eq!(serial.unique_designs, spec.unique_designs);
+    assert_eq!(serial.accepted_moves, spec.accepted_moves);
+    // And the accelerated run is itself exactly repeatable.
+    assert_eq!(spec.evaluations, spec_again.evaluations);
+    assert_eq!(
+        spec.best.as_ref().map(|e| e.design),
+        spec_again.best.as_ref().map(|e| e.design)
+    );
 }
 
 #[test]

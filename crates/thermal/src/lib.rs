@@ -51,9 +51,11 @@ mod multigrid;
 mod power;
 mod solver;
 mod stack;
+mod surrogate;
 
 pub use field::ThermalField;
 pub use geometry::Rect;
 pub use model::{Preconditioner, ThermalModel};
 pub use power::PowerMap;
 pub use stack::StackBuilder;
+pub use surrogate::{Surrogate, SurrogateSolution};

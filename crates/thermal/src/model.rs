@@ -472,6 +472,26 @@ impl ThermalModel {
         PowerMap::new(self.nx, self.ny, self.nl, self.width_m, self.height_m)
     }
 
+    /// Builds the cheap coarse-level surrogate solver for this model's
+    /// conductance network (see [`crate::Surrogate`]). The model's own
+    /// multigrid hierarchy is reused when present; on the Jacobi path a
+    /// hierarchy is built here once. The surrogate is independent of the
+    /// model afterwards and shares no solver state with it.
+    pub fn surrogate(&self) -> crate::Surrogate {
+        crate::Surrogate::from_network(
+            self.nx,
+            self.ny,
+            self.nl,
+            &self.gx,
+            &self.gy,
+            &self.gz,
+            &self.diag,
+            &self.gamb,
+            self.ambient_c,
+            self.mg.clone(),
+        )
+    }
+
     /// Applies the conductance matrix: `y = A x`.
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         apply_network(

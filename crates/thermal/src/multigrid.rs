@@ -144,8 +144,13 @@ impl Level {
         }
     }
 
-    fn n(&self) -> usize {
+    pub(crate) fn n(&self) -> usize {
         self.nl * self.ny * self.nx
+    }
+
+    /// Grid dimensions `(nx, ny, nl)` of this level.
+    pub(crate) fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nl)
     }
 
     #[inline]
@@ -154,8 +159,7 @@ impl Level {
     }
 
     /// `y = A x` in gather form (every output cell is written exactly once).
-    #[cfg(test)]
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
+    pub(crate) fn apply(&self, x: &[f64], y: &mut [f64]) {
         crate::model::apply_network(
             self.nx, self.ny, self.nl, &self.gx, &self.gy, &self.gz, &self.diag, x, y,
         );
@@ -384,7 +388,7 @@ impl Level {
 
     /// Restriction `r_c[I] = sum_{i in I} r_f[i]` (transpose of the
     /// piecewise-constant prolongation).
-    fn restrict_to(&self, coarse: &Level, fine_r: &[f64], coarse_b: &mut [f64]) {
+    pub(crate) fn restrict_to(&self, coarse: &Level, fine_r: &[f64], coarse_b: &mut [f64]) {
         coarse_b.fill(0.0);
         for l in 0..self.nl {
             for iy in 0..self.ny {
@@ -519,20 +523,40 @@ impl Multigrid {
     }
 
     /// Number of levels (>= 1; 1 means the fine grid is already coarse).
-    #[cfg(test)]
     pub(crate) fn num_levels(&self) -> usize {
         self.levels.len()
+    }
+
+    /// The level at index `li` (0 = fine).
+    pub(crate) fn level(&self, li: usize) -> &Level {
+        &self.levels[li]
     }
 
     /// Applies the V-cycle preconditioner: `z ~= A^{-1} r`, starting from a
     /// zero initial guess. Symmetric by construction (red-black pre-sweep,
     /// black-red post-sweep) so it is a valid SPD preconditioner for CG.
     pub(crate) fn vcycle(&self, r: &[f64], z: &mut [f64], scratch: &mut MgScratch) {
+        self.vcycle_from(0, r, z, scratch);
+    }
+
+    /// The V-cycle restricted to the sub-hierarchy rooted at level `start`:
+    /// `z ~= A_start^{-1} r` for the level-`start` operator, with `r`/`z`
+    /// sized to that level. `start == 0` is the full preconditioner; the
+    /// thermal surrogate uses `start >= 1` to solve coarse systems in their
+    /// own right. Symmetric for any `start`, so it remains a valid CG
+    /// preconditioner on the coarse system.
+    pub(crate) fn vcycle_from(
+        &self,
+        start: usize,
+        r: &[f64],
+        z: &mut [f64],
+        scratch: &mut MgScratch,
+    ) {
         scratch.ensure(self);
         let depth = self.levels.len();
-        scratch.rhs[0].copy_from_slice(r);
+        scratch.rhs[start].copy_from_slice(r);
         // Downward leg: smooth, compute residual, restrict.
-        for li in 0..depth - 1 {
+        for li in start..depth - 1 {
             let level = &self.levels[li];
             let coarse = &self.levels[li + 1];
             let x = &mut scratch.x[li];
@@ -552,7 +576,7 @@ impl Multigrid {
         let n_c = self.levels[coarsest].n();
         cholesky_solve(&self.chol, n_c, &scratch.rhs[coarsest], &mut scratch.x[coarsest]);
         // Upward leg: prolong, post-smooth in reversed color order.
-        for li in (0..depth - 1).rev() {
+        for li in (start..depth - 1).rev() {
             let level = &self.levels[li];
             let coarse = &self.levels[li + 1];
             let (head, tail) = scratch.x.split_at_mut(li + 1);
@@ -562,7 +586,7 @@ impl Multigrid {
             level.line_sweep(b, x, 1, true, &mut scratch.buf);
             level.line_sweep(b, x, 0, true, &mut scratch.buf);
         }
-        z.copy_from_slice(&scratch.x[0]);
+        z.copy_from_slice(&scratch.x[start]);
     }
 }
 

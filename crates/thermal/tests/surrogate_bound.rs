@@ -1,0 +1,124 @@
+//! Property-based validation of the surrogate's calibrated error bound:
+//! for random stacks (2D and 3D, random conductivities, convection, and
+//! chip patches) and random power maps, the exact fine-grid solution must
+//! lie within `estimate ± bound` — per-layer peaks *and* the chip-region
+//! means the evaluator's leakage loop feeds on. The evaluator's screening
+//! verdicts are sound only while this property holds, so regressions here
+//! gate any retuning of `BOUND_FLOOR_C` / `BOUND_SAFETY`.
+
+use tesa_thermal::{Rect, StackBuilder, ThermalModel};
+use tesa_util::prop_assert;
+use tesa_util::propcheck::{check, ranged, vec_of, Config};
+
+const AMBIENT: f64 = 45.0;
+const SIDE_M: f64 = 8e-3;
+const GRID: usize = 32;
+
+/// A randomized package stack in the shape the evaluator builds: four
+/// silicon chips on an interposer, optionally as a 3D (SRAM + bond +
+/// array) pile, under TIM, lid, and a convection boundary.
+fn random_model(three_d: bool, k_under: f64, conv: f64) -> ThermalModel {
+    let chips: Vec<(Rect, f64)> = (0..4)
+        .map(|i| {
+            let x = 0.8e-3 + f64::from(i % 2) * 3.6e-3;
+            let y = 0.8e-3 + f64::from(i / 2) * 3.6e-3;
+            (Rect::new(x, y, 2.6e-3, 2.6e-3), 120.0)
+        })
+        .collect();
+    let b = StackBuilder::new(SIDE_M, SIDE_M, GRID, GRID)
+        .layer("interposer", 100e-6, 120.0);
+    let b = if three_d {
+        b.layer_with_patches("sram_tier", 150e-6, k_under, chips.clone())
+            .layer("bond", 20e-6, 1.0)
+            .layer_with_patches("array_tier", 150e-6, k_under, chips)
+    } else {
+        b.layer_with_patches("device", 150e-6, k_under, chips)
+    };
+    b.layer("tim", 65e-6, 1.2)
+        .layer("lid", 300e-6, 200.0)
+        .convection(conv, AMBIENT)
+        .build()
+}
+
+#[test]
+fn exact_peaks_and_region_means_lie_within_the_bound() {
+    check(
+        Config::with_cases(32),
+        (
+            ranged(0usize..2),
+            ranged(0.5f64..2.0),
+            ranged(0.2f64..0.8),
+            vec_of(
+                (
+                    ranged(0.0f64..6.0e-3),
+                    ranged(0.0f64..6.0e-3),
+                    ranged(0.3e-3f64..2.5e-3),
+                    ranged(0.3e-3f64..2.5e-3),
+                    ranged(0.3f64..4.0),
+                ),
+                1..5,
+            ),
+        ),
+        |(kind, k_under, conv, sources)| {
+            let three_d = kind == 1;
+            let m = random_model(three_d, k_under, conv);
+            let sur = m.surrogate();
+            let mut p = m.zero_power();
+            for (x, y, w, h, watts) in sources {
+                let rect = Rect::new(x, y, w + 2e-4, h + 2e-4);
+                if rect.x2() <= SIDE_M && rect.y2() <= SIDE_M {
+                    p.add_uniform_rect(1, rect, watts);
+                    if three_d {
+                        p.add_uniform_rect(3, rect, watts * 0.7);
+                    }
+                }
+            }
+            let exact = m.solve(&p);
+            let est = sur.solve(&p);
+            let bound = est.bound_c();
+            prop_assert!(bound.is_finite() && bound > 0.0);
+            for l in 0..m.num_layers() {
+                let err = (exact.layer_peak_c(l) - est.layer_peak_c(l)).abs();
+                prop_assert!(
+                    err <= bound,
+                    "layer {l} peak error {err} exceeds bound {bound} \
+                     (exact {}, est {})",
+                    exact.layer_peak_c(l),
+                    est.layer_peak_c(l)
+                );
+            }
+            // Chip-region means on the powered tier: the evaluator's
+            // leakage co-iteration and screening verdicts read these.
+            let cells = GRID / 2;
+            for (cx, cy) in [(0, 0), (cells, 0), (0, cells), (cells, cells)] {
+                let te = exact.region_mean_c(1, cx, cx + cells, cy, cy + cells);
+                let ts = est.region_mean_c(1, cx, cx + cells, cy, cy + cells);
+                prop_assert!(
+                    (te - ts).abs() <= bound,
+                    "region ({cx},{cy}) mean error {} exceeds bound {bound}",
+                    (te - ts).abs()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bound_is_deterministic_per_design() {
+    check(
+        Config::with_cases(8),
+        (ranged(0.5f64..2.0), ranged(0.3f64..3.0)),
+        |(k_under, watts)| {
+            let m = random_model(false, k_under, 0.4);
+            let sur = m.surrogate();
+            let mut p = m.zero_power();
+            p.add_uniform_rect(1, Rect::new(1e-3, 1e-3, 2.6e-3, 2.6e-3), watts);
+            let a = sur.solve(&p);
+            let b = sur.solve(&p);
+            prop_assert!(a.bound_c() == b.bound_c());
+            prop_assert!(a.peak_c() == b.peak_c());
+            Ok(())
+        },
+    );
+}

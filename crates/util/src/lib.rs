@@ -16,7 +16,9 @@
 //!   machine-readable output and for reading those artifacts back;
 //! * [`trace`] — a structured-observability layer (spans, events,
 //!   counters → JSONL) with near-zero disabled-path overhead, replacing
-//!   `tracing`/`tracing-subscriber` for pipeline introspection.
+//!   `tracing`/`tracing-subscriber` for pipeline introspection;
+//! * [`pool`] — a scoped work-stealing scheduler for index-parallel maps
+//!   with strongly varying per-item cost, replacing `rayon`.
 //!
 //! Determinism is a design goal throughout: the RNG is seed-for-seed
 //! reproducible across platforms, and `propcheck` replays any failure from
@@ -27,6 +29,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod propcheck;
 pub mod rng;
 pub mod trace;

@@ -1,0 +1,219 @@
+//! A scoped work-stealing scheduler for index-parallel workloads.
+//!
+//! The workspace's parallel loops (exhaustive design sweeps, speculative
+//! annealer move batches) map a pure function over an index range where the
+//! per-item cost varies by orders of magnitude — a full thermal solve on a
+//! large mesh next to a cache hit. Static chunking leaves most workers idle
+//! behind the slowest chunk; this module schedules dynamically instead.
+//!
+//! The design stays inside the crate's `#![forbid(unsafe_code)]` and
+//! zero-dependency constraints: workers are `std::thread::scope` threads,
+//! and each worker owns a mutex-guarded `[start, end)` index range. An
+//! owner pops small chunks off the *front* of its own range; a worker that
+//! runs dry steals the *back half* of the fullest victim's range and makes
+//! it its own. Work only ever shrinks, so a full scan finding every queue
+//! empty is a correct termination condition — no condvars needed.
+//!
+//! Results are collected per worker as `(index, value)` pairs and scattered
+//! into index order at the end, so the output of [`map_dynamic`] is
+//! identical to a serial `(0..n).map(f)` regardless of thread count or
+//! steal interleaving.
+
+use std::sync::Mutex;
+
+/// Per-worker share of the index space: a half-open `[start, end)` range.
+/// The owner pops from the front; thieves split off the back.
+type Range = (usize, usize);
+
+/// Maps `f` over `0..n` on `threads` workers with dynamic (work-stealing)
+/// scheduling and returns the results in index order — exactly what a
+/// serial `(0..n).map(f).collect()` would produce.
+///
+/// `threads` is clamped to `[1, n]`; with one worker (or `n <= 1`) the
+/// map runs inline on the calling thread with no pool overhead, which
+/// keeps single-threaded callers bit-identical and cheap.
+///
+/// `f` must be safe to call concurrently from multiple threads; items are
+/// computed exactly once each.
+///
+/// ```
+/// let squares = tesa_util::pool::map_dynamic(4, 10, |i| i * i);
+/// assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+/// ```
+pub fn map_dynamic<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let queues: Vec<Mutex<Range>> = (0..threads)
+        .map(|w| Mutex::new((w * n / threads, (w + 1) * n / threads)))
+        .collect();
+    let queues = &queues;
+    let f = &f;
+
+    let mut parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let chunk = match pop_front(&queues[w]) {
+                            Some(c) => c,
+                            None => match steal(queues, w) {
+                                Some(range) => {
+                                    // Adopt the stolen range so other
+                                    // thieves can split it further, then
+                                    // pop a chunk like any owner. Our own
+                                    // queue is empty here (only the owner
+                                    // refills it), so overwriting is safe.
+                                    *queues[w].lock().expect("pool queue poisoned") = range;
+                                    continue;
+                                }
+                                None => break,
+                            },
+                        };
+                        for i in chunk.0..chunk.1 {
+                            local.push((i, f(i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+    });
+
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for part in &mut parts {
+        for (i, v) in part.drain(..) {
+            debug_assert!(out[i].is_none(), "index {i} computed twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter().map(|v| v.expect("every index computed exactly once")).collect()
+}
+
+/// Runs `f` for every index in `0..n` on `threads` workers, discarding the
+/// results. Convenience wrapper over [`map_dynamic`] for callers that only
+/// want side effects (e.g. warming a shared cache).
+pub fn for_each_dynamic<F>(threads: usize, n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let _ = map_dynamic(threads, n, f);
+}
+
+/// Pops a small chunk off the front of `q`, or `None` when the range is
+/// empty. Chunks shrink with the remaining work (an eighth, clamped to
+/// `[1, 16]`) so the tail of a range stays stealable while lock traffic
+/// stays low on long runs of cheap items.
+fn pop_front(q: &Mutex<Range>) -> Option<Range> {
+    let mut g = q.lock().expect("pool queue poisoned");
+    let (start, end) = *g;
+    if start >= end {
+        return None;
+    }
+    let take = ((end - start) / 8).clamp(1, 16);
+    g.0 = start + take;
+    Some((start, start + take))
+}
+
+/// Steals the back half of the fullest victim's range. Locks are taken one
+/// queue at a time (never nested), so the scan can race with the victim
+/// draining its own queue; a victim found empty on the second look just
+/// triggers a rescan. Returns `None` only after a full scan finds every
+/// other queue empty.
+fn steal(queues: &[Mutex<Range>], thief: usize) -> Option<Range> {
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (victim, remaining)
+        for (v, q) in queues.iter().enumerate() {
+            if v == thief {
+                continue;
+            }
+            let g = q.lock().expect("pool queue poisoned");
+            let len = g.1.saturating_sub(g.0);
+            if len > 0 && best.is_none_or(|(_, bl)| len > bl) {
+                best = Some((v, len));
+            }
+        }
+        let (victim, _) = best?;
+        let mut g = queues[victim].lock().expect("pool queue poisoned");
+        let (start, end) = *g;
+        if start >= end {
+            continue; // the victim drained it since the scan; rescan
+        }
+        // Victim keeps the front half, thief takes the back half. With one
+        // item left the thief takes it whole (mid == start).
+        let mid = start + (end - start) / 2;
+        g.1 = mid;
+        return Some((mid, end));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn matches_serial_map_in_order() {
+        let expected: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            assert_eq!(map_dynamic(threads, 1000, |i| i * i), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(map_dynamic(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_dynamic(8, 1, |i| i + 41), vec![41]);
+        assert_eq!(map_dynamic(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let n = 4096;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let out = map_dynamic(8, n, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn imbalanced_costs_still_produce_ordered_results() {
+        // Early indices are ~1000x more expensive than late ones — the
+        // shape that starves a statically chunked pool. Correctness here
+        // exercises the steal path; balance is covered by the benches.
+        let cost = |i: usize| if i < 8 { 50_000u64 } else { 50 };
+        let work = |i: usize| {
+            let mut acc = 0u64;
+            for k in 0..cost(i) {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i as u64) ^ (acc & 1)
+        };
+        let expected: Vec<u64> = (0..256).map(work).collect();
+        assert_eq!(map_dynamic(8, 256, work), expected);
+    }
+
+    #[test]
+    fn for_each_visits_all_indices() {
+        let n = 300;
+        let sum = AtomicUsize::new(0);
+        for_each_dynamic(4, n, |i| {
+            sum.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+    }
+}

@@ -23,6 +23,8 @@ fn quick_msa() -> MsaConfig {
         moves_per_temp: 5,
         init_attempts: 50,
         seed: 11,
+        screening: false,
+        speculation: 0,
     }
 }
 

@@ -31,6 +31,8 @@ fn quick_msa() -> MsaConfig {
         moves_per_temp: 6,
         init_attempts: 60,
         seed: 42,
+        screening: false,
+        speculation: 0,
     }
 }
 
@@ -103,6 +105,41 @@ fn custom_score_drives_the_search() {
     let (c, k) = (coolest.best.expect("cool"), cheapest.best.expect("cheap"));
     assert!(c.peak_temp_c <= k.peak_temp_c + 1e-9);
     assert!(k.mcm_cost_usd <= c.mcm_cost_usd + 1e-9);
+}
+
+#[test]
+fn optimize_with_is_unchanged_by_screening_and_speculation() {
+    // The accelerations must be invisible through the custom-score entry
+    // point too: same best design, same acceptance count, and never more
+    // full evaluations. A tight budget keeps clearly infeasible designs
+    // in the space so the screen actually fires.
+    let space = small_space();
+    let constraints = Constraints::edge_device(30.0, 76.0);
+    let run = |screening: bool, speculation: usize| {
+        optimize_with(
+            &evaluator(),
+            &space,
+            Integration::TwoD,
+            400,
+            &constraints,
+            |ev| ev.mcm_cost_usd + ev.peak_temp_c,
+            &MsaConfig { screening, speculation, ..quick_msa() },
+        )
+    };
+    let base = run(false, 0);
+    let fast = run(true, 4);
+    assert_eq!(
+        base.best.as_ref().map(|e| e.design),
+        fast.best.as_ref().map(|e| e.design),
+        "accelerations changed the best design"
+    );
+    if let (Some(b), Some(f)) = (&base.best, &fast.best) {
+        assert_eq!(b.peak_temp_c, f.peak_temp_c, "reported fields come from exact solves");
+        assert_eq!(b.mcm_cost_usd, f.mcm_cost_usd);
+    }
+    assert_eq!(base.accepted_moves, fast.accepted_moves);
+    assert_eq!(base.unique_designs, fast.unique_designs);
+    assert!(fast.evaluations <= base.evaluations);
 }
 
 #[test]
