@@ -14,6 +14,15 @@ cargo build --offline --benches --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps --workspace
 
+# Crash/resume kill matrix in release mode (the debug run is part of the
+# workspace suite above; release exercises the same binary the artifacts
+# use). TESA_FAULTPOINTS is deliberately set for the harness process: the
+# suite must scrub it from child campaigns, so a leaked plan here would
+# fail the byte-identity assertions — a regression guard for the env
+# isolation, on top of the per-scenario --faultpoints injection.
+TESA_FAULTPOINTS="ckpt.write=prob:0.5;seed=7" \
+    cargo test -q --offline --release --test crash_resume
+
 # Bench trend artifacts: short runs, machine-readable. BENCH_*.json land
 # in the repo root (gitignored) for the CI runner to archive and diff
 # against the previous build. Paths are absolute because cargo runs
@@ -29,16 +38,22 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps --workspace
 if [[ -f BENCH_anneal.json ]]; then
     cp BENCH_anneal.json BENCH_anneal.baseline.json
 fi
+# Artifacts go to a temp name first and are renamed only on success, so a
+# bench binary dying mid-run cannot leave a stale or truncated JSON that
+# the next build would diff against as if it were real.
 cargo bench -q --offline -p tesa-bench --bench bench_thermal -- \
-    --warmup 1 --iters 5 --format json --out "$PWD/BENCH_thermal.json"
+    --warmup 1 --iters 5 --format json --out "$PWD/BENCH_thermal.json.tmp"
+mv BENCH_thermal.json.tmp BENCH_thermal.json
 # bench_anneal's warm-cache benchmarks are microsecond-scale, where a
 # 3-iteration median is dominated by scheduler noise; 15 iterations keep
 # the guarded median stable (the cold-cache bench at ~100 ms/iter bounds
 # the added wall time to a couple of seconds).
 cargo bench -q --offline -p tesa-bench --bench bench_anneal -- \
-    --warmup 3 --iters 15 --format json --out "$PWD/BENCH_anneal.json"
+    --warmup 3 --iters 15 --format json --out "$PWD/BENCH_anneal.json.tmp"
+mv BENCH_anneal.json.tmp BENCH_anneal.json
 cargo bench -q --offline -p tesa-bench --bench bench_sweep -- \
-    --warmup 1 --iters 5 --format json --out "$PWD/BENCH_sweep.json"
+    --warmup 1 --iters 5 --format json --out "$PWD/BENCH_sweep.json.tmp"
+mv BENCH_sweep.json.tmp BENCH_sweep.json
 # Disabled-path overhead gate: the warm-cache benchmarks run with tracing,
 # screening, and speculation all off, so a regression here means the new
 # machinery costs wall time even when nobody asked for it.
@@ -47,6 +62,13 @@ if [[ -f BENCH_anneal.baseline.json ]]; then
         BENCH_anneal.baseline.json BENCH_anneal.json \
         --tolerance "${TESA_BENCH_TOLERANCE:-0.05}" \
         --filter warm_cache
+    # The cold-cache variants gate the same disabled-path overhead on the
+    # full-evaluation trajectory (checkpointing and fault injection are
+    # compiled into the annealer/evaluator hot paths but off by default).
+    cargo run -q --offline --release -p tesa-bench --bin bench_guard -- \
+        BENCH_anneal.baseline.json BENCH_anneal.json \
+        --tolerance "${TESA_BENCH_TOLERANCE:-0.05}" \
+        --filter cold_cache
     rm -f BENCH_anneal.baseline.json
 else
     echo "bench_guard: no previous BENCH_anneal.json — baseline recorded, guard skipped"

@@ -1,7 +1,8 @@
 //! The `tesa` CLI subcommands.
 
 use crate::args::{Args, ParseArgsError};
-use tesa::anneal::{optimize, MsaConfig};
+use std::path::PathBuf;
+use tesa::anneal::{optimize_checkpointed, CheckpointPolicy, MsaConfig};
 use tesa::design::{ChipletConfig, DesignSpace, Integration, McmDesign};
 use tesa::eval::{EvalOptions, Evaluator};
 use tesa::exhaustive::sweep;
@@ -118,8 +119,17 @@ pub fn cmd_evaluate(args: &Args) -> Result<String, CliError> {
         "latency: {:.2} ms ({:.1} fps)\npeak temperature: {}\n",
         eval.latency_s * 1e3,
         eval.achieved_fps,
-        if eval.thermal_runaway { "THERMAL RUNAWAY".into() } else { format!("{:.2} C", eval.peak_temp_c) },
+        if eval.thermal_runaway {
+            "THERMAL RUNAWAY".into()
+        } else if eval.peak_temp_c.is_nan() {
+            "unknown (thermal solver failed)".into()
+        } else {
+            format!("{:.2} C", eval.peak_temp_c)
+        },
     ));
+    if eval.degraded {
+        out.push_str("note: thermal solver ran degraded (cold-start Jacobi fallback)\n");
+    }
     out.push_str(&format!(
         "power: chip {:.2} W + DRAM {:.2} W ({} channels) = {:.2} W\n",
         eval.chip_power_w, eval.dram_power_w, eval.dram_channels, eval.total_power_w
@@ -140,7 +150,9 @@ pub fn cmd_evaluate(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `tesa optimize [...]` — run the MSA optimizer over the Table II space.
+/// `tesa optimize [...]` — run the MSA optimizer over the Table II space,
+/// optionally with crash-safe checkpointing (`--checkpoint`,
+/// `--checkpoint-every`) and resume (`--resume`).
 pub fn cmd_optimize(args: &Args) -> Result<String, CliError> {
     let format = output_format(args)?;
     let integ = integration(args)?;
@@ -150,16 +162,56 @@ pub fn cmd_optimize(args: &Args) -> Result<String, CliError> {
     msa.seed = args.get_or("seed", msa.seed)?;
     msa.screening = args.get_or("screening", msa.screening)?;
     msa.speculation = args.get_or("speculation", msa.speculation)?;
+    msa.t_init = args.get_or("t-init", msa.t_init)?;
+    msa.t_final = args.get_or("t-final", msa.t_final)?;
+    msa.moves_per_temp = args.get_or("moves-per-temp", msa.moves_per_temp)?;
+    msa.init_attempts = args.get_or("init-attempts", msa.init_attempts)?;
+    if let Some(list) = args.get("deltas") {
+        msa.deltas = list
+            .split(',')
+            .map(|tok| {
+                tok.trim().parse::<f64>().map_err(|_| CliError {
+                    message: format!("bad cooling factor '{tok}' in --deltas"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if msa.deltas.is_empty() {
+            return Err(CliError { message: "--deltas needs at least one value".into() });
+        }
+    }
+    let grid_cells: usize = args.get_or("grid-cells", EvalOptions::default().grid_cells)?;
+    let ev = Evaluator::new(
+        arvr_suite(),
+        EvalOptions { lazy: true, grid_cells, ..EvalOptions::default() },
+    );
+
+    // `--resume PATH` alone keeps checkpointing to the same file, so a
+    // kill/resume loop can pass one path for both roles; a missing resume
+    // file simply starts fresh.
+    let resume: Option<PathBuf> = args.get("resume").map(PathBuf::from);
+    let ckpt_path: Option<PathBuf> = args.get("checkpoint").map(PathBuf::from).or_else(|| resume.clone());
+    let every: u32 = args.get_or("checkpoint-every", 1u32)?;
+    let policy = ckpt_path.map(|path| CheckpointPolicy { path, every: every.max(1) });
+
     let space = DesignSpace::tesa_default();
-    let outcome = optimize(
-        &evaluator(true),
+    let outcome = optimize_checkpointed(
+        &ev,
         &space,
         integ,
         freq,
         &c,
         &Objective::balanced(),
         &msa,
-    );
+        policy.as_ref(),
+        resume.as_deref(),
+    )
+    .map_err(|e| CliError { message: format!("checkpoint: {e}") })?;
+    if outcome.checkpoint_write_failures > 0 {
+        eprintln!(
+            "warning: {} checkpoint write(s) failed; the on-disk checkpoint may be stale",
+            outcome.checkpoint_write_failures
+        );
+    }
     if format == OutputFormat::Json {
         let report = tesa_util::Json::obj([
             ("unique_designs", tesa_util::Json::u64(outcome.unique_designs as u64)),
@@ -403,6 +455,18 @@ COMMON FLAGS:
     --seed N          optimizer RNG seed (optimize)
     --screening B     surrogate-screen moves, true|false (optimize) [default: false]
     --speculation K   pre-evaluate K lookahead moves (optimize) [default: 0]
+    --deltas A,B,..   per-start cooling factors (optimize)
+    --t-init T        initial annealing temperature (optimize)
+    --t-final T       final annealing temperature (optimize)
+    --moves-per-temp N  moves per temperature step (optimize)
+    --init-attempts N   random-init attempts per start (optimize)
+    --grid-cells N    thermal grid resolution per axis [default: 64]
+    --checkpoint PATH   write crash-safe campaign checkpoints to PATH (optimize)
+    --checkpoint-every N  checkpoint every N temperature steps [default: 1]
+    --resume PATH     resume a campaign from PATH (missing file = fresh start;
+                      keeps checkpointing to the same file)
+    --faultpoints S   deterministic fault injection spec (any command; also
+                      via TESA_FAULTPOINTS), e.g. 'ckpt.write=nth:3;seed=1'
     --dt-ms X         transient step, ms (transient) [default: 1]
     --frames N        frames to simulate (transient) [default: 3]
 
@@ -411,6 +475,7 @@ EXAMPLES:
     tesa optimize --integration 3d --freq 500 --temp-c 85
     tesa thermal-map --array 200 --sram-kib 1024 --out map.csv
     tesa optimize --trace run.jsonl && tesa trace summarize run.jsonl
+    tesa optimize --checkpoint run.ckpt && tesa optimize --resume run.ckpt
 "
     .to_owned()
 }

@@ -8,6 +8,12 @@
 //! [`tesa_util::trace`] session for the duration of the command, so every
 //! instrumented layer (annealer, evaluator, thermal solver, SCALE-Sim)
 //! streams structured events to the given file.
+//!
+//! The global `--faultpoints <spec>` flag (or the `TESA_FAULTPOINTS`
+//! environment variable) activates deterministic fault injection via
+//! [`tesa_util::faultpoint`] for the duration of the command — the
+//! robustness test harness uses it to force checkpoint-write failures,
+//! post-commit aborts, and thermal-solver divergence.
 
 mod args;
 mod commands;
@@ -22,6 +28,24 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
+    };
+    // Holds the fault-injection scope (if any) across the command; the
+    // flag wins over the environment variable.
+    let _fault_scope = match parsed.get("faultpoints") {
+        Some(spec) => match tesa_util::faultpoint::FaultPlan::parse(spec) {
+            Ok(plan) => Some(tesa_util::faultpoint::activate(&plan)),
+            Err(e) => {
+                eprintln!("error: bad --faultpoints spec: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => match tesa_util::faultpoint::from_env() {
+            Ok(scope) => scope,
+            Err(e) => {
+                eprintln!("error: bad TESA_FAULTPOINTS: {e}");
+                return ExitCode::from(2);
+            }
+        },
     };
     // Holds the trace session (if any) across the command; dropping it at
     // the end of main flushes and closes the JSONL sink.

@@ -11,10 +11,14 @@
 //! starts run in parallel with different decay rates to increase the chance
 //! of reaching the global optimum.
 
+use crate::checkpoint::{CampaignState, CheckpointError, StartSnapshot, StartState};
 use crate::constraints::Constraints;
 use crate::design::{DesignSpace, Integration, McmDesign};
 use crate::eval::{Evaluator, McmEvaluation, ScreenVerdict};
-use tesa_util::{pool, trace, Json, Rng};
+use crate::objective::Objective;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tesa_util::{faultpoint, pool, trace, Json, Rng};
 
 /// MSA configuration. The defaults reproduce the paper's validation setup:
 /// three starts with decay rates 0.89 / 0.87 / 0.85, `T` from 19 down to
@@ -78,6 +82,9 @@ pub struct AnnealOutcome {
     pub unique_designs: usize,
     /// Accepted moves across all starts.
     pub accepted_moves: usize,
+    /// Checkpoint writes that failed (the campaign continues past them;
+    /// always 0 when checkpointing is off).
+    pub checkpoint_write_failures: u64,
 }
 
 impl AnnealOutcome {
@@ -147,6 +154,240 @@ struct StartOutcome {
     accepted: usize,
 }
 
+/// Where and how often [`optimize_checkpointed`] persists campaign state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (written atomically; see
+    /// [`CampaignState::save`]).
+    pub path: PathBuf,
+    /// Write after every `every` recorded temperature steps (across all
+    /// starts); completion of a start always writes. `0` behaves as `1`.
+    pub every: u32,
+}
+
+/// Shared collector of per-start snapshots; serializes state updates and
+/// file writes behind one mutex (starts run on parallel threads).
+struct CheckpointSink {
+    path: PathBuf,
+    every: u64,
+    inner: Mutex<SinkInner>,
+}
+
+struct SinkInner {
+    state: CampaignState,
+    updates: u64,
+    failures: u64,
+}
+
+impl CheckpointSink {
+    fn new(policy: &CheckpointPolicy, state: CampaignState) -> Self {
+        Self {
+            path: policy.path.clone(),
+            every: u64::from(policy.every.max(1)),
+            inner: Mutex::new(SinkInner { state, updates: 0, failures: 0 }),
+        }
+    }
+
+    /// Installs the slot for one start and persists on cadence (or always
+    /// when the slot is `Done`). A failed write is counted and traced; the
+    /// campaign itself continues.
+    fn record(&self, idx: usize, slot: StartState) {
+        let done = matches!(slot, StartState::Done(_));
+        let mut g = self.inner.lock().expect("checkpoint sink poisoned");
+        g.state.starts[idx] = slot;
+        g.updates += 1;
+        if !done && !g.updates.is_multiple_of(self.every) {
+            return;
+        }
+        match g.state.save(&self.path) {
+            Ok(()) => {
+                // Kill-matrix hook: simulate a hard crash at the worst
+                // possible honest moment — right after a checkpoint commit.
+                if faultpoint::fire("ckpt.abort") {
+                    std::process::abort();
+                }
+            }
+            Err(e) => {
+                g.failures += 1;
+                trace::counter("msa.ckpt.write_failed", 1.0);
+                let msg = e.to_string();
+                trace::event("msa.ckpt.error", || vec![("error", Json::str(msg))]);
+            }
+        }
+    }
+
+    fn failures(&self) -> u64 {
+        self.inner.lock().expect("checkpoint sink poisoned").failures
+    }
+}
+
+/// Hash of everything that shapes a campaign's trajectory and counters.
+/// Two campaigns with equal fingerprints and seeds produce bit-identical
+/// results, so a checkpoint may only be resumed by a campaign with the
+/// same fingerprint. Speculation is deliberately excluded — it warms
+/// caches without touching the trajectory or any reported counter.
+fn campaign_fingerprint(
+    evaluator: &Evaluator,
+    space: &DesignSpace,
+    integration: Integration,
+    freq_mhz: u32,
+    constraints: &Constraints,
+    objective: &Objective,
+    config: &MsaConfig,
+) -> u64 {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(512);
+    let _ = write!(s, "tesa-campaign-v1|deltas:");
+    for d in &config.deltas {
+        let _ = write!(s, "{:016x},", d.to_bits());
+    }
+    let _ = write!(
+        s,
+        "|t:{:016x}:{:016x}|moves:{}|attempts:{}|seed:{:016x}|screening:{}",
+        config.t_init.to_bits(),
+        config.t_final.to_bits(),
+        config.moves_per_temp,
+        config.init_attempts,
+        config.seed,
+        config.screening,
+    );
+    let _ = write!(s, "|space:");
+    for d in &space.array_dims {
+        let _ = write!(s, "{d},");
+    }
+    let _ = write!(s, ";");
+    for k in &space.sram_kib_options {
+        let _ = write!(s, "{k},");
+    }
+    let _ = write!(s, ";");
+    for i in &space.ics_um_options {
+        let _ = write!(s, "{i},");
+    }
+    let _ = write!(s, "|integration:{integration:?}|freq:{freq_mhz}");
+    let _ = write!(
+        s,
+        "|constraints:{:016x}:{:016x}:{:016x}:{:016x}:{:016x}:{}",
+        constraints.min_fps.to_bits(),
+        constraints.power_budget_w.to_bits(),
+        constraints.interposer_w_mm.to_bits(),
+        constraints.interposer_h_mm.to_bits(),
+        constraints.temp_budget_c.to_bits(),
+        constraints.max_ics_um,
+    );
+    let _ = write!(
+        s,
+        "|objective:{:016x}:{:016x}:{:016x}:{:016x}",
+        objective.alpha.to_bits(),
+        objective.beta.to_bits(),
+        objective.cost_ref_usd.to_bits(),
+        objective.dram_ref_w.to_bits(),
+    );
+    let o = evaluator.options();
+    let _ = write!(
+        s,
+        "|eval:{:?}:{:?}:{:?}:thermal={}:grid={}:lazy={}",
+        o.dataflow, o.leakage, o.scheduler, o.thermal_enabled, o.grid_cells, o.lazy,
+    );
+    tesa_util::hash::fnv1a64(s.as_bytes())
+}
+
+/// Rebuilds a start's outcome from a snapshot. The best evaluation is
+/// re-materialized through the (deterministic, pure) evaluator — this
+/// draws no RNG and is not a counted evaluation, so resumed counters match
+/// the uninterrupted run exactly.
+fn restore_outcome(
+    out: &mut StartOutcome,
+    snap: StartSnapshot,
+    evaluator: &Evaluator,
+    constraints: &Constraints,
+) {
+    out.evaluations = snap.evaluations as usize;
+    out.accepted = snap.accepted as usize;
+    out.visited = snap.visited;
+    out.best = snap
+        .best
+        .map(|(s, d)| (s, (*evaluator.evaluate_cached(&d, constraints)).clone()));
+}
+
+/// Initialization phase of one start: draws random designs until one is
+/// feasible (or attempts run out), updating `out`'s counters and visited
+/// list. Returns the chain's first `(design, score)`.
+#[allow(clippy::too_many_arguments)]
+fn init_start<S, W, F>(
+    evaluator: &Evaluator,
+    space: &DesignSpace,
+    integration: Integration,
+    freq_mhz: u32,
+    constraints: &Constraints,
+    score: &S,
+    config: &MsaConfig,
+    delta: f64,
+    rng: &mut Rng,
+    out: &mut StartOutcome,
+    spec: usize,
+    spec_threads: usize,
+    spec_pending: &mut std::collections::HashSet<McmDesign>,
+    warm: &W,
+    flush_spec: &F,
+) -> Option<(McmDesign, f64)>
+where
+    S: Fn(&McmEvaluation) -> f64 + Sync,
+    W: Fn(&McmDesign) + Sync,
+    F: Fn(&mut std::collections::HashSet<McmDesign>),
+{
+    let mut current: Option<(McmDesign, f64)> = None;
+    let mut init_attempts_used = 0u32;
+    for a in 0..config.init_attempts {
+        if spec > 0 && (a as usize).is_multiple_of(spec) {
+            flush_spec(spec_pending);
+            // The draw sequence is exactly predictable (each attempt
+            // consumes three RNG draws), so simulate it on a clone.
+            let win = spec.min((config.init_attempts - a) as usize);
+            let mut sim = rng.clone();
+            let mut batch: Vec<McmDesign> = Vec::with_capacity(win);
+            for _ in 0..win {
+                let d = random_design(space, integration, freq_mhz, &mut sim);
+                if spec_pending.insert(d) {
+                    batch.push(d);
+                }
+            }
+            pool::for_each_dynamic(spec_threads, batch.len(), |i| warm(&batch[i]));
+        }
+        let d = random_design(space, integration, freq_mhz, rng);
+        init_attempts_used += 1;
+        if spec_pending.remove(&d) {
+            trace::counter("msa.spec.used", 1.0);
+        }
+        if config.screening
+            && evaluator.screen_infeasible_only(&d, constraints) == ScreenVerdict::ClearlyInfeasible
+        {
+            // The screen is sound in this direction: the full evaluation
+            // would be rejected as infeasible, so only the evaluation
+            // count changes, never the chain.
+            out.visited.push(d);
+            continue;
+        }
+        let eval = evaluator.evaluate_cached(&d, constraints);
+        out.evaluations += 1;
+        out.visited.push(d);
+        if eval.is_feasible() {
+            let s = score(&eval);
+            out.best = Some((s, (*eval).clone()));
+            current = Some((d, s));
+            break;
+        }
+    }
+    trace::event("msa.init", || {
+        vec![
+            ("delta", Json::F64(delta)),
+            ("attempts", Json::U64(u64::from(init_attempts_used))),
+            ("feasible", Json::Bool(current.is_some())),
+            ("init_cost", current.map_or(Json::Null, |(_, s)| Json::F64(s))),
+        ]
+    });
+    current
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_start<S>(
     evaluator: &Evaluator,
@@ -158,6 +399,9 @@ fn run_start<S>(
     config: &MsaConfig,
     delta: f64,
     seed: u64,
+    resume: Option<StartState>,
+    ckpt: Option<&CheckpointSink>,
+    idx: usize,
 ) -> StartOutcome
 where
     S: Fn(&McmEvaluation) -> f64 + Sync,
@@ -199,63 +443,80 @@ where
         }
     };
 
-    // Initialization: draw random designs until one is feasible.
-    let mut current: Option<(McmDesign, f64)> = None;
-    let mut init_attempts_used = 0u32;
-    for a in 0..config.init_attempts {
-        if spec > 0 && (a as usize).is_multiple_of(spec) {
-            flush_spec(&mut spec_pending);
-            // The draw sequence is exactly predictable (each attempt
-            // consumes three RNG draws), so simulate it on a clone.
-            let win = spec.min((config.init_attempts - a) as usize);
-            let mut sim = rng.clone();
-            let mut batch: Vec<McmDesign> = Vec::with_capacity(win);
-            for _ in 0..win {
-                let d = random_design(space, integration, freq_mhz, &mut sim);
-                if spec_pending.insert(d) {
-                    batch.push(d);
+    // Resume path: a `Done` snapshot short-circuits the whole start, a
+    // `Running` snapshot restores the chain mid-schedule (RNG stream,
+    // temperature, current/best, counters), anything else runs fresh.
+    let mut cur_design;
+    let mut cur_score;
+    let mut t;
+    match resume {
+        Some(StartState::Done(snap)) => {
+            start_span.field("resumed", Json::str("done"));
+            start_span.field("feasible", Json::Bool(snap.current.is_some()));
+            restore_outcome(&mut out, snap, evaluator, constraints);
+            return out;
+        }
+        Some(StartState::Running(mut snap)) => {
+            rng = Rng::from_state(snap.rng);
+            t = snap.t;
+            let (d, s) = snap
+                .current
+                .take()
+                .expect("validated at load: a running snapshot has a current design");
+            cur_design = d;
+            cur_score = s;
+            restore_outcome(&mut out, snap, evaluator, constraints);
+            start_span.field("resumed", Json::str("running"));
+            trace::event("msa.resume", || {
+                vec![
+                    ("delta", Json::F64(delta)),
+                    ("t", Json::F64(t)),
+                    ("evaluations", Json::U64(out.evaluations as u64)),
+                ]
+            });
+        }
+        Some(StartState::Pending) | None => {
+            let Some((d, s)) = init_start(
+                evaluator,
+                space,
+                integration,
+                freq_mhz,
+                constraints,
+                score,
+                config,
+                delta,
+                &mut rng,
+                &mut out,
+                spec,
+                spec_threads,
+                &mut spec_pending,
+                &warm,
+                &flush_spec,
+            ) else {
+                // Initialization exhausted its attempts without a feasible
+                // design; snapshot that as Done so a resume skips it.
+                if let Some(sink) = ckpt {
+                    sink.record(
+                        idx,
+                        StartState::Done(StartSnapshot {
+                            rng: rng.state(),
+                            t: config.t_init,
+                            current: None,
+                            best: None,
+                            evaluations: out.evaluations as u64,
+                            accepted: 0,
+                            visited: out.visited.clone(),
+                        }),
+                    );
                 }
-            }
-            pool::for_each_dynamic(spec_threads, batch.len(), |i| warm(&batch[i]));
-        }
-        let d = random_design(space, integration, freq_mhz, &mut rng);
-        init_attempts_used += 1;
-        if spec_pending.remove(&d) {
-            trace::counter("msa.spec.used", 1.0);
-        }
-        if config.screening
-            && evaluator.screen_infeasible_only(&d, constraints) == ScreenVerdict::ClearlyInfeasible
-        {
-            // The screen is sound in this direction: the full evaluation
-            // would be rejected as infeasible, so only the evaluation
-            // count changes, never the chain.
-            out.visited.push(d);
-            continue;
-        }
-        let eval = evaluator.evaluate_cached(&d, constraints);
-        out.evaluations += 1;
-        out.visited.push(d);
-        if eval.is_feasible() {
-            let s = score(&eval);
-            out.best = Some((s, (*eval).clone()));
-            current = Some((d, s));
-            break;
+                start_span.field("feasible", Json::Bool(false));
+                return out;
+            };
+            cur_design = d;
+            cur_score = s;
+            t = config.t_init;
         }
     }
-    trace::event("msa.init", || {
-        vec![
-            ("delta", Json::F64(delta)),
-            ("attempts", Json::U64(u64::from(init_attempts_used))),
-            ("feasible", Json::Bool(current.is_some())),
-            ("init_cost", current.map_or(Json::Null, |(_, s)| Json::F64(s))),
-        ]
-    });
-    let Some((mut cur_design, mut cur_score)) = current else {
-        start_span.field("feasible", Json::Bool(false));
-        return out;
-    };
-
-    let mut t = config.t_init;
     while t > config.t_final {
         // Per-temperature-step tallies: aggregate (rather than per-move)
         // events keep the trace size proportional to the schedule length.
@@ -335,6 +596,26 @@ where
             ]
         });
         t *= delta;
+        if let Some(sink) = ckpt {
+            // Snapshot at the temperature-step boundary: the RNG stream is
+            // exactly here, so a resume replays the remaining steps
+            // bit-identically. The final step's snapshot is `Done`.
+            let snap = StartSnapshot {
+                rng: rng.state(),
+                t,
+                current: Some((cur_design, cur_score)),
+                best: out.best.as_ref().map(|(s, e)| (*s, e.design)),
+                evaluations: out.evaluations as u64,
+                accepted: out.accepted as u64,
+                visited: out.visited.clone(),
+            };
+            let slot = if t > config.t_final {
+                StartState::Running(snap)
+            } else {
+                StartState::Done(snap)
+            };
+            sink.record(idx, slot);
+        }
     }
     flush_spec(&mut spec_pending);
     if trace::enabled() {
@@ -367,7 +648,25 @@ pub fn optimize_with<S>(
 where
     S: Fn(&McmEvaluation) -> f64 + Sync,
 {
-    let score = &score;
+    let slots = vec![None; config.deltas.len()];
+    optimize_inner(evaluator, space, integration, freq_mhz, constraints, &score, config, None, slots)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn optimize_inner<S>(
+    evaluator: &Evaluator,
+    space: &DesignSpace,
+    integration: Integration,
+    freq_mhz: u32,
+    constraints: &Constraints,
+    score: &S,
+    config: &MsaConfig,
+    sink: Option<&CheckpointSink>,
+    mut resume_slots: Vec<Option<StartState>>,
+) -> AnnealOutcome
+where
+    S: Fn(&McmEvaluation) -> f64 + Sync,
+{
     let mut opt_span = trace::span("msa.optimize");
     opt_span.field("starts", Json::U64(config.deltas.len() as u64));
     let starts: Vec<StartOutcome> = std::thread::scope(|scope| {
@@ -376,6 +675,7 @@ where
             .iter()
             .enumerate()
             .map(|(i, &delta)| {
+                let resume = resume_slots.get_mut(i).and_then(Option::take);
                 scope.spawn(move || {
                     run_start(
                         evaluator,
@@ -387,6 +687,9 @@ where
                         config,
                         delta,
                         config.seed.wrapping_add(i as u64),
+                        resume,
+                        sink,
+                        i,
                     )
                 })
             })
@@ -419,6 +722,7 @@ where
         evaluations,
         unique_designs: visited.len(),
         accepted_moves: accepted,
+        checkpoint_write_failures: sink.map_or(0, CheckpointSink::failures),
     }
 }
 
@@ -441,6 +745,99 @@ pub fn optimize(
         |e| e.objective(objective),
         config,
     )
+}
+
+/// [`optimize`] with crash-safe checkpointing and resume.
+///
+/// With a [`CheckpointPolicy`], campaign state is persisted atomically at
+/// temperature-step boundaries (see [`crate::checkpoint`]); with
+/// `resume_from`, a previously written checkpoint restores every start's
+/// RNG stream, schedule position and counters, and the campaign replays to
+/// a **bit-identical** final outcome — same best design and evaluation,
+/// same evaluation/acceptance counts — as the uninterrupted run. A missing
+/// `resume_from` file starts fresh, so kill/resume loops can pass it
+/// unconditionally. Checkpoints carry a campaign fingerprint; resuming
+/// under a different config, space, constraints, objective or evaluator
+/// setup is rejected rather than silently mixing trajectories.
+///
+/// # Errors
+///
+/// [`CheckpointError`] when the resume file exists but is corrupt,
+/// version-incompatible, or from a different campaign. Checkpoint *write*
+/// failures do not abort the run; they are counted in
+/// [`AnnealOutcome::checkpoint_write_failures`].
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_checkpointed(
+    evaluator: &Evaluator,
+    space: &DesignSpace,
+    integration: Integration,
+    freq_mhz: u32,
+    constraints: &Constraints,
+    objective: &Objective,
+    config: &MsaConfig,
+    policy: Option<&CheckpointPolicy>,
+    resume_from: Option<&Path>,
+) -> Result<AnnealOutcome, CheckpointError> {
+    let fingerprint = campaign_fingerprint(
+        evaluator,
+        space,
+        integration,
+        freq_mhz,
+        constraints,
+        objective,
+        config,
+    );
+    let resume_state = match resume_from {
+        Some(p) if p.exists() => {
+            let st = CampaignState::load(p)?;
+            if st.fingerprint != fingerprint {
+                return Err(CheckpointError::ConfigMismatch {
+                    expected: fingerprint,
+                    found: st.fingerprint,
+                });
+            }
+            if st.starts.len() != config.deltas.len() {
+                return Err(CheckpointError::Malformed(format!(
+                    "checkpoint has {} starts, campaign has {}",
+                    st.starts.len(),
+                    config.deltas.len()
+                )));
+            }
+            if st
+                .starts
+                .iter()
+                .any(|s| matches!(s, StartState::Running(snap) if snap.current.is_none()))
+            {
+                return Err(CheckpointError::Malformed(
+                    "running start without a current design".into(),
+                ));
+            }
+            Some(st)
+        }
+        _ => None,
+    };
+    let slots: Vec<Option<StartState>> = match &resume_state {
+        Some(st) => st.starts.iter().cloned().map(Some).collect(),
+        None => vec![None; config.deltas.len()],
+    };
+    let sink = policy.map(|p| {
+        let state = resume_state.unwrap_or_else(|| CampaignState {
+            fingerprint,
+            starts: vec![StartState::Pending; config.deltas.len()],
+        });
+        CheckpointSink::new(p, state)
+    });
+    Ok(optimize_inner(
+        evaluator,
+        space,
+        integration,
+        freq_mhz,
+        constraints,
+        &|e: &McmEvaluation| e.objective(objective),
+        config,
+        sink.as_ref(),
+        slots,
+    ))
 }
 
 #[cfg(test)]
@@ -584,6 +981,168 @@ mod tests {
             fast.evaluations,
             base.evaluations
         );
+    }
+
+    fn temp_ckpt_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tesa-anneal-{tag}-{}.ckpt", std::process::id()))
+    }
+
+    fn assert_same_outcome(a: &AnnealOutcome, b: &AnnealOutcome) {
+        assert_eq!(a.best.as_ref().map(|e| e.design), b.best.as_ref().map(|e| e.design));
+        if let (Some(x), Some(y)) = (&a.best, &b.best) {
+            assert_eq!(x.peak_temp_c, y.peak_temp_c, "reported fields stay bit-exact");
+            assert_eq!(x.mcm_cost_usd, y.mcm_cost_usd);
+            assert_eq!(x.dram_power_w, y.dram_power_w);
+        }
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.accepted_moves, b.accepted_moves);
+        assert_eq!(a.unique_designs, b.unique_designs);
+    }
+
+    #[test]
+    fn checkpointing_and_resume_reproduce_the_uninterrupted_run() {
+        let constraints = Constraints::edge_device(15.0, 85.0);
+        let objective = crate::objective::Objective::balanced();
+        let run = |policy: Option<&CheckpointPolicy>, resume: Option<&std::path::Path>| {
+            let evaluator = Evaluator::new(
+                arvr_suite(),
+                EvalOptions { grid_cells: 32, ..Default::default() },
+            );
+            optimize_checkpointed(
+                &evaluator,
+                &small_space(),
+                Integration::TwoD,
+                400,
+                &constraints,
+                &objective,
+                &config(),
+                policy,
+                resume,
+            )
+            .expect("checkpoint path is healthy in this test")
+        };
+        let reference = run(None, None);
+
+        let path = temp_ckpt_path("full");
+        let _ = std::fs::remove_file(&path);
+        let policy = CheckpointPolicy { path: path.clone(), every: 1 };
+        let checkpointed = run(Some(&policy), None);
+        assert_same_outcome(&reference, &checkpointed);
+        assert_eq!(checkpointed.checkpoint_write_failures, 0);
+
+        // The final checkpoint marks every start Done; resuming from it
+        // restores the outcome without re-running any schedule.
+        let state = CampaignState::load(&path).expect("final checkpoint loads");
+        assert!(state.starts.iter().all(|s| matches!(s, StartState::Done(_))));
+        let resumed = run(None, Some(&path));
+        assert_same_outcome(&reference, &resumed);
+
+        // A missing resume file starts fresh rather than erroring, so
+        // kill/resume loops can pass --resume unconditionally.
+        let _ = std::fs::remove_file(&path);
+        let fresh = run(None, Some(&path));
+        assert_same_outcome(&reference, &fresh);
+    }
+
+    #[test]
+    fn resume_from_a_mid_run_checkpoint_replays_bit_identically() {
+        let _l = crate::checkpoint::FAULT_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let constraints = Constraints::edge_device(15.0, 85.0);
+        let objective = crate::objective::Objective::balanced();
+        let run = |policy: Option<&CheckpointPolicy>, resume: Option<&std::path::Path>| {
+            let evaluator = Evaluator::new(
+                arvr_suite(),
+                EvalOptions { grid_cells: 32, ..Default::default() },
+            );
+            optimize_checkpointed(
+                &evaluator,
+                &small_space(),
+                Integration::TwoD,
+                400,
+                &constraints,
+                &objective,
+                &config(),
+                policy,
+                resume,
+            )
+            .expect("checkpoint path is healthy in this test")
+        };
+        let reference = run(None, None);
+
+        // Freeze the checkpoint file partway: the first two writes land,
+        // every later one (including the final Done states) is injected to
+        // fail, so the file keeps a genuine mid-run snapshot while the
+        // in-process run completes normally.
+        let path = temp_ckpt_path("midrun");
+        let _ = std::fs::remove_file(&path);
+        let policy = CheckpointPolicy { path: path.clone(), every: 1 };
+        let interrupted = {
+            let plan = tesa_util::faultpoint::FaultPlan::new()
+                .site("ckpt.write", tesa_util::faultpoint::Trigger::From(3));
+            let _scope = faultpoint::activate(&plan);
+            run(Some(&policy), None)
+        };
+        assert_same_outcome(&reference, &interrupted);
+        assert!(
+            interrupted.checkpoint_write_failures > 0,
+            "the injected write faults are counted, not fatal"
+        );
+        let state = CampaignState::load(&path).expect("the frozen mid-run checkpoint loads");
+        assert!(
+            state.starts.iter().any(|s| !matches!(s, StartState::Done(_))),
+            "the frozen state is genuinely mid-run: {state:?}"
+        );
+
+        // Resuming from the mid-run snapshot replays the remaining schedule
+        // to the same final outcome, bit for bit.
+        let resumed = run(None, Some(&path));
+        assert_same_outcome(&reference, &resumed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_checkpoint_from_a_different_campaign() {
+        let constraints = Constraints::edge_device(15.0, 85.0);
+        let objective = crate::objective::Objective::balanced();
+        let path = temp_ckpt_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let evaluator = Evaluator::new(
+            arvr_suite(),
+            EvalOptions { grid_cells: 32, ..Default::default() },
+        );
+        let policy = CheckpointPolicy { path: path.clone(), every: 1 };
+        optimize_checkpointed(
+            &evaluator,
+            &small_space(),
+            Integration::TwoD,
+            400,
+            &constraints,
+            &objective,
+            &config(),
+            Some(&policy),
+            None,
+        )
+        .expect("writing the checkpoint succeeds");
+        // Same file, different campaign seed: the fingerprint must not match.
+        let err = optimize_checkpointed(
+            &evaluator,
+            &small_space(),
+            Integration::TwoD,
+            400,
+            &constraints,
+            &objective,
+            &MsaConfig { seed: 8, ..config() },
+            None,
+            Some(&path),
+        )
+        .expect_err("a foreign checkpoint is rejected");
+        assert!(
+            matches!(err, CheckpointError::ConfigMismatch { .. }),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub enum Violation {
         /// Requested ICS, µm.
         ics_um: u32,
     },
+    /// The thermal solver failed on every fallback rung, so the design's
+    /// temperature is unknown; it is rejected rather than trusted.
+    SolverFailure,
 }
 
 impl std::fmt::Display for Violation {
@@ -100,6 +103,9 @@ impl std::fmt::Display for Violation {
             }
             Violation::ThermalRunaway => write!(f, "thermal runaway"),
             Violation::Ics { ics_um } => write!(f, "ICS {ics_um} um exceeds the maximum"),
+            Violation::SolverFailure => {
+                write!(f, "thermal solver failed: peak temperature unknown")
+            }
         }
     }
 }

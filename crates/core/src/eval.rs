@@ -16,9 +16,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use tesa_memsim::{DramPowerModel, DramUsage};
-use tesa_util::{trace, Json};
+use tesa_util::{faultpoint, trace, Json};
 use tesa_scalesim::{ArrayConfig, Dataflow, DnnReport, Simulator};
-use tesa_thermal::{PowerMap, Rect, StackBuilder, Surrogate, ThermalModel};
+use tesa_thermal::{PowerMap, Rect, SolveError, SolveQuality, StackBuilder, Surrogate, ThermalModel};
 use tesa_workloads::MultiDnnWorkload;
 
 /// Temperature above which the leakage–temperature iteration is declared a
@@ -120,10 +120,16 @@ pub struct McmEvaluation {
     /// Achieved frame rate, Hz.
     pub achieved_fps: f64,
     /// Peak junction temperature across all schedule phases, °C
-    /// (ambient when the thermal solver is disabled).
+    /// (ambient when the thermal solver is disabled, NaN when the solver
+    /// failed on every fallback rung — see [`Violation::SolverFailure`]).
     pub peak_temp_c: f64,
     /// Whether the leakage–temperature iteration diverged.
     pub thermal_runaway: bool,
+    /// Whether any thermal solve fell back to the degraded (cold-start
+    /// Jacobi) ladder rung after the primary solve failed to converge. The
+    /// reported temperatures still meet the solver tolerance; the flag
+    /// marks the result as obtained under degraded solver conditions.
+    pub degraded: bool,
     /// Worst-phase chiplet power (dynamic + leakage per options), watts.
     pub chip_power_w: f64,
     /// Average DRAM power over the frame window, watts.
@@ -180,6 +186,24 @@ pub enum ScreenVerdict {
     ClearlyFeasible,
     /// The screen cannot decide; run [`Evaluator::evaluate_cached`].
     Ambiguous,
+}
+
+/// Result of the per-phase steady-state thermal analysis with leakage
+/// co-iteration (`Evaluator::thermal_analysis_full`).
+struct ThermalAnalysis {
+    /// Peak junction temperature, °C (NaN when `solver_failed`).
+    peak_c: f64,
+    /// The leakage–temperature iteration diverged.
+    runaway: bool,
+    /// Worst-phase chiplet power, watts.
+    worst_power_w: f64,
+    /// Converged field of the hottest phase.
+    hottest_field: Option<tesa_thermal::ThermalField>,
+    /// At least one solve completed on the degraded (cold-start Jacobi)
+    /// fallback rung.
+    degraded: bool,
+    /// A solve failed on every rung; `peak_c` is meaningless.
+    solver_failed: bool,
 }
 
 /// Grid-layer indices of the (array, SRAM) device tiers in the stack
@@ -742,6 +766,7 @@ impl Evaluator {
                 achieved_fps: 0.0,
                 peak_temp_c: f64::INFINITY,
                 thermal_runaway: false,
+                degraded: false,
                 chip_power_w: f64::INFINITY,
                 dram_power_w: f64::INFINITY,
                 total_power_w: f64::INFINITY,
@@ -837,6 +862,7 @@ impl Evaluator {
                     achieved_fps,
                     peak_temp_c: f64::NAN,
                     thermal_runaway: false,
+                    degraded: false,
                     chip_power_w: dyn_worst_phase_w,
                     dram_power_w,
                     total_power_w: dyn_worst_phase_w + dram_power_w,
@@ -848,10 +874,13 @@ impl Evaluator {
         }
 
         // 5. Thermal per phase with leakage co-iteration.
+        let mut degraded = false;
+        let mut solver_failed = false;
         let (peak_temp_c, thermal_runaway, chip_power_w) = if self.opts.thermal_enabled {
-            let (peak, runaway, power, _) =
-                self.thermal_analysis_full(design, &geometry, &layout, &sched, &dnn_power);
-            (peak, runaway, power)
+            let ta = self.thermal_analysis_full(design, &geometry, &layout, &sched, &dnn_power);
+            degraded = ta.degraded;
+            solver_failed = ta.solver_failed;
+            (ta.peak_c, ta.runaway, ta.worst_power_w)
         } else {
             // Temperature-unaware: worst-phase dynamic power only, plus
             // (optionally) reference-temperature leakage.
@@ -867,7 +896,11 @@ impl Evaluator {
             (tech.ambient_c, false, worst)
         };
 
-        if thermal_runaway {
+        if solver_failed {
+            // No trustworthy temperature: reject the design instead of
+            // accepting it on an unknown thermal profile.
+            violations.push(Violation::SolverFailure);
+        } else if thermal_runaway {
             violations.push(Violation::ThermalRunaway);
         } else if self.opts.thermal_enabled && peak_temp_c > constraints.temp_budget_c {
             violations.push(Violation::Thermal { peak_c: peak_temp_c });
@@ -902,6 +935,7 @@ impl Evaluator {
             achieved_fps,
             peak_temp_c,
             thermal_runaway,
+            degraded,
             chip_power_w,
             dram_power_w,
             total_power_w,
@@ -913,8 +947,7 @@ impl Evaluator {
     }
 
     /// Steady-state analysis of every schedule phase with
-    /// leakage–temperature co-iteration. Returns
-    /// `(peak temperature, runaway, worst-phase chip power, hottest field)`.
+    /// leakage–temperature co-iteration.
     fn thermal_analysis_full(
         &self,
         design: &McmDesign,
@@ -922,7 +955,7 @@ impl Evaluator {
         layout: &McmLayout,
         sched: &Schedule,
         dnn_power: &[DynamicPower],
-    ) -> (f64, bool, f64, Option<tesa_thermal::ThermalField>) {
+    ) -> ThermalAnalysis {
         let chiplet = design.chiplet;
         let tech = &self.opts.tech;
         let mut thermal_span = trace::span("eval.thermal");
@@ -936,6 +969,7 @@ impl Evaluator {
         let mut worst_power = 0.0f64;
         let mut guess: Option<Vec<f64>> = None;
         let mut hottest_field: Option<tesa_thermal::ThermalField> = None;
+        let mut degraded = false;
         let mut pmap = model.zero_power();
 
         for phase in sched.phases() {
@@ -964,9 +998,39 @@ impl Evaluator {
                     array_tier,
                     sram_tier,
                 );
-                let field = match &guess {
-                    Some(g) => model.solve_with_guess(&pmap, g),
-                    None => model.solve(&pmap),
+                // Recoverable solve: the thermal crate degrades through its
+                // preconditioner ladder (multigrid -> cold-start Jacobi)
+                // before reporting failure; the `eval.thermal.fail` site
+                // forces the total-failure path for robustness tests.
+                let solved = if faultpoint::fire("eval.thermal.fail") {
+                    Err(SolveError { residual: f64::INFINITY })
+                } else {
+                    model.solve_recoverable(&pmap, guess.as_deref())
+                };
+                let field = match solved {
+                    Ok((field, SolveQuality::Full)) => field,
+                    Ok((field, SolveQuality::DegradedJacobi)) => {
+                        degraded = true;
+                        field
+                    }
+                    Err(err) => {
+                        // Every rung failed: no trustworthy temperature for
+                        // this design. Report the failure instead of
+                        // panicking (or trusting a diverged field).
+                        trace::counter("eval.thermal.solver_failed", 1.0);
+                        trace::event("eval.thermal.error", || {
+                            vec![("residual", Json::F64(err.residual))]
+                        });
+                        thermal_span.field("solver_failed", Json::Bool(true));
+                        return ThermalAnalysis {
+                            peak_c: f64::NAN,
+                            runaway: false,
+                            worst_power_w: worst_power.max(phase_power),
+                            hottest_field: None,
+                            degraded,
+                            solver_failed: true,
+                        };
+                    }
                 };
                 let mut max_delta = 0.0f64;
                 for (c, range) in ranges.iter().enumerate() {
@@ -1004,7 +1068,14 @@ impl Evaluator {
             });
             if runaway {
                 thermal_span.field("runaway", Json::Bool(true));
-                return (RUNAWAY_TEMP_C, true, phase_power.max(worst_power), last_field);
+                return ThermalAnalysis {
+                    peak_c: RUNAWAY_TEMP_C,
+                    runaway: true,
+                    worst_power_w: phase_power.max(worst_power),
+                    hottest_field: last_field,
+                    degraded,
+                    solver_failed: false,
+                };
             }
             if let Some(field) = last_field {
                 // Peak junction temperature: hottest cell in the device
@@ -1022,7 +1093,14 @@ impl Evaluator {
             thermal_span.field("peak_c", Json::F64(peak));
             thermal_span.field("worst_power_w", Json::F64(worst_power));
         }
-        (peak, false, worst_power, hottest_field)
+        ThermalAnalysis {
+            peak_c: peak,
+            runaway: false,
+            worst_power_w: worst_power,
+            hottest_field,
+            degraded,
+            solver_failed: false,
+        }
     }
 
     /// The converged temperature field of the hottest schedule phase of
@@ -1062,9 +1140,7 @@ impl Evaluator {
                 schedule_naive(layout.mesh.count() as usize, &dnn_cycles, &dnn_power_total)
             }
         };
-        let (_, _, _, field) =
-            self.thermal_analysis_full(design, &geometry, &layout, &sched, &dnn_power);
-        field
+        self.thermal_analysis_full(design, &geometry, &layout, &sched, &dnn_power).hottest_field
     }
 
     /// Transient thermal simulation of the actual schedule timeline — an

@@ -64,6 +64,7 @@
 
 pub mod anneal;
 pub mod baselines;
+pub mod checkpoint;
 pub mod constraints;
 pub mod cost;
 pub mod design;

@@ -138,6 +138,7 @@ pub fn evaluation_json(eval: &McmEvaluation) -> Json {
         ("achieved_fps", Json::f64(eval.achieved_fps)),
         ("peak_temp_c", Json::f64(eval.peak_temp_c)),
         ("thermal_runaway", Json::from(eval.thermal_runaway)),
+        ("degraded", Json::from(eval.degraded)),
         ("chip_power_w", Json::f64(eval.chip_power_w)),
         ("dram_power_w", Json::f64(eval.dram_power_w)),
         ("dram_channels", Json::u64(eval.dram_channels)),

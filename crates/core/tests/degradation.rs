@@ -1,0 +1,90 @@
+//! Graceful-degradation integration tests: an injected thermal-solver
+//! failure must fall back through the preconditioner ladder (multigrid ->
+//! cold-start Jacobi) and mark the evaluation degraded — and when every
+//! rung is failed, the design is reported with a solver-failure violation
+//! instead of a panic or a bogus temperature.
+
+use std::sync::Mutex;
+use tesa::design::{ChipletConfig, Integration, McmDesign};
+use tesa::eval::{EvalOptions, Evaluator};
+use tesa::{Constraints, Violation};
+use tesa_util::faultpoint::{self, FaultPlan, Trigger};
+use tesa_workloads::arvr_suite;
+
+// The faultpoint registry is process-global; serialize the tests that
+// arm it.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn design() -> McmDesign {
+    McmDesign {
+        chiplet: ChipletConfig {
+            array_dim: 128,
+            sram_kib_per_bank: 512,
+            integration: Integration::TwoD,
+        },
+        ics_um: 500,
+        freq_mhz: 400,
+    }
+}
+
+/// The paper-size 64x64 grid uses the multigrid preconditioner, so the
+/// injected primary-solve divergence exercises the real multigrid ->
+/// Jacobi ladder.
+fn evaluator() -> Evaluator {
+    Evaluator::new(arvr_suite(), EvalOptions::default())
+}
+
+#[test]
+fn injected_cg_divergence_degrades_instead_of_aborting() {
+    let _l = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = Constraints::edge_device(15.0, 85.0);
+    let healthy = evaluator().evaluate(&design(), &c);
+    assert!(!healthy.degraded, "no faults, no degradation");
+
+    let plan = FaultPlan::new().site("thermal.cg.diverge", Trigger::Always);
+    let _scope = faultpoint::activate(&plan);
+    let degraded = evaluator().evaluate(&design(), &c);
+    assert!(degraded.degraded, "the Jacobi fallback rung is flagged");
+    assert!(
+        !degraded.violations.contains(&Violation::SolverFailure),
+        "the fallback converged; this is not a solver failure"
+    );
+    // The fallback solves the same system to the same tolerance; the
+    // physics must agree with the healthy run to solver precision.
+    assert!(
+        (degraded.peak_temp_c - healthy.peak_temp_c).abs() < 1e-4,
+        "degraded peak {} vs healthy {}",
+        degraded.peak_temp_c,
+        healthy.peak_temp_c
+    );
+    assert_eq!(degraded.is_feasible(), healthy.is_feasible());
+}
+
+#[test]
+fn total_solver_failure_is_a_violation_not_a_panic() {
+    let _l = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = Constraints::edge_device(15.0, 85.0);
+    let plan = FaultPlan::new()
+        .site("thermal.cg.diverge", Trigger::Always)
+        .site("thermal.cg.fallback", Trigger::Always);
+    let _scope = faultpoint::activate(&plan);
+    let eval = evaluator().evaluate(&design(), &c);
+    assert!(
+        eval.violations.contains(&Violation::SolverFailure),
+        "got {:?}",
+        eval.violations
+    );
+    assert!(!eval.is_feasible(), "an unknown temperature is never feasible");
+    assert!(eval.peak_temp_c.is_nan(), "no trustworthy temperature to report");
+}
+
+#[test]
+fn eval_level_fault_site_forces_the_failure_path() {
+    let _l = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = Constraints::edge_device(15.0, 85.0);
+    let plan = FaultPlan::new().site("eval.thermal.fail", Trigger::Always);
+    let _scope = faultpoint::activate(&plan);
+    let eval = evaluator().evaluate(&design(), &c);
+    assert!(eval.violations.contains(&Violation::SolverFailure));
+    assert!(eval.peak_temp_c.is_nan());
+}

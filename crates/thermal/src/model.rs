@@ -7,7 +7,7 @@ use crate::solver::{self, CgOutcome, CgScratch};
 use crate::stack::LayerDef;
 
 use std::sync::{Arc, Mutex};
-use tesa_util::{trace, Json};
+use tesa_util::{faultpoint, trace, Json};
 
 /// Node count above which the mat-vec is chunked across threads. The
 /// per-cell arithmetic is identical in every chunking, so results do not
@@ -42,6 +42,39 @@ pub enum Preconditioner {
     /// independent iteration counts.
     Multigrid,
 }
+
+/// How a [`ThermalModel::solve_recoverable`] solve completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveQuality {
+    /// The configured (primary) preconditioner converged.
+    Full,
+    /// The primary attempt failed; the field comes from the cold-start
+    /// Jacobi fallback rung of the degradation ladder. The fallback solves
+    /// the same system to the same tolerance, so the result differs from a
+    /// full solve only in last-digit rounding — but callers should surface
+    /// the flag, since a failing primary solver is worth investigating.
+    DegradedJacobi,
+}
+
+/// Every rung of the [`ThermalModel::solve_recoverable`] degradation
+/// ladder failed to converge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveError {
+    /// Residual 2-norm of the last attempt when it gave up.
+    pub residual: f64,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thermal CG failed to converge on every ladder rung (final residual {:e})",
+            self.residual
+        )
+    }
+}
+
+impl std::error::Error for SolveError {}
 
 /// Pooled per-solve workspaces: CG vectors, multigrid level buffers, and
 /// the right-hand side. Solves pop one (or create it on first use) and
@@ -531,6 +564,25 @@ impl ThermalModel {
     /// other work vectors come from the pooled scratch. `warm` tags the
     /// trace event with whether `x` is a reused previous solution.
     fn steady_solve(&self, power: &PowerMap, x: &mut [f64], warm: bool) {
+        match self.steady_solve_outcome(power, x, warm, false, solver::Tolerance::default()) {
+            CgOutcome::Converged { .. } => {}
+            CgOutcome::MaxIterations { residual } => {
+                panic!("thermal CG failed to converge (residual {residual:e})")
+            }
+        }
+    }
+
+    /// One steady-state CG attempt; the caller decides what a
+    /// non-convergent outcome means. `force_jacobi` bypasses the multigrid
+    /// preconditioner (the fallback rung of the degradation ladder).
+    fn steady_solve_outcome(
+        &self,
+        power: &PowerMap,
+        x: &mut [f64],
+        warm: bool,
+        force_jacobi: bool,
+        tol: solver::Tolerance,
+    ) -> CgOutcome {
         let n = self.nl * self.ny * self.nx;
         assert_eq!(power.watts.len(), n, "power map does not match this model's grid");
         let mut s = self.scratch.take();
@@ -541,8 +593,9 @@ impl ThermalModel {
         for c in 0..self.ny * self.nx {
             s.rhs[top + c] += self.gamb[c] * self.ambient_c;
         }
-        let tol = solver::Tolerance::default();
-        let outcome = match &self.mg {
+        let mg = if force_jacobi { None } else { self.mg.as_ref() };
+        let used_mg = mg.is_some();
+        let outcome = match mg {
             Some(mg) => solver::preconditioned_cg(
                 |v, out| self.apply(v, out),
                 |r, z| mg.vcycle(r, z, &mut s.mg),
@@ -565,17 +618,81 @@ impl ThermalModel {
             let (iters, residual) = outcome.stats(tol.max_iters);
             vec![
                 ("n", Json::U64(n as u64)),
-                ("precond", Json::str(if self.mg.is_some() { "multigrid" } else { "jacobi" })),
+                ("precond", Json::str(if used_mg { "multigrid" } else { "jacobi" })),
                 ("warm", Json::Bool(warm)),
                 ("iters", Json::U64(iters as u64)),
                 ("residual", Json::F64(residual)),
             ]
         });
-        match outcome {
-            CgOutcome::Converged { .. } => {}
-            CgOutcome::MaxIterations { residual } => {
-                panic!("thermal CG failed to converge (residual {residual:e})")
+        outcome
+    }
+
+    /// Solves the steady state through a degradation ladder instead of
+    /// panicking: the configured preconditioner first (warm-started from
+    /// `guess` when given), then — if that fails — one cold-start retry
+    /// with the Jacobi preconditioner, which depends on neither the
+    /// multigrid hierarchy nor the possibly-poisoned guess. Each fallback
+    /// use bumps the `thermal.cg.degraded` trace counter.
+    ///
+    /// Fault-injection sites (see [`tesa_util::faultpoint`]):
+    /// `thermal.cg.diverge` makes the primary attempt fail without solving,
+    /// `thermal.cg.budget` caps the primary attempt at a tiny iteration
+    /// budget, and `thermal.cg.fallback` fails the fallback rung too.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] when both rungs fail to converge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` or `guess` was created for a different grid.
+    pub fn solve_recoverable(
+        &self,
+        power: &PowerMap,
+        guess: Option<&[f64]>,
+    ) -> Result<(ThermalField, SolveQuality), SolveError> {
+        let n = self.nl * self.ny * self.nx;
+        let (mut x, warm) = match guess {
+            Some(g) => {
+                assert_eq!(g.len(), n, "warm-start guess has the wrong length");
+                (g.to_vec(), true)
             }
+            None => (vec![self.ambient_c; n], false),
+        };
+        let primary = if faultpoint::fire("thermal.cg.diverge") {
+            // Injected divergence skips the solve entirely, so the fault
+            // fires regardless of how quickly this grid actually converges.
+            CgOutcome::MaxIterations { residual: f64::INFINITY }
+        } else {
+            let tol = if faultpoint::fire("thermal.cg.budget") {
+                solver::Tolerance { max_iters: 1, ..solver::Tolerance::default() }
+            } else {
+                solver::Tolerance::default()
+            };
+            self.steady_solve_outcome(power, &mut x, warm, false, tol)
+        };
+        let residual = match primary {
+            CgOutcome::Converged { .. } => {
+                let field =
+                    ThermalField { nx: self.nx, ny: self.ny, num_layers: self.nl, temps_c: x };
+                return Ok((field, SolveQuality::Full));
+            }
+            CgOutcome::MaxIterations { residual } => residual,
+        };
+        trace::counter("thermal.cg.degraded", 1.0);
+        let mut x2 = vec![self.ambient_c; n];
+        let fallback = if faultpoint::fire("thermal.cg.fallback") {
+            CgOutcome::MaxIterations { residual }
+        } else {
+            self.steady_solve_outcome(power, &mut x2, false, true, solver::Tolerance::default())
+        };
+        match fallback {
+            CgOutcome::Converged { .. } => {
+                let field =
+                    ThermalField { nx: self.nx, ny: self.ny, num_layers: self.nl, temps_c: x2 };
+                Ok((field, SolveQuality::DegradedJacobi))
+            }
+            CgOutcome::MaxIterations { residual } => Err(SolveError { residual }),
         }
     }
 
@@ -821,5 +938,61 @@ mod tests {
         let a2 = m.transient_step(&p, &start, 1e-3);
         assert_eq!(a1, a2, "dt cache must be keyed on dt");
         assert!(b1.peak_c() > a1.peak_c(), "longer step heats further");
+    }
+
+    // The faultpoint registry is process-global; serialize the tests that
+    // arm it.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Healthy path: `solve_recoverable` is `solve` plus a quality tag —
+    /// same field, bit for bit, full quality.
+    #[test]
+    fn solve_recoverable_matches_solve_when_healthy() {
+        let m = production_model(Preconditioner::Multigrid);
+        let mut p = m.zero_power();
+        p.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 2.0);
+        let plain = m.solve(&p);
+        let (field, quality) = m.solve_recoverable(&p, None).expect("healthy solve");
+        assert_eq!(quality, SolveQuality::Full);
+        assert_eq!(field, plain);
+    }
+
+    /// An injected primary-solve divergence falls back to the cold-start
+    /// Jacobi rung: same physics (within solver tolerance), degraded tag.
+    #[test]
+    fn injected_divergence_degrades_to_jacobi() {
+        let _l = fault_lock();
+        let m = production_model(Preconditioner::Multigrid);
+        let mut p = m.zero_power();
+        p.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 2.0);
+        let healthy = m.solve(&p);
+        let plan = tesa_util::faultpoint::FaultPlan::new()
+            .site("thermal.cg.diverge", tesa_util::faultpoint::Trigger::Always);
+        let _scope = faultpoint::activate(&plan);
+        let (field, quality) = m.solve_recoverable(&p, None).expect("the fallback rung holds");
+        assert_eq!(quality, SolveQuality::DegradedJacobi);
+        for (a, b) in field.as_slice().iter().zip(healthy.as_slice()) {
+            assert!((a - b).abs() < 1e-6, "fallback diverges from healthy: {a} vs {b}");
+        }
+    }
+
+    /// When the fallback rung is failed too, the ladder reports an error
+    /// instead of panicking or returning a diverged field.
+    #[test]
+    fn total_failure_reports_an_error() {
+        let _l = fault_lock();
+        let m = production_model(Preconditioner::Multigrid);
+        let mut p = m.zero_power();
+        p.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 2.0);
+        let plan = tesa_util::faultpoint::FaultPlan::new()
+            .site("thermal.cg.diverge", tesa_util::faultpoint::Trigger::Always)
+            .site("thermal.cg.fallback", tesa_util::faultpoint::Trigger::Always);
+        let _scope = faultpoint::activate(&plan);
+        let err = m.solve_recoverable(&p, None).expect_err("both rungs are failed");
+        assert!(err.to_string().contains("every ladder rung"), "got {err}");
     }
 }

@@ -1,0 +1,49 @@
+//! FNV-1a: a tiny, dependency-free, stable 64-bit hash.
+//!
+//! Used where the workspace needs a hash that is reproducible across
+//! platforms and program runs — checkpoint integrity checksums, per-site
+//! fault-injection seeds — unlike `std::hash`, whose `RandomState` is
+//! seeded per process.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV1A64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV1A64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The FNV-1a 64-bit hash of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use tesa_util::hash::fnv1a64;
+/// assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+/// ```
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = FNV1A64_OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV1A64_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        assert_ne!(fnv1a64(b"checkpoint v1"), fnv1a64(b"checkpoint v2"));
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

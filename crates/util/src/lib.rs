@@ -18,7 +18,13 @@
 //!   counters → JSONL) with near-zero disabled-path overhead, replacing
 //!   `tracing`/`tracing-subscriber` for pipeline introspection;
 //! * [`pool`] — a scoped work-stealing scheduler for index-parallel maps
-//!   with strongly varying per-item cost, replacing `rayon`.
+//!   with strongly varying per-item cost, replacing `rayon`;
+//! * [`faultpoint`] — a deterministic fault-injection registry (named
+//!   sites, seeded trigger schedules, env/CLI activation, one relaxed
+//!   atomic load when off), replacing `fail`/`failpoints`;
+//! * [`hash`] — FNV-1a, a stable 64-bit hash for checksums and per-site
+//!   seeds, where `std::hash`'s per-process randomization would break
+//!   reproducibility.
 //!
 //! Determinism is a design goal throughout: the RNG is seed-for-seed
 //! reproducible across platforms, and `propcheck` replays any failure from
@@ -28,6 +34,8 @@
 #![deny(warnings, missing_docs)]
 
 pub mod bench;
+pub mod faultpoint;
+pub mod hash;
 pub mod json;
 pub mod pool;
 pub mod propcheck;

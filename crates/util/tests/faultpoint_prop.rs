@@ -1,0 +1,140 @@
+//! Property tests for the fault-injection registry: the disabled path is
+//! side-effect free, trigger schedules are deterministic functions of the
+//! plan seed, and scope nesting restores the outer plan exactly.
+//!
+//! The registry is process-global, so the `#[test]` functions here (which
+//! cargo runs on parallel threads) serialize on one lock; the cases inside
+//! each `check()` are already sequential.
+
+use std::sync::Mutex;
+use tesa_util::faultpoint::{self, FaultPlan, Trigger};
+use tesa_util::prop_assert;
+use tesa_util::prop_assert_eq;
+use tesa_util::propcheck::{check, ranged, Config};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn sequence(plan: &FaultPlan, site: &str, hits: u64) -> Vec<bool> {
+    let _scope = faultpoint::activate(plan);
+    (0..hits).map(|_| faultpoint::fire(site)).collect()
+}
+
+#[test]
+fn faultpoint_properties() {
+    let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // 1. Disabled path: firing any site without an active plan has no
+    //    observable effect, regardless of how often it is hit.
+    check(Config::with_cases(32), ranged(1u64..200), |hits| {
+        prop_assert!(!faultpoint::armed());
+        for _ in 0..hits {
+            prop_assert!(!faultpoint::fire("prop.site"));
+        }
+        prop_assert_eq!(faultpoint::hits("prop.site"), 0);
+        prop_assert_eq!(faultpoint::fired("prop.site"), 0);
+        Ok(())
+    });
+
+    // 2. Counting triggers: nth:N fires exactly once (on hit N), every:N
+    //    fires floor(hits / N) times, and both schedules replay exactly.
+    check(
+        Config::with_cases(48),
+        (ranged(1u64..20), ranged(1u64..64)),
+        |(n, hits)| {
+            let nth = FaultPlan::new().site("s", Trigger::Nth(n));
+            let seq = sequence(&nth, "s", hits);
+            prop_assert_eq!(
+                seq.iter().filter(|&&f| f).count() as u64,
+                u64::from(hits >= n),
+                "nth:{} over {} hits",
+                n,
+                hits
+            );
+            if hits >= n {
+                prop_assert!(seq[(n - 1) as usize], "fires on hit {}", n);
+            }
+            let every = FaultPlan::new().site("s", Trigger::Every(n));
+            let seq = sequence(&every, "s", hits);
+            prop_assert_eq!(seq.iter().filter(|&&f| f).count() as u64, hits / n);
+            prop_assert_eq!(sequence(&every, "s", hits), seq, "replay is exact");
+            Ok(())
+        },
+    );
+
+    // 3. Probabilistic triggers: the fire sequence is a pure function of
+    //    (seed, site, p) — two activations agree bit for bit.
+    check(
+        Config::with_cases(32),
+        (ranged(0u64..1000), ranged(0.05f64..0.95)),
+        |(seed, p)| {
+            let plan = FaultPlan::new().with_seed(seed).site("p.site", Trigger::Prob(p));
+            let a = sequence(&plan, "p.site", 128);
+            let b = sequence(&plan, "p.site", 128);
+            prop_assert_eq!(&a, &b, "seed {} p {}", seed, p);
+            let frac = a.iter().filter(|&&f| f).count() as f64 / a.len() as f64;
+            prop_assert!((frac - p).abs() < 0.35, "rate {} far from p {}", frac, p);
+            Ok(())
+        },
+    );
+
+    // 4. Nesting: an inner scope of any depth leaves the outer plan's
+    //    schedule position untouched.
+    check(Config::with_cases(32), (ranged(1u64..8), ranged(1usize..5)), |(pre_hits, depth)| {
+        let outer = FaultPlan::new().site("outer", Trigger::Every(2));
+        let scope = faultpoint::activate(&outer);
+        for _ in 0..pre_hits {
+            faultpoint::fire("outer");
+        }
+        let hits_before = faultpoint::hits("outer");
+        let fired_before = faultpoint::fired("outer");
+        {
+            let mut inner = Vec::new();
+            for _ in 0..depth {
+                inner.push(faultpoint::activate(
+                    &FaultPlan::new().site("inner", Trigger::Always),
+                ));
+                prop_assert!(faultpoint::fire("inner"));
+                prop_assert!(!faultpoint::fire("outer"), "inner plan shadows outer");
+            }
+            // Drop innermost-first, as borrow scopes would.
+            while inner.pop().is_some() {}
+        }
+        prop_assert_eq!(faultpoint::hits("outer"), hits_before);
+        prop_assert_eq!(faultpoint::fired("outer"), fired_before);
+        // The outer schedule continues where it left off.
+        let expected_next = (hits_before + 1).is_multiple_of(2);
+        prop_assert_eq!(faultpoint::fire("outer"), expected_next);
+        drop(scope);
+        prop_assert!(!faultpoint::armed());
+        Ok(())
+    });
+}
+
+#[test]
+fn parse_activate_round_trip_matches_builder_plans() {
+    let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // A plan built through the spec grammar behaves identically to the
+    // same plan built programmatically.
+    check(
+        Config::with_cases(48),
+        (ranged(1u64..10), ranged(0u64..100)),
+        |(n, seed)| {
+            let spec = format!("a=nth:{n};b=every:{n};c=prob:0.5;seed={seed}");
+            let parsed = FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
+            let built = FaultPlan::new()
+                .with_seed(seed)
+                .site("a", Trigger::Nth(n))
+                .site("b", Trigger::Every(n))
+                .site("c", Trigger::Prob(0.5));
+            prop_assert_eq!(&parsed, &built);
+            for site in ["a", "b", "c"] {
+                prop_assert_eq!(
+                    sequence(&parsed, site, 3 * n),
+                    sequence(&built, site, 3 * n),
+                    "site {}",
+                    site
+                );
+            }
+            Ok(())
+        },
+    );
+}

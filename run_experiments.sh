@@ -12,7 +12,11 @@ run() {
   local name="$1"
   local out="${2:-out_${name}.txt}"
   echo "=== $name ==="
-  cargo run --release -p tesa-bench --bin "$name" | tee "$out"
+  # Write to a temp name and rename only on success, so a mid-run failure
+  # (set -o pipefail aborts the script) cannot leave a stale or truncated
+  # artifact that looks like a finished result.
+  cargo run --release -p tesa-bench --bin "$name" | tee "${out}.tmp"
+  mv "${out}.tmp" "$out"
 }
 
 run fig5                                # E4: SC1 max-parallelism baseline
@@ -25,4 +29,6 @@ run savings                             # E7: headline cost/DRAM savings
 run compare_2d3d out_compare.txt        # E8: 2D vs 3D OPS/cost/DRAM
 run ablation                            # extensions: scheduler/leakage/ICS ablations
 
-cargo bench --workspace 2>&1 | tee bench_output.txt   # E9: runtimes
+# E9: runtimes — same temp-name + rename discipline as run() above.
+cargo bench --workspace 2>&1 | tee bench_output.txt.tmp
+mv bench_output.txt.tmp bench_output.txt

@@ -1,0 +1,206 @@
+//! Kill-and-resume matrix for checkpointed DSE campaigns.
+//!
+//! Each scenario runs `tesa optimize` with checkpointing in a subprocess,
+//! crashes it partway — either deterministically (the `ckpt.abort`
+//! faultpoint calls `abort()` right after a checkpoint commits) or by a
+//! timed hard kill — then resumes from the on-disk checkpoint and asserts
+//! the final report is **byte-identical** to an uninterrupted run of the
+//! same campaign.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+
+/// A fast campaign: 2 starts x (5 + 4) temperature steps, 2 moves each,
+/// coarse thermal grid. Small enough that the whole matrix runs in test
+/// time, long enough that aborts land genuinely mid-campaign.
+const CAMPAIGN: &[&str] = &[
+    "optimize",
+    "--deltas",
+    "0.7,0.6",
+    "--t-init",
+    "4",
+    "--t-final",
+    "0.8",
+    "--moves-per-temp",
+    "2",
+    "--init-attempts",
+    "20",
+    "--grid-cells",
+    "32",
+    "--fps",
+    "15",
+    "--temp-c",
+    "85",
+    "--format",
+    "json",
+];
+
+/// Locates the `tesa` CLI binary next to the test executable
+/// (`target/<profile>/tesa`), building it if this test runs on its own.
+/// `TESA_BIN` overrides the discovery for packaged environments.
+fn tesa_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("TESA_BIN") {
+        return PathBuf::from(p);
+    }
+    let exe = std::env::current_exe().expect("test executable path");
+    let profile_dir = exe
+        .parent()
+        .and_then(Path::parent)
+        .expect("target profile directory");
+    let bin = profile_dir.join(format!("tesa{}", std::env::consts::EXE_SUFFIX));
+    if bin.exists() {
+        return bin;
+    }
+    let mut args = vec!["build", "-p", "tesa-cli", "--offline"];
+    if profile_dir.file_name().is_some_and(|n| n == "release") {
+        args.push("--release");
+    }
+    let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .args(&args)
+        .status()
+        .expect("cargo build -p tesa-cli");
+    assert!(status.success(), "building the tesa CLI failed");
+    assert!(bin.exists(), "built CLI not found at {}", bin.display());
+    bin
+}
+
+/// Runs one `tesa optimize` invocation. `TESA_FAULTPOINTS` is always
+/// scrubbed from the child environment so only the explicit
+/// `--faultpoints` flag injects faults.
+fn run_tesa(bin: &Path, seed: u64, extra: &[&str]) -> Output {
+    Command::new(bin)
+        .args(CAMPAIGN)
+        .args(["--seed", &seed.to_string()])
+        .args(extra)
+        .env_remove("TESA_FAULTPOINTS")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawning tesa")
+}
+
+fn reference_report(bin: &Path, seed: u64) -> Vec<u8> {
+    let out = run_tesa(bin, seed, &[]);
+    assert!(
+        out.status.success(),
+        "reference run (seed {seed}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!out.stdout.is_empty(), "reference run produced no report");
+    out.stdout
+}
+
+fn ckpt_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tesa-crash-{tag}-{}.ckpt", std::process::id()))
+}
+
+fn resume_and_check(bin: &Path, seed: u64, path: &Path, reference: &[u8], scenario: &str) {
+    let resumed = run_tesa(bin, seed, &["--resume", &path.display().to_string()]);
+    assert!(
+        resumed.status.success(),
+        "[{scenario}] resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        resumed.stdout,
+        reference,
+        "[{scenario}] resumed report differs from the uninterrupted run:\n--- resumed\n{}\n--- reference\n{}",
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(reference)
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+/// Scenarios 1-6: deterministic crash points. `ckpt.abort=nth:K` makes the
+/// optimizer abort the process immediately after the K-th successful
+/// checkpoint commit, so each K freezes the campaign at a different
+/// schedule position across three seeds.
+#[test]
+fn forced_aborts_resume_to_identical_reports() {
+    let bin = tesa_bin();
+    for seed in [11u64, 12, 13] {
+        let reference = reference_report(&bin, seed);
+        for abort_at in [1u64, 3] {
+            let scenario = format!("seed {seed}, abort after commit {abort_at}");
+            let path = ckpt_path(&format!("abort-{seed}-{abort_at}"));
+            let _ = std::fs::remove_file(&path);
+            let crashed = run_tesa(
+                &bin,
+                seed,
+                &[
+                    "--checkpoint",
+                    &path.display().to_string(),
+                    "--faultpoints",
+                    &format!("ckpt.abort=nth:{abort_at}"),
+                ],
+            );
+            assert!(
+                !crashed.status.success(),
+                "[{scenario}] the injected abort must crash the run"
+            );
+            assert!(
+                path.exists(),
+                "[{scenario}] ckpt.abort fires only after a successful commit"
+            );
+            resume_and_check(&bin, seed, &path, &reference, &scenario);
+        }
+    }
+}
+
+/// Scenarios 7-8: hard kills at arbitrary wall-clock points. Whatever the
+/// checkpoint captured (possibly nothing — a missing file resumes as a
+/// fresh run), the resumed campaign must reproduce the reference bytes.
+#[test]
+fn timed_kills_resume_to_identical_reports() {
+    let bin = tesa_bin();
+    for (seed, delay_ms) in [(21u64, 150u64), (22, 600)] {
+        let scenario = format!("seed {seed}, SIGKILL after {delay_ms} ms");
+        let reference = reference_report(&bin, seed);
+        let path = ckpt_path(&format!("kill-{seed}"));
+        let _ = std::fs::remove_file(&path);
+        let mut child = Command::new(&bin)
+            .args(CAMPAIGN)
+            .args(["--seed", &seed.to_string()])
+            .args(["--checkpoint", &path.display().to_string()])
+            .env_remove("TESA_FAULTPOINTS")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawning tesa");
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        let _ = child.kill();
+        let _ = child.wait();
+        resume_and_check(&bin, seed, &path, &reference, &scenario);
+    }
+}
+
+/// Scenario 9: resuming an already-finished campaign replays nothing and
+/// reprints the identical report from the checkpoint's Done states.
+#[test]
+fn resume_after_completion_reprints_the_report() {
+    let bin = tesa_bin();
+    let seed = 31u64;
+    let path = ckpt_path("complete");
+    let _ = std::fs::remove_file(&path);
+    let full = run_tesa(&bin, seed, &["--checkpoint", &path.display().to_string()]);
+    assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+    resume_and_check(&bin, seed, &path, &full.stdout, "resume after completion");
+}
+
+/// Scenario 10: checkpointing itself is invisible — a checkpointed run
+/// reports the same bytes as a plain run of the same campaign.
+#[test]
+fn checkpointing_does_not_change_the_report() {
+    let bin = tesa_bin();
+    let seed = 32u64;
+    let reference = reference_report(&bin, seed);
+    let path = ckpt_path("plain");
+    let _ = std::fs::remove_file(&path);
+    let ckpt = run_tesa(&bin, seed, &["--checkpoint", &path.display().to_string()]);
+    assert!(ckpt.status.success(), "{}", String::from_utf8_lossy(&ckpt.stderr));
+    assert_eq!(
+        ckpt.stdout, reference,
+        "a checkpointed run must report identical bytes"
+    );
+    let _ = std::fs::remove_file(&path);
+}
