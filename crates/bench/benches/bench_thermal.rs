@@ -60,6 +60,27 @@ fn main() {
         runner.bench(&format!("thermal/solve/3d_6layer/{n}"), || m3.solve(&p3));
     }
 
+    // Thread-count variants at the production solve size: `threadsK`
+    // pins the model to K pool lanes (`set_parallel_lanes`) regardless
+    // of `TESA_THREADS`, so one artifact carries its own serial baseline
+    // and scaling curve. ci.sh's speedup gate compares `threads1`
+    // against the default-lanes benchmark above on multi-core runners.
+    for k in [1usize, 2, 4] {
+        let mut m2 = model_2d(64);
+        m2.set_parallel_lanes(k);
+        let mut p2 = m2.zero_power();
+        p2.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 2.0);
+        p2.add_uniform_rect(1, Rect::new(4.4e-3, 4.4e-3, 2.4e-3, 2.4e-3), 2.0);
+        runner.bench(&format!("thermal/solve/2d_4layer/64/threads{k}"), || m2.solve(&p2));
+
+        let mut m3 = model_3d(64);
+        m3.set_parallel_lanes(k);
+        let mut p3 = m3.zero_power();
+        p3.add_uniform_rect(3, Rect::new(0.8e-3, 1.2e-3, 1.8e-3, 1.8e-3), 1.5);
+        p3.add_uniform_rect(1, Rect::new(0.8e-3, 1.2e-3, 1.8e-3, 1.8e-3), 0.5);
+        runner.bench(&format!("thermal/solve/3d_6layer/64/threads{k}"), || m3.solve(&p3));
+    }
+
     let m = model_2d(64);
     let mut p = m.zero_power();
     p.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 2.0);

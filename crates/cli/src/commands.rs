@@ -314,7 +314,8 @@ pub fn cmd_thermal_map(args: &Args) -> Result<String, CliError> {
         Integration::TwoD => 1,
         Integration::ThreeD => 3,
     };
-    let csv = field.to_csv(tier);
+    let exact: bool = args.get_or("exact", false)?;
+    let csv = if exact { field.to_csv_exact(tier) } else { field.to_csv(tier) };
     if let Some(path) = args.get("out") {
         std::fs::write(path, &csv)?;
         Ok(format!("thermal map ({}x{} cells) -> {path}\n", field.nx(), field.ny()))
@@ -467,6 +468,8 @@ COMMON FLAGS:
                       keeps checkpointing to the same file)
     --faultpoints S   deterministic fault injection spec (any command; also
                       via TESA_FAULTPOINTS), e.g. 'ckpt.write=nth:3;seed=1'
+    --exact B         full-precision cells, true|false (thermal-map; the
+                      export byte-compared by the invariance suite) [default: false]
     --dt-ms X         transient step, ms (transient) [default: 1]
     --frames N        frames to simulate (transient) [default: 3]
 

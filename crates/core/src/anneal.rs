@@ -309,6 +309,157 @@ fn restore_outcome(
         .map(|(s, d)| (s, (*evaluator.evaluate_cached(&d, constraints)).clone()));
 }
 
+/// Consecutive surrogate-stage screens that failed to reject, after which
+/// the adaptive gate turns screening off for the rest of the start. Each
+/// such screen spends coarse-grid solves; once that many candidates in a
+/// row survive them, the chain has clearly settled into territory where
+/// the surrogate rejects nothing and only adds latency. (Screens settled
+/// by the cheap exact pipeline are free either way and never counted.)
+const SCREEN_MISS_LIMIT: u32 = 8;
+
+/// Speculative predictions the chain loop must have issued before the
+/// wasted-ratio check may disable speculation — fewer samples would read
+/// startup noise (the first window always mispredicts an accepted move).
+const SPEC_PROBE_MIN: u64 = 16;
+
+/// Minimum fraction of issued predictions the serial replay must consume
+/// for speculation to keep running. Below this the move predictor is
+/// persistently desynchronized (high accept rate, frequent off-space
+/// moves) and the pool work is almost all wasted — traced as
+/// `msa.spec.wasted` — so the chain stops issuing it.
+const SPEC_MIN_USED: f64 = 0.25;
+
+/// Adaptive screening gate for one annealing start.
+///
+/// The pre-screen pays for itself only while its *surrogate thermal
+/// stage* keeps rejecting candidates: a surrogate reject saves the
+/// fine-grid leakage co-iteration, but a reject by the screen's cheap
+/// exact pipeline saves nothing a lazy evaluator would not reject just
+/// as cheaply, and an ambiguous surrogate verdict is coarse solves spent
+/// for nothing. Random initialization draws land in infeasible territory
+/// often; neighborhood moves around a feasible design rarely do. The
+/// gate therefore watches the serial chain's own surrogate-stage
+/// outcomes and shuts screening off for the remainder of the start when
+/// it stops earning — after initialization if no draw was rejected
+/// there, or mid-chain after [`SCREEN_MISS_LIMIT`] consecutive misses.
+///
+/// Two properties make this safe:
+///
+/// * **Trajectory-neutral.** The screen only ever skips full evaluations
+///   of candidates the evaluator would reject as infeasible anyway, so
+///   the accepted chain is identical with screening on, off, or switched
+///   off midway. Only the evaluation count moves.
+/// * **Deterministic.** The counters advance only on the serial chain's
+///   own screens — never on speculative warm-ups, which depend on the
+///   machine's core count — and infeasible-only verdicts are a pure
+///   function of the design. The same seed therefore disables the gate
+///   at the same move on any machine and any `TESA_THREADS`. The gate's
+///   state is checkpointed with each snapshot so a resumed run continues
+///   the count instead of restarting it.
+///
+/// The fields are atomics only because the speculative warm-up closure
+/// (which runs on pool workers) reads `enabled` while the serial chain
+/// owns every update; there are no concurrent writers, so relaxed
+/// ordering suffices throughout.
+struct ScreenGate {
+    enabled: std::sync::atomic::AtomicBool,
+    misses: std::sync::atomic::AtomicU32,
+    /// Serial screens seen during initialization (while `in_init` holds;
+    /// [`ScreenGate::end_init`] consumes these).
+    init_screens: std::sync::atomic::AtomicU32,
+    init_rejects: std::sync::atomic::AtomicU32,
+    in_init: std::sync::atomic::AtomicBool,
+}
+
+impl ScreenGate {
+    fn new(screening: bool) -> Self {
+        Self {
+            enabled: std::sync::atomic::AtomicBool::new(screening),
+            misses: std::sync::atomic::AtomicU32::new(0),
+            init_screens: std::sync::atomic::AtomicU32::new(0),
+            init_rejects: std::sync::atomic::AtomicU32::new(0),
+            in_init: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Restores the gate mid-chain from a checkpoint snapshot.
+    fn resume(screen_on: bool, screen_misses: u32) -> Self {
+        let gate = Self::new(screen_on);
+        gate.misses.store(screen_misses, std::sync::atomic::Ordering::Relaxed);
+        gate.in_init.store(false, std::sync::atomic::Ordering::Relaxed);
+        gate
+    }
+
+    /// Whether speculative warm-ups should bother screening. Readable
+    /// from pool workers; purely advisory for them (a stale read costs
+    /// one redundant screen, never a wrong result).
+    fn active(&self) -> bool {
+        self.enabled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Screens `design` on the serial chain. Returns `true` when the
+    /// candidate is proven infeasible and the caller should skip its full
+    /// evaluation; updates the gate's bookkeeping either way. Only
+    /// surrogate-stage outcomes move the counters — cheap-stage verdicts
+    /// cost (and save) nothing worth tracking.
+    fn rejects(
+        &self,
+        evaluator: &Evaluator,
+        design: &McmDesign,
+        constraints: &Constraints,
+    ) -> bool {
+        use std::sync::atomic::Ordering::Relaxed;
+        if !self.enabled.load(Relaxed) {
+            return false;
+        }
+        let (verdict, surrogate) = evaluator.screen_chain(design, constraints);
+        let rejected = verdict == ScreenVerdict::ClearlyInfeasible;
+        if !surrogate {
+            return rejected;
+        }
+        if self.in_init.load(Relaxed) {
+            self.init_screens.fetch_add(1, Relaxed);
+            self.init_rejects.fetch_add(u32::from(rejected), Relaxed);
+            return rejected;
+        }
+        if rejected {
+            self.misses.store(0, Relaxed);
+        } else {
+            let m = self.misses.load(Relaxed) + 1;
+            self.misses.store(m, Relaxed);
+            if m >= SCREEN_MISS_LIMIT {
+                self.enabled.store(false, Relaxed);
+                trace::counter("msa.screen.disabled", 1.0);
+            }
+        }
+        rejected
+    }
+
+    /// Marks the end of the initialization phase. If the surrogate stage
+    /// ran during init without rejecting a single draw, the space (as
+    /// sampled) has no thermally-infeasible region the surrogate can
+    /// carve off cheaply — and the chain explores an even friendlier
+    /// neighborhood — so turn screening off before it costs anything
+    /// more.
+    fn end_init(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.in_init.store(false, Relaxed);
+        if self.enabled.load(Relaxed)
+            && self.init_screens.load(Relaxed) > 0
+            && self.init_rejects.load(Relaxed) == 0
+        {
+            self.enabled.store(false, Relaxed);
+            trace::counter("msa.screen.disabled", 1.0);
+        }
+    }
+
+    /// `(enabled, misses)` for checkpointing.
+    fn state(&self) -> (bool, u32) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.enabled.load(Relaxed), self.misses.load(Relaxed))
+    }
+}
+
 /// Initialization phase of one start: draws random designs until one is
 /// feasible (or attempts run out), updating `out`'s counters and visited
 /// list. Returns the chain's first `(design, score)`.
@@ -324,6 +475,7 @@ fn init_start<S, W, F>(
     delta: f64,
     rng: &mut Rng,
     out: &mut StartOutcome,
+    gate: &ScreenGate,
     spec: usize,
     spec_threads: usize,
     spec_pending: &mut std::collections::HashSet<McmDesign>,
@@ -333,7 +485,7 @@ fn init_start<S, W, F>(
 where
     S: Fn(&McmEvaluation) -> f64 + Sync,
     W: Fn(&McmDesign) + Sync,
-    F: Fn(&mut std::collections::HashSet<McmDesign>),
+    F: Fn(&mut std::collections::HashSet<McmDesign>) -> usize,
 {
     let mut current: Option<(McmDesign, f64)> = None;
     let mut init_attempts_used = 0u32;
@@ -351,16 +503,23 @@ where
                     batch.push(d);
                 }
             }
-            pool::for_each_dynamic(spec_threads, batch.len(), |i| warm(&batch[i]));
+            if batch.len() >= 2 {
+                pool::for_each_dynamic(spec_threads, batch.len(), |i| warm(&batch[i]));
+            } else {
+                // A batch this small has no parallelism to exploit;
+                // warming it inline would just serialize the replay's
+                // own work with extra dispatch on top.
+                for d in &batch {
+                    spec_pending.remove(d);
+                }
+            }
         }
         let d = random_design(space, integration, freq_mhz, rng);
         init_attempts_used += 1;
         if spec_pending.remove(&d) {
             trace::counter("msa.spec.used", 1.0);
         }
-        if config.screening
-            && evaluator.screen_infeasible_only(&d, constraints) == ScreenVerdict::ClearlyInfeasible
-        {
+        if gate.rejects(evaluator, &d, constraints) {
             // The screen is sound in this direction: the full evaluation
             // would be rejected as infeasible, so only the evaluation
             // count changes, never the chain.
@@ -413,42 +572,27 @@ where
     start_span.field("seed", Json::U64(seed));
 
     // Worker threads for speculative pre-evaluation: the parallel starts
-    // share the machine, so each start gets an equal slice. With no idle
-    // core to hide the mispredicted work on, speculation is pure overhead
-    // (every wasted pre-evaluation runs serially, in line), so it
-    // disables itself and the chain falls back to the plain serial loop —
-    // the trajectory is identical either way.
-    let spec_threads = std::thread::available_parallelism()
-        .map_or(1, |n| (n.get() / config.deltas.len().max(1)).max(1));
-    let spec = if spec_threads > 1 { config.speculation } else { 0 };
-    // Designs pre-evaluated speculatively but not yet replayed serially.
-    let mut spec_pending: std::collections::HashSet<McmDesign> = std::collections::HashSet::new();
-    // Warms the caches for one predicted design: cheap screen first (when
-    // enabled), full evaluation only where the serial replay would also
-    // evaluate. Results land in the evaluator's memos; the replay
-    // re-requests them, so the accepted trajectory is bit-identical
-    // whether or not the prediction comes true.
-    let warm = |d: &McmDesign| {
-        if config.screening
-            && evaluator.screen_infeasible_only(d, constraints) == ScreenVerdict::ClearlyInfeasible
-        {
-            return;
-        }
-        let _ = evaluator.evaluate_cached(d, constraints);
-    };
-    let flush_spec = |pending: &mut std::collections::HashSet<McmDesign>| {
-        if !pending.is_empty() {
-            trace::counter("msa.spec.wasted", pending.len() as f64);
-            pending.clear();
-        }
-    };
-
-    // Resume path: a `Done` snapshot short-circuits the whole start, a
-    // `Running` snapshot restores the chain mid-schedule (RNG stream,
-    // temperature, current/best, counters), anything else runs fresh.
-    let mut cur_design;
-    let mut cur_score;
-    let mut t;
+    // share the persistent pool (sized by `TESA_THREADS` or the machine's
+    // core count), so each start gets an equal slice of its lanes. With
+    // no idle lane to hide the mispredicted work on, speculation is pure
+    // overhead (every wasted pre-evaluation runs serially, in line), so
+    // it disables itself and the chain falls back to the plain serial
+    // loop — the trajectory is identical either way.
+    let spec_threads = (pool::global().lanes() / config.deltas.len().max(1)).max(1);
+    let mut spec = if spec_threads > 1 { config.speculation } else { 0 };
+    // Prediction bookkeeping for the wasted-ratio auto-disable: how many
+    // candidates the chain loop warmed speculatively, and how many the
+    // serial replay actually consumed. Both derive purely from the
+    // (deterministic) trajectory and the prediction simulator, so the
+    // disable decision cannot vary run to run.
+    let mut spec_issued: u64 = 0;
+    let mut spec_used: u64 = 0;
+    // Resume path, stage one: a `Done` snapshot short-circuits the whole
+    // start; a `Running` snapshot restores the chain mid-schedule (RNG
+    // stream, temperature, current/best, counters, screening gate);
+    // anything else runs the initialization phase below.
+    let mut gate = ScreenGate::new(config.screening);
+    let mut resumed: Option<(McmDesign, f64, f64)> = None;
     match resume {
         Some(StartState::Done(snap)) => {
             start_span.field("resumed", Json::str("done"));
@@ -458,13 +602,12 @@ where
         }
         Some(StartState::Running(mut snap)) => {
             rng = Rng::from_state(snap.rng);
-            t = snap.t;
+            gate = ScreenGate::resume(snap.screen_on, snap.screen_misses);
+            let t = snap.t;
             let (d, s) = snap
                 .current
                 .take()
                 .expect("validated at load: a running snapshot has a current design");
-            cur_design = d;
-            cur_score = s;
             restore_outcome(&mut out, snap, evaluator, constraints);
             start_span.field("resumed", Json::str("running"));
             trace::event("msa.resume", || {
@@ -474,8 +617,39 @@ where
                     ("evaluations", Json::U64(out.evaluations as u64)),
                 ]
             });
+            resumed = Some((d, s, t));
         }
-        Some(StartState::Pending) | None => {
+        Some(StartState::Pending) | None => {}
+    }
+    // Designs pre-evaluated speculatively but not yet replayed serially.
+    let mut spec_pending: std::collections::HashSet<McmDesign> = std::collections::HashSet::new();
+    // Warms the caches for one predicted design: cheap screen first (when
+    // the gate still allows it), full evaluation only where the serial
+    // replay would also evaluate. Results land in the evaluator's memos;
+    // the replay re-requests them, so the accepted trajectory is
+    // bit-identical whether or not the prediction comes true.
+    let warm = |d: &McmDesign| {
+        if gate.active()
+            && evaluator.screen_infeasible_only(d, constraints) == ScreenVerdict::ClearlyInfeasible
+        {
+            return;
+        }
+        let _ = evaluator.evaluate_cached(d, constraints);
+    };
+    // Drops predictions the replay never consumed, returning how many.
+    let flush_spec = |pending: &mut std::collections::HashSet<McmDesign>| {
+        let wasted = pending.len();
+        if wasted > 0 {
+            trace::counter("msa.spec.wasted", wasted as f64);
+            pending.clear();
+        }
+        wasted
+    };
+
+    // Stage two: a fresh (or still-pending) start runs initialization.
+    let (mut cur_design, mut cur_score, mut t) = match resumed {
+        Some(state) => state,
+        None => {
             let Some((d, s)) = init_start(
                 evaluator,
                 space,
@@ -487,6 +661,7 @@ where
                 delta,
                 &mut rng,
                 &mut out,
+                &gate,
                 spec,
                 spec_threads,
                 &mut spec_pending,
@@ -495,7 +670,9 @@ where
             ) else {
                 // Initialization exhausted its attempts without a feasible
                 // design; snapshot that as Done so a resume skips it.
+                gate.end_init();
                 if let Some(sink) = ckpt {
+                    let (screen_on, screen_misses) = gate.state();
                     sink.record(
                         idx,
                         StartState::Done(StartSnapshot {
@@ -505,6 +682,8 @@ where
                             best: None,
                             evaluations: out.evaluations as u64,
                             accepted: 0,
+                            screen_on,
+                            screen_misses,
                             visited: out.visited.clone(),
                         }),
                     );
@@ -512,11 +691,10 @@ where
                 start_span.field("feasible", Json::Bool(false));
                 return out;
             };
-            cur_design = d;
-            cur_score = s;
-            t = config.t_init;
+            gate.end_init();
+            (d, s, config.t_init)
         }
-    }
+    };
     while t > config.t_final {
         // Per-temperature-step tallies: aggregate (rather than per-move)
         // events keep the trace size proportional to the schedule length.
@@ -524,34 +702,57 @@ where
             (0u32, 0u32, 0u32, 0u32);
         for m in 0..config.moves_per_temp {
             if spec > 0 && (m as usize).is_multiple_of(spec) {
-                flush_spec(&mut spec_pending);
-                // Predict the window's candidates by running the move
-                // generator on a clone of the chain RNG under the
-                // all-rejected assumption. Accepted moves and Metropolis
-                // draws desynchronize the clone; stale predictions are
-                // wasted background work, never wrong results.
-                let win = spec.min((config.moves_per_temp - m) as usize);
-                let mut sim = rng.clone();
-                let mut batch: Vec<McmDesign> = Vec::with_capacity(win);
-                for _ in 0..win {
-                    if let Some(c) = neighbor(&cur_design, space, &mut sim) {
-                        if spec_pending.insert(c) {
-                            batch.push(c);
+                let _ = flush_spec(&mut spec_pending);
+                // Wasted-ratio auto-disable: once enough predictions are
+                // in, a replay that keeps ignoring them means the
+                // predictor is desynchronized for good — stop paying for
+                // it. The counters are trajectory-derived, so the same
+                // seed disables at the same move everywhere.
+                if spec_issued >= SPEC_PROBE_MIN
+                    && (spec_used as f64) < SPEC_MIN_USED * spec_issued as f64
+                {
+                    spec = 0;
+                    trace::counter("msa.spec.disabled", 1.0);
+                } else {
+                    // Predict the window's candidates by running the move
+                    // generator on a clone of the chain RNG under the
+                    // all-rejected assumption. Accepted moves and
+                    // Metropolis draws desynchronize the clone; stale
+                    // predictions are wasted background work, never wrong
+                    // results.
+                    let win = spec.min((config.moves_per_temp - m) as usize);
+                    let mut sim = rng.clone();
+                    let mut batch: Vec<McmDesign> = Vec::with_capacity(win);
+                    for _ in 0..win {
+                        if let Some(c) = neighbor(&cur_design, space, &mut sim) {
+                            if spec_pending.insert(c) {
+                                batch.push(c);
+                            }
+                        }
+                    }
+                    if batch.len() >= 2 {
+                        pool::for_each_dynamic(spec_threads, batch.len(), |i| warm(&batch[i]));
+                        spec_issued += batch.len() as u64;
+                    } else {
+                        // A degenerate window (every prediction fell off
+                        // the space or was already pending) has no
+                        // parallelism to exploit; warming it inline would
+                        // only serialize the replay's own work.
+                        for d in &batch {
+                            spec_pending.remove(d);
                         }
                     }
                 }
-                pool::for_each_dynamic(spec_threads, batch.len(), |i| warm(&batch[i]));
             }
             let Some(candidate) = neighbor(&cur_design, space, &mut rng) else {
                 rej_offspace += 1;
                 continue;
             };
             if spec_pending.remove(&candidate) {
+                spec_used += 1;
                 trace::counter("msa.spec.used", 1.0);
             }
-            if config.screening
-                && evaluator.screen_infeasible_only(&candidate, constraints) == ScreenVerdict::ClearlyInfeasible
-            {
+            if gate.rejects(evaluator, &candidate, constraints) {
                 out.visited.push(candidate);
                 rej_infeasible += 1;
                 continue;
@@ -600,6 +801,7 @@ where
             // Snapshot at the temperature-step boundary: the RNG stream is
             // exactly here, so a resume replays the remaining steps
             // bit-identically. The final step's snapshot is `Done`.
+            let (screen_on, screen_misses) = gate.state();
             let snap = StartSnapshot {
                 rng: rng.state(),
                 t,
@@ -607,6 +809,8 @@ where
                 best: out.best.as_ref().map(|(s, e)| (*s, e.design)),
                 evaluations: out.evaluations as u64,
                 accepted: out.accepted as u64,
+                screen_on,
+                screen_misses,
                 visited: out.visited.clone(),
             };
             let slot = if t > config.t_final {

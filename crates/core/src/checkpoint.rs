@@ -1,9 +1,9 @@
-//! Crash-safe checkpointing of MSA campaigns (format v1).
+//! Crash-safe checkpointing of MSA campaigns (format v2).
 //!
 //! A checkpoint file is one line of JSON:
 //!
 //! ```text
-//! {"magic":"tesa-msa-checkpoint","version":1,"checksum":"<16 hex>","payload":{...}}
+//! {"magic":"tesa-msa-checkpoint","version":2,"checksum":"<16 hex>","payload":{...}}
 //! ```
 //!
 //! The payload holds a [`CampaignState`]: the campaign *fingerprint* (a
@@ -40,8 +40,11 @@ use tesa_util::Json;
 /// Magic string identifying a checkpoint file.
 pub const MAGIC: &str = "tesa-msa-checkpoint";
 
-/// Current checkpoint format version.
-pub const VERSION: u64 = 1;
+/// Current checkpoint format version. Version 2 added the adaptive
+/// screening gate's state to each snapshot; a resume must restore it so
+/// the gate disables at the same move whether or not the run was
+/// interrupted.
+pub const VERSION: u64 = 2;
 
 /// Why a checkpoint could not be written or read back.
 #[derive(Debug)]
@@ -119,6 +122,13 @@ pub struct StartSnapshot {
     pub evaluations: u64,
     /// Accepted moves so far.
     pub accepted: u64,
+    /// Whether the adaptive screening gate is still enabled at the
+    /// snapshot (always `false` for runs configured without screening).
+    pub screen_on: bool,
+    /// The gate's consecutive-miss count: serial screens since the last
+    /// rejecting one. The gate disables itself when this reaches its
+    /// limit, so a resume must continue the count, not restart it.
+    pub screen_misses: u32,
     /// Every design visited so far, in visit order.
     pub visited: Vec<McmDesign>,
 }
@@ -235,6 +245,10 @@ fn snapshot_json(s: &StartSnapshot) -> Vec<(String, Json)> {
         ),
         ("evaluations".into(), Json::U64(s.evaluations)),
         ("accepted".into(), Json::U64(s.accepted)),
+        (
+            "screen".into(),
+            Json::Arr(vec![Json::Bool(s.screen_on), Json::U64(u64::from(s.screen_misses))]),
+        ),
         ("visited".into(), Json::Arr(s.visited.iter().map(design_json).collect())),
     ]
 }
@@ -269,6 +283,17 @@ fn snapshot_from_json(obj: &Json) -> Result<StartSnapshot, CheckpointError> {
             Some((from_bits(&a[0], "best score")?, design_from_json(&a[1])?))
         }
     };
+    let screen = need(obj, "screen")?
+        .as_array()
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| CheckpointError::Malformed("screen: expected [enabled, misses]".into()))?;
+    let screen_on = screen[0]
+        .as_bool()
+        .ok_or_else(|| CheckpointError::Malformed("screen enabled: expected bool".into()))?;
+    let screen_misses = screen[1]
+        .as_u64()
+        .and_then(|m| u32::try_from(m).ok())
+        .ok_or_else(|| CheckpointError::Malformed("screen misses: expected u32".into()))?;
     let visited = need(obj, "visited")?
         .as_array()
         .ok_or_else(|| CheckpointError::Malformed("visited: expected an array".into()))?
@@ -282,6 +307,8 @@ fn snapshot_from_json(obj: &Json) -> Result<StartSnapshot, CheckpointError> {
         best,
         evaluations: need_u64(obj, "evaluations")?,
         accepted: need_u64(obj, "accepted")?,
+        screen_on,
+        screen_misses,
         visited,
     })
 }
@@ -472,6 +499,8 @@ mod tests {
                     best: Some((1.25, design(128, 512, 500))),
                     evaluations: 17,
                     accepted: 3,
+                    screen_on: true,
+                    screen_misses: 5,
                     visited: vec![design(96, 256, 0), design(128, 512, 500)],
                 }),
                 StartState::Done(StartSnapshot {
@@ -481,6 +510,8 @@ mod tests {
                     best: None,
                     evaluations: 40,
                     accepted: 0,
+                    screen_on: false,
+                    screen_misses: 0,
                     visited: vec![design(160, 1024, 1000)],
                 }),
             ],
@@ -545,7 +576,7 @@ mod tests {
             CampaignState::from_file_bytes(&wrong_magic),
             Err(CheckpointError::Malformed(_) | CheckpointError::ChecksumMismatch { .. })
         ));
-        let future = bytes.replace("\"version\":1", "\"version\":99");
+        let future = bytes.replace(&format!("\"version\":{VERSION}"), "\"version\":99");
         assert!(matches!(
             CampaignState::from_file_bytes(&future),
             Err(CheckpointError::UnsupportedVersion(99))

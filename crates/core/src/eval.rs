@@ -312,7 +312,15 @@ pub struct Evaluator {
     perf_cache: RwLock<CappedCache<PerfKey, Arc<Vec<DnnReport>>>>,
     thermal_cache: RwLock<CappedCache<ThermalKey, Arc<ThermalModel>>>,
     surrogate_cache: RwLock<CappedCache<ThermalKey, Arc<Surrogate>>>,
-    screen_cache: RwLock<CappedCache<EvalKey, ScreenVerdict>>,
+    // The first `bool` records whether the verdict came from a full
+    // screen (upper-bound solves included): an `Ambiguous` from the
+    // infeasible-only mode must not answer a full-screen query, which
+    // might classify the same design `ClearlyFeasible`. The second
+    // records whether the verdict was settled at the surrogate thermal
+    // stage (coarse solves ran) rather than by the cheap exact pipeline —
+    // cached so the answer is identical on a cache hit, keeping callers
+    // that branch on it deterministic.
+    screen_cache: RwLock<CappedCache<EvalKey, (ScreenVerdict, bool, bool)>>,
     eval_cache: RwLock<CappedCache<EvalKey, Arc<McmEvaluation>>>,
     eval_hits: AtomicU64,
     eval_misses: AtomicU64,
@@ -385,7 +393,7 @@ impl Evaluator {
     /// Emits one `eval.surrogate.screened` (decisive) or
     /// `eval.surrogate.ambiguous` trace counter per call.
     pub fn screen(&self, design: &McmDesign, constraints: &Constraints) -> ScreenVerdict {
-        self.screen_mode(design, constraints, true)
+        self.screen_mode(design, constraints, true).0
     }
 
     /// [`Evaluator::screen`] without the clearly-feasible classification:
@@ -399,11 +407,33 @@ impl Evaluator {
     /// verdict saves it nothing): the upper-bound solves are pure
     /// overhead there, and skipping them roughly halves the screening
     /// cost of every candidate that survives.
+    ///
+    /// Unlike [`Evaluator::screen`], this mode never consults the exact
+    /// evaluation memo: its verdict is a pure function of the design, so
+    /// a serial search loop that branches on it behaves identically no
+    /// matter how much concurrent cache warm-up has happened to run.
     pub fn screen_infeasible_only(
         &self,
         design: &McmDesign,
         constraints: &Constraints,
     ) -> ScreenVerdict {
+        self.screen_mode(design, constraints, false).0
+    }
+
+    /// [`Evaluator::screen_infeasible_only`] plus whether the verdict was
+    /// settled at the surrogate thermal stage (coarse-grid solves ran)
+    /// rather than by the cheap exact pipeline. The annealer's adaptive
+    /// screening gate needs the distinction: with a lazy evaluator, a
+    /// cheap-stage reject saves nothing the full evaluation would not
+    /// reject just as cheaply, so only surrogate-stage outcomes count as
+    /// the screen earning (reject) or wasting (ambiguous) its keep. The
+    /// stage bit is memoized with the verdict, so it is a pure function
+    /// of the design — identical on every machine and thread count.
+    pub(crate) fn screen_chain(
+        &self,
+        design: &McmDesign,
+        constraints: &Constraints,
+    ) -> (ScreenVerdict, bool) {
         self.screen_mode(design, constraints, false)
     }
 
@@ -412,30 +442,45 @@ impl Evaluator {
         design: &McmDesign,
         constraints: &Constraints,
         classify_feasible: bool,
-    ) -> ScreenVerdict {
+    ) -> (ScreenVerdict, bool) {
         let key: EvalKey = (*design, constraints_key(constraints));
-        if let Some(hit) = self.eval_cache.read().expect("cache lock poisoned").get(&key) {
-            // The exact answer is already known — no surrogate involved,
-            // so no screening counters.
-            return if hit.is_feasible() {
-                ScreenVerdict::ClearlyFeasible
-            } else {
-                ScreenVerdict::ClearlyInfeasible
-            };
+        if classify_feasible {
+            // The exact answer may already be known — no surrogate
+            // involved, so no screening counters. The infeasible-only
+            // mode must NOT take this shortcut: the annealer's serial
+            // chain drives its adaptive screening gate (and its
+            // evaluation counters) off these verdicts, and the eval
+            // cache's contents depend on how much speculative warm-up
+            // ran — i.e. on the machine's thread count. Surrogate
+            // verdicts are a pure function of the design, so the serial
+            // chain stays bit-identical for any `TESA_THREADS`.
+            if let Some(hit) = self.eval_cache.read().expect("cache lock poisoned").get(&key) {
+                let v = if hit.is_feasible() {
+                    ScreenVerdict::ClearlyFeasible
+                } else {
+                    ScreenVerdict::ClearlyInfeasible
+                };
+                return (v, false);
+            }
         }
-        if let Some(&v) = self.screen_cache.read().expect("cache lock poisoned").get(&key) {
-            Self::count_screen(v);
-            return v;
+        if let Some(&(v, full, surrogate)) =
+            self.screen_cache.read().expect("cache lock poisoned").get(&key)
+        {
+            // A full-screen verdict answers either mode; an
+            // infeasible-only verdict answers only infeasible-only
+            // queries (its `Ambiguous` may hide a `ClearlyFeasible`).
+            if full || !classify_feasible {
+                Self::count_screen(v);
+                return (v, surrogate);
+            }
         }
-        let v = self.screen_uncached(design, constraints, classify_feasible);
-        // An infeasible-only screen that let a candidate through may have
-        // skipped the upper-bound solves, so its `Ambiguous` must not
-        // shadow the full screen's (possibly `ClearlyFeasible`) answer.
-        if classify_feasible || v == ScreenVerdict::ClearlyInfeasible {
-            self.screen_cache.write().expect("cache lock poisoned").insert(key, v);
-        }
+        let (v, surrogate) = self.screen_uncached(design, constraints, classify_feasible);
+        self.screen_cache
+            .write()
+            .expect("cache lock poisoned")
+            .insert(key, (v, classify_feasible, surrogate));
         Self::count_screen(v);
-        v
+        (v, surrogate)
     }
 
     fn count_screen(v: ScreenVerdict) {
@@ -445,19 +490,21 @@ impl Evaluator {
         }
     }
 
+    /// Returns the verdict plus whether it was settled at the surrogate
+    /// thermal stage (`true` once the coarse solves have run).
     fn screen_uncached(
         &self,
         design: &McmDesign,
         constraints: &Constraints,
         classify_feasible: bool,
-    ) -> ScreenVerdict {
+    ) -> (ScreenVerdict, bool) {
         let chiplet = design.chiplet;
         let tech = &self.opts.tech;
         let geometry = chiplet.geometry(tech);
 
         // Exact cheap pipeline — the same maths as `evaluate` steps 1–4.
         if design.ics_um > constraints.max_ics_um {
-            return ScreenVerdict::ClearlyInfeasible;
+            return (ScreenVerdict::ClearlyInfeasible, false);
         }
         let Some(layout) = estimate_mesh(
             geometry.side_mm(),
@@ -466,7 +513,7 @@ impl Evaluator {
             constraints.interposer_h_mm,
             self.workload.len() as u32,
         ) else {
-            return ScreenVerdict::ClearlyInfeasible;
+            return (ScreenVerdict::ClearlyInfeasible, false);
         };
         let reports = self.perf(&chiplet);
         let freq_hz = design.freq_hz();
@@ -486,7 +533,7 @@ impl Evaluator {
         let latency_s = sched.makespan_cycles() as f64 / freq_hz;
         let achieved_fps = 1.0 / latency_s;
         if achieved_fps + 1e-9 < constraints.min_fps {
-            return ScreenVerdict::ClearlyInfeasible;
+            return (ScreenVerdict::ClearlyInfeasible, false);
         }
         let mut dram_channels = 0u32;
         let mut dram_bytes = 0.0f64;
@@ -530,11 +577,12 @@ impl Evaluator {
                 let leak: f64 = (0..layout.mesh.count()).map(|_| leak_chip_ambient).sum();
                 worst = worst.max(dyn_w + leak);
             }
-            return if worst + dram_power_w > constraints.power_budget_w {
+            let v = if worst + dram_power_w > constraints.power_budget_w {
                 ScreenVerdict::ClearlyInfeasible
             } else {
                 ScreenVerdict::ClearlyFeasible
             };
+            return (v, false);
         }
 
         // Power lower bound: leakage frozen at ambient only grows with
@@ -542,7 +590,7 @@ impl Evaluator {
         // budget here is decisive.
         let leak_all_ambient: f64 = (0..layout.mesh.count()).map(|_| leak_chip_ambient).sum();
         if dyn_worst_phase_w + leak_all_ambient + dram_power_w > constraints.power_budget_w {
-            return ScreenVerdict::ClearlyInfeasible;
+            return (ScreenVerdict::ClearlyInfeasible, false);
         }
 
         // Surrogate thermal screen: one lower-bound and one upper-bound
@@ -577,7 +625,7 @@ impl Evaluator {
             let low = sur.solve(&pmap);
             let low_peak = low.layer_peak_c(array_tier).max(low.layer_peak_c(sram_tier));
             if low_peak - low.bound_c() > budget_c {
-                return ScreenVerdict::ClearlyInfeasible;
+                return (ScreenVerdict::ClearlyInfeasible, true);
             }
             if !classify_feasible {
                 continue;
@@ -612,11 +660,12 @@ impl Evaluator {
                 && budget_c < RUNAWAY_TEMP_C;
             all_clearly_feasible &= phase_clear;
         }
-        if all_clearly_feasible {
+        let v = if all_clearly_feasible {
             ScreenVerdict::ClearlyFeasible
         } else {
             ScreenVerdict::Ambiguous
-        }
+        };
+        (v, true)
     }
 
     /// The workload being targeted.

@@ -43,6 +43,8 @@ fn arb_snapshot(rng: &mut Rng) -> StartSnapshot {
         best: rng.gen_bool(0.7).then(|| (arb_float(rng), arb_design(rng))),
         evaluations: rng.next_u64() >> 16,
         accepted: rng.next_u64() >> 16,
+        screen_on: rng.gen_bool(0.5),
+        screen_misses: rng.gen_range(0u32..12),
         visited,
     }
 }

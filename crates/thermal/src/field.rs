@@ -120,6 +120,31 @@ impl ThermalField {
         out
     }
 
+    /// Renders one layer as CSV with full round-trip precision: Rust's
+    /// shortest float formatting decodes back to the exact bit pattern,
+    /// so byte-comparing two such exports is equivalent to bit-comparing
+    /// the underlying fields. This is the export the thread-count
+    /// invariance suite diffs across `TESA_THREADS` settings; the
+    /// 3-decimal [`Self::to_csv`] stays the human-facing figure export.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer index is out of range.
+    pub fn to_csv_exact(&self, layer_idx: usize) -> String {
+        let l = self.layer(layer_idx);
+        let mut out = String::with_capacity(self.nx * self.ny * 20);
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                if ix > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}", l[iy * self.nx + ix]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     /// Consumes the field and returns the raw per-cell temperatures
     /// (bottom layer first, row-major within a layer).
     pub fn into_inner(self) -> Vec<f64> {

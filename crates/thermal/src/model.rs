@@ -9,12 +9,13 @@ use crate::stack::LayerDef;
 use std::sync::{Arc, Mutex};
 use tesa_util::{faultpoint, trace, Json};
 
-/// Node count above which the mat-vec is chunked across threads. The
-/// per-cell arithmetic is identical in every chunking, so results do not
-/// depend on the thread count. Production 64x64 stacks (~25k nodes) stay
-/// serial — below this size, scoped-thread spawn overhead exceeds the
-/// mat-vec itself.
-const PAR_MIN_NODES: usize = 1 << 16;
+/// Node count above which the mat-vec is chunked across the persistent
+/// worker pool. The per-cell arithmetic is identical in every chunking, so
+/// results do not depend on the lane count. The old scoped-thread version
+/// gated at 64k nodes because per-call spawns cost more than the mat-vec
+/// itself on production 64x64 stacks (~25k nodes); a pool broadcast is two
+/// orders of magnitude cheaper, so those stacks now parallelize.
+pub(crate) const PAR_MIN_NODES: usize = 4096;
 
 /// `Auto` preconditioner choice: multigrid for grids of at least this many
 /// cells per layer, Jacobi below. Small grids converge in few iterations
@@ -155,6 +156,9 @@ pub struct ThermalModel {
     layer_names: Vec<String>,
     /// Multigrid hierarchy when the resolved preconditioner is multigrid.
     mg: Option<Multigrid>,
+    /// Pool-lane cap for this model's solves (see
+    /// [`ThermalModel::set_parallel_lanes`]).
+    lanes: usize,
     scratch: ScratchPool,
     transient_diags: TransientCache,
 }
@@ -162,8 +166,9 @@ pub struct ThermalModel {
 /// `y = A x` for a conductance network, in gather form: every output cell
 /// accumulates `diag*x - sum(g * x_neighbor)` with a fixed neighbor order
 /// (left, right, down, up, below, above), so the result is independent of
-/// how the output range is chunked across threads. Shared between the fine
-/// model and the multigrid levels.
+/// how the output range is chunked across lanes. Shared between the fine
+/// model and the multigrid levels. `lanes` caps the pool lanes used; 1 (or
+/// a system below [`PAR_MIN_NODES`] nodes) runs the serial path.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_network(
     nx: usize,
@@ -175,34 +180,31 @@ pub(crate) fn apply_network(
     diag: &[f64],
     x: &[f64],
     y: &mut [f64],
+    lanes: usize,
 ) {
     let n = nl * ny * nx;
     debug_assert_eq!(x.len(), n);
     debug_assert_eq!(y.len(), n);
-    let threads = if n >= PAR_MIN_NODES {
-        std::thread::available_parallelism().map_or(1, |t| t.get())
-    } else {
-        1
-    };
     let total_rows = nl * ny;
-    if threads <= 1 {
+    let lanes = if n >= PAR_MIN_NODES { lanes.min(total_rows).max(1) } else { 1 };
+    if lanes <= 1 {
         apply_rows(nx, ny, nl, gx, gy, gz, diag, x, 0, total_rows, y);
         return;
     }
-    let span = total_rows.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = y;
-        let mut row0 = 0;
-        while row0 < total_rows {
-            let rows = span.min(total_rows - row0);
-            let (chunk, tail) = rest.split_at_mut(rows * nx);
-            rest = tail;
-            let start = row0;
-            scope.spawn(move || {
-                apply_rows(nx, ny, nl, gx, gy, gz, diag, x, start, start + rows, chunk);
-            });
-            row0 += rows;
-        }
+    let span = total_rows.div_ceil(lanes);
+    let mut items: Vec<(usize, &mut [f64])> = Vec::with_capacity(lanes);
+    let mut rest = y;
+    let mut row0 = 0;
+    while row0 < total_rows {
+        let rows = span.min(total_rows - row0);
+        let (chunk, tail) = rest.split_at_mut(rows * nx);
+        rest = tail;
+        items.push((row0, chunk));
+        row0 += rows;
+    }
+    tesa_util::pool::global().scatter(lanes, items, |_, (start, chunk)| {
+        let rows = chunk.len() / nx;
+        apply_rows(nx, ny, nl, gx, gy, gz, diag, x, start, start + rows, chunk);
     });
 }
 
@@ -460,9 +462,24 @@ impl ThermalModel {
             ambient_c,
             layer_names: layers.into_iter().map(|l| l.name).collect(),
             mg,
+            lanes: tesa_util::pool::global().lanes(),
             scratch: ScratchPool::default(),
             transient_diags: TransientCache::default(),
         }
+    }
+
+    /// Caps how many persistent pool lanes this model's solves may use
+    /// (clamped to at least 1). Defaults to every lane of the global pool.
+    /// All parallel kernels are bit-identical for any cap, so this is a
+    /// performance knob only — benchmarks use it to measure thread-count
+    /// scaling inside one process.
+    pub fn set_parallel_lanes(&mut self, lanes: usize) {
+        self.lanes = lanes.max(1);
+    }
+
+    /// The current pool-lane cap for this model's solves.
+    pub fn parallel_lanes(&self) -> usize {
+        self.lanes
     }
 
     /// Number of stack layers.
@@ -522,13 +539,14 @@ impl ThermalModel {
             &self.gamb,
             self.ambient_c,
             self.mg.clone(),
+            self.lanes,
         )
     }
 
     /// Applies the conductance matrix: `y = A x`.
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         apply_network(
-            self.nx, self.ny, self.nl, &self.gx, &self.gy, &self.gz, &self.diag, x, y,
+            self.nx, self.ny, self.nl, &self.gx, &self.gy, &self.gz, &self.diag, x, y, self.lanes,
         );
     }
 
@@ -598,11 +616,12 @@ impl ThermalModel {
         let outcome = match mg {
             Some(mg) => solver::preconditioned_cg(
                 |v, out| self.apply(v, out),
-                |r, z| mg.vcycle(r, z, &mut s.mg),
+                |r, z| mg.vcycle(r, z, &mut s.mg, self.lanes),
                 &s.rhs,
                 x,
                 tol,
                 &mut s.cg,
+                self.lanes,
             ),
             None => solver::preconditioned_cg(
                 |v, out| self.apply(v, out),
@@ -611,6 +630,7 @@ impl ThermalModel {
                 x,
                 tol,
                 &mut s.cg,
+                self.lanes,
             ),
         };
         self.scratch.put(s);
@@ -763,6 +783,7 @@ impl ThermalModel {
             &mut x,
             solver::Tolerance::default(),
             &mut s.cg,
+            self.lanes,
         );
         self.scratch.put(s);
         trace::event("thermal.transient_cg", || {
@@ -855,11 +876,12 @@ mod tests {
         let outcome = match &m.mg {
             Some(mg) => solver::preconditioned_cg(
                 |v, out| m.apply(v, out),
-                |r, z| mg.vcycle(r, z, &mut mgs),
+                |r, z| mg.vcycle(r, z, &mut mgs, m.lanes),
                 &rhs,
                 &mut x,
                 solver::Tolerance::default(),
                 &mut cg,
+                m.lanes,
             ),
             None => solver::preconditioned_cg(
                 |v, out| m.apply(v, out),
@@ -868,6 +890,7 @@ mod tests {
                 &mut x,
                 solver::Tolerance::default(),
                 &mut cg,
+                m.lanes,
             ),
         };
         let iters = match outcome {

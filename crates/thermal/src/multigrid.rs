@@ -26,6 +26,20 @@
 //! as required of a CG preconditioner; used inside
 //! [`crate::ThermalModel::solve`] it cuts iteration counts on the 64x64
 //! production grid from hundreds to tens.
+//!
+//! # Parallelism and determinism
+//!
+//! On levels of at least [`crate::model::PAR_MIN_NODES`] nodes every
+//! V-cycle kernel runs chunked across the persistent [`tesa_util::pool`]:
+//! the grid's `iy` rows are cut into contiguous ranges and each lane owns
+//! the `&mut` row slices of one range. For the Gauss-Seidel sweeps the only
+//! cross-chunk reads are of the *non-written* color (a row's lateral
+//! neighbors in adjacent rows have the opposite parity), so those boundary
+//! rows are snapshotted before the sweep — the snapshot equals the live
+//! values throughout the sweep, and every column solve therefore reads
+//! exactly the values the serial sweep would. Results are bit-identical
+//! for any lane count; the serial path is the one-chunk special case of
+//! the same kernel.
 
 /// Stop coarsening once a level has at most this many cells per layer.
 const COARSE_CELLS: usize = 16;
@@ -71,27 +85,35 @@ pub(crate) struct Multigrid {
 }
 
 /// Per-solve scratch for the V-cycle: one (rhs, x, residual) triple per
-/// level plus Thomas-algorithm workspaces sized to the stack depth.
+/// level plus per-lane Thomas-algorithm workspaces sized to the stack
+/// depth.
 #[derive(Debug, Default)]
 pub(crate) struct MgScratch {
     rhs: Vec<Vec<f64>>,
     x: Vec<Vec<f64>>,
     r: Vec<Vec<f64>>,
-    /// Thomas sweep rhs workspace, one `nl * nx` row block (sized for the
-    /// fine level; coarser levels use a prefix).
-    buf: Vec<f64>,
+    /// Thomas sweep rhs workspaces, one `nl * nx` row block per lane
+    /// (sized for the fine level; coarser levels use a prefix).
+    bufs: Vec<Vec<f64>>,
+    /// Boundary-row snapshots for the chunked sweeps: two `nl * nx` row
+    /// blocks per chunk (the rows just above and below each chunk).
+    snap: Vec<f64>,
 }
 
 impl MgScratch {
-    fn ensure(&mut self, mg: &Multigrid) {
+    fn ensure(&mut self, mg: &Multigrid, lanes: usize) {
         if self.rhs.len() != mg.levels.len() {
             self.rhs = mg.levels.iter().map(|l| vec![0.0; l.n()]).collect();
             self.x = mg.levels.iter().map(|l| vec![0.0; l.n()]).collect();
             self.r = mg.levels.iter().map(|l| vec![0.0; l.n()]).collect();
         }
-        let need = mg.levels[0].nl * mg.levels[0].nx;
-        if self.buf.len() != need {
-            self.buf = vec![0.0; need];
+        let block = mg.levels[0].nl * mg.levels[0].nx;
+        if self.bufs.len() != lanes || self.bufs.first().is_none_or(|b| b.len() != block) {
+            self.bufs = (0..lanes).map(|_| vec![0.0; block]).collect();
+        }
+        let snap_need = 2 * lanes * block;
+        if self.snap.len() != snap_need {
+            self.snap = vec![0.0; snap_need];
         }
     }
 }
@@ -159,10 +181,38 @@ impl Level {
     }
 
     /// `y = A x` in gather form (every output cell is written exactly once).
-    pub(crate) fn apply(&self, x: &[f64], y: &mut [f64]) {
+    pub(crate) fn apply(&self, x: &[f64], y: &mut [f64], lanes: usize) {
         crate::model::apply_network(
-            self.nx, self.ny, self.nl, &self.gx, &self.gy, &self.gz, &self.diag, x, y,
+            self.nx, self.ny, self.nl, &self.gx, &self.gy, &self.gz, &self.diag, x, y, lanes,
         );
+    }
+
+    /// Effective chunk count for this level's row-parallel kernels: `lanes`
+    /// clamped to the row count, or 1 below the parallel size gate.
+    fn chunk_lanes(&self, lanes: usize) -> usize {
+        if self.n() >= crate::model::PAR_MIN_NODES {
+            lanes.min(self.ny).max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Splits an l-major `nl * ny * nx` field into per-chunk row sets for
+    /// `nc` contiguous `iy` ranges of span `span`: chunk `k` receives the
+    /// `&mut` row slices `(l, iy)` with `iy` in `[k*span, (k+1)*span)`,
+    /// ordered so that index `l * cny + (iy - y0)` addresses row `(l, iy)`.
+    fn bucket_rows<'a>(
+        &self,
+        data: &'a mut [f64],
+        span: usize,
+        nc: usize,
+    ) -> Vec<Vec<&'a mut [f64]>> {
+        let mut groups: Vec<Vec<&'a mut [f64]>> =
+            (0..nc).map(|_| Vec::with_capacity(self.nl * span)).collect();
+        for (r, row) in data.chunks_mut(self.nx).enumerate() {
+            groups[(r % self.ny) / span].push(row);
+        }
+        groups
     }
 
     /// Builds the Galerkin coarse level under 2x aggregation in x and y.
@@ -245,13 +295,98 @@ impl Level {
     /// gather — the caller then does not even need to zero `x`, because a
     /// sweep pair writes every entry before any is read.
     ///
-    /// The work runs row-major in short per-layer passes over a `nl * nx`
-    /// buffer, not column-at-a-time, so the hot loops stay in L1 and free
-    /// of index arithmetic on the `plane` stride.
-    fn line_sweep(&self, b: &[f64], x: &mut [f64], color: usize, gather: bool, buf: &mut [f64]) {
+    /// The work runs row-major in short per-layer passes over a per-lane
+    /// `nl * nx` buffer, not column-at-a-time, so the hot loops stay in L1
+    /// and free of index arithmetic on the `plane` stride. Above the
+    /// parallel gate the `iy` rows are cut into up to `lanes` contiguous
+    /// chunks dispatched on the pool; each chunk's boundary rows are
+    /// snapshotted first (see the module docs — only the non-written color
+    /// crosses chunk edges, so the snapshot equals the live values and the
+    /// result is bit-identical to the serial sweep).
+    #[allow(clippy::too_many_arguments)]
+    fn line_sweep(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        color: usize,
+        gather: bool,
+        bufs: &mut [Vec<f64>],
+        snap: &mut [f64],
+        lanes: usize,
+    ) {
         let (nx, ny, nl) = (self.nx, self.ny, self.nl);
         let plane = ny * nx;
-        for iy in 0..ny {
+        let block = nl * nx;
+        let lanes = self.chunk_lanes(lanes);
+        if lanes <= 1 {
+            let mut rows: Vec<&mut [f64]> = x.chunks_mut(nx).collect();
+            self.sweep_chunk(b, color, gather, 0, ny, &mut rows, None, None, &mut bufs[0][..block]);
+            return;
+        }
+        let span = ny.div_ceil(lanes);
+        let nc = ny.div_ceil(span);
+        // Snapshot each chunk's boundary rows while `x` is still shared.
+        if gather {
+            for k in 0..nc {
+                let y0 = k * span;
+                let y1 = (y0 + span).min(ny);
+                if y0 > 0 {
+                    let dst = &mut snap[2 * k * block..][..block];
+                    for l in 0..nl {
+                        let src = l * plane + (y0 - 1) * nx;
+                        dst[l * nx..(l + 1) * nx].copy_from_slice(&x[src..src + nx]);
+                    }
+                }
+                if y1 < ny {
+                    let dst = &mut snap[(2 * k + 1) * block..][..block];
+                    for l in 0..nl {
+                        let src = l * plane + y1 * nx;
+                        dst[l * nx..(l + 1) * nx].copy_from_slice(&x[src..src + nx]);
+                    }
+                }
+            }
+        }
+        let snap: &[f64] = snap;
+        let groups = self.bucket_rows(x, span, nc);
+        // One scatter item per chunk: (chunk index, its rows, its lane buffer).
+        type SweepItem<'a> = (usize, Vec<&'a mut [f64]>, &'a mut [f64]);
+        let items: Vec<SweepItem<'_>> = groups
+            .into_iter()
+            .zip(bufs.iter_mut())
+            .enumerate()
+            .map(|(k, (rows, buf))| (k, rows, &mut buf[..block]))
+            .collect();
+        tesa_util::pool::global().scatter(lanes, items, |_, (k, mut rows, buf)| {
+            let y0 = k * span;
+            let y1 = (y0 + span).min(ny);
+            let prev = (gather && y0 > 0).then(|| &snap[2 * k * block..][..block]);
+            let next = (gather && y1 < ny).then(|| &snap[(2 * k + 1) * block..][..block]);
+            self.sweep_chunk(b, color, gather, y0, y1, &mut rows, prev, next, buf);
+        });
+    }
+
+    /// One chunk of a red-black sweep: the rows `(l, iy)` for `iy` in
+    /// `[y0, y1)`, owned as `&mut` slices indexed `l * (y1-y0) + (iy-y0)`.
+    /// `prev`/`next` are the boundary-row snapshots (`nl * nx`, l-major)
+    /// for the rows just outside the chunk; `None` at the grid edges.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_chunk(
+        &self,
+        b: &[f64],
+        color: usize,
+        gather: bool,
+        y0: usize,
+        y1: usize,
+        rows: &mut [&mut [f64]],
+        prev: Option<&[f64]>,
+        next: Option<&[f64]>,
+        buf: &mut [f64],
+    ) {
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let plane = ny * nx;
+        let cny = y1 - y0;
+        for iy in y0..y1 {
+            let liy = iy - y0;
             let start = (color + iy) % 2;
             // Column rhs per layer: b plus the lateral couplings.
             for l in 0..nl {
@@ -265,7 +400,7 @@ impl Level {
                     continue;
                 }
                 if nx > 1 {
-                    let xrow = &x[row..row + nx];
+                    let xrow: &[f64] = rows[l * cny + liy];
                     let gxrow = &gx_row(&self.gx, l, iy, nx, ny)[..nx - 1];
                     for ix in (if start == 0 { 2 } else { start }..nx).step_by(2) {
                         bufl[ix] += gxrow[ix - 1] * xrow[ix - 1];
@@ -276,14 +411,22 @@ impl Level {
                 }
                 if iy > 0 {
                     let gyrow = &self.gy[l * (ny - 1) * nx + (iy - 1) * nx..][..nx];
-                    let xprev = &x[row - nx..row];
+                    let xprev: &[f64] = if liy == 0 {
+                        &prev.expect("interior chunk edge carries a snapshot")[l * nx..][..nx]
+                    } else {
+                        rows[l * cny + liy - 1]
+                    };
                     for ix in (start..nx).step_by(2) {
                         bufl[ix] += gyrow[ix] * xprev[ix];
                     }
                 }
                 if iy + 1 < ny {
                     let gyrow = &self.gy[l * (ny - 1) * nx + iy * nx..][..nx];
-                    let xnext = &x[row + nx..row + 2 * nx];
+                    let xnext: &[f64] = if liy + 1 == cny {
+                        &next.expect("interior chunk edge carries a snapshot")[l * nx..][..nx]
+                    } else {
+                        rows[l * cny + liy + 1]
+                    };
                     for ix in (start..nx).step_by(2) {
                         bufl[ix] += gyrow[ix] * xnext[ix];
                     }
@@ -298,29 +441,32 @@ impl Level {
                 }
             }
             for l in 1..nl {
-                let (prev, cur) = buf.split_at_mut(l * nx);
-                let prev = &prev[(l - 1) * nx..];
+                let (prevb, cur) = buf.split_at_mut(l * nx);
+                let prevb = &prevb[(l - 1) * nx..];
                 let cur = &mut cur[..nx];
                 let gzrow = &self.gz[(l - 1) * plane + iy * nx..][..nx];
                 let invrow = &self.line_inv[l * plane + iy * nx..][..nx];
                 for ix in (start..nx).step_by(2) {
-                    cur[ix] = (cur[ix] + gzrow[ix] * prev[ix]) * invrow[ix];
+                    cur[ix] = (cur[ix] + gzrow[ix] * prevb[ix]) * invrow[ix];
                 }
             }
-            // Back substitution, writing the solved columns into x.
+            // Back substitution, writing the solved columns into the owned
+            // rows (reading the layer above, solved just before).
             {
-                let row = (nl - 1) * plane + iy * nx;
                 let bufl = &buf[(nl - 1) * nx..nl * nx];
+                let xrow = &mut rows[(nl - 1) * cny + liy];
                 for ix in (start..nx).step_by(2) {
-                    x[row + ix] = bufl[ix];
+                    xrow[ix] = bufl[ix];
                 }
             }
             for l in (0..nl.saturating_sub(1)).rev() {
-                let row = l * plane + iy * nx;
-                let crow = &self.line_c[row..row + nx];
+                let (lo, hi) = rows.split_at_mut((l + 1) * cny);
+                let cur = &mut lo[l * cny + liy];
+                let above: &[f64] = hi[liy];
+                let crow = &self.line_c[l * plane + iy * nx..][..nx];
                 let bufl = &buf[l * nx..(l + 1) * nx];
                 for ix in (start..nx).step_by(2) {
-                    x[row + ix] = bufl[ix] - crow[ix] * x[row + plane + ix];
+                    cur[ix] = bufl[ix] - crow[ix] * above[ix];
                 }
             }
         }
@@ -330,18 +476,50 @@ impl Level {
     /// The black columns were solved last against final red values, so
     /// their equations hold exactly and the residual is computed only on
     /// red columns (`(ix + iy) % 2 == 0`); black entries are set to zero.
-    fn residual_red(&self, b: &[f64], x: &[f64], res: &mut [f64]) {
+    /// `x` is only read, so the row-chunked parallel path needs no
+    /// snapshots; every output element is computed by the serial
+    /// expression.
+    fn residual_red(&self, b: &[f64], x: &[f64], res: &mut [f64], lanes: usize) {
+        let ny = self.ny;
+        let lanes = self.chunk_lanes(lanes);
+        if lanes <= 1 {
+            let mut rows: Vec<&mut [f64]> = res.chunks_mut(self.nx).collect();
+            self.residual_chunk(b, x, 0, ny, &mut rows);
+            return;
+        }
+        let span = ny.div_ceil(lanes);
+        let nc = ny.div_ceil(span);
+        let groups = self.bucket_rows(res, span, nc);
+        let items: Vec<(usize, Vec<&mut [f64]>)> = groups.into_iter().enumerate().collect();
+        tesa_util::pool::global().scatter(lanes, items, |_, (k, mut rows)| {
+            let y0 = k * span;
+            let y1 = (y0 + span).min(ny);
+            self.residual_chunk(b, x, y0, y1, &mut rows);
+        });
+    }
+
+    /// The rows `(l, iy)` with `iy` in `[y0, y1)` of [`Level::residual_red`],
+    /// written through owned row slices indexed `l * (y1-y0) + (iy-y0)`.
+    fn residual_chunk(
+        &self,
+        b: &[f64],
+        x: &[f64],
+        y0: usize,
+        y1: usize,
+        rows: &mut [&mut [f64]],
+    ) {
         let (nx, ny, nl) = (self.nx, self.ny, self.nl);
         let plane = ny * nx;
-        res.fill(0.0);
+        let cny = y1 - y0;
         for l in 0..nl {
-            for iy in 0..ny {
+            for iy in y0..y1 {
                 let start = iy % 2;
                 let row = l * plane + iy * nx;
                 let xrow = &x[row..row + nx];
                 let brow = &b[row..row + nx];
                 let drow = &self.diag[row..row + nx];
-                let rrow = &mut res[row..row + nx];
+                let rrow = &mut rows[l * cny + (iy - y0)];
+                rrow.fill(0.0);
                 for ix in (start..nx).step_by(2) {
                     rrow[ix] = brow[ix] - drow[ix] * xrow[ix];
                 }
@@ -387,26 +565,105 @@ impl Level {
     }
 
     /// Restriction `r_c[I] = sum_{i in I} r_f[i]` (transpose of the
-    /// piecewise-constant prolongation).
-    pub(crate) fn restrict_to(&self, coarse: &Level, fine_r: &[f64], coarse_b: &mut [f64]) {
-        coarse_b.fill(0.0);
+    /// piecewise-constant prolongation). Chunked over *coarse* rows — each
+    /// coarse row aggregates a fixed pair of fine rows in the serial
+    /// summation order, so any chunking is bit-identical.
+    pub(crate) fn restrict_to(
+        &self,
+        coarse: &Level,
+        fine_r: &[f64],
+        coarse_b: &mut [f64],
+        lanes: usize,
+    ) {
+        let lanes = self.chunk_lanes(lanes).min(coarse.ny);
+        if lanes <= 1 {
+            let mut rows: Vec<&mut [f64]> = coarse_b.chunks_mut(coarse.nx).collect();
+            self.restrict_chunk(fine_r, 0, coarse.ny, &mut rows);
+            return;
+        }
+        let span = coarse.ny.div_ceil(lanes);
+        let nc = coarse.ny.div_ceil(span);
+        let groups = coarse.bucket_rows(coarse_b, span, nc);
+        let items: Vec<(usize, Vec<&mut [f64]>)> = groups.into_iter().enumerate().collect();
+        tesa_util::pool::global().scatter(lanes, items, |_, (k, mut rows)| {
+            let cy0 = k * span;
+            let cy1 = (cy0 + span).min(coarse.ny);
+            self.restrict_chunk(fine_r, cy0, cy1, &mut rows);
+        });
+    }
+
+    /// The coarse rows `(l, ciy)` with `ciy` in `[cy0, cy1)` of the
+    /// restriction, written through owned coarse-row slices. Per coarse
+    /// cell the fine contributions are added `iy`-then-`ix` ascending —
+    /// the order of the historical fine-major accumulation loop.
+    fn restrict_chunk(
+        &self,
+        fine_r: &[f64],
+        cy0: usize,
+        cy1: usize,
+        rows: &mut [&mut [f64]],
+    ) {
+        let cny = cy1 - cy0;
         for l in 0..self.nl {
-            for iy in 0..self.ny {
-                for ix in 0..self.nx {
-                    coarse_b[coarse.idx(l, ix / 2, iy / 2)] += fine_r[self.idx(l, ix, iy)];
+            for ciy in cy0..cy1 {
+                let crow = &mut rows[l * cny + (ciy - cy0)];
+                crow.fill(0.0);
+                for iy in (2 * ciy)..(2 * ciy + 2).min(self.ny) {
+                    let frow = &fine_r[self.idx(l, 0, iy)..][..self.nx];
+                    for (cix, dst) in crow.iter_mut().enumerate() {
+                        for &f in &frow[2 * cix..(2 * cix + 2).min(self.nx)] {
+                            *dst += f;
+                        }
+                    }
                 }
             }
         }
     }
 
     /// Prolongation: adds the coarse correction, scaled by [`OMEGA`], to
-    /// every covered fine cell.
-    fn prolong_add(&self, coarse: &Level, coarse_x: &[f64], fine_x: &mut [f64]) {
+    /// every covered fine cell. Each fine cell gets exactly one addition,
+    /// so any row chunking is bit-identical.
+    fn prolong_add(
+        &self,
+        coarse: &Level,
+        coarse_x: &[f64],
+        fine_x: &mut [f64],
+        lanes: usize,
+    ) {
+        let lanes = self.chunk_lanes(lanes);
+        if lanes <= 1 {
+            let mut rows: Vec<&mut [f64]> = fine_x.chunks_mut(self.nx).collect();
+            self.prolong_chunk(coarse, coarse_x, 0, self.ny, &mut rows);
+            return;
+        }
+        let span = self.ny.div_ceil(lanes);
+        let nc = self.ny.div_ceil(span);
+        let groups = self.bucket_rows(fine_x, span, nc);
+        let items: Vec<(usize, Vec<&mut [f64]>)> = groups.into_iter().enumerate().collect();
+        tesa_util::pool::global().scatter(lanes, items, |_, (k, mut rows)| {
+            let y0 = k * span;
+            let y1 = (y0 + span).min(self.ny);
+            self.prolong_chunk(coarse, coarse_x, y0, y1, &mut rows);
+        });
+    }
+
+    /// The fine rows `(l, iy)` with `iy` in `[y0, y1)` of the prolongation,
+    /// written through owned fine-row slices.
+    fn prolong_chunk(
+        &self,
+        coarse: &Level,
+        coarse_x: &[f64],
+        y0: usize,
+        y1: usize,
+        rows: &mut [&mut [f64]],
+    ) {
+        let cny = y1 - y0;
         for l in 0..self.nl {
-            for iy in 0..self.ny {
-                for ix in 0..self.nx {
-                    fine_x[self.idx(l, ix, iy)] +=
-                        OMEGA * coarse_x[coarse.idx(l, ix / 2, iy / 2)];
+            for iy in y0..y1 {
+                let frow = &mut rows[l * cny + (iy - y0)];
+                let crow = &coarse_x[coarse.idx(l, 0, iy / 2)..][..coarse.nx];
+                for (ix, dst) in frow.iter_mut().enumerate() {
+                    *dst += OMEGA * crow[ix / 2];
                 }
             }
         }
@@ -535,8 +792,10 @@ impl Multigrid {
     /// Applies the V-cycle preconditioner: `z ~= A^{-1} r`, starting from a
     /// zero initial guess. Symmetric by construction (red-black pre-sweep,
     /// black-red post-sweep) so it is a valid SPD preconditioner for CG.
-    pub(crate) fn vcycle(&self, r: &[f64], z: &mut [f64], scratch: &mut MgScratch) {
-        self.vcycle_from(0, r, z, scratch);
+    /// `lanes` caps the pool lanes of the chunked kernels; the result is
+    /// bit-identical for every value.
+    pub(crate) fn vcycle(&self, r: &[f64], z: &mut [f64], scratch: &mut MgScratch, lanes: usize) {
+        self.vcycle_from(0, r, z, scratch, lanes);
     }
 
     /// The V-cycle restricted to the sub-hierarchy rooted at level `start`:
@@ -551,8 +810,10 @@ impl Multigrid {
         r: &[f64],
         z: &mut [f64],
         scratch: &mut MgScratch,
+        lanes: usize,
     ) {
-        scratch.ensure(self);
+        let lanes = lanes.max(1);
+        scratch.ensure(self, lanes);
         let depth = self.levels.len();
         scratch.rhs[start].copy_from_slice(r);
         // Downward leg: smooth, compute residual, restrict.
@@ -564,12 +825,12 @@ impl Multigrid {
             // Pre-smooth from a zero iterate: the red sweep needs no
             // lateral gather (and no explicit zeroing of x — the pair
             // writes every entry before any is read).
-            level.line_sweep(b, x, 0, false, &mut scratch.buf);
-            level.line_sweep(b, x, 1, true, &mut scratch.buf);
+            level.line_sweep(b, x, 0, false, &mut scratch.bufs, &mut scratch.snap, lanes);
+            level.line_sweep(b, x, 1, true, &mut scratch.bufs, &mut scratch.snap, lanes);
             // The black columns were solved last, so b - A x vanishes there
             // and only the red half needs computing.
-            level.residual_red(b, x, &mut scratch.r[li]);
-            level.restrict_to(coarse, &scratch.r[li], &mut scratch.rhs[li + 1]);
+            level.residual_red(b, x, &mut scratch.r[li], lanes);
+            level.restrict_to(coarse, &scratch.r[li], &mut scratch.rhs[li + 1], lanes);
         }
         // Coarsest level: direct solve.
         let coarsest = depth - 1;
@@ -581,10 +842,10 @@ impl Multigrid {
             let coarse = &self.levels[li + 1];
             let (head, tail) = scratch.x.split_at_mut(li + 1);
             let x = &mut head[li];
-            level.prolong_add(coarse, &tail[0], x);
+            level.prolong_add(coarse, &tail[0], x, lanes);
             let b = &scratch.rhs[li];
-            level.line_sweep(b, x, 1, true, &mut scratch.buf);
-            level.line_sweep(b, x, 0, true, &mut scratch.buf);
+            level.line_sweep(b, x, 1, true, &mut scratch.bufs, &mut scratch.snap, lanes);
+            level.line_sweep(b, x, 0, true, &mut scratch.bufs, &mut scratch.snap, lanes);
         }
         z.copy_from_slice(&scratch.x[start]);
     }
@@ -641,13 +902,13 @@ mod tests {
         let fine = uniform_level(8, 6, 3);
         let ones = vec![1.0; fine.n()];
         let mut row_sums = vec![0.0; fine.n()];
-        fine.apply(&ones, &mut row_sums);
+        fine.apply(&ones, &mut row_sums, 1);
         let fine_total: f64 = row_sums.iter().sum();
 
         let coarse = fine.coarsen();
         let ones_c = vec![1.0; coarse.n()];
         let mut row_sums_c = vec![0.0; coarse.n()];
-        coarse.apply(&ones_c, &mut row_sums_c);
+        coarse.apply(&ones_c, &mut row_sums_c, 1);
         let coarse_total: f64 = row_sums_c.iter().sum();
         assert!(
             (fine_total - coarse_total).abs() < 1e-9 * fine_total.abs().max(1.0),
@@ -701,8 +962,8 @@ mod tests {
         let mut scratch = MgScratch::default();
         let mut mu = vec![0.0; n];
         let mut mv = vec![0.0; n];
-        mg.vcycle(&u, &mut mu, &mut scratch);
-        mg.vcycle(&v, &mut mv, &mut scratch);
+        mg.vcycle(&u, &mut mu, &mut scratch, 1);
+        mg.vcycle(&v, &mut mv, &mut scratch, 1);
         let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
         let (muv, umv) = (dot(&mu, &v), dot(&u, &mv));
         assert!(
@@ -722,11 +983,37 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
         let mut x = vec![0.0; n];
         let mut scratch = MgScratch::default();
-        mg.vcycle(&b, &mut x, &mut scratch);
+        mg.vcycle(&b, &mut x, &mut scratch, 1);
         let mut ax = vec![0.0; n];
-        fine.apply(&x, &mut ax);
+        fine.apply(&x, &mut ax, 1);
         for (a, bb) in ax.iter().zip(&b) {
             assert!((a - bb).abs() < 1e-9, "direct solve residual too large");
+        }
+    }
+
+    /// The chunked V-cycle must be bit-identical for every lane count —
+    /// the determinism contract of the whole parallel port. A 64x64
+    /// 2-layer level (8192 nodes) sits above the parallel gate, so lane
+    /// counts 2/3/8 exercise the boundary-snapshot sweeps, the chunked
+    /// residual, restriction, and prolongation.
+    #[test]
+    fn vcycle_is_lane_count_invariant() {
+        let fine = uniform_level(64, 64, 2);
+        assert!(fine.n() >= crate::model::PAR_MIN_NODES, "level must be above the gate");
+        let mg = Multigrid::build(64, 64, 2, &fine.gx, &fine.gy, &fine.gz, &fine.diag);
+        let n = fine.n();
+        let r: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0 - 0.5).collect();
+        let mut z1 = vec![0.0; n];
+        let mut s1 = MgScratch::default();
+        mg.vcycle(&r, &mut z1, &mut s1, 1);
+        for lanes in [2, 3, 8] {
+            let mut z = vec![0.0; n];
+            let mut s = MgScratch::default();
+            mg.vcycle(&r, &mut z, &mut s, lanes);
+            assert!(
+                z.iter().zip(&z1).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "V-cycle output differs at lanes={lanes}"
+            );
         }
     }
 }

@@ -5,6 +5,19 @@
 //! production-size grids. All per-solve vectors live in a caller-owned
 //! [`CgScratch`] so hot loops (leakage co-iteration, annealing sweeps) do
 //! not allocate per solve.
+//!
+//! # Parallel reductions, deterministically
+//!
+//! On systems of at least [`REDUCE_MIN`] unknowns the dot products and the
+//! fused `x`/`r`/`‖r‖²` update run on the persistent
+//! [`tesa_util::pool`] with **fixed-chunk partial sums**: the vector is cut
+//! at multiples of [`REDUCE_CHUNK`] (a pure function of `n`, never of the
+//! lane count), each chunk's partial is computed with the historical
+//! serial loop, and the partials are added in chunk order. Any
+//! `TESA_THREADS` — including 1 — therefore produces bit-identical
+//! results. Below `REDUCE_MIN` (which covers the golden-pinned 32-cell
+//! grids) the historical single-accumulator path runs unchanged, so small
+//! systems are bit-exact with every previous release.
 
 /// Convergence criteria for the CG solve.
 #[derive(Debug, Clone, Copy)]
@@ -41,13 +54,14 @@ impl CgOutcome {
 }
 
 /// Reusable per-solve work vectors (residual, preconditioned residual,
-/// search direction, `A p`).
+/// search direction, `A p`, reduction partials).
 #[derive(Debug, Default, Clone)]
 pub(crate) struct CgScratch {
     r: Vec<f64>,
     z: Vec<f64>,
     p: Vec<f64>,
     ap: Vec<f64>,
+    partials: Vec<f64>,
 }
 
 impl CgScratch {
@@ -61,13 +75,131 @@ impl CgScratch {
     }
 }
 
+/// Fixed reduction chunk length. Chunk boundaries are multiples of this,
+/// i.e. a pure function of the vector length — never of the lane count —
+/// which is what makes the parallel reductions bit-identical for any
+/// `TESA_THREADS` (see the module docs).
+pub(crate) const REDUCE_CHUNK: usize = 4096;
+
+/// Systems below this many unknowns keep the historical single-accumulator
+/// reduction (bit-exact with the pre-pool solver). The golden-pinned
+/// 32-cell grids stay under this gate (32·32·6 = 6144 nodes at most), so
+/// their fields are unchanged to the last bit; production 64-cell grids
+/// (≥ 16384 unknowns) take the chunked path.
+pub(crate) const REDUCE_MIN: usize = 2 * REDUCE_CHUNK;
+
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+/// Deterministically chunked dot product: serial below [`REDUCE_MIN`],
+/// fixed-chunk partials (parallel across up to `lanes` pool lanes, summed
+/// in chunk order) at or above it.
+fn dot_det(a: &[f64], b: &[f64], partials: &mut Vec<f64>, lanes: usize) -> f64 {
+    let n = a.len();
+    if n < REDUCE_MIN {
+        return dot(a, b);
+    }
+    let nchunks = n.div_ceil(REDUCE_CHUNK);
+    partials.clear();
+    partials.resize(nchunks, 0.0);
+    let slots: Vec<&mut f64> = partials.iter_mut().collect();
+    tesa_util::pool::global().scatter(lanes, slots, |c, slot| {
+        let lo = c * REDUCE_CHUNK;
+        let hi = (lo + REDUCE_CHUNK).min(n);
+        *slot = dot(&a[lo..hi], &b[lo..hi]);
+    });
+    partials.iter().sum()
+}
+
+/// Splits `v` into `REDUCE_CHUNK`-sized `&mut` sub-slices (last one may be
+/// short). Chunk `c` covers indices `[c * REDUCE_CHUNK, ...)`.
+fn chunks_mut(v: &mut [f64]) -> Vec<&mut [f64]> {
+    let n = v.len();
+    let mut rest = v;
+    let mut out = Vec::with_capacity(n.div_ceil(REDUCE_CHUNK));
+    while !rest.is_empty() {
+        let take = REDUCE_CHUNK.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// Fused CG update: `x += alpha p; r -= alpha ap;` returning the new
+/// `||r||^2` — serial below [`REDUCE_MIN`], fixed-chunk parallel (partials
+/// summed in chunk order) at or above it.
+#[allow(clippy::too_many_arguments)]
+fn fused_update_det(
+    x: &mut [f64],
+    r: &mut [f64],
+    p: &[f64],
+    ap: &[f64],
+    alpha: f64,
+    partials: &mut Vec<f64>,
+    lanes: usize,
+) -> f64 {
+    let n = x.len();
+    if n < REDUCE_MIN {
+        let mut r_norm2 = 0.0;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+            r_norm2 += r[i] * r[i];
+        }
+        return r_norm2;
+    }
+    let nchunks = n.div_ceil(REDUCE_CHUNK);
+    partials.clear();
+    partials.resize(nchunks, 0.0);
+    let items: Vec<(usize, &mut f64, &mut [f64], &mut [f64])> = partials
+        .iter_mut()
+        .zip(chunks_mut(x))
+        .zip(chunks_mut(r))
+        .enumerate()
+        .map(|(c, ((slot, xc), rc))| (c, slot, xc, rc))
+        .collect();
+    tesa_util::pool::global().scatter(lanes, items, |_, (c, slot, xc, rc)| {
+        let lo = c * REDUCE_CHUNK;
+        let pc = &p[lo..lo + xc.len()];
+        let apc = &ap[lo..lo + xc.len()];
+        let mut part = 0.0;
+        for i in 0..xc.len() {
+            xc[i] += alpha * pc[i];
+            rc[i] -= alpha * apc[i];
+            part += rc[i] * rc[i];
+        }
+        *slot = part;
+    });
+    partials.iter().sum()
+}
+
+/// Direction update `p = z + beta p`. Each element is independent, so any
+/// chunking is bit-identical; parallel above [`REDUCE_MIN`].
+fn beta_update(p: &mut [f64], z: &[f64], beta: f64, lanes: usize) {
+    let n = p.len();
+    if n < REDUCE_MIN {
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        return;
+    }
+    let items: Vec<(usize, &mut [f64])> = chunks_mut(p).into_iter().enumerate().collect();
+    tesa_util::pool::global().scatter(lanes, items, |_, (c, pc)| {
+        let lo = c * REDUCE_CHUNK;
+        let zc = &z[lo..lo + pc.len()];
+        for i in 0..pc.len() {
+            pc[i] = zc[i] + beta * pc[i];
+        }
+    });
+}
+
 /// Solves `A x = b` for SPD `A` given as a mat-vec closure, preconditioned
 /// by the `precond` closure (`z = M^{-1} r`). `x` holds the initial guess
-/// on entry and the solution on exit.
+/// on entry and the solution on exit. `lanes` caps how many pool lanes the
+/// solver's own reductions may use (the mat-vec and preconditioner closures
+/// manage their own parallelism); pass 1 to force the serial paths.
 ///
 /// The residual 2-norm used for the stopping test is accumulated inside
 /// the `x`/`r` update loop — there is no separate O(n) norm pass per
@@ -81,6 +213,7 @@ pub(crate) fn preconditioned_cg<A, M>(
     x: &mut [f64],
     tol: Tolerance,
     scratch: &mut CgScratch,
+    lanes: usize,
 ) -> CgOutcome
 where
     A: Fn(&[f64], &mut [f64]),
@@ -88,42 +221,35 @@ where
 {
     let n = b.len();
     scratch.ensure(n);
-    let CgScratch { r, z, p, ap } = scratch;
+    let CgScratch { r, z, p, ap, partials } = scratch;
 
     apply(x, r);
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
-    let b_norm = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
+    let b_norm = dot_det(b, b, partials, lanes).sqrt().max(f64::MIN_POSITIVE);
     let target = tol.rel * b_norm;
-    let mut r_norm2 = dot(r, r);
+    let mut r_norm2 = dot_det(r, r, partials, lanes);
     if r_norm2.sqrt() <= target {
         return CgOutcome::Converged { iterations: 0, residual: r_norm2.sqrt() };
     }
 
     precond(r, z);
     p.copy_from_slice(z);
-    let mut rz = dot(r, z);
+    let mut rz = dot_det(r, z, partials, lanes);
 
     for it in 0..tol.max_iters {
         apply(p, ap);
-        let alpha = rz / dot(p, ap);
-        r_norm2 = 0.0;
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-            r_norm2 += r[i] * r[i];
-        }
+        let alpha = rz / dot_det(p, ap, partials, lanes);
+        r_norm2 = fused_update_det(x, r, p, ap, alpha, partials, lanes);
         if r_norm2.sqrt() <= target {
             return CgOutcome::Converged { iterations: it + 1, residual: r_norm2.sqrt() };
         }
         precond(r, z);
-        let rz_new = dot(r, z);
+        let rz_new = dot_det(r, z, partials, lanes);
         let beta = rz_new / rz;
         rz = rz_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
+        beta_update(p, z, beta, lanes);
     }
     CgOutcome::MaxIterations { residual: r_norm2.sqrt() }
 }
@@ -151,7 +277,7 @@ where
     F: Fn(&[f64], &mut [f64]),
 {
     let mut scratch = CgScratch::default();
-    preconditioned_cg(apply, jacobi(diag), b, x, tol, &mut scratch)
+    preconditioned_cg(apply, jacobi(diag), b, x, tol, &mut scratch, 1)
 }
 
 #[cfg(test)]
@@ -205,6 +331,42 @@ mod tests {
         assert!(matches!(outcome, CgOutcome::MaxIterations { .. }));
     }
 
+    /// The chunked reductions must be bit-identical for every lane count
+    /// (the chunk grid depends only on `n`) and numerically equivalent to
+    /// the serial single-accumulator reference.
+    #[test]
+    fn chunked_reductions_are_lane_count_invariant() {
+        let n = REDUCE_MIN + 123; // odd tail chunk on purpose
+        let a: Vec<f64> =
+            (0..n).map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f64 * 1e-3 - 0.5).collect();
+        let b: Vec<f64> =
+            (0..n).map(|i| ((i.wrapping_mul(40503)) % 997) as f64 * 1e-3 - 0.3).collect();
+        let mut partials = Vec::new();
+        let reference = dot_det(&a, &b, &mut partials, 1);
+        for lanes in [2, 3, 8] {
+            let d = dot_det(&a, &b, &mut partials, lanes);
+            assert_eq!(d.to_bits(), reference.to_bits(), "dot differs at lanes={lanes}");
+        }
+        let serial = dot(&a, &b);
+        assert!((reference - serial).abs() <= 1e-12 * serial.abs().max(1.0));
+
+        let mut x1 = vec![0.0; n];
+        let mut r1 = a.clone();
+        let f1 = fused_update_det(&mut x1, &mut r1, &b, &a, 0.25, &mut partials, 1);
+        let mut x8 = vec![0.0; n];
+        let mut r8 = a.clone();
+        let f8 = fused_update_det(&mut x8, &mut r8, &b, &a, 0.25, &mut partials, 8);
+        assert_eq!(f1.to_bits(), f8.to_bits());
+        assert!(x1.iter().zip(&x8).all(|(u, v)| u.to_bits() == v.to_bits()));
+        assert!(r1.iter().zip(&r8).all(|(u, v)| u.to_bits() == v.to_bits()));
+
+        let mut p1 = a.clone();
+        beta_update(&mut p1, &b, 0.75, 1);
+        let mut p8 = a.clone();
+        beta_update(&mut p8, &b, 0.75, 8);
+        assert!(p1.iter().zip(&p8).all(|(u, v)| u.to_bits() == v.to_bits()));
+    }
+
     #[test]
     fn scratch_reuse_is_transparent() {
         // Two different solves through one scratch give the same answers
@@ -215,9 +377,9 @@ mod tests {
         };
         let mut scratch = CgScratch::default();
         let mut x1 = vec![0.0, 0.0];
-        preconditioned_cg(apply, jacobi(&[4.0, 3.0]), &[1.0, 2.0], &mut x1, Tolerance::default(), &mut scratch);
+        preconditioned_cg(apply, jacobi(&[4.0, 3.0]), &[1.0, 2.0], &mut x1, Tolerance::default(), &mut scratch, 1);
         let mut x2 = vec![0.0, 0.0];
-        preconditioned_cg(apply, jacobi(&[4.0, 3.0]), &[2.0, 1.0], &mut x2, Tolerance::default(), &mut scratch);
+        preconditioned_cg(apply, jacobi(&[4.0, 3.0]), &[2.0, 1.0], &mut x2, Tolerance::default(), &mut scratch, 1);
         assert!((x1[0] - 1.0 / 11.0).abs() < 1e-9 && (x1[1] - 7.0 / 11.0).abs() < 1e-9);
         // A x2 = [2,1] -> x2 = [5/11, 2/11].
         assert!((x2[0] - 5.0 / 11.0).abs() < 1e-9 && (x2[1] - 2.0 / 11.0).abs() < 1e-9);

@@ -86,6 +86,10 @@ pub struct Surrogate {
     fine_nx: usize,
     fine_ny: usize,
     nl: usize,
+    /// Pool-lane cap inherited from the source model (see
+    /// [`crate::ThermalModel::set_parallel_lanes`]); results are
+    /// bit-identical for any value.
+    lanes: usize,
     scratch: Mutex<Vec<SurrogateScratch>>,
 }
 
@@ -177,6 +181,7 @@ impl Surrogate {
         gamb: &[f64],
         ambient_c: f64,
         mg: Option<Multigrid>,
+        lanes: usize,
     ) -> Self {
         let mg = mg.unwrap_or_else(|| Multigrid::build(nx, ny, nl, gx, gy, gz, diag));
         let depth = mg.num_levels();
@@ -194,7 +199,7 @@ impl Surrogate {
             amb0
         } else {
             let mut a1 = vec![0.0; mg.level(l1).n()];
-            mg.level(0).restrict_to(mg.level(l1), &amb0, &mut a1);
+            mg.level(0).restrict_to(mg.level(l1), &amb0, &mut a1, 1);
             a1
         };
         Self {
@@ -205,6 +210,7 @@ impl Surrogate {
             fine_nx: nx,
             fine_ny: ny,
             nl,
+            lanes: lanes.max(1),
             scratch: Mutex::new(Vec::new()),
         }
     }
@@ -235,7 +241,7 @@ impl Surrogate {
         if self.l1 == 0 {
             s.rhs1.copy_from_slice(&power.watts);
         } else {
-            self.mg.level(0).restrict_to(lvl1, &power.watts, &mut s.rhs1);
+            self.mg.level(0).restrict_to(lvl1, &power.watts, &mut s.rhs1, self.lanes);
         }
         for (r, &a) in s.rhs1.iter_mut().zip(&self.amb1) {
             *r += a;
@@ -255,7 +261,7 @@ impl Surrogate {
             let n2 = lvl2.n();
             s.rhs2.clear();
             s.rhs2.resize(n2, 0.0);
-            lvl1.restrict_to(lvl2, &s.rhs1, &mut s.rhs2);
+            lvl1.restrict_to(lvl2, &s.rhs1, &mut s.rhs2, self.lanes);
             let mut x2 = vec![0.0; n2];
             self.coarse_solve(self.l2, &s.rhs2, &mut x2, &mut s.cg, &mut s.mg);
             let (nx2, ny2, _) = lvl2.dims();
@@ -294,12 +300,13 @@ impl Surrogate {
         let level = self.mg.level(li);
         let tol = Tolerance { rel: SURROGATE_CG_REL, max_iters: SURROGATE_CG_MAX_ITERS };
         let outcome = solver::preconditioned_cg(
-            |v, out| level.apply(v, out),
-            |r, z| self.mg.vcycle_from(li, r, z, mgs),
+            |v, out| level.apply(v, out, self.lanes),
+            |r, z| self.mg.vcycle_from(li, r, z, mgs, self.lanes),
             b,
             x,
             tol,
             cg,
+            self.lanes,
         );
         match outcome {
             CgOutcome::Converged { .. } => {}

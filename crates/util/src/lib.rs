@@ -17,8 +17,9 @@
 //! * [`trace`] — a structured-observability layer (spans, events,
 //!   counters → JSONL) with near-zero disabled-path overhead, replacing
 //!   `tracing`/`tracing-subscriber` for pipeline introspection;
-//! * [`pool`] — a scoped work-stealing scheduler for index-parallel maps
-//!   with strongly varying per-item cost, replacing `rayon`;
+//! * [`pool`] — a persistent worker-pool engine (parked threads, one
+//!   broadcast per parallel region, work-stealing index maps on top),
+//!   replacing `rayon`;
 //! * [`faultpoint`] — a deterministic fault-injection registry (named
 //!   sites, seeded trigger schedules, env/CLI activation, one relaxed
 //!   atomic load when off), replacing `fail`/`failpoints`;
@@ -30,7 +31,11 @@
 //! reproducible across platforms, and `propcheck` replays any failure from
 //! the seed it prints.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the pool's broadcast core carries the one
+// audited `#[allow(unsafe_code)]` in the workspace (a lifetime-erased job
+// pointer whose validity the submit protocol guarantees — see
+// `pool::JobPtr`). Everything else stays safe code.
+#![deny(unsafe_code)]
 #![deny(warnings, missing_docs)]
 
 pub mod bench;

@@ -182,6 +182,8 @@ fn record_at(ts_us: u64, kind: EventKind, name: &'static str, fields: Vec<(&'sta
     // before the thread's TLS destructors (and their flush) run — so a
     // depth-0 span end must flush eagerly. Instrumented worker code wraps
     // its work in a span, making "scope joined ⇒ events in the sink" hold.
+    // Persistent `pool` workers never exit at all; they call
+    // [`flush_current_thread`] after every job instead.
     let root_span_end = matches!(kind, EventKind::Span { depth: 0, .. });
     TLS.with(|tls| {
         let mut buf = tls.borrow_mut();
@@ -205,6 +207,18 @@ fn record_at(ts_us: u64, kind: EventKind, name: &'static str, fields: Vec<(&'sta
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Flushes the calling thread's buffered events to the active sink.
+///
+/// The TLS buffer normally drains when a depth-0 span ends or the thread
+/// exits. Threads that outlive both — the persistent [`crate::pool`]
+/// workers — call this after every job so "the parallel region returned ⇒
+/// its events are in the sink" keeps holding. Cheap when there is nothing
+/// buffered; a no-op when no session is active (stale events are dropped
+/// by the generation guard).
+pub fn flush_current_thread() {
+    TLS.with(|tls| flush_events(&mut tls.borrow_mut()));
 }
 
 /// An active trace session. Dropping it disables tracing, flushes the
