@@ -23,6 +23,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps --workspace
 TESA_FAULTPOINTS="ckpt.write=prob:0.5;seed=7" \
     cargo test -q --offline --release --test crash_resume
 
+# Serve smoke suite in release: boots real daemons, byte-compares daemon
+# responses against the one-shot CLI, and kills one mid-campaign to prove
+# checkpointed /optimize resumes bit-identically after a restart.
+cargo test -q --offline --release --test serve_smoke
+
 # Serial-fallback regression guard: the tier-1 suite must pass with the
 # worker pool pinned to one lane. TESA_THREADS=1 takes every pooled hot
 # loop (thermal kernels, sweep, speculation) down its inline path, so a
@@ -68,6 +73,20 @@ mv BENCH_sweep.json.tmp BENCH_sweep.json
 cargo bench -q --offline -p tesa-bench --bench bench_pool -- \
     --warmup 2 --iters 15 --format json --out "$PWD/BENCH_pool.json.tmp"
 mv BENCH_pool.json.tmp BENCH_pool.json
+# Daemon request latency over real TCP (cold vs warm cache, batch
+# shapes). 5 iterations keep the batch64 burst (~0.8 s each) CI-sized;
+# the warm/cold ratio being gated is ~40x, far above measurement noise.
+cargo bench -q --offline -p tesa-bench --bench bench_serve -- \
+    --warmup 1 --iters 5 --format json --out "$PWD/BENCH_serve.json.tmp"
+mv BENCH_serve.json.tmp BENCH_serve.json
+# Resident-evaluator gate, within this run's artifact: a warm /evaluate
+# (eval-memo hit) must answer at least 2x faster than a cold one. If this
+# fails, the daemon is re-running exact solves for designs it has already
+# answered — the whole point of serving is gone.
+cargo run -q --offline --release -p tesa-bench --bin bench_guard -- \
+    BENCH_serve.json \
+    --speedup "serve/evaluate/cold=serve/evaluate/warm" \
+    --min-speedup "${TESA_BENCH_MIN_SERVE_SPEEDUP:-2.0}"
 # Disabled-path overhead gate: the warm-cache benchmarks run with tracing,
 # screening, and speculation all off, so a regression here means the new
 # machinery costs wall time even when nobody asked for it.

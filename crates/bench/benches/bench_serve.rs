@@ -1,0 +1,168 @@
+//! End-to-end request-latency benchmarks of the `tesa serve` daemon.
+//!
+//! A real daemon subprocess is spawned on an ephemeral port and driven
+//! over TCP, so every number includes the full serving stack: connect,
+//! HTTP parse, admission queue, micro-batch dispatch, evaluation, and
+//! response. Three shapes are measured:
+//!
+//! * `serve/evaluate/cold` — every request is a never-seen design, so
+//!   each answer runs the exact evaluation pipeline;
+//! * `serve/evaluate/warm` — the same design repeatedly, so each answer
+//!   is a `CappedCache` hit (the resident-evaluator payoff; `bench_guard`
+//!   gates warm ≥ 2× cold within this artifact);
+//! * `serve/evaluate/batchN` (N = 1, 8, 64) — N concurrent cold
+//!   requests per iteration, exercising the bounded queue and
+//!   `pool::map_dynamic` fan-out; the reported time is the whole burst.
+//!
+//! The daemon runs with `--grid-cells 32` (the crash_resume campaign
+//! resolution) so cold evaluations cost milliseconds, not tenths of
+//! seconds, and the batch shapes stay CI-sized.
+//!
+//! Run with `cargo bench --bench bench_serve [-- --bench-filter <substr>]`.
+
+use std::cell::Cell;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+use tesa_util::bench::BenchRunner;
+use tesa_util::http;
+
+const TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Locates the `tesa` CLI binary next to the bench executable
+/// (`target/<profile>/tesa`), building it if the bench runs on its own.
+/// `TESA_BIN` overrides the discovery for packaged environments.
+fn tesa_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("TESA_BIN") {
+        return PathBuf::from(p);
+    }
+    let exe = std::env::current_exe().expect("bench executable path");
+    let profile_dir = exe.parent().and_then(Path::parent).expect("target profile directory");
+    let bin = profile_dir.join(format!("tesa{}", std::env::consts::EXE_SUFFIX));
+    if bin.exists() {
+        return bin;
+    }
+    let mut args = vec!["build", "-p", "tesa-cli", "--offline"];
+    if profile_dir.file_name().is_some_and(|n| n == "release") {
+        args.push("--release");
+    }
+    let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .args(&args)
+        .status()
+        .expect("cargo build -p tesa-cli");
+    assert!(status.success(), "building the tesa CLI failed");
+    assert!(bin.exists(), "built CLI not found at {}", bin.display());
+    bin
+}
+
+/// The benchmarked daemon subprocess; killed and reaped on drop.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(bin: &Path, campaign_dir: &Path) -> Daemon {
+        let mut child = Command::new(bin)
+            .args([
+                "serve",
+                "--port",
+                "0",
+                "--grid-cells",
+                "32",
+                "--queue-depth",
+                "128",
+                "--batch-max",
+                "64",
+                "--campaign-dir",
+            ])
+            .arg(campaign_dir)
+            .env_remove("TESA_FAULTPOINTS")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawning tesa serve");
+        let stdout = child.stdout.take().expect("daemon stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("daemon startup line");
+        let addr = line
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in startup line {line:?}"))
+            .to_owned();
+        Daemon { child, addr }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The `k`-th distinct design in a >1000-point lattice over
+/// (array, SRAM, ICS). Every point fits the interposer, so a cold
+/// request always pays the full evaluation pipeline.
+fn cold_body(k: u64) -> String {
+    let array = 32 + 2 * (k % 50);
+    let sram = 64u64 << ((k / 50) % 3);
+    let ics = 200 + 100 * ((k / 150) % 8);
+    format!(
+        r#"{{"design":{{"array_dim":{array},"sram_kib_per_bank":{sram},"ics_um":{ics}}},"constraints":{{"fps":1.0}}}}"#
+    )
+}
+
+fn post(addr: &str, body: &str) {
+    let response = http::post(addr, "/evaluate", body, TIMEOUT).expect("evaluate roundtrip");
+    assert_eq!(
+        response.status,
+        200,
+        "daemon answered {}: {}",
+        response.status,
+        response.body_str().unwrap_or("<binary>")
+    );
+}
+
+fn main() {
+    let bin = tesa_bin();
+    let dir = std::env::temp_dir().join(format!("tesa-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("campaign dir");
+    let daemon = Daemon::start(&bin, &dir);
+    let addr = daemon.addr.as_str();
+
+    let mut runner = BenchRunner::from_env_args();
+    // One monotone design counter across all cold benchmarks (including
+    // their warmup phases), so no cold request ever repeats a design.
+    let next = Cell::new(0u64);
+    let fresh = || {
+        let k = next.get();
+        next.set(k + 1);
+        cold_body(k)
+    };
+
+    runner.bench("serve/evaluate/cold", || post(addr, &fresh()));
+
+    // Prime the memo once, then measure pure cache-hit serving.
+    let warm_body = r#"{"design":{"array_dim":64,"sram_kib_per_bank":128},"constraints":{"fps":1.0}}"#;
+    post(addr, warm_body);
+    runner.bench("serve/evaluate/warm", || post(addr, warm_body));
+
+    for n in [1usize, 8, 64] {
+        runner.bench(&format!("serve/evaluate/batch{n}"), || {
+            let bodies: Vec<String> = (0..n).map(|_| fresh()).collect();
+            std::thread::scope(|scope| {
+                for body in &bodies {
+                    scope.spawn(move || post(addr, body));
+                }
+            });
+        });
+    }
+
+    runner.report();
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}

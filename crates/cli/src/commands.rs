@@ -61,7 +61,7 @@ fn integration(args: &Args) -> Result<Integration, CliError> {
     }
 }
 
-fn constraints(args: &Args) -> Result<Constraints, CliError> {
+pub(crate) fn constraints(args: &Args) -> Result<Constraints, CliError> {
     let fps = args.get_or("fps", 30.0)?;
     let temp = args.get_or("temp-c", 75.0)?;
     let mut c = Constraints::edge_device(fps, temp);
@@ -70,7 +70,7 @@ fn constraints(args: &Args) -> Result<Constraints, CliError> {
     Ok(c)
 }
 
-fn design_from(args: &Args) -> Result<McmDesign, CliError> {
+pub(crate) fn design_from(args: &Args) -> Result<McmDesign, CliError> {
     Ok(McmDesign {
         chiplet: ChipletConfig {
             array_dim: args.require("array")?,
@@ -213,23 +213,9 @@ pub fn cmd_optimize(args: &Args) -> Result<String, CliError> {
         );
     }
     if format == OutputFormat::Json {
-        let report = tesa_util::Json::obj([
-            ("unique_designs", tesa_util::Json::u64(outcome.unique_designs as u64)),
-            ("space_size", tesa_util::Json::u64(space.len() as u64)),
-            (
-                "explored_fraction",
-                tesa_util::Json::f64(outcome.explored_fraction(space.len())),
-            ),
-            ("evaluations", tesa_util::Json::u64(outcome.evaluations as u64)),
-            ("accepted_moves", tesa_util::Json::u64(outcome.accepted_moves as u64)),
-            (
-                "best",
-                match &outcome.best {
-                    Some(best) => tesa::report::evaluation_json(best),
-                    None => tesa_util::Json::Null,
-                },
-            ),
-        ]);
+        // Shared with the daemon's `POST /optimize` responder, so the two
+        // outputs stay byte-identical for identical campaigns.
+        let report = tesa::report::optimize_report_json(&outcome, space.len());
         return Ok(format!("{report}\n"));
     }
     let mut out = format!(
@@ -437,6 +423,8 @@ COMMANDS:
     thermal-map   export the steady-state device-tier heat map (CSV)
     transient     simulate the schedule's transient temperature trace
     placement     free-form SA placement vs the uniform mesh (extension)
+    serve         run the resident evaluation daemon (HTTP; see docs/API.md)
+    client        drive a running daemon: client <action> --addr HOST:PORT
     trace         summarize a --trace capture: trace summarize <path.jsonl>
     help          print this text
 
@@ -473,12 +461,24 @@ COMMON FLAGS:
     --dt-ms X         transient step, ms (transient) [default: 1]
     --frames N        frames to simulate (transient) [default: 3]
 
+SERVE / CLIENT FLAGS:
+    --port N          daemon listen port; 0 picks an ephemeral one (serve) [default: 0]
+    --queue-depth N   admission queue bound; overflow answers 429 (serve) [default: 64]
+    --batch-max N     max requests fanned out per micro-batch (serve) [default: 16]
+    --campaign-dir P  checkpoint/report directory; restarts resume unfinished
+                      campaigns found here (serve) [default: tesa-campaigns]
+    --addr HOST:PORT  daemon address (client, required)
+    --name S          campaign name (client optimize, required)
+    --timeout-s X     client socket timeout, seconds [default: 600]
+
 EXAMPLES:
     tesa evaluate --array 200 --sram-kib 1024 --freq 400
     tesa optimize --integration 3d --freq 500 --temp-c 85
     tesa thermal-map --array 200 --sram-kib 1024 --out map.csv
     tesa optimize --trace run.jsonl && tesa trace summarize run.jsonl
     tesa optimize --checkpoint run.ckpt && tesa optimize --resume run.ckpt
+    tesa serve --port 8080 --campaign-dir campaigns
+    tesa client evaluate --addr 127.0.0.1:8080 --array 200 --sram-kib 1024
 "
     .to_owned()
 }
@@ -493,6 +493,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some("thermal-map") => cmd_thermal_map(args),
         Some("transient") => cmd_transient(args),
         Some("placement") => cmd_placement(args),
+        Some("serve") => crate::serve::cmd_serve(args),
+        Some("client") => crate::serve::cmd_client(args),
         Some("trace") => cmd_trace(args),
         Some("help") | None => Ok(help()),
         Some(other) => Err(CliError { message: format!("unknown command '{other}'\n\n{}", help()) }),

@@ -2,7 +2,9 @@
 //!
 //! Run `tesa help` for usage; see the workspace README for the library
 //! behind it. Subcommand logic lives in [`commands`], argument parsing in
-//! [`args`], and the `trace summarize` aggregation in [`summarize`].
+//! [`args`], the `trace summarize` aggregation in [`summarize`], and the
+//! `tesa serve` evaluation daemon plus its `tesa client` companion in
+//! [`serve`] (endpoint reference: `docs/API.md`).
 //!
 //! The global `--trace <path.jsonl>` flag opens a
 //! [`tesa_util::trace`] session for the duration of the command, so every
@@ -17,6 +19,7 @@
 
 mod args;
 mod commands;
+mod serve;
 mod summarize;
 
 use std::process::ExitCode;

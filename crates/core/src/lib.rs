@@ -60,7 +60,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod anneal;
 pub mod baselines;
@@ -78,6 +78,7 @@ pub mod placement;
 pub mod power;
 pub mod report;
 pub mod sched;
+pub mod session;
 pub mod tech;
 
 pub use constraints::{Constraints, Violation};

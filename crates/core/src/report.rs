@@ -2,6 +2,7 @@
 //! shape of the paper's Tables III–V, plus machine-readable JSON views of
 //! evaluations (the CLI's `--format json` path).
 
+use crate::anneal::AnnealOutcome;
 use crate::design::McmDesign;
 use crate::eval::McmEvaluation;
 use tesa_util::Json;
@@ -149,6 +150,26 @@ pub fn evaluation_json(eval: &McmEvaluation) -> Json {
         (
             "violations",
             Json::arr(eval.violations.iter().map(|v| Json::str(v.to_string()))),
+        ),
+    ])
+}
+
+/// JSON view of one optimizer campaign outcome — the exact object the
+/// CLI's `tesa optimize --format json` prints and the daemon's
+/// `POST /optimize` returns, shared so the two stay byte-identical.
+pub fn optimize_report_json(outcome: &AnnealOutcome, space_size: usize) -> Json {
+    Json::obj([
+        ("unique_designs", Json::u64(outcome.unique_designs as u64)),
+        ("space_size", Json::u64(space_size as u64)),
+        ("explored_fraction", Json::f64(outcome.explored_fraction(space_size))),
+        ("evaluations", Json::u64(outcome.evaluations as u64)),
+        ("accepted_moves", Json::u64(outcome.accepted_moves as u64)),
+        (
+            "best",
+            match &outcome.best {
+                Some(best) => evaluation_json(best),
+                None => Json::Null,
+            },
         ),
     ])
 }

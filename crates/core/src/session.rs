@@ -1,0 +1,427 @@
+//! The request layer of the `tesa serve` daemon: JSON request decoding,
+//! shared-evaluator dispatch, and micro-batched execution.
+//!
+//! A [`Session`] wraps one long-lived [`Evaluator`] and answers the
+//! daemon's `/evaluate` and `/screen` endpoints. Keeping the evaluator
+//! resident is the whole point of serving: the `CappedCache` memos
+//! (performance, thermal, surrogate, full evaluations) and the persistent
+//! `tesa_util::pool` workers stay warm across requests, so a repeated or
+//! cache-adjacent query costs a hash lookup instead of a thermal solve.
+//!
+//! Responses reuse [`crate::report::evaluation_json`], the exact object
+//! the one-shot CLI prints with `--format json` — daemon and CLI answers
+//! for the same inputs are byte-identical, which the serve smoke suite
+//! asserts.
+//!
+//! Request bodies are plain JSON objects (all fields beyond the two
+//! architecture knobs are optional and default to the CLI's defaults):
+//!
+//! ```text
+//! {
+//!   "design": {
+//!     "array_dim": 128,            // required
+//!     "sram_kib_per_bank": 512,    // required
+//!     "integration": "2d",         // "2d" | "3d"       [default: "2d"]
+//!     "ics_um": 500,               //                    [default: 500]
+//!     "freq_mhz": 400              //                    [default: 400]
+//!   },
+//!   "constraints": {               // object itself optional
+//!     "fps": 30.0,                 //                    [default: 30]
+//!     "temp_c": 75.0,              //                    [default: 75]
+//!     "power_w": 15.0,             //                    [default: 15]
+//!     "max_ics_um": 1000           //                    [default: 1000]
+//!   }
+//! }
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use tesa::eval::Evaluator;
+//! use tesa::session::{Query, Session};
+//! use tesa_workloads::arvr_suite;
+//!
+//! let session = Session::new(Evaluator::new(arvr_suite(), Default::default()));
+//! let body = tesa_util::json::parse(
+//!     r#"{"design":{"array_dim":64,"sram_kib_per_bank":128},
+//!         "constraints":{"fps":1.0}}"#,
+//! ).unwrap();
+//! let report = session.run(&Query::screen(body)).unwrap();
+//! assert!(report.get("verdict").is_some());
+//! ```
+
+use crate::constraints::Constraints;
+use crate::design::{ChipletConfig, Integration, McmDesign};
+use crate::eval::{Evaluator, ScreenVerdict};
+use crate::report;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tesa_util::{pool, Json};
+
+/// A request the session refused: an HTTP-ish status plus a message the
+/// daemon returns as `{"error": message}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Suggested HTTP status code (400 for malformed requests, 500 for
+    /// internal failures).
+    pub status: u16,
+    /// Human-readable description of what was wrong.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 Bad Request error.
+    pub fn bad_request<S: Into<String>>(message: S) -> Self {
+        ApiError { status: 400, message: message.into() }
+    }
+
+    /// The `{"error": …}` body the daemon sends for this error.
+    pub fn to_json(&self) -> Json {
+        Json::obj([("error", Json::str(self.message.as_str()))])
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Which evaluation endpoint a [`Query`] targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Full exact evaluation (`POST /evaluate`).
+    Evaluate,
+    /// Surrogate feasibility screen (`POST /screen`).
+    Screen,
+}
+
+/// One decoded request body headed for the shared evaluator.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Target endpoint.
+    pub endpoint: Endpoint,
+    /// The parsed JSON request body.
+    pub body: Json,
+}
+
+impl Query {
+    /// An `/evaluate` query over `body`.
+    pub fn evaluate(body: Json) -> Self {
+        Query { endpoint: Endpoint::Evaluate, body }
+    }
+
+    /// A `/screen` query over `body`.
+    pub fn screen(body: Json) -> Self {
+        Query { endpoint: Endpoint::Screen, body }
+    }
+}
+
+/// Decodes the `"design"` object of a request body (see the module docs
+/// for the schema and defaults).
+pub fn design_from_json(body: &Json) -> Result<McmDesign, ApiError> {
+    let design = body
+        .get("design")
+        .ok_or_else(|| ApiError::bad_request("missing required object 'design'"))?;
+    let integration = integration_from_json(design, "design")?;
+    Ok(McmDesign {
+        chiplet: ChipletConfig {
+            array_dim: require_u64(design, "design", "array_dim")? as u32,
+            sram_kib_per_bank: require_u64(design, "design", "sram_kib_per_bank")?,
+            integration,
+        },
+        ics_um: optional_u64(design, "design", "ics_um")?.unwrap_or(500) as u32,
+        freq_mhz: optional_u64(design, "design", "freq_mhz")?.unwrap_or(400) as u32,
+    })
+}
+
+/// Decodes the optional `"constraints"` object of a request body with the
+/// CLI's defaults (30 fps, 75 °C, and [`Constraints::edge_device`]'s
+/// 15 W / 1000 µm budgets).
+pub fn constraints_from_json(body: &Json) -> Result<Constraints, ApiError> {
+    let empty = Json::obj::<&str, _>([]);
+    let c = body.get("constraints").unwrap_or(&empty);
+    let fps = optional_f64(c, "constraints", "fps")?.unwrap_or(30.0);
+    let temp = optional_f64(c, "constraints", "temp_c")?.unwrap_or(75.0);
+    let mut constraints = Constraints::edge_device(fps, temp);
+    if let Some(power) = optional_f64(c, "constraints", "power_w")? {
+        constraints.power_budget_w = power;
+    }
+    if let Some(max_ics) = optional_u64(c, "constraints", "max_ics_um")? {
+        constraints.max_ics_um = max_ics as u32;
+    }
+    Ok(constraints)
+}
+
+fn require_u64(obj: &Json, ctx: &str, key: &str) -> Result<u64, ApiError> {
+    optional_u64(obj, ctx, key)?
+        .ok_or_else(|| ApiError::bad_request(format!("missing required field '{ctx}.{key}'")))
+}
+
+/// Reads optional integer field `key` of `obj`; a present non-integer
+/// value is a 400 error naming `ctx.key`. Shared by the daemon's
+/// `/optimize` campaign decoder.
+pub fn optional_u64(obj: &Json, ctx: &str, key: &str) -> Result<Option<u64>, ApiError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ApiError::bad_request(format!("field '{ctx}.{key}' must be a non-negative integer"))
+        }),
+    }
+}
+
+/// Reads optional numeric field `key` of `obj`; a present non-number is a
+/// 400 error naming `ctx.key`.
+pub fn optional_f64(obj: &Json, ctx: &str, key: &str) -> Result<Option<f64>, ApiError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ApiError::bad_request(format!("field '{ctx}.{key}' must be a number"))),
+    }
+}
+
+/// Reads optional boolean field `key` of `obj`; a present non-boolean is
+/// a 400 error naming `ctx.key`.
+pub fn optional_bool(obj: &Json, ctx: &str, key: &str) -> Result<Option<bool>, ApiError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| ApiError::bad_request(format!("field '{ctx}.{key}' must be a boolean"))),
+    }
+}
+
+/// Decodes the `"integration"` string field of `obj` (default 2D),
+/// accepting the CLI's `2d`/`3d` spellings in either case.
+pub fn integration_from_json(obj: &Json, ctx: &str) -> Result<Integration, ApiError> {
+    match obj.get("integration").map(Json::as_str) {
+        None => Ok(Integration::TwoD),
+        Some(Some("2d")) | Some(Some("2D")) => Ok(Integration::TwoD),
+        Some(Some("3d")) | Some(Some("3D")) => Ok(Integration::ThreeD),
+        Some(other) => Err(ApiError::bad_request(format!(
+            "unknown {ctx}.integration {:?} (use \"2d\" or \"3d\")",
+            other.unwrap_or("<non-string>")
+        ))),
+    }
+}
+
+/// The shared-evaluator request layer (see the module docs).
+///
+/// `Session` is `Sync`: the daemon's dispatcher calls
+/// [`Session::run_batch`] which fans a micro-batch out across the
+/// persistent worker pool, and the evaluator's internal memos are already
+/// thread-safe.
+pub struct Session {
+    evaluator: Evaluator,
+    evaluated: AtomicU64,
+    screened: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Session {
+    /// A session serving requests from `evaluator`.
+    pub fn new(evaluator: Evaluator) -> Self {
+        Session {
+            evaluator,
+            evaluated: AtomicU64::new(0),
+            screened: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared evaluator (for diagnostics and tests).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Runs one query and returns the response body. Evaluations are
+    /// memoized ([`Evaluator::evaluate_cached`]), so a repeated design
+    /// never re-runs the thermal solve.
+    pub fn run(&self, query: &Query) -> Result<Json, ApiError> {
+        let result = match query.endpoint {
+            Endpoint::Evaluate => self.evaluate_body(&query.body),
+            Endpoint::Screen => self.screen_body(&query.body),
+        };
+        match &result {
+            Ok(_) => {
+                let counter = match query.endpoint {
+                    Endpoint::Evaluate => &self.evaluated,
+                    Endpoint::Screen => &self.screened,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Runs a micro-batch of queries concurrently on the persistent
+    /// worker pool ([`pool::map_dynamic`]), returning one result per
+    /// query in order. This is what makes concurrent `/evaluate` bodies
+    /// cheaper than serial: distinct designs solve on distinct lanes.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<Json, ApiError>> {
+        pool::map_dynamic(pool::default_lanes(), queries.len(), |i| self.run(&queries[i]))
+    }
+
+    fn evaluate_body(&self, body: &Json) -> Result<Json, ApiError> {
+        let design = design_from_json(body)?;
+        let constraints = constraints_from_json(body)?;
+        let eval = self.evaluator.evaluate_cached(&design, &constraints);
+        Ok(report::evaluation_json(&eval))
+    }
+
+    fn screen_body(&self, body: &Json) -> Result<Json, ApiError> {
+        let design = design_from_json(body)?;
+        let constraints = constraints_from_json(body)?;
+        let verdict = match self.evaluator.screen(&design, &constraints) {
+            ScreenVerdict::ClearlyInfeasible => "clearly_infeasible",
+            ScreenVerdict::ClearlyFeasible => "clearly_feasible",
+            ScreenVerdict::Ambiguous => "ambiguous",
+        };
+        Ok(Json::obj([
+            ("design", report::design_json(&design)),
+            ("verdict", Json::str(verdict)),
+        ]))
+    }
+
+    /// The `GET /stats` body: request counters plus the evaluator's
+    /// cache hit/miss totals (the observable proof that the daemon is
+    /// amortizing solves across requests).
+    pub fn stats_json(&self) -> Json {
+        let (hits, misses) = self.evaluator.eval_cache_stats();
+        Json::obj([
+            ("evaluated", Json::u64(self.evaluated.load(Ordering::Relaxed))),
+            ("screened", Json::u64(self.screened.load(Ordering::Relaxed))),
+            ("rejected", Json::u64(self.rejected.load(Ordering::Relaxed))),
+            (
+                "eval_cache",
+                Json::obj([("hits", Json::u64(hits)), ("misses", Json::u64(misses))]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalOptions;
+    use tesa_util::json;
+    use tesa_workloads::arvr_suite;
+
+    fn session() -> Session {
+        Session::new(Evaluator::new(arvr_suite(), EvalOptions::default()))
+    }
+
+    fn body(text: &str) -> Json {
+        json::parse(text).expect("test body parses")
+    }
+
+    #[test]
+    fn design_decoding_applies_cli_defaults() {
+        let d = design_from_json(&body(
+            r#"{"design":{"array_dim":64,"sram_kib_per_bank":128}}"#,
+        ))
+        .unwrap();
+        assert_eq!(d.chiplet.array_dim, 64);
+        assert_eq!(d.chiplet.sram_kib_per_bank, 128);
+        assert_eq!(d.chiplet.integration, Integration::TwoD);
+        assert_eq!((d.ics_um, d.freq_mhz), (500, 400));
+    }
+
+    #[test]
+    fn design_decoding_rejects_missing_fields() {
+        let err = design_from_json(&body(r#"{"design":{"array_dim":64}}"#)).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("sram_kib_per_bank"), "{err}");
+        let err = design_from_json(&body(r#"{}"#)).unwrap_err();
+        assert!(err.message.contains("design"), "{err}");
+    }
+
+    #[test]
+    fn design_decoding_rejects_bad_integration() {
+        let err = design_from_json(&body(
+            r#"{"design":{"array_dim":64,"sram_kib_per_bank":128,"integration":"4d"}}"#,
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("4d"), "{err}");
+    }
+
+    #[test]
+    fn constraints_default_to_edge_device() {
+        let c = constraints_from_json(&body(r#"{}"#)).unwrap();
+        let reference = Constraints::edge_device(30.0, 75.0);
+        assert_eq!(c.min_fps, reference.min_fps);
+        assert_eq!(c.temp_budget_c, reference.temp_budget_c);
+        assert_eq!(c.power_budget_w, reference.power_budget_w);
+        assert_eq!(c.max_ics_um, reference.max_ics_um);
+        let c = constraints_from_json(&body(r#"{"constraints":{"power_w":7.5}}"#)).unwrap();
+        assert_eq!(c.power_budget_w, 7.5);
+    }
+
+    #[test]
+    fn evaluate_matches_the_report_module() {
+        let s = session();
+        let b = body(
+            r#"{"design":{"array_dim":64,"sram_kib_per_bank":128},"constraints":{"fps":1.0}}"#,
+        );
+        let got = s.run(&Query::evaluate(b.clone())).unwrap();
+        let design = design_from_json(&b).unwrap();
+        let constraints = constraints_from_json(&b).unwrap();
+        let want = report::evaluation_json(&s.evaluator().evaluate(&design, &constraints));
+        assert_eq!(got.to_string(), want.to_string());
+    }
+
+    #[test]
+    fn repeated_evaluate_hits_the_memo() {
+        let s = session();
+        let q = Query::evaluate(body(
+            r#"{"design":{"array_dim":64,"sram_kib_per_bank":128},"constraints":{"fps":1.0}}"#,
+        ));
+        s.run(&q).unwrap();
+        let (hits_before, misses_before) = s.evaluator().eval_cache_stats();
+        s.run(&q).unwrap();
+        let (hits, misses) = s.evaluator().eval_cache_stats();
+        assert_eq!(hits, hits_before + 1, "second identical request must hit the cache");
+        assert_eq!(misses, misses_before, "second identical request must not re-solve");
+    }
+
+    #[test]
+    fn batch_results_preserve_order_and_errors() {
+        let s = session();
+        let ok = body(
+            r#"{"design":{"array_dim":64,"sram_kib_per_bank":128},"constraints":{"fps":1.0}}"#,
+        );
+        let queries = vec![
+            Query::screen(ok.clone()),
+            Query::evaluate(body(r#"{}"#)),
+            Query::evaluate(ok),
+        ];
+        let results = s.run_batch(&queries);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].as_ref().unwrap_err().status, 400);
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn stats_count_requests() {
+        let s = session();
+        let ok = body(
+            r#"{"design":{"array_dim":64,"sram_kib_per_bank":128},"constraints":{"fps":1.0}}"#,
+        );
+        s.run(&Query::evaluate(ok.clone())).unwrap();
+        s.run(&Query::screen(ok)).unwrap();
+        s.run(&Query::evaluate(body(r#"{}"#))).unwrap_err();
+        let stats = s.stats_json();
+        assert_eq!(stats.get("evaluated").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("screened").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("rejected").and_then(Json::as_u64), Some(1));
+        assert!(stats.get("eval_cache").is_some());
+    }
+}

@@ -25,7 +25,10 @@
 //!   atomic load when off), replacing `fail`/`failpoints`;
 //! * [`hash`] — FNV-1a, a stable 64-bit hash for checksums and per-site
 //!   seeds, where `std::hash`'s per-process randomization would break
-//!   reproducibility.
+//!   reproducibility;
+//! * [`http`] — a minimal HTTP/1.1 codec and blocking client over
+//!   [`std::net`] (one request per connection, `Content-Length` bodies),
+//!   replacing `hyper`/`reqwest` for the `tesa serve` daemon.
 //!
 //! Determinism is a design goal throughout: the RNG is seed-for-seed
 //! reproducible across platforms, and `propcheck` replays any failure from
@@ -41,6 +44,7 @@
 pub mod bench;
 pub mod faultpoint;
 pub mod hash;
+pub mod http;
 pub mod json;
 pub mod pool;
 pub mod propcheck;
