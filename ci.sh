@@ -120,6 +120,15 @@ if [[ "$(nproc)" -ge 4 ]]; then
             --speedup "thermal/solve/$stack/64/threads1=thermal/solve/$stack/64" \
             --min-speedup "${TESA_BENCH_MIN_THERMAL_SPEEDUP:-1.5}"
     done
+    # Multi-RHS batching must pay for itself: one lockstep batch of eight
+    # same-model solves has to beat eight serial solves of the identical
+    # systems by >=1.5x within this run's artifact. If this fails, the
+    # fused sweeps are not amortizing the matrix traversal and the batched
+    # evaluate/screen/sweep paths are plumbing without a payoff.
+    cargo run -q --offline --release -p tesa-bench --bin bench_guard -- \
+        BENCH_thermal.json \
+        --speedup "thermal/batch/2d_4layer/64/batch1_x8=thermal/batch/2d_4layer/64/batch8" \
+        --min-speedup "${TESA_BENCH_MIN_BATCH_SPEEDUP:-1.5}"
     # Screening + speculation must pay for themselves: the spec variant
     # is never allowed to be slower than the serial cold-cache anneal
     # (min-speedup 1.0 — the accelerations auto-disable when they cannot

@@ -10,6 +10,13 @@
 //! isolates scheduling overhead and scaling from evaluation cost. On a
 //! single-core runner the two collapse to the same work; the artifact
 //! (`BENCH_sweep.json`) still tracks the pool's dispatch overhead there.
+//!
+//! The sweep now runs through the eval memo (`evaluate_cached_batch`), so
+//! each timed iteration clears the result memos first — otherwise every
+//! iteration after the first would measure twelve hash probes instead of
+//! twelve evaluations. The model memos (performance, thermal, surrogate)
+//! stay warm across iterations, as before. `sweep/small_space_memo_warm`
+//! pins the probe-only cost so the memo fast path has its own trend line.
 
 use tesa::design::{DesignSpace, Integration};
 use tesa::eval::{EvalOptions, Evaluator};
@@ -36,11 +43,20 @@ fn main() {
     sweep(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, 1);
 
     runner.bench("sweep/small_space_serial", || {
+        evaluator.clear_result_memos();
         sweep(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, 1)
     });
 
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).max(2);
     runner.bench("sweep/small_space_pooled", || {
+        evaluator.clear_result_memos();
+        sweep(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, threads)
+    });
+
+    // Fully memoized repeat: every design is an eval-memo hit, so this is
+    // the per-sweep floor a warmed long-lived host (e.g. `tesa serve`)
+    // pays for a repeated space.
+    runner.bench("sweep/small_space_memo_warm", || {
         sweep(&evaluator, &space, Integration::TwoD, 400, &constraints, &objective, threads)
     });
 

@@ -81,6 +81,35 @@ fn main() {
         runner.bench(&format!("thermal/solve/3d_6layer/64/threads{k}"), || m3.solve(&p3));
     }
 
+    // Multi-RHS batching at the production solve size: eight independent
+    // power maps on one model, solved either one at a time (`batch1_x8`,
+    // the serial baseline), as two lockstep batches of four (`batch4_x2`),
+    // or as one lockstep batch of eight (`batch8`). All three rows do the
+    // same total work — eight steady-state solves — so their medians are
+    // directly comparable, and ci.sh gates batch8 against batch1_x8 on
+    // multi-core runners. Per-map wattage varies so the systems converge
+    // at different iterations, exercising lane retirement.
+    {
+        let m = model_2d(64);
+        let maps: Vec<_> = (0..8)
+            .map(|i| {
+                let mut p = m.zero_power();
+                let w = 1.6 + 0.1 * f64::from(i);
+                p.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), w);
+                p.add_uniform_rect(1, Rect::new(4.4e-3, 4.4e-3, 2.4e-3, 2.4e-3), 2.0);
+                p
+            })
+            .collect();
+        let refs: Vec<&_> = maps.iter().collect();
+        runner.bench("thermal/batch/2d_4layer/64/batch1_x8", || {
+            maps.iter().map(|p| m.solve(p)).collect::<Vec<_>>()
+        });
+        runner.bench("thermal/batch/2d_4layer/64/batch4_x2", || {
+            (m.solve_batch(&refs[..4]), m.solve_batch(&refs[4..]))
+        });
+        runner.bench("thermal/batch/2d_4layer/64/batch8", || m.solve_batch(&refs));
+    }
+
     let m = model_2d(64);
     let mut p = m.zero_power();
     p.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 2.0);

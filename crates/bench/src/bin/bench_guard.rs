@@ -22,9 +22,11 @@
 //! `ci.sh` uses the two-file form as the disabled-path overhead guard
 //! (the traced-off, speculation-off `bench_anneal` medians of the current
 //! build must stay within tolerance of the previous build's
-//! `BENCH_anneal.json`), and the `--speedup` form to require the
-//! screened+speculative cold-cache anneal to actually beat the serial one
-//! on multi-core runners.
+//! `BENCH_anneal.json`), and the `--speedup` form to require — on
+//! multi-core runners — that the screened+speculative cold-cache anneal
+//! beats the serial one, that the pooled thermal kernels beat their
+//! single-lane variants, and that a lockstep multi-RHS batch of eight
+//! thermal solves beats eight serial solves of the same systems.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;

@@ -46,6 +46,12 @@ pub struct Summary {
     cg_by_precond: BTreeMap<String, u64>,
     leak_phases: u64,
     leak_iters_total: u64,
+    batch_count: u64,
+    batch_systems: u64,
+    batch_max: u64,
+    batch_fused_sweeps: u64,
+    batch_retire_total: u64,
+    batch_by_precond: BTreeMap<String, u64>,
 }
 
 impl Summary {
@@ -118,6 +124,21 @@ impl Summary {
                     }
                     if let Some(p) = field("precond").and_then(Json::as_str) {
                         *self.cg_by_precond.entry(p.to_owned()).or_default() += 1;
+                    }
+                }
+                "thermal.batch" => {
+                    let systems = field("batch").and_then(Json::as_u64).unwrap_or(0);
+                    self.batch_count += 1;
+                    self.batch_systems += systems;
+                    self.batch_max = self.batch_max.max(systems);
+                    self.batch_fused_sweeps +=
+                        field("fused_sweeps").and_then(Json::as_u64).unwrap_or(0);
+                    if let Some(retires) = field("retire_iters").and_then(Json::as_array) {
+                        self.batch_retire_total +=
+                            retires.iter().filter_map(Json::as_u64).sum::<u64>();
+                    }
+                    if let Some(p) = field("precond").and_then(Json::as_str) {
+                        *self.batch_by_precond.entry(p.to_owned()).or_default() += 1;
                     }
                 }
                 "eval.phase" => {
@@ -292,6 +313,24 @@ impl Summary {
             }
         }
 
+        if self.batch_count > 0 {
+            out.push_str(&format!(
+                "\nbatched solves: {} batches, {} systems (largest {}, mean size {:.1})\n",
+                self.batch_count,
+                self.batch_systems,
+                self.batch_max,
+                self.batch_systems as f64 / self.batch_count as f64,
+            ));
+            out.push_str(&format!(
+                "  {} fused multi-RHS sweeps; mean retire iteration {:.1}\n",
+                self.batch_fused_sweeps,
+                self.batch_retire_total as f64 / self.batch_systems.max(1) as f64,
+            ));
+            for (p, n) in &self.batch_by_precond {
+                out.push_str(&format!("  preconditioner {p}: {n} batches\n"));
+            }
+        }
+
         // Counters other than those already folded into sections above.
         let misc: Vec<_> = self
             .counters
@@ -340,6 +379,8 @@ mod tests {
             r#"{"ts_us":9,"tid":0,"kind":"event","name":"thermal.cg","f":{"n":4096,"precond":"multigrid","warm":false,"iters":12,"residual":1e-10}}"#,
             r#"{"ts_us":10,"tid":0,"kind":"event","name":"thermal.cg","f":{"n":4096,"precond":"multigrid","warm":true,"iters":4,"residual":2e-10}}"#,
             r#"{"ts_us":11,"tid":0,"kind":"event","name":"eval.phase","f":{"leak_iters":3,"power_w":9.5,"peak_c":71.0,"runaway":false}}"#,
+            r#"{"ts_us":11,"tid":0,"kind":"event","name":"thermal.batch","f":{"n":4096,"batch":3,"precond":"multigrid","fused_sweeps":40,"retire_iters":[12,9,15]}}"#,
+            r#"{"ts_us":12,"tid":0,"kind":"event","name":"thermal.batch","f":{"n":256,"batch":2,"precond":"surrogate","fused_sweeps":30,"retire_iters":[10,14]}}"#,
             r#"{"ts_us":12,"tid":0,"kind":"counter","name":"eval.surrogate.screened","value":1}"#,
             r#"{"ts_us":13,"tid":0,"kind":"counter","name":"eval.surrogate.screened","value":1}"#,
             r#"{"ts_us":14,"tid":0,"kind":"counter","name":"eval.surrogate.screened","value":1}"#,
@@ -355,7 +396,7 @@ mod tests {
     #[test]
     fn aggregates_the_headline_ratios() {
         let s = Summary::from_jsonl(&sample_trace()).expect("valid trace");
-        assert_eq!(s.events, 19);
+        assert_eq!(s.events, 21);
         assert_eq!(s.threads.len(), 2);
         assert!((s.msa_acceptance_rate().unwrap() - 0.4).abs() < 1e-12);
         assert!((s.cache_hit_ratio().unwrap() - 2.0 / 3.0).abs() < 1e-12);
@@ -366,6 +407,13 @@ mod tests {
         // (the wasted counter carries the flushed batch size as its value).
         assert!((s.screen_decisive_ratio().unwrap() - 0.75).abs() < 1e-12);
         assert!((s.spec_hit_ratio().unwrap() - 0.6).abs() < 1e-12);
+        // Two thermal.batch events: 3 + 2 systems, 40 + 30 fused sweeps,
+        // retire iterations totalling 60 over 5 systems.
+        assert_eq!(s.batch_count, 2);
+        assert_eq!(s.batch_systems, 5);
+        assert_eq!(s.batch_max, 3);
+        assert_eq!(s.batch_fused_sweeps, 70);
+        assert_eq!(s.batch_retire_total, 60);
     }
 
     #[test]
@@ -383,6 +431,9 @@ mod tests {
             "thermal CG: 2 solves",
             "preconditioner multigrid: 2 solves",
             "leakage co-iteration: 1 phases",
+            "batched solves: 2 batches, 5 systems (largest 3, mean size 2.5)",
+            "70 fused multi-RHS sweeps; mean retire iteration 12.0",
+            "preconditioner surrogate: 1 batches",
         ] {
             assert!(r.contains(needle), "report missing {needle:?}:\n{r}");
         }
@@ -424,7 +475,7 @@ mod tests {
     fn malformed_line_is_reported_with_its_number() {
         let text = format!("{}\nnot json\n", sample_trace());
         let err = Summary::from_jsonl(&text).expect_err("must fail");
-        assert!(err.starts_with("line 20:"), "{err}");
+        assert!(err.starts_with("line 22:"), "{err}");
     }
 
     #[test]

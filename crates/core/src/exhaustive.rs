@@ -6,7 +6,6 @@ use crate::constraints::Constraints;
 use crate::design::{DesignSpace, Integration, McmDesign};
 use crate::eval::{Evaluator, McmEvaluation};
 use crate::objective::Objective;
-use tesa_util::pool;
 
 /// A compact per-design record kept for every point of a sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,15 +47,19 @@ impl SweepResult {
 }
 
 /// Exhaustively evaluates every design in `space` (one integration and
-/// frequency), in parallel across `threads` worker threads, and returns the
-/// global optimum of `objective` among feasible designs.
+/// frequency), and returns the global optimum of `objective` among
+/// feasible designs.
 ///
-/// The workers share a work-stealing scheduler
-/// ([`tesa_util::pool::map_dynamic`]) rather than static chunks:
-/// per-design cost varies by an order of magnitude (lazy-rejected
-/// infeasible points vs full leakage co-iteration), so a static split
-/// leaves whole threads idle behind the unluckiest chunk. Results come
-/// back in enumeration order regardless of which worker evaluated what.
+/// The sweep runs through [`Evaluator::evaluate_cached_batch`]: the cheap
+/// pre-thermal pipeline fans out across `threads` pool workers, and
+/// designs sharing a thermal model then solve their per-phase analyses as
+/// lockstep multi-RHS batches, so the solver-bound bulk of the sweep is
+/// parallelized *inside* the fused thermal kernels rather than by pinning
+/// whole designs to workers (which would force every nested thermal
+/// kernel inline — see DESIGN.md §19 for the measured consequence). Only
+/// actual memo misses enter the work distribution, so repeat sweeps over
+/// a warmed evaluator cost a probe per design. Results are identical, bit
+/// for bit, to evaluating each design serially, in enumeration order.
 ///
 /// # Panics
 ///
@@ -72,10 +75,13 @@ pub fn sweep(
 ) -> SweepResult {
     assert!(threads > 0, "need at least one worker thread");
     let designs: Vec<McmDesign> = space.designs(integration, freq_mhz).collect();
-    let points: Vec<SweepPoint> = pool::map_dynamic(threads, designs.len(), |i| {
-        let d = &designs[i];
-        let e = evaluator.evaluate(d, constraints);
-        SweepPoint {
+    let queries: Vec<(&McmDesign, &Constraints)> =
+        designs.iter().map(|d| (d, constraints)).collect();
+    let evals = evaluator.evaluate_cached_batch(&queries, threads);
+    let points: Vec<SweepPoint> = designs
+        .iter()
+        .zip(&evals)
+        .map(|(d, e)| SweepPoint {
             design: *d,
             objective: e.objective(objective),
             feasible: e.is_feasible(),
@@ -84,8 +90,8 @@ pub fn sweep(
             mcm_cost_usd: e.mcm_cost_usd,
             dram_power_w: e.dram_power_w,
             chiplets: e.mesh.map_or(0, |m| m.count()),
-        }
-    });
+        })
+        .collect();
 
     let feasible_count = points.iter().filter(|p| p.feasible).count();
     let best_design = points
@@ -93,7 +99,8 @@ pub fn sweep(
         .filter(|p| p.feasible)
         .min_by(|a, b| a.objective.partial_cmp(&b.objective).expect("finite objective"))
         .map(|p| p.design);
-    let best = best_design.map(|d| evaluator.evaluate(&d, constraints));
+    let best =
+        best_design.map(|d| McmEvaluation::clone(&evaluator.evaluate_cached(&d, constraints)));
     SweepResult { best, points, feasible_count }
 }
 

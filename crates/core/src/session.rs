@@ -261,12 +261,48 @@ impl Session {
         result
     }
 
-    /// Runs a micro-batch of queries concurrently on the persistent
-    /// worker pool ([`pool::map_dynamic`]), returning one result per
-    /// query in order. This is what makes concurrent `/evaluate` bodies
-    /// cheaper than serial: distinct designs solve on distinct lanes.
+    /// Runs a micro-batch of queries, returning one result per query in
+    /// order.
+    ///
+    /// Well-formed `/evaluate` bodies are decoded up front and dispatched
+    /// together through [`Evaluator::evaluate_cached_batch`], which groups
+    /// designs sharing a thermal model and solves their per-phase thermal
+    /// analyses as lockstep multi-RHS batches — one fused stencil sweep
+    /// advances every design in a group, instead of each design solving
+    /// alone on its own lane. Responses are byte-identical to serial
+    /// [`Session::run`] calls. Everything else (screens, malformed
+    /// bodies) keeps the pooled per-query path.
     pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<Json, ApiError>> {
-        pool::map_dynamic(pool::default_lanes(), queries.len(), |i| self.run(&queries[i]))
+        let decoded: Vec<Option<(McmDesign, Constraints)>> = queries
+            .iter()
+            .map(|q| match q.endpoint {
+                Endpoint::Evaluate => design_from_json(&q.body)
+                    .ok()
+                    .zip(constraints_from_json(&q.body).ok()),
+                Endpoint::Screen => None,
+            })
+            .collect();
+        let grouped: Vec<usize> =
+            (0..queries.len()).filter(|&i| decoded[i].is_some()).collect();
+        let mut batched: Vec<Option<Json>> = vec![None; queries.len()];
+        if grouped.len() >= 2 {
+            let pairs: Vec<(&McmDesign, &Constraints)> = grouped
+                .iter()
+                .map(|&i| {
+                    let (d, c) = decoded[i].as_ref().expect("grouped query decoded");
+                    (d, c)
+                })
+                .collect();
+            let evals = self.evaluator.evaluate_cached_batch(&pairs, pool::default_lanes());
+            for (&i, eval) in grouped.iter().zip(&evals) {
+                batched[i] = Some(report::evaluation_json(eval));
+                self.evaluated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        pool::map_dynamic(pool::default_lanes(), queries.len(), |i| match &batched[i] {
+            Some(response) => Ok(response.clone()),
+            None => self.run(&queries[i]),
+        })
     }
 
     fn evaluate_body(&self, body: &Json) -> Result<Json, ApiError> {

@@ -55,7 +55,7 @@ mod surrogate;
 
 pub use field::ThermalField;
 pub use geometry::Rect;
-pub use model::{Preconditioner, SolveError, SolveQuality, ThermalModel};
+pub use model::{BatchSolveRequest, Preconditioner, SolveError, SolveQuality, ThermalModel};
 pub use power::PowerMap;
 pub use stack::StackBuilder;
 pub use surrogate::{Surrogate, SurrogateSolution};

@@ -1,9 +1,9 @@
 //! Conductance-network assembly and the public solve API.
 
 use crate::field::ThermalField;
-use crate::multigrid::{Multigrid, MgScratch};
+use crate::multigrid::{Multigrid, MgScratch, MgScratchMulti};
 use crate::power::PowerMap;
-use crate::solver::{self, CgOutcome, CgScratch};
+use crate::solver::{self, dispatch_width, eff_width, CgMultiScratch, CgOutcome, CgScratch};
 use crate::stack::LayerDef;
 
 use std::sync::{Arc, Mutex};
@@ -106,6 +106,34 @@ impl Clone for ScratchPool {
     }
 }
 
+/// Pooled workspaces for batched multi-RHS solves: the interleaved CG and
+/// V-cycle scratch plus the interleaved right-hand side.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    cg: CgMultiScratch,
+    mg: MgScratchMulti,
+    rhs: Vec<f64>,
+}
+
+#[derive(Debug, Default)]
+struct BatchScratchPool(Mutex<Vec<BatchScratch>>);
+
+impl BatchScratchPool {
+    fn take(&self) -> BatchScratch {
+        self.0.lock().expect("batch scratch pool poisoned").pop().unwrap_or_default()
+    }
+
+    fn put(&self, s: BatchScratch) {
+        self.0.lock().expect("batch scratch pool poisoned").push(s);
+    }
+}
+
+impl Clone for BatchScratchPool {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
 /// Transient-solve diagonals for one step size: `C/dt` and `diag + C/dt`.
 /// Cached on the model because schedule transients take thousands of equal
 /// steps.
@@ -160,7 +188,18 @@ pub struct ThermalModel {
     /// [`ThermalModel::set_parallel_lanes`]).
     lanes: usize,
     scratch: ScratchPool,
+    batch_scratch: BatchScratchPool,
     transient_diags: TransientCache,
+}
+
+/// One right-hand side of a batched [`ThermalModel::solve_batch_recoverable`]
+/// call: an injected power map plus an optional warm-start field.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSolveRequest<'a> {
+    /// Injected power for this system.
+    pub power: &'a PowerMap,
+    /// Previous solution to warm-start from (length must match the grid).
+    pub guess: Option<&'a [f64]>,
 }
 
 /// `y = A x` for a conductance network, in gather form: every output cell
@@ -276,6 +315,140 @@ fn apply_rows(
             for ix in 0..nx {
                 out_row[ix] -= gzrow[ix] * xabove[ix];
             }
+        }
+    }
+}
+
+/// [`apply_network`] over k interleaved `[node][rhs]` systems: one fused
+/// pass over the conductance arrays applies the operator to every system.
+/// Per system the per-element accumulation order is exactly the serial
+/// kernel's (and every output element is computed independently), so each
+/// system's result is bit-identical to a serial [`apply_network`] for any
+/// chunking and lane count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_network_multi(
+    nx: usize,
+    ny: usize,
+    nl: usize,
+    gx: &[f64],
+    gy: &[f64],
+    gz: &[f64],
+    diag: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    lanes: usize,
+    k: usize,
+) {
+    let n = nl * ny * nx;
+    debug_assert_eq!(x.len(), n * k);
+    debug_assert_eq!(y.len(), n * k);
+    let total_rows = nl * ny;
+    let lanes = if n >= PAR_MIN_NODES { lanes.min(total_rows).max(1) } else { 1 };
+    if lanes <= 1 {
+        dispatch_width!(k, apply_rows_multi(nx, ny, nl, gx, gy, gz, diag, x, 0, total_rows, y, k));
+        return;
+    }
+    let span = total_rows.div_ceil(lanes);
+    let mut items: Vec<(usize, &mut [f64])> = Vec::with_capacity(lanes);
+    let mut rest = y;
+    let mut row0 = 0;
+    while row0 < total_rows {
+        let rows = span.min(total_rows - row0);
+        let (chunk, tail) = rest.split_at_mut(rows * nx * k);
+        rest = tail;
+        items.push((row0, chunk));
+        row0 += rows;
+    }
+    tesa_util::pool::global().scatter(lanes, items, |_, (start, chunk)| {
+        let rows = chunk.len() / (nx * k);
+        dispatch_width!(
+            k,
+            apply_rows_multi(nx, ny, nl, gx, gy, gz, diag, x, start, start + rows, chunk, k)
+        );
+    });
+}
+
+/// One directional pass's scale step: `oc = dv * xc` per k-wide cell.
+/// Kept out-of-line so the optimizer sees a tiny loop with no surrounding
+/// aliasing to reason about — inlined into the six-pass body it refuses to
+/// vectorize the k-wide inner loops.
+#[inline(never)]
+fn scale_pass<const KW: usize>(out_row: &mut [f64], xrow: &[f64], coeff: &[f64], k: usize) {
+    let k = eff_width(KW, k);
+    for ((oc, xc), &cv) in out_row.chunks_exact_mut(k).zip(xrow.chunks_exact(k)).zip(coeff) {
+        for s in 0..k {
+            oc[s] = cv * xc[s];
+        }
+    }
+}
+
+/// One directional pass's subtract step: `oc -= gv * xc` per k-wide cell.
+/// Same out-of-line rationale as [`scale_pass`].
+#[inline(never)]
+fn sub_pass<const KW: usize>(out_row: &mut [f64], xrow: &[f64], coeff: &[f64], k: usize) {
+    let k = eff_width(KW, k);
+    for ((oc, xc), &gv) in out_row.chunks_exact_mut(k).zip(xrow.chunks_exact(k)).zip(coeff) {
+        for s in 0..k {
+            oc[s] -= gv * xc[s];
+        }
+    }
+}
+
+/// [`apply_rows`] over k interleaved systems: the same six directional
+/// passes, each widened to a k-element inner loop per cell and delegated to
+/// [`scale_pass`]/[`sub_pass`]. Per system the per-element accumulation
+/// order (diag, left, right, down, up, below, above) matches the serial
+/// kernel exactly, so the results are bit-identical; the helpers and the
+/// const width (`KW`, via [`dispatch_width!`]) only change codegen.
+#[allow(clippy::too_many_arguments)]
+fn apply_rows_multi<const KW: usize>(
+    nx: usize,
+    ny: usize,
+    nl: usize,
+    gx: &[f64],
+    gy: &[f64],
+    gz: &[f64],
+    diag: &[f64],
+    x: &[f64],
+    row_start: usize,
+    row_end: usize,
+    out: &mut [f64],
+    k: usize,
+) {
+    let k = eff_width(KW, k);
+    let plane = ny * nx;
+    let w = nx * k;
+    for row in row_start..row_end {
+        let l = row / ny;
+        let iy = row % ny;
+        let base = row * w;
+        let o = (row - row_start) * w;
+        let out_row = &mut out[o..o + w];
+        let xrow = &x[base..base + w];
+        let drow = &diag[row * nx..row * nx + nx];
+        scale_pass::<KW>(out_row, xrow, drow, k);
+        if nx > 1 {
+            let gxrow = &gx[l * ny * (nx - 1) + iy * (nx - 1)..][..nx - 1];
+            // Left neighbor: cells 1..nx read cells 0..nx-1.
+            sub_pass::<KW>(&mut out_row[k..], &xrow[..w - k], gxrow, k);
+            // Right neighbor: cells 0..nx-1 read cells 1..nx.
+            sub_pass::<KW>(&mut out_row[..w - k], &xrow[k..], gxrow, k);
+        }
+        if iy > 0 {
+            let gyrow = &gy[l * (ny - 1) * nx + (iy - 1) * nx..][..nx];
+            sub_pass::<KW>(out_row, &x[base - w..base], gyrow, k);
+        }
+        if iy + 1 < ny {
+            let gyrow = &gy[l * (ny - 1) * nx + iy * nx..][..nx];
+            sub_pass::<KW>(out_row, &x[base + w..base + 2 * w], gyrow, k);
+        }
+        if l > 0 {
+            let gzrow = &gz[(l - 1) * plane + iy * nx..][..nx];
+            sub_pass::<KW>(out_row, &x[base - plane * k..base - plane * k + w], gzrow, k);
+        }
+        if l + 1 < nl {
+            let gzrow = &gz[l * plane + iy * nx..][..nx];
+            sub_pass::<KW>(out_row, &x[base + plane * k..base + plane * k + w], gzrow, k);
         }
     }
 }
@@ -464,6 +637,7 @@ impl ThermalModel {
             mg,
             lanes: tesa_util::pool::global().lanes(),
             scratch: ScratchPool::default(),
+            batch_scratch: BatchScratchPool::default(),
             transient_diags: TransientCache::default(),
         }
     }
@@ -714,6 +888,300 @@ impl ThermalModel {
             }
             CgOutcome::MaxIterations { residual } => Err(SolveError { residual }),
         }
+    }
+
+    /// Applies the conductance matrix to k interleaved systems.
+    fn apply_multi(&self, x: &[f64], y: &mut [f64], k: usize) {
+        apply_network_multi(
+            self.nx, self.ny, self.nl, &self.gx, &self.gy, &self.gz, &self.diag, x, y, self.lanes,
+            k,
+        );
+    }
+
+    /// One batched steady-state CG attempt over `systems` (power, warm
+    /// flag, tolerance), with initial iterates interleaved in `xs`. Emits
+    /// the same per-system `thermal.cg` events a serial loop would, plus
+    /// one `thermal.batch` event when more than one system actually shares
+    /// the fused sweeps. A single-system batch delegates to the serial
+    /// path verbatim.
+    fn steady_solve_outcome_multi(
+        &self,
+        systems: &[(&PowerMap, bool, solver::Tolerance)],
+        xs: &mut [f64],
+        force_jacobi: bool,
+    ) -> Vec<CgOutcome> {
+        let k = systems.len();
+        let n = self.nl * self.ny * self.nx;
+        if k == 1 {
+            let (power, warm, tol) = systems[0];
+            return vec![self.steady_solve_outcome(power, xs, warm, force_jacobi, tol)];
+        }
+        assert_eq!(xs.len(), n * k, "interleaved iterate must be n * k");
+        let mut s = self.batch_scratch.take();
+        let BatchScratch { cg, mg: mgs, rhs } = &mut s;
+        rhs.clear();
+        rhs.resize(n * k, 0.0);
+        for (sy, (power, _, _)) in systems.iter().enumerate() {
+            assert_eq!(power.watts.len(), n, "power map does not match this model's grid");
+            for (i, &p) in power.watts.iter().enumerate() {
+                rhs[i * k + sy] = p;
+            }
+        }
+        let top = (self.nl - 1) * self.ny * self.nx;
+        for c in 0..self.ny * self.nx {
+            let anchor = self.gamb[c] * self.ambient_c;
+            for slot in &mut rhs[(top + c) * k..(top + c + 1) * k] {
+                *slot += anchor;
+            }
+        }
+        let tols: Vec<solver::Tolerance> = systems.iter().map(|&(_, _, tol)| tol).collect();
+        let mg = if force_jacobi { None } else { self.mg.as_ref() };
+        let used_mg = mg.is_some();
+        let result = match mg {
+            Some(mg) => solver::preconditioned_cg_multi(
+                |v, out, kw| self.apply_multi(v, out, kw),
+                |r, z, kw| mg.vcycle_multi(r, z, mgs, self.lanes, kw),
+                rhs,
+                xs,
+                n,
+                &tols,
+                cg,
+                self.lanes,
+            ),
+            None => solver::preconditioned_cg_multi(
+                |v, out, kw| self.apply_multi(v, out, kw),
+                |r: &[f64], z: &mut [f64], kw: usize| {
+                    for ((zc, rc), &d) in
+                        z.chunks_exact_mut(kw).zip(r.chunks_exact(kw)).zip(&self.diag)
+                    {
+                        for (zi, &ri) in zc.iter_mut().zip(rc) {
+                            *zi = ri / d;
+                        }
+                    }
+                },
+                rhs,
+                xs,
+                n,
+                &tols,
+                cg,
+                self.lanes,
+            ),
+        };
+        self.batch_scratch.put(s);
+        for (sy, &(_, warm, tol)) in systems.iter().enumerate() {
+            let outcome = result.outcomes[sy];
+            trace::event("thermal.cg", move || {
+                let (iters, residual) = outcome.stats(tol.max_iters);
+                vec![
+                    ("n", Json::U64(n as u64)),
+                    ("precond", Json::str(if used_mg { "multigrid" } else { "jacobi" })),
+                    ("warm", Json::Bool(warm)),
+                    ("iters", Json::U64(iters as u64)),
+                    ("residual", Json::F64(residual)),
+                ]
+            });
+        }
+        trace::event("thermal.batch", || {
+            let retire: Vec<Json> = result
+                .outcomes
+                .iter()
+                .zip(&tols)
+                .map(|(o, t)| Json::U64(o.stats(t.max_iters).0 as u64))
+                .collect();
+            vec![
+                ("n", Json::U64(n as u64)),
+                ("batch", Json::U64(k as u64)),
+                ("precond", Json::str(if used_mg { "multigrid" } else { "jacobi" })),
+                ("fused_sweeps", Json::U64(result.fused_sweeps)),
+                ("retire_iters", Json::Arr(retire)),
+            ]
+        });
+        result.outcomes
+    }
+
+    /// Batched [`ThermalModel::solve_recoverable`]: solves every request's
+    /// steady state through one multi-RHS CG run per degradation-ladder
+    /// rung, sharing each fused stencil sweep across all unretired
+    /// systems. Every request's field, quality, and error are bit-identical
+    /// to a serial `solve_recoverable` of that request alone, and the
+    /// fault-injection sites fire once per request in request order exactly
+    /// as a serial loop over the batch would fire them.
+    ///
+    /// # Errors
+    ///
+    /// Per request, [`SolveError`] when both ladder rungs fail to converge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `power` or `guess` was created for a different grid.
+    pub fn solve_batch_recoverable(
+        &self,
+        requests: &[BatchSolveRequest<'_>],
+    ) -> Vec<Result<(ThermalField, SolveQuality), SolveError>> {
+        let k = requests.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        if k == 1 {
+            return vec![self.solve_recoverable(requests[0].power, requests[0].guess)];
+        }
+        let n = self.nl * self.ny * self.nx;
+
+        // Fire the per-request fault sites in request order, exactly as a
+        // serial loop over the requests would (the schedules are per-site).
+        struct Primary {
+            diverged: bool,
+            warm: bool,
+            tol: solver::Tolerance,
+        }
+        let primaries: Vec<Primary> = requests
+            .iter()
+            .map(|req| {
+                if let Some(g) = req.guess {
+                    assert_eq!(g.len(), n, "warm-start guess has the wrong length");
+                }
+                if faultpoint::fire("thermal.cg.diverge") {
+                    Primary { diverged: true, warm: false, tol: solver::Tolerance::default() }
+                } else {
+                    let tol = if faultpoint::fire("thermal.cg.budget") {
+                        solver::Tolerance { max_iters: 1, ..solver::Tolerance::default() }
+                    } else {
+                        solver::Tolerance::default()
+                    };
+                    Primary { diverged: false, warm: req.guess.is_some(), tol }
+                }
+            })
+            .collect();
+
+        // Batch the non-diverged primaries through the multi engine.
+        let live: Vec<usize> = (0..k).filter(|&i| !primaries[i].diverged).collect();
+        let mut primary_outcomes: Vec<CgOutcome> =
+            vec![CgOutcome::MaxIterations { residual: f64::INFINITY }; k];
+        let mut xs = vec![0.0; n * live.len()];
+        if !live.is_empty() {
+            let kl = live.len();
+            for (sy, &i) in live.iter().enumerate() {
+                match requests[i].guess {
+                    Some(g) => {
+                        for (node, &v) in g.iter().enumerate() {
+                            xs[node * kl + sy] = v;
+                        }
+                    }
+                    None => {
+                        for node in 0..n {
+                            xs[node * kl + sy] = self.ambient_c;
+                        }
+                    }
+                }
+            }
+            let systems: Vec<(&PowerMap, bool, solver::Tolerance)> = live
+                .iter()
+                .map(|&i| (requests[i].power, primaries[i].warm, primaries[i].tol))
+                .collect();
+            let outcomes = self.steady_solve_outcome_multi(&systems, &mut xs, false);
+            for (sy, &i) in live.iter().enumerate() {
+                primary_outcomes[i] = outcomes[sy];
+            }
+        }
+
+        // Classify, firing the fallback sites in request order.
+        struct Fallback {
+            failed_residual: f64,
+            skipped: bool,
+        }
+        let mut fallbacks: Vec<Option<Fallback>> = Vec::with_capacity(k);
+        for outcome in &primary_outcomes {
+            match outcome {
+                CgOutcome::Converged { .. } => fallbacks.push(None),
+                CgOutcome::MaxIterations { residual } => {
+                    trace::counter("thermal.cg.degraded", 1.0);
+                    fallbacks.push(Some(Fallback {
+                        failed_residual: *residual,
+                        skipped: faultpoint::fire("thermal.cg.fallback"),
+                    }));
+                }
+            }
+        }
+
+        // Batch the cold-start Jacobi fallbacks.
+        let retry: Vec<usize> =
+            (0..k).filter(|&i| fallbacks[i].as_ref().is_some_and(|f| !f.skipped)).collect();
+        let mut fallback_outcomes: Vec<Option<CgOutcome>> = vec![None; k];
+        let mut xs2 = vec![self.ambient_c; n * retry.len()];
+        if !retry.is_empty() {
+            let systems: Vec<(&PowerMap, bool, solver::Tolerance)> = retry
+                .iter()
+                .map(|&i| (requests[i].power, false, solver::Tolerance::default()))
+                .collect();
+            let outcomes = self.steady_solve_outcome_multi(&systems, &mut xs2, true);
+            for (sy, &i) in retry.iter().enumerate() {
+                fallback_outcomes[i] = Some(outcomes[sy]);
+            }
+        }
+
+        // Assemble per-request results, de-interleaving the solved fields.
+        let field_from = |xs: &[f64], width: usize, lane: usize| -> ThermalField {
+            let temps_c: Vec<f64> = (0..n).map(|node| xs[node * width + lane]).collect();
+            ThermalField { nx: self.nx, ny: self.ny, num_layers: self.nl, temps_c }
+        };
+        (0..k)
+            .map(|i| match (&primary_outcomes[i], &fallbacks[i]) {
+                (CgOutcome::Converged { .. }, _) => {
+                    let lane = live.iter().position(|&j| j == i).expect("converged ⇒ live");
+                    Ok((field_from(&xs, live.len(), lane), SolveQuality::Full))
+                }
+                (CgOutcome::MaxIterations { .. }, Some(fb)) => {
+                    if fb.skipped {
+                        return Err(SolveError { residual: fb.failed_residual });
+                    }
+                    let lane = retry.iter().position(|&j| j == i).expect("retried ⇒ in retry");
+                    match fallback_outcomes[i].expect("retried ⇒ outcome recorded") {
+                        CgOutcome::Converged { .. } => {
+                            Ok((field_from(&xs2, retry.len(), lane), SolveQuality::DegradedJacobi))
+                        }
+                        CgOutcome::MaxIterations { residual } => Err(SolveError { residual }),
+                    }
+                }
+                (CgOutcome::MaxIterations { .. }, None) => {
+                    unreachable!("failed primaries always classify a fallback")
+                }
+            })
+            .collect()
+    }
+
+    /// Batched [`ThermalModel::solve`]: one fused multi-RHS CG run over all
+    /// power maps, cold-started from ambient. Each returned field is
+    /// bit-identical to `solve` on that power map alone.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ThermalModel::solve`], for any of the systems.
+    pub fn solve_batch(&self, powers: &[&PowerMap]) -> Vec<ThermalField> {
+        let k = powers.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        if k == 1 {
+            return vec![self.solve(powers[0])];
+        }
+        let n = self.nl * self.ny * self.nx;
+        let mut xs = vec![self.ambient_c; n * k];
+        let systems: Vec<(&PowerMap, bool, solver::Tolerance)> =
+            powers.iter().map(|&p| (p, false, solver::Tolerance::default())).collect();
+        let outcomes = self.steady_solve_outcome_multi(&systems, &mut xs, false);
+        for outcome in &outcomes {
+            if let CgOutcome::MaxIterations { residual } = outcome {
+                panic!("thermal CG failed to converge (residual {residual:e})");
+            }
+        }
+        (0..k)
+            .map(|sy| ThermalField {
+                nx: self.nx,
+                ny: self.ny,
+                num_layers: self.nl,
+                temps_c: (0..n).map(|node| xs[node * k + sy]).collect(),
+            })
+            .collect()
     }
 
     /// The cached `(C/dt, diag + C/dt)` pair for a step size, rebuilt only
@@ -1001,6 +1469,77 @@ mod tests {
         for (a, b) in field.as_slice().iter().zip(healthy.as_slice()) {
             assert!((a - b).abs() < 1e-6, "fallback diverges from healthy: {a} vs {b}");
         }
+    }
+
+    /// Batched cold-start solves must match serial `solve` bit for bit,
+    /// per system, whatever the batch width.
+    #[test]
+    fn batched_solves_match_serial_bit_for_bit() {
+        let m = production_model(Preconditioner::Multigrid);
+        let powers: Vec<PowerMap> = (0..5)
+            .map(|i| {
+                let mut p = m.zero_power();
+                let x = 1.0e-3 + f64::from(i % 2) * 3.4e-3;
+                let y = 1.0e-3 + f64::from(i / 2) * 3.4e-3;
+                p.add_uniform_rect(1, Rect::new(x, y, 2.4e-3, 2.4e-3), 1.5 + f64::from(i) * 0.4);
+                p
+            })
+            .collect();
+        let serial: Vec<ThermalField> = powers.iter().map(|p| m.solve(p)).collect();
+        let refs: Vec<&PowerMap> = powers.iter().collect();
+        let batched = m.solve_batch(&refs);
+        for (sy, (a, b)) in batched.iter().zip(&serial).enumerate() {
+            assert!(
+                a.as_slice().iter().zip(b.as_slice()).all(|(u, v)| u.to_bits() == v.to_bits()),
+                "batched field {sy} differs from serial"
+            );
+        }
+    }
+
+    /// A batched warm-started recoverable solve must match per-request
+    /// serial `solve_recoverable` calls bit for bit, including under an
+    /// injected mid-batch divergence (per-site schedules see the requests
+    /// in the same order either way).
+    #[test]
+    fn batched_recoverable_matches_serial_under_faults() {
+        let _l = fault_lock();
+        let m = production_model(Preconditioner::Multigrid);
+        let powers: Vec<PowerMap> = (0..3)
+            .map(|i| {
+                let mut p = m.zero_power();
+                p.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 1.0 + f64::from(i));
+                p
+            })
+            .collect();
+        let warm = m.solve(&powers[0]);
+        let requests: Vec<BatchSolveRequest<'_>> = powers
+            .iter()
+            .enumerate()
+            .map(|(i, power)| BatchSolveRequest {
+                power,
+                guess: (i == 1).then(|| warm.as_slice()),
+            })
+            .collect();
+        let plan = tesa_util::faultpoint::FaultPlan::new()
+            .site("thermal.cg.diverge", tesa_util::faultpoint::Trigger::Nth(2));
+        let serial: Vec<_> = {
+            let _scope = faultpoint::activate(&plan);
+            requests.iter().map(|r| m.solve_recoverable(r.power, r.guess)).collect()
+        };
+        let batched = {
+            let _scope = faultpoint::activate(&plan);
+            m.solve_batch_recoverable(&requests)
+        };
+        for (i, (s, b)) in serial.iter().zip(&batched).enumerate() {
+            let (sf, sq) = s.as_ref().expect("serial ladder holds");
+            let (bf, bq) = b.as_ref().expect("batched ladder holds");
+            assert_eq!(sq, bq, "quality differs for request {i}");
+            assert!(
+                sf.as_slice().iter().zip(bf.as_slice()).all(|(u, v)| u.to_bits() == v.to_bits()),
+                "field differs for request {i}"
+            );
+        }
+        assert_eq!(batched[1].as_ref().expect("fallback holds").1, SolveQuality::DegradedJacobi);
     }
 
     /// When the fallback rung is failed too, the ladder reports an error

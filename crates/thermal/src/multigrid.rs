@@ -41,6 +41,8 @@
 //! for any lane count; the serial path is the one-chunk special case of
 //! the same kernel.
 
+use crate::solver::{dispatch_width, eff_width};
+
 /// Stop coarsening once a level has at most this many cells per layer.
 const COARSE_CELLS: usize = 16;
 
@@ -118,6 +120,50 @@ impl MgScratch {
     }
 }
 
+/// Per-batch scratch for the multi-RHS V-cycle: the [`MgScratch`] layout
+/// widened to `[node][rhs]` interleaving at the batch width, plus a pair of
+/// per-system gather buffers for the coarsest-level direct solves. Sized
+/// for the largest width seen so far — retirement shrinks the active width
+/// mid-solve, and the kernels then use prefixes of the same allocations.
+#[derive(Debug, Default)]
+pub(crate) struct MgScratchMulti {
+    rhs: Vec<Vec<f64>>,
+    x: Vec<Vec<f64>>,
+    r: Vec<Vec<f64>>,
+    bufs: Vec<Vec<f64>>,
+    snap: Vec<f64>,
+    /// Coarsest-level per-system rhs/solution gather buffers.
+    cb: Vec<f64>,
+    cx: Vec<f64>,
+    /// Largest batch width the level vectors are sized for.
+    kmax: usize,
+}
+
+impl MgScratchMulti {
+    fn ensure(&mut self, mg: &Multigrid, lanes: usize, k: usize) {
+        if self.rhs.len() != mg.levels.len() || self.kmax < k {
+            let kk = k.max(self.kmax).max(1);
+            self.rhs = mg.levels.iter().map(|l| vec![0.0; l.n() * kk]).collect();
+            self.x = mg.levels.iter().map(|l| vec![0.0; l.n() * kk]).collect();
+            self.r = mg.levels.iter().map(|l| vec![0.0; l.n() * kk]).collect();
+            self.kmax = kk;
+        }
+        let block = mg.levels[0].nl * mg.levels[0].nx * self.kmax;
+        if self.bufs.len() != lanes || self.bufs.first().is_none_or(|b| b.len() != block) {
+            self.bufs = (0..lanes).map(|_| vec![0.0; block]).collect();
+        }
+        let snap_need = 2 * lanes * block;
+        if self.snap.len() != snap_need {
+            self.snap = vec![0.0; snap_need];
+        }
+        let n_c = mg.levels.last().expect("hierarchy is non-empty").n();
+        if self.cb.len() != n_c {
+            self.cb = vec![0.0; n_c];
+            self.cx = vec![0.0; n_c];
+        }
+    }
+}
+
 /// The `gx` row for one `(layer, iy)` pair: `nx - 1` +x-edge conductances.
 #[inline]
 fn gx_row(gx: &[f64], l: usize, iy: usize, nx: usize, ny: usize) -> &[f64] {
@@ -184,6 +230,14 @@ impl Level {
     pub(crate) fn apply(&self, x: &[f64], y: &mut [f64], lanes: usize) {
         crate::model::apply_network(
             self.nx, self.ny, self.nl, &self.gx, &self.gy, &self.gz, &self.diag, x, y, lanes,
+        );
+    }
+
+    /// `y = A x` over k interleaved `[node][rhs]` systems — one fused pass
+    /// over this level's conductance arrays.
+    pub(crate) fn apply_multi(&self, x: &[f64], y: &mut [f64], lanes: usize, k: usize) {
+        crate::model::apply_network_multi(
+            self.nx, self.ny, self.nl, &self.gx, &self.gy, &self.gz, &self.diag, x, y, lanes, k,
         );
     }
 
@@ -669,6 +723,450 @@ impl Level {
         }
     }
 
+    // --- Fused multi-RHS kernels ------------------------------------------
+    //
+    // Interleaved `[node][rhs]` counterparts of the serial V-cycle kernels
+    // above: one pass over the conductance arrays serves all k systems.
+    // Per system the arithmetic sequence (operand order, accumulation
+    // order, row partition) is exactly the serial kernel's, so every
+    // system's output is bit-identical to a serial V-cycle of that system
+    // alone — see the batching notes in `solver.rs`.
+
+    /// [`Level::bucket_rows`] for interleaved fields: rows are `nx * k`
+    /// elements wide.
+    fn bucket_rows_multi<'a>(
+        &self,
+        data: &'a mut [f64],
+        span: usize,
+        nc: usize,
+        k: usize,
+    ) -> Vec<Vec<&'a mut [f64]>> {
+        let mut groups: Vec<Vec<&'a mut [f64]>> =
+            (0..nc).map(|_| Vec::with_capacity(self.nl * span)).collect();
+        for (r, row) in data.chunks_mut(self.nx * k).enumerate() {
+            groups[(r % self.ny) / span].push(row);
+        }
+        groups
+    }
+
+    /// [`Level::line_sweep`] over k interleaved systems: same row
+    /// partition, same boundary-row snapshots, one Thomas pass per column
+    /// solving all systems.
+    #[allow(clippy::too_many_arguments)]
+    fn line_sweep_multi(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        color: usize,
+        gather: bool,
+        bufs: &mut [Vec<f64>],
+        snap: &mut [f64],
+        lanes: usize,
+        k: usize,
+    ) {
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let plane = ny * nx;
+        let w = nx * k;
+        let block = nl * w;
+        let lanes = self.chunk_lanes(lanes);
+        if lanes <= 1 {
+            let mut rows: Vec<&mut [f64]> = x.chunks_mut(w).collect();
+            let buf = &mut bufs[0][..block];
+            dispatch_width!(
+                k,
+                self.sweep_chunk_multi(b, color, gather, 0, ny, &mut rows, None, None, buf, k)
+            );
+            return;
+        }
+        let span = ny.div_ceil(lanes);
+        let nc = ny.div_ceil(span);
+        if gather {
+            for c in 0..nc {
+                let y0 = c * span;
+                let y1 = (y0 + span).min(ny);
+                if y0 > 0 {
+                    let dst = &mut snap[2 * c * block..][..block];
+                    for l in 0..nl {
+                        let src = (l * plane + (y0 - 1) * nx) * k;
+                        dst[l * w..(l + 1) * w].copy_from_slice(&x[src..src + w]);
+                    }
+                }
+                if y1 < ny {
+                    let dst = &mut snap[(2 * c + 1) * block..][..block];
+                    for l in 0..nl {
+                        let src = (l * plane + y1 * nx) * k;
+                        dst[l * w..(l + 1) * w].copy_from_slice(&x[src..src + w]);
+                    }
+                }
+            }
+        }
+        let snap: &[f64] = snap;
+        let groups = self.bucket_rows_multi(x, span, nc, k);
+        type SweepItem<'a> = (usize, Vec<&'a mut [f64]>, &'a mut [f64]);
+        let items: Vec<SweepItem<'_>> = groups
+            .into_iter()
+            .zip(bufs.iter_mut())
+            .enumerate()
+            .map(|(c, (rows, buf))| (c, rows, &mut buf[..block]))
+            .collect();
+        tesa_util::pool::global().scatter(lanes, items, |_, (c, mut rows, buf)| {
+            let y0 = c * span;
+            let y1 = (y0 + span).min(ny);
+            let prev = (gather && y0 > 0).then(|| &snap[2 * c * block..][..block]);
+            let next = (gather && y1 < ny).then(|| &snap[(2 * c + 1) * block..][..block]);
+            dispatch_width!(
+                k,
+                self.sweep_chunk_multi(b, color, gather, y0, y1, &mut rows, prev, next, buf, k)
+            );
+        });
+    }
+
+    /// [`Level::sweep_chunk`] over k interleaved systems. Rows (and the
+    /// `prev`/`next` snapshots, and `buf`) are `k` times as wide; every
+    /// scalar operation of the serial chunk becomes a k-wide inner loop in
+    /// the identical order. `KW` (via [`dispatch_width!`]) makes the width
+    /// a compile-time constant so those inner loops unroll and vectorize.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_chunk_multi<const KW: usize>(
+        &self,
+        b: &[f64],
+        color: usize,
+        gather: bool,
+        y0: usize,
+        y1: usize,
+        rows: &mut [&mut [f64]],
+        prev: Option<&[f64]>,
+        next: Option<&[f64]>,
+        buf: &mut [f64],
+        k: usize,
+    ) {
+        let k = eff_width(KW, k);
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let plane = ny * nx;
+        let cny = y1 - y0;
+        let w = nx * k;
+        for iy in y0..y1 {
+            let liy = iy - y0;
+            let start = (color + iy) % 2;
+            for l in 0..nl {
+                let row = (l * plane + iy * nx) * k;
+                let brow = &b[row..row + w];
+                let bufl = &mut buf[l * w..(l + 1) * w];
+                for ix in (start..nx).step_by(2) {
+                    bufl[ix * k..(ix + 1) * k].copy_from_slice(&brow[ix * k..(ix + 1) * k]);
+                }
+                if !gather {
+                    continue;
+                }
+                if nx > 1 {
+                    let xrow: &[f64] = rows[l * cny + liy];
+                    let gxrow = &gx_row(&self.gx, l, iy, nx, ny)[..nx - 1];
+                    for ix in (if start == 0 { 2 } else { start }..nx).step_by(2) {
+                        let g = gxrow[ix - 1];
+                        for s in 0..k {
+                            bufl[ix * k + s] += g * xrow[(ix - 1) * k + s];
+                        }
+                    }
+                    for ix in (start..nx - 1).step_by(2) {
+                        let g = gxrow[ix];
+                        for s in 0..k {
+                            bufl[ix * k + s] += g * xrow[(ix + 1) * k + s];
+                        }
+                    }
+                }
+                if iy > 0 {
+                    let gyrow = &self.gy[l * (ny - 1) * nx + (iy - 1) * nx..][..nx];
+                    let xprev: &[f64] = if liy == 0 {
+                        &prev.expect("interior chunk edge carries a snapshot")[l * w..][..w]
+                    } else {
+                        rows[l * cny + liy - 1]
+                    };
+                    for ix in (start..nx).step_by(2) {
+                        let g = gyrow[ix];
+                        for s in 0..k {
+                            bufl[ix * k + s] += g * xprev[ix * k + s];
+                        }
+                    }
+                }
+                if iy + 1 < ny {
+                    let gyrow = &self.gy[l * (ny - 1) * nx + iy * nx..][..nx];
+                    let xnext: &[f64] = if liy + 1 == cny {
+                        &next.expect("interior chunk edge carries a snapshot")[l * w..][..w]
+                    } else {
+                        rows[l * cny + liy + 1]
+                    };
+                    for ix in (start..nx).step_by(2) {
+                        let g = gyrow[ix];
+                        for s in 0..k {
+                            bufl[ix * k + s] += g * xnext[ix * k + s];
+                        }
+                    }
+                }
+            }
+            {
+                let invrow = &self.line_inv[iy * nx..][..nx];
+                for ix in (start..nx).step_by(2) {
+                    let inv = invrow[ix];
+                    for s in 0..k {
+                        buf[ix * k + s] *= inv;
+                    }
+                }
+            }
+            for l in 1..nl {
+                let (prevb, cur) = buf.split_at_mut(l * w);
+                let prevb = &prevb[(l - 1) * w..];
+                let cur = &mut cur[..w];
+                let gzrow = &self.gz[(l - 1) * plane + iy * nx..][..nx];
+                let invrow = &self.line_inv[l * plane + iy * nx..][..nx];
+                for ix in (start..nx).step_by(2) {
+                    let (g, inv) = (gzrow[ix], invrow[ix]);
+                    for s in 0..k {
+                        cur[ix * k + s] = (cur[ix * k + s] + g * prevb[ix * k + s]) * inv;
+                    }
+                }
+            }
+            {
+                let bufl = &buf[(nl - 1) * w..nl * w];
+                let xrow = &mut rows[(nl - 1) * cny + liy];
+                for ix in (start..nx).step_by(2) {
+                    xrow[ix * k..(ix + 1) * k].copy_from_slice(&bufl[ix * k..(ix + 1) * k]);
+                }
+            }
+            for l in (0..nl.saturating_sub(1)).rev() {
+                let (lo, hi) = rows.split_at_mut((l + 1) * cny);
+                let cur = &mut lo[l * cny + liy];
+                let above: &[f64] = hi[liy];
+                let crow = &self.line_c[l * plane + iy * nx..][..nx];
+                let bufl = &buf[l * w..(l + 1) * w];
+                for ix in (start..nx).step_by(2) {
+                    let cc = crow[ix];
+                    for s in 0..k {
+                        cur[ix * k + s] = bufl[ix * k + s] - cc * above[ix * k + s];
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Level::residual_red`] over k interleaved systems.
+    fn residual_red_multi(&self, b: &[f64], x: &[f64], res: &mut [f64], lanes: usize, k: usize) {
+        let ny = self.ny;
+        let lanes = self.chunk_lanes(lanes);
+        if lanes <= 1 {
+            let mut rows: Vec<&mut [f64]> = res.chunks_mut(self.nx * k).collect();
+            dispatch_width!(k, self.residual_chunk_multi(b, x, 0, ny, &mut rows, k));
+            return;
+        }
+        let span = ny.div_ceil(lanes);
+        let nc = ny.div_ceil(span);
+        let groups = self.bucket_rows_multi(res, span, nc, k);
+        let items: Vec<(usize, Vec<&mut [f64]>)> = groups.into_iter().enumerate().collect();
+        tesa_util::pool::global().scatter(lanes, items, |_, (c, mut rows)| {
+            let y0 = c * span;
+            let y1 = (y0 + span).min(ny);
+            dispatch_width!(k, self.residual_chunk_multi(b, x, y0, y1, &mut rows, k));
+        });
+    }
+
+    /// [`Level::residual_chunk`] over k interleaved systems.
+    fn residual_chunk_multi<const KW: usize>(
+        &self,
+        b: &[f64],
+        x: &[f64],
+        y0: usize,
+        y1: usize,
+        rows: &mut [&mut [f64]],
+        k: usize,
+    ) {
+        let k = eff_width(KW, k);
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let plane = ny * nx;
+        let cny = y1 - y0;
+        for l in 0..nl {
+            for iy in y0..y1 {
+                let start = iy % 2;
+                let row = (l * plane + iy * nx) * k;
+                let w = nx * k;
+                let xrow = &x[row..row + w];
+                let brow = &b[row..row + w];
+                let drow = &self.diag[l * plane + iy * nx..][..nx];
+                let rrow = &mut rows[l * cny + (iy - y0)];
+                rrow.fill(0.0);
+                for ix in (start..nx).step_by(2) {
+                    let d = drow[ix];
+                    for s in 0..k {
+                        rrow[ix * k + s] = brow[ix * k + s] - d * xrow[ix * k + s];
+                    }
+                }
+                if nx > 1 {
+                    let gxrow = &gx_row(&self.gx, l, iy, nx, ny)[..nx - 1];
+                    for ix in (if start == 0 { 2 } else { start }..nx).step_by(2) {
+                        let g = gxrow[ix - 1];
+                        for s in 0..k {
+                            rrow[ix * k + s] += g * xrow[(ix - 1) * k + s];
+                        }
+                    }
+                    for ix in (start..nx - 1).step_by(2) {
+                        let g = gxrow[ix];
+                        for s in 0..k {
+                            rrow[ix * k + s] += g * xrow[(ix + 1) * k + s];
+                        }
+                    }
+                }
+                if iy > 0 {
+                    let gyrow = &self.gy[l * (ny - 1) * nx + (iy - 1) * nx..][..nx];
+                    let xprev = &x[row - w..row];
+                    for ix in (start..nx).step_by(2) {
+                        let g = gyrow[ix];
+                        for s in 0..k {
+                            rrow[ix * k + s] += g * xprev[ix * k + s];
+                        }
+                    }
+                }
+                if iy + 1 < ny {
+                    let gyrow = &self.gy[l * (ny - 1) * nx + iy * nx..][..nx];
+                    let xnext = &x[row + w..row + 2 * w];
+                    for ix in (start..nx).step_by(2) {
+                        let g = gyrow[ix];
+                        for s in 0..k {
+                            rrow[ix * k + s] += g * xnext[ix * k + s];
+                        }
+                    }
+                }
+                if l > 0 {
+                    let gzrow = &self.gz[(l - 1) * plane + iy * nx..][..nx];
+                    let xbelow = &x[row - plane * k..row - plane * k + w];
+                    for ix in (start..nx).step_by(2) {
+                        let g = gzrow[ix];
+                        for s in 0..k {
+                            rrow[ix * k + s] += g * xbelow[ix * k + s];
+                        }
+                    }
+                }
+                if l + 1 < nl {
+                    let gzrow = &self.gz[l * plane + iy * nx..][..nx];
+                    let xabove = &x[row + plane * k..row + plane * k + w];
+                    for ix in (start..nx).step_by(2) {
+                        let g = gzrow[ix];
+                        for s in 0..k {
+                            rrow[ix * k + s] += g * xabove[ix * k + s];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Level::restrict_to`] over k interleaved systems.
+    pub(crate) fn restrict_to_multi(
+        &self,
+        coarse: &Level,
+        fine_r: &[f64],
+        coarse_b: &mut [f64],
+        lanes: usize,
+        k: usize,
+    ) {
+        let lanes = self.chunk_lanes(lanes).min(coarse.ny);
+        if lanes <= 1 {
+            let mut rows: Vec<&mut [f64]> = coarse_b.chunks_mut(coarse.nx * k).collect();
+            dispatch_width!(k, self.restrict_chunk_multi(fine_r, 0, coarse.ny, &mut rows, k));
+            return;
+        }
+        let span = coarse.ny.div_ceil(lanes);
+        let nc = coarse.ny.div_ceil(span);
+        let groups = coarse.bucket_rows_multi(coarse_b, span, nc, k);
+        let items: Vec<(usize, Vec<&mut [f64]>)> = groups.into_iter().enumerate().collect();
+        tesa_util::pool::global().scatter(lanes, items, |_, (c, mut rows)| {
+            let cy0 = c * span;
+            let cy1 = (cy0 + span).min(coarse.ny);
+            dispatch_width!(k, self.restrict_chunk_multi(fine_r, cy0, cy1, &mut rows, k));
+        });
+    }
+
+    /// [`Level::restrict_chunk`] over k interleaved systems: per coarse
+    /// cell and system, fine contributions accumulate `iy`-then-`ix`
+    /// ascending exactly as the serial chunk does.
+    fn restrict_chunk_multi<const KW: usize>(
+        &self,
+        fine_r: &[f64],
+        cy0: usize,
+        cy1: usize,
+        rows: &mut [&mut [f64]],
+        k: usize,
+    ) {
+        let k = eff_width(KW, k);
+        let cny = cy1 - cy0;
+        for l in 0..self.nl {
+            for ciy in cy0..cy1 {
+                let crow = &mut rows[l * cny + (ciy - cy0)];
+                crow.fill(0.0);
+                let nxc = crow.len() / k;
+                for iy in (2 * ciy)..(2 * ciy + 2).min(self.ny) {
+                    let frow = &fine_r[self.idx(l, 0, iy) * k..][..self.nx * k];
+                    for cix in 0..nxc {
+                        for fx in 2 * cix..(2 * cix + 2).min(self.nx) {
+                            for s in 0..k {
+                                crow[cix * k + s] += frow[fx * k + s];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Level::prolong_add`] over k interleaved systems.
+    fn prolong_add_multi(
+        &self,
+        coarse: &Level,
+        coarse_x: &[f64],
+        fine_x: &mut [f64],
+        lanes: usize,
+        k: usize,
+    ) {
+        let lanes = self.chunk_lanes(lanes);
+        if lanes <= 1 {
+            let mut rows: Vec<&mut [f64]> = fine_x.chunks_mut(self.nx * k).collect();
+            dispatch_width!(k, self.prolong_chunk_multi(coarse, coarse_x, 0, self.ny, &mut rows, k));
+            return;
+        }
+        let span = self.ny.div_ceil(lanes);
+        let nc = self.ny.div_ceil(span);
+        let groups = self.bucket_rows_multi(fine_x, span, nc, k);
+        let items: Vec<(usize, Vec<&mut [f64]>)> = groups.into_iter().enumerate().collect();
+        tesa_util::pool::global().scatter(lanes, items, |_, (c, mut rows)| {
+            let y0 = c * span;
+            let y1 = (y0 + span).min(self.ny);
+            dispatch_width!(k, self.prolong_chunk_multi(coarse, coarse_x, y0, y1, &mut rows, k));
+        });
+    }
+
+    /// [`Level::prolong_chunk`] over k interleaved systems.
+    fn prolong_chunk_multi<const KW: usize>(
+        &self,
+        coarse: &Level,
+        coarse_x: &[f64],
+        y0: usize,
+        y1: usize,
+        rows: &mut [&mut [f64]],
+        k: usize,
+    ) {
+        let k = eff_width(KW, k);
+        let cny = y1 - y0;
+        for l in 0..self.nl {
+            for iy in y0..y1 {
+                let frow = &mut rows[l * cny + (iy - y0)];
+                let crow = &coarse_x[coarse.idx(l, 0, iy / 2) * k..][..coarse.nx * k];
+                for ix in 0..self.nx {
+                    let cbase = (ix / 2) * k;
+                    for s in 0..k {
+                        frow[ix * k + s] += OMEGA * crow[cbase + s];
+                    }
+                }
+            }
+        }
+    }
+
     /// Dense row-major matrix of this level's operator (coarsest level
     /// only; used to compute the Cholesky factor).
     fn dense(&self) -> Vec<f64> {
@@ -849,6 +1347,77 @@ impl Multigrid {
         }
         z.copy_from_slice(&scratch.x[start]);
     }
+
+    /// [`Multigrid::vcycle`] over k interleaved systems (see
+    /// [`Multigrid::vcycle_from_multi`]).
+    pub(crate) fn vcycle_multi(
+        &self,
+        r: &[f64],
+        z: &mut [f64],
+        scratch: &mut MgScratchMulti,
+        lanes: usize,
+        k: usize,
+    ) {
+        self.vcycle_from_multi(0, r, z, scratch, lanes, k);
+    }
+
+    /// [`Multigrid::vcycle_from`] over k interleaved `[node][rhs]` systems:
+    /// every leg (smoother, residual, restriction, coarse direct solve,
+    /// prolongation) streams the level's conductance arrays once for all
+    /// systems. The coarsest level gathers each system's strided rhs and
+    /// runs the identical per-system Cholesky solve, so the whole cycle is
+    /// bit-identical per system to [`Multigrid::vcycle_from`].
+    pub(crate) fn vcycle_from_multi(
+        &self,
+        start: usize,
+        r: &[f64],
+        z: &mut [f64],
+        scratch: &mut MgScratchMulti,
+        lanes: usize,
+        k: usize,
+    ) {
+        let lanes = lanes.max(1);
+        scratch.ensure(self, lanes, k);
+        let MgScratchMulti { rhs, x, r: res, bufs, snap, cb, cx, .. } = scratch;
+        let depth = self.levels.len();
+        let nk = |li: usize| self.levels[li].n() * k;
+        rhs[start][..nk(start)].copy_from_slice(r);
+        for li in start..depth - 1 {
+            let level = &self.levels[li];
+            let coarse = &self.levels[li + 1];
+            let xl = &mut x[li][..nk(li)];
+            let b = &rhs[li][..nk(li)];
+            level.line_sweep_multi(b, xl, 0, false, bufs, snap, lanes, k);
+            level.line_sweep_multi(b, xl, 1, true, bufs, snap, lanes, k);
+            level.residual_red_multi(b, xl, &mut res[li][..nk(li)], lanes, k);
+            let (_, rtail) = rhs.split_at_mut(li + 1);
+            level.restrict_to_multi(coarse, &res[li][..nk(li)], &mut rtail[0][..nk(li + 1)], lanes, k);
+        }
+        let coarsest = depth - 1;
+        let n_c = self.levels[coarsest].n();
+        let rhs_c = &rhs[coarsest][..n_c * k];
+        let x_c = &mut x[coarsest][..n_c * k];
+        for s in 0..k {
+            for i in 0..n_c {
+                cb[i] = rhs_c[i * k + s];
+            }
+            cholesky_solve(&self.chol, n_c, cb, cx);
+            for i in 0..n_c {
+                x_c[i * k + s] = cx[i];
+            }
+        }
+        for li in (start..depth - 1).rev() {
+            let level = &self.levels[li];
+            let coarse = &self.levels[li + 1];
+            let (head, tail) = x.split_at_mut(li + 1);
+            let xl = &mut head[li][..nk(li)];
+            level.prolong_add_multi(coarse, &tail[0][..nk(li + 1)], xl, lanes, k);
+            let b = &rhs[li][..nk(li)];
+            level.line_sweep_multi(b, xl, 1, true, bufs, snap, lanes, k);
+            level.line_sweep_multi(b, xl, 0, true, bufs, snap, lanes, k);
+        }
+        z.copy_from_slice(&x[start][..nk(start)]);
+    }
 }
 
 #[cfg(test)]
@@ -988,6 +1557,51 @@ mod tests {
         fine.apply(&x, &mut ax, 1);
         for (a, bb) in ax.iter().zip(&b) {
             assert!((a - bb).abs() < 1e-9, "direct solve residual too large");
+        }
+    }
+
+    /// Each system of a multi-RHS V-cycle must reproduce the serial
+    /// V-cycle of that system bit for bit, for any lane count — including
+    /// widths that shrink between calls (retirement reuses the scratch).
+    #[test]
+    fn vcycle_multi_matches_serial_per_system() {
+        let fine = uniform_level(64, 64, 2);
+        let mg = Multigrid::build(64, 64, 2, &fine.gx, &fine.gy, &fine.gz, &fine.diag);
+        let n = fine.n();
+        let k = 3;
+        let rs: Vec<Vec<f64>> = (0..k)
+            .map(|s| (0..n).map(|i| ((i * 37 + s * 11) % 101) as f64 / 101.0 - 0.5).collect())
+            .collect();
+        let mut serial = Vec::new();
+        let mut s1 = MgScratch::default();
+        for r in &rs {
+            let mut z = vec![0.0; n];
+            mg.vcycle(r, &mut z, &mut s1, 1);
+            serial.push(z);
+        }
+        let mut ms = MgScratchMulti::default();
+        for lanes in [1, 2, 8] {
+            let mut r = vec![0.0; n * k];
+            for i in 0..n {
+                for s in 0..k {
+                    r[i * k + s] = rs[s][i];
+                }
+            }
+            let mut z = vec![0.0; n * k];
+            mg.vcycle_multi(&r, &mut z, &mut ms, lanes, k);
+            for s in 0..k {
+                for i in 0..n {
+                    assert_eq!(
+                        z[i * k + s].to_bits(),
+                        serial[s][i].to_bits(),
+                        "z[{i}] differs for system {s} at lanes={lanes}"
+                    );
+                }
+            }
+            // Shrunk width through the same scratch (mid-solve retirement).
+            let mut z1 = vec![0.0; n];
+            mg.vcycle_multi(&rs[1], &mut z1, &mut ms, lanes, 1);
+            assert!(z1.iter().zip(&serial[1]).all(|(a, b)| a.to_bits() == b.to_bits()));
         }
     }
 

@@ -263,6 +263,442 @@ pub(crate) fn jacobi<'a>(diag: &'a [f64]) -> impl FnMut(&[f64], &mut [f64]) + 'a
     }
 }
 
+// --- Batched multi-RHS CG -------------------------------------------------
+//
+// `preconditioned_cg_multi` advances k *independent* CG recurrences in
+// lockstep — per-system alpha/beta/residual, NOT block CG — sharing one
+// fused stencil sweep per iteration. Vectors are interleaved `[node][rhs]`
+// (element (i, s) lives at `i * k + s`), so one pass over the coefficient
+// arrays serves every active right-hand side. A system retires the
+// iteration it converges (or exhausts its own iteration cap): its solution
+// lane is written back and the working vectors are compacted to the
+// surviving width, so every RHS performs the exact arithmetic sequence of a
+// serial solve.
+//
+// Bit-identity with the serial path holds because (a) the per-system
+// reductions replicate the serial chunk grid exactly — same `REDUCE_MIN`
+// gate on the per-system length, same `REDUCE_CHUNK` node boundaries, same
+// chunk-order fold — and (b) every per-element update applies the same
+// operations in the same node order per system. Retirement is pure data
+// movement (no float ops), so compaction cannot perturb survivors.
+
+/// Effective width of a kernel monomorphized at const `KW`: `KW == 0` is
+/// the dynamic-width fallback, any other `KW` is a compile-time constant,
+/// so the `[node][rhs]` inner loops unroll and vectorize instead of
+/// running a scalar loop with an unknown trip count. The arithmetic (ops,
+/// operand order, accumulation order) is identical either way — only the
+/// code the optimizer can generate differs — so specialization cannot
+/// perturb bit-identity.
+#[inline(always)]
+pub(crate) const fn eff_width(kw: usize, k: usize) -> usize {
+    if kw == 0 {
+        k
+    } else {
+        kw
+    }
+}
+
+/// Calls a width-generic kernel with the monomorphization for `k` when
+/// `k <= 8` (every width reachable by retirement from a batch of 8), or
+/// the dynamic `KW = 0` fallback for wider batches — those still run
+/// correctly, just without unrolled inner loops, and pick up the
+/// specialized code as retirement shrinks them into range.
+macro_rules! dispatch_width {
+    ($k:expr, $self:ident.$f:ident($($arg:expr),* $(,)?)) => {
+        match $k {
+            1 => $self.$f::<1>($($arg),*),
+            2 => $self.$f::<2>($($arg),*),
+            3 => $self.$f::<3>($($arg),*),
+            4 => $self.$f::<4>($($arg),*),
+            5 => $self.$f::<5>($($arg),*),
+            6 => $self.$f::<6>($($arg),*),
+            7 => $self.$f::<7>($($arg),*),
+            8 => $self.$f::<8>($($arg),*),
+            _ => $self.$f::<0>($($arg),*),
+        }
+    };
+    ($k:expr, $f:ident($($arg:expr),* $(,)?)) => {
+        match $k {
+            1 => $f::<1>($($arg),*),
+            2 => $f::<2>($($arg),*),
+            3 => $f::<3>($($arg),*),
+            4 => $f::<4>($($arg),*),
+            5 => $f::<5>($($arg),*),
+            6 => $f::<6>($($arg),*),
+            7 => $f::<7>($($arg),*),
+            8 => $f::<8>($($arg),*),
+            _ => $f::<0>($($arg),*),
+        }
+    };
+}
+pub(crate) use dispatch_width;
+
+/// Result of one batched multi-RHS CG run.
+#[derive(Debug, Clone)]
+pub(crate) struct CgMultiResult {
+    /// Per-system outcome, indexed like the input tolerances.
+    pub outcomes: Vec<CgOutcome>,
+    /// Number of fused operator sweeps performed (initial residual plus
+    /// one per lockstep iteration) — the shared-work count the batch
+    /// amortizes across systems.
+    pub fused_sweeps: u64,
+}
+
+/// Reusable working vectors of one batched solve, all interleaved at the
+/// current active width.
+#[derive(Debug, Default)]
+pub(crate) struct CgMultiScratch {
+    x: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    partials: Vec<f64>,
+}
+
+impl CgMultiScratch {
+    fn ensure(&mut self, len: usize) {
+        for v in [&mut self.x, &mut self.r, &mut self.z, &mut self.p, &mut self.ap] {
+            v.clear();
+            v.resize(len, 0.0);
+        }
+    }
+}
+
+/// Per-system accumulation of interleaved products: `acc[s] +=
+/// a[i*k+s] * b[i*k+s]` in ascending node order — each system sees the
+/// serial fold exactly. Width-specialized via [`dispatch_width!`].
+fn dot_multi_into<const KW: usize>(a: &[f64], b: &[f64], k: usize, acc: &mut [f64]) {
+    let k = eff_width(KW, k);
+    for (av, bv) in a.chunks_exact(k).zip(b.chunks_exact(k)) {
+        for s in 0..k {
+            acc[s] += av[s] * bv[s];
+        }
+    }
+}
+
+/// Per-system deterministic dot products over interleaved vectors: the
+/// [`REDUCE_MIN`] gate and the [`REDUCE_CHUNK`] boundaries are applied to
+/// the per-system node count `n`, so every system reproduces the serial
+/// [`dot_det`] operation tree bit for bit.
+fn dot_det_multi(
+    a: &[f64],
+    b: &[f64],
+    n: usize,
+    k: usize,
+    out: &mut Vec<f64>,
+    partials: &mut Vec<f64>,
+    lanes: usize,
+) {
+    out.clear();
+    out.resize(k, 0.0);
+    if n < REDUCE_MIN {
+        dispatch_width!(k, dot_multi_into(a, b, k, out));
+        return;
+    }
+    let nchunks = n.div_ceil(REDUCE_CHUNK);
+    partials.clear();
+    partials.resize(nchunks * k, 0.0);
+    let slots: Vec<&mut [f64]> = partials.chunks_mut(k).collect();
+    tesa_util::pool::global().scatter(lanes, slots, |c, slot| {
+        let lo = c * REDUCE_CHUNK * k;
+        let hi = (lo + REDUCE_CHUNK * k).min(n * k);
+        dispatch_width!(k, dot_multi_into(&a[lo..hi], &b[lo..hi], k, slot));
+    });
+    for chunk in partials.chunks(k) {
+        for s in 0..k {
+            out[s] += chunk[s];
+        }
+    }
+}
+
+/// Splits `v` into `REDUCE_CHUNK * k`-element `&mut` sub-slices — the
+/// interleaved image of the serial node-chunk grid.
+fn chunks_mut_w(v: &mut [f64], k: usize) -> Vec<&mut [f64]> {
+    let step = REDUCE_CHUNK * k;
+    let mut rest = v;
+    let mut out = Vec::with_capacity(rest.len().div_ceil(step.max(1)));
+    while !rest.is_empty() {
+        let take = step.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// One chunk of the fused multi update; `acc[s]` accumulates each system's
+/// `||r||^2` contribution in node order. Width-specialized via
+/// [`dispatch_width!`].
+fn fused_multi_into<const KW: usize>(
+    x: &mut [f64],
+    r: &mut [f64],
+    p: &[f64],
+    ap: &[f64],
+    alpha: &[f64],
+    k: usize,
+    acc: &mut [f64],
+) {
+    let k = eff_width(KW, k);
+    for (((xv, rv), pv), apv) in x
+        .chunks_exact_mut(k)
+        .zip(r.chunks_exact_mut(k))
+        .zip(p.chunks_exact(k))
+        .zip(ap.chunks_exact(k))
+    {
+        for s in 0..k {
+            xv[s] += alpha[s] * pv[s];
+            rv[s] -= alpha[s] * apv[s];
+            acc[s] += rv[s] * rv[s];
+        }
+    }
+}
+
+/// Fused multi-RHS CG update — the interleaved counterpart of
+/// [`fused_update_det`], with the serial chunk grid applied per system.
+#[allow(clippy::too_many_arguments)]
+fn fused_update_det_multi(
+    x: &mut [f64],
+    r: &mut [f64],
+    p: &[f64],
+    ap: &[f64],
+    alpha: &[f64],
+    n: usize,
+    k: usize,
+    out: &mut Vec<f64>,
+    partials: &mut Vec<f64>,
+    lanes: usize,
+) {
+    out.clear();
+    out.resize(k, 0.0);
+    if n < REDUCE_MIN {
+        dispatch_width!(k, fused_multi_into(x, r, p, ap, alpha, k, out));
+        return;
+    }
+    let nchunks = n.div_ceil(REDUCE_CHUNK);
+    partials.clear();
+    partials.resize(nchunks * k, 0.0);
+    let items: Vec<(usize, &mut [f64], &mut [f64], &mut [f64])> = partials
+        .chunks_mut(k)
+        .zip(chunks_mut_w(x, k))
+        .zip(chunks_mut_w(r, k))
+        .enumerate()
+        .map(|(c, ((slot, xc), rc))| (c, slot, xc, rc))
+        .collect();
+    tesa_util::pool::global().scatter(lanes, items, |_, (c, slot, xc, rc)| {
+        let lo = c * REDUCE_CHUNK * k;
+        let pc = &p[lo..lo + xc.len()];
+        let apc = &ap[lo..lo + xc.len()];
+        dispatch_width!(k, fused_multi_into(xc, rc, pc, apc, alpha, k, slot));
+    });
+    for chunk in partials.chunks(k) {
+        for s in 0..k {
+            out[s] += chunk[s];
+        }
+    }
+}
+
+/// One chunk of the per-system direction update `p = z + beta[s] p` over
+/// interleaved vectors. Width-specialized via [`dispatch_width!`].
+fn beta_multi_chunk<const KW: usize>(pc: &mut [f64], zc: &[f64], beta: &[f64], k: usize) {
+    let k = eff_width(KW, k);
+    for (pv, zv) in pc.chunks_exact_mut(k).zip(zc.chunks_exact(k)) {
+        for s in 0..k {
+            pv[s] = zv[s] + beta[s] * pv[s];
+        }
+    }
+}
+
+/// Per-system direction update `p = z + beta[s] p` over interleaved
+/// vectors. Element-independent, so any chunking is bit-identical.
+fn beta_update_multi(p: &mut [f64], z: &[f64], beta: &[f64], n: usize, k: usize, lanes: usize) {
+    if n < REDUCE_MIN {
+        dispatch_width!(k, beta_multi_chunk(p, z, beta, k));
+        return;
+    }
+    let items: Vec<(usize, &mut [f64])> = chunks_mut_w(p, k).into_iter().enumerate().collect();
+    tesa_util::pool::global().scatter(lanes, items, |_, (c, pc)| {
+        let lo = c * REDUCE_CHUNK * k;
+        dispatch_width!(k, beta_multi_chunk(pc, &z[lo..lo + pc.len()], beta, k));
+    });
+}
+
+/// Removes the lanes not in `keep` (ascending) from an interleaved vector,
+/// compacting in place to the surviving width. Pure moves, no float ops.
+fn compact_lanes(v: &mut Vec<f64>, n: usize, k_old: usize, keep: &[usize]) {
+    let k_new = keep.len();
+    for i in 0..n {
+        let (src, dst) = (i * k_old, i * k_new);
+        for (j, &s) in keep.iter().enumerate() {
+            v[dst + j] = v[src + s];
+        }
+    }
+    v.truncate(n * k_new);
+}
+
+/// Removes the per-lane scalar slots not in `keep` (ascending).
+fn compact_scalars(v: &mut Vec<f64>, keep: &[usize]) {
+    for (j, &s) in keep.iter().enumerate() {
+        v[j] = v[s];
+    }
+    v.truncate(keep.len());
+}
+
+/// Solves `A x_s = b_s` for `k` right-hand sides through `k` independent
+/// CG recurrences advanced in lockstep, sharing one fused stencil sweep
+/// per iteration.
+///
+/// `b` and `xs` are interleaved `[node][rhs]` at width `k = tols.len()`
+/// (element `(i, s)` at `i * k + s`); `xs` holds the initial guesses on
+/// entry and every system's solution on exit. `apply` and `precond`
+/// receive the *current active width* as their third argument — systems
+/// retire (and the working vectors compact) the iteration they converge or
+/// exhaust their per-system `max_iters`.
+///
+/// Every system's solution, residual, and iteration count are bit-identical
+/// to a serial [`preconditioned_cg`] run of that system alone, for any
+/// batch size and any lane count (see the block comment above).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn preconditioned_cg_multi<A, M>(
+    apply: A,
+    mut precond: M,
+    b: &[f64],
+    xs: &mut [f64],
+    n: usize,
+    tols: &[Tolerance],
+    scratch: &mut CgMultiScratch,
+    lanes: usize,
+) -> CgMultiResult
+where
+    A: Fn(&[f64], &mut [f64], usize),
+    M: FnMut(&[f64], &mut [f64], usize),
+{
+    let k0 = tols.len();
+    assert_eq!(b.len(), n * k0, "rhs length must be n * k");
+    assert_eq!(xs.len(), n * k0, "solution length must be n * k");
+    let mut outcomes: Vec<Option<CgOutcome>> = vec![None; k0];
+    if k0 == 0 {
+        return CgMultiResult { outcomes: Vec::new(), fused_sweeps: 0 };
+    }
+
+    scratch.ensure(n * k0);
+    let CgMultiScratch { x, r, z, p, ap, partials } = scratch;
+    x.copy_from_slice(xs);
+
+    // active[s] = original index of working lane s.
+    let mut active: Vec<usize> = (0..k0).collect();
+    let mut k = k0;
+
+    apply(x, r, k);
+    let mut fused_sweeps = 1u64;
+    for (ri, &bi) in r.iter_mut().zip(b.iter()) {
+        *ri = bi - *ri;
+    }
+    let mut targets = Vec::with_capacity(k);
+    dot_det_multi(b, b, n, k, &mut targets, partials, lanes);
+    for (s, t) in targets.iter_mut().enumerate() {
+        *t = tols[s].rel * t.sqrt().max(f64::MIN_POSITIVE);
+    }
+    let mut norms = Vec::with_capacity(k);
+    dot_det_multi(r, r, n, k, &mut norms, partials, lanes);
+
+    // Retire systems that are converged at iteration 0 (or allow zero
+    // iterations): the serial loop never runs for them, and its trailing
+    // precond/dot only touch discarded state.
+    let mut keep: Vec<usize> = Vec::with_capacity(k);
+    for s in 0..k {
+        let res = norms[s].sqrt();
+        let orig = active[s];
+        if res <= targets[s] {
+            outcomes[orig] = Some(CgOutcome::Converged { iterations: 0, residual: res });
+        } else if tols[orig].max_iters == 0 {
+            outcomes[orig] = Some(CgOutcome::MaxIterations { residual: res });
+        } else {
+            keep.push(s);
+            continue;
+        }
+        for i in 0..n {
+            xs[i * k0 + orig] = x[i * k + s];
+        }
+    }
+    if keep.len() != k {
+        compact_lanes(x, n, k, &keep);
+        compact_lanes(r, n, k, &keep);
+        compact_scalars(&mut targets, &keep);
+        active = keep.iter().map(|&s| active[s]).collect();
+        k = keep.len();
+        z.truncate(n * k);
+        p.truncate(n * k);
+        ap.truncate(n * k);
+    }
+
+    let mut rz = Vec::with_capacity(k);
+    let mut rz_new = Vec::new();
+    let mut pap = Vec::new();
+    let mut alpha = vec![0.0; k];
+    let mut beta = vec![0.0; k];
+    if k > 0 {
+        precond(r, z, k);
+        p.copy_from_slice(z);
+        dot_det_multi(r, z, n, k, &mut rz, partials, lanes);
+    }
+
+    let mut it = 0usize;
+    while k > 0 {
+        apply(p, ap, k);
+        fused_sweeps += 1;
+        dot_det_multi(p, ap, n, k, &mut pap, partials, lanes);
+        alpha.clear();
+        alpha.extend(rz.iter().zip(&pap).map(|(&a, &b)| a / b));
+        fused_update_det_multi(x, r, p, ap, &alpha, n, k, &mut norms, partials, lanes);
+        it += 1;
+
+        keep.clear();
+        for s in 0..k {
+            let res = norms[s].sqrt();
+            let orig = active[s];
+            if res <= targets[s] {
+                outcomes[orig] = Some(CgOutcome::Converged { iterations: it, residual: res });
+            } else if it >= tols[orig].max_iters {
+                outcomes[orig] = Some(CgOutcome::MaxIterations { residual: res });
+            } else {
+                keep.push(s);
+                continue;
+            }
+            for i in 0..n {
+                xs[i * k0 + orig] = x[i * k + s];
+            }
+        }
+        if keep.len() != k {
+            compact_lanes(x, n, k, &keep);
+            compact_lanes(r, n, k, &keep);
+            compact_lanes(p, n, k, &keep);
+            compact_scalars(&mut targets, &keep);
+            compact_scalars(&mut rz, &keep);
+            active = keep.iter().map(|&s| active[s]).collect();
+            k = keep.len();
+            z.truncate(n * k);
+            ap.truncate(n * k);
+        }
+        if k == 0 {
+            break;
+        }
+
+        precond(r, z, k);
+        dot_det_multi(r, z, n, k, &mut rz_new, partials, lanes);
+        beta.clear();
+        beta.extend(rz_new.iter().zip(&rz).map(|(&new, &old)| new / old));
+        std::mem::swap(&mut rz, &mut rz_new);
+        beta_update_multi(p, z, &beta, n, k, lanes);
+    }
+
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("every system retires exactly once"))
+        .collect();
+    CgMultiResult { outcomes, fused_sweeps }
+}
+
 /// [`preconditioned_cg`] with Jacobi preconditioning — the historical entry
 /// point, kept for small systems and tests.
 #[cfg(test)]
@@ -365,6 +801,196 @@ mod tests {
         let mut p8 = a.clone();
         beta_update(&mut p8, &b, 0.75, 8);
         assert!(p1.iter().zip(&p8).all(|(u, v)| u.to_bits() == v.to_bits()));
+    }
+
+    /// Shared tridiagonal SPD test operator: `A = tridiag(-1, 3, -1)`.
+    fn tridiag_apply(v: &[f64], out: &mut [f64]) {
+        let n = v.len();
+        for i in 0..n {
+            let mut acc = 3.0 * v[i];
+            if i > 0 {
+                acc -= v[i - 1];
+            }
+            if i + 1 < n {
+                acc -= v[i + 1];
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// Interleaved `[node][rhs]` image of [`tridiag_apply`].
+    fn tridiag_apply_multi(v: &[f64], out: &mut [f64], k: usize) {
+        let n = v.len() / k;
+        for i in 0..n {
+            for s in 0..k {
+                let mut acc = 3.0 * v[i * k + s];
+                if i > 0 {
+                    acc -= v[(i - 1) * k + s];
+                }
+                if i + 1 < n {
+                    acc -= v[(i + 1) * k + s];
+                }
+                out[i * k + s] = acc;
+            }
+        }
+    }
+
+    /// Every system of a batched solve must reproduce its serial solve bit
+    /// for bit — fields, residual, and iteration count — for any batch
+    /// size, mixed tolerances (early retirement), and any lane count.
+    #[test]
+    fn multi_rhs_matches_serial_bit_for_bit() {
+        let n = REDUCE_MIN + 37; // crosses the chunked-reduction gate
+        let tols = [
+            Tolerance::default(),
+            Tolerance { rel: 1e-4, max_iters: 20_000 }, // retires early
+            Tolerance { rel: 1e-12, max_iters: 3 },     // hits its cap
+            Tolerance { rel: 1e-9, max_iters: 0 },      // retires before the loop
+            Tolerance::default(),
+        ];
+        let k = tols.len();
+        let rhs: Vec<Vec<f64>> = (0..k)
+            .map(|s| {
+                (0..n)
+                    .map(|i| ((i.wrapping_mul(2654435761 + s * 97)) % 1000) as f64 * 1e-3 - 0.4)
+                    .collect()
+            })
+            .collect();
+
+        // Serial reference at lanes=1.
+        let mut serial_x = Vec::new();
+        let mut serial_out = Vec::new();
+        let mut scratch = CgScratch::default();
+        for s in 0..k {
+            let mut x = vec![0.0; n];
+            let out = preconditioned_cg(
+                tridiag_apply,
+                |r: &[f64], z: &mut [f64]| {
+                    for (zi, &ri) in z.iter_mut().zip(r) {
+                        *zi = ri / 3.0;
+                    }
+                },
+                &rhs[s],
+                &mut x,
+                tols[s],
+                &mut scratch,
+                1,
+            );
+            serial_x.push(x);
+            serial_out.push(out);
+        }
+
+        let mut multi_scratch = CgMultiScratch::default();
+        for lanes in [1, 2, 8] {
+            let mut b = vec![0.0; n * k];
+            let mut xs = vec![0.0; n * k];
+            for i in 0..n {
+                for s in 0..k {
+                    b[i * k + s] = rhs[s][i];
+                }
+            }
+            let result = preconditioned_cg_multi(
+                tridiag_apply_multi,
+                |r: &[f64], z: &mut [f64], kw: usize| {
+                    let _ = kw;
+                    for (zi, &ri) in z.iter_mut().zip(r) {
+                        *zi = ri / 3.0;
+                    }
+                },
+                &b,
+                &mut xs,
+                n,
+                &tols,
+                &mut multi_scratch,
+                lanes,
+            );
+            assert_eq!(result.outcomes.len(), k);
+            for s in 0..k {
+                let (it_ref, res_ref) = serial_out[s].stats(tols[s].max_iters);
+                let (it_got, res_got) = result.outcomes[s].stats(tols[s].max_iters);
+                assert_eq!(it_got, it_ref, "iterations differ for system {s} at lanes={lanes}");
+                assert_eq!(
+                    res_got.to_bits(),
+                    res_ref.to_bits(),
+                    "residual differs for system {s} at lanes={lanes}"
+                );
+                assert!(matches!(
+                    (&result.outcomes[s], &serial_out[s]),
+                    (CgOutcome::Converged { .. }, CgOutcome::Converged { .. })
+                        | (CgOutcome::MaxIterations { .. }, CgOutcome::MaxIterations { .. })
+                ));
+                for i in 0..n {
+                    assert_eq!(
+                        xs[i * k + s].to_bits(),
+                        serial_x[s][i].to_bits(),
+                        "x[{i}] differs for system {s} at lanes={lanes}"
+                    );
+                }
+            }
+            // One fused sweep per lockstep iteration plus the initial
+            // residual: bounded by the slowest unretired system.
+            let max_iters_run =
+                (0..k).map(|s| serial_out[s].stats(tols[s].max_iters).0).max().unwrap();
+            assert_eq!(result.fused_sweeps, 1 + max_iters_run as u64);
+        }
+    }
+
+    /// A batch of one must be indistinguishable from a serial solve, and
+    /// an empty batch is a no-op.
+    #[test]
+    fn multi_rhs_degenerate_batches() {
+        let n = 257;
+        let b: Vec<f64> = (0..n).map(|i| (i % 17) as f64 * 0.1 - 0.5).collect();
+        let mut scratch = CgScratch::default();
+        let mut x_ref = vec![0.0; n];
+        let out_ref = preconditioned_cg(
+            tridiag_apply,
+            |r: &[f64], z: &mut [f64]| {
+                for (zi, &ri) in z.iter_mut().zip(r) {
+                    *zi = ri / 3.0;
+                }
+            },
+            &b,
+            &mut x_ref,
+            Tolerance::default(),
+            &mut scratch,
+            1,
+        );
+
+        let mut multi_scratch = CgMultiScratch::default();
+        let mut xs = vec![0.0; n];
+        let result = preconditioned_cg_multi(
+            tridiag_apply_multi,
+            |r: &[f64], z: &mut [f64], _kw: usize| {
+                for (zi, &ri) in z.iter_mut().zip(r) {
+                    *zi = ri / 3.0;
+                }
+            },
+            &b,
+            &mut xs,
+            n,
+            &[Tolerance::default()],
+            &mut multi_scratch,
+            1,
+        );
+        let (it_ref, res_ref) = out_ref.stats(usize::MAX);
+        let (it_got, res_got) = result.outcomes[0].stats(usize::MAX);
+        assert_eq!(it_got, it_ref);
+        assert_eq!(res_got.to_bits(), res_ref.to_bits());
+        assert!(xs.iter().zip(&x_ref).all(|(a, c)| a.to_bits() == c.to_bits()));
+
+        let empty = preconditioned_cg_multi(
+            tridiag_apply_multi,
+            |_r: &[f64], _z: &mut [f64], _kw: usize| {},
+            &[],
+            &mut [],
+            n,
+            &[],
+            &mut multi_scratch,
+            1,
+        );
+        assert!(empty.outcomes.is_empty());
+        assert_eq!(empty.fused_sweeps, 0);
     }
 
     #[test]

@@ -28,11 +28,12 @@
 //! fall back to [`crate::ThermalModel::solve`] whenever a decision depends
 //! on where inside that interval the true peak lies.
 
-use crate::multigrid::{MgScratch, Multigrid};
+use crate::multigrid::{MgScratch, MgScratchMulti, Multigrid};
 use crate::power::PowerMap;
-use crate::solver::{self, CgOutcome, CgScratch, Tolerance};
+use crate::solver::{self, CgMultiScratch, CgOutcome, CgScratch, Tolerance};
 
 use std::sync::Mutex;
+use tesa_util::{trace, Json};
 
 /// Floor on the reported error bound, °C. Covers solver tolerance and
 /// rounding differences between the surrogate's CG path and the exact
@@ -66,6 +67,14 @@ struct SurrogateScratch {
     mg: MgScratch,
     rhs1: Vec<f64>,
     rhs2: Vec<f64>,
+    /// Second right-hand-side buffers plus the interleaved `[node][rhs]`
+    /// vectors and multi-system workspaces used by [`Surrogate::solve_pair`].
+    rhs1b: Vec<f64>,
+    rhs2b: Vec<f64>,
+    bi: Vec<f64>,
+    xi: Vec<f64>,
+    cgm: CgMultiScratch,
+    mgm: MgScratchMulti,
 }
 
 /// The cheap coarse-level solver derived from one [`crate::ThermalModel`]
@@ -236,16 +245,7 @@ impl Surrogate {
         // Right-hand side at l1: restricted injected power + ambient anchor.
         let lvl1 = self.mg.level(self.l1);
         let n1 = lvl1.n();
-        s.rhs1.clear();
-        s.rhs1.resize(n1, 0.0);
-        if self.l1 == 0 {
-            s.rhs1.copy_from_slice(&power.watts);
-        } else {
-            self.mg.level(0).restrict_to(lvl1, &power.watts, &mut s.rhs1, self.lanes);
-        }
-        for (r, &a) in s.rhs1.iter_mut().zip(&self.amb1) {
-            *r += a;
-        }
+        self.fill_rhs1(power, &mut s.rhs1);
 
         // Zero initial iterates: deterministic, and the V-cycle
         // preconditioner makes the start point nearly irrelevant.
@@ -314,6 +314,165 @@ impl Surrogate {
                 panic!("surrogate CG failed to converge at level {li} (residual {residual:e})")
             }
         }
+    }
+
+    /// Fills `out` with the level-`l1` right-hand side for `power`:
+    /// restricted injected power plus the precomputed ambient anchor.
+    fn fill_rhs1(&self, power: &PowerMap, out: &mut Vec<f64>) {
+        let lvl1 = self.mg.level(self.l1);
+        out.clear();
+        out.resize(lvl1.n(), 0.0);
+        if self.l1 == 0 {
+            out.copy_from_slice(&power.watts);
+        } else {
+            self.mg.level(0).restrict_to(lvl1, &power.watts, out, self.lanes);
+        }
+        for (r, &a) in out.iter_mut().zip(&self.amb1) {
+            *r += a;
+        }
+    }
+
+    /// Batched [`Surrogate::coarse_solve`] over two right-hand sides on the
+    /// same level: each CG iteration runs one fused stencil sweep and one
+    /// fused V-cycle for both systems, and each system retires on its own
+    /// serial schedule, so both solutions are bit-identical to serial
+    /// solves of each system alone.
+    fn coarse_solve_pair(
+        &self,
+        li: usize,
+        b_lo: &[f64],
+        b_hi: &[f64],
+        x_lo: &mut [f64],
+        x_hi: &mut [f64],
+        s: &mut SurrogateScratch,
+    ) {
+        let level = self.mg.level(li);
+        let n = level.n();
+        let tol = Tolerance { rel: SURROGATE_CG_REL, max_iters: SURROGATE_CG_MAX_ITERS };
+        let SurrogateScratch { cgm, mgm, bi, xi, .. } = s;
+        bi.clear();
+        bi.resize(n * 2, 0.0);
+        for (slot, (&lo, &hi)) in bi.chunks_exact_mut(2).zip(b_lo.iter().zip(b_hi)) {
+            slot[0] = lo;
+            slot[1] = hi;
+        }
+        // Zero initial iterates, exactly as the serial path's.
+        xi.clear();
+        xi.resize(n * 2, 0.0);
+        let result = solver::preconditioned_cg_multi(
+            |v, out, kw| level.apply_multi(v, out, self.lanes, kw),
+            |r, z, kw| self.mg.vcycle_from_multi(li, r, z, mgm, self.lanes, kw),
+            bi,
+            xi,
+            n,
+            &[tol, tol],
+            cgm,
+            self.lanes,
+        );
+        for outcome in &result.outcomes {
+            if let CgOutcome::MaxIterations { residual } = outcome {
+                panic!("surrogate CG failed to converge at level {li} (residual {residual:e})")
+            }
+        }
+        trace::event("thermal.batch", || {
+            let retire: Vec<Json> = result
+                .outcomes
+                .iter()
+                .map(|o| Json::U64(o.stats(SURROGATE_CG_MAX_ITERS).0 as u64))
+                .collect();
+            vec![
+                ("n", Json::U64(n as u64)),
+                ("batch", Json::U64(2)),
+                ("precond", Json::str("surrogate")),
+                ("fused_sweeps", Json::U64(result.fused_sweeps)),
+                ("retire_iters", Json::Arr(retire)),
+            ]
+        });
+        for ((&a, &b), (dl, dh)) in
+            xi.chunks_exact(2).map(|c| (&c[0], &c[1])).zip(x_lo.iter_mut().zip(x_hi.iter_mut()))
+        {
+            *dl = a;
+            *dh = b;
+        }
+    }
+
+    /// Solves the coarse systems for **two** fine-grid power maps through
+    /// one batched CG per level, sharing every stencil sweep and V-cycle
+    /// between the pair. Built for `screen()`-style lower/upper bound
+    /// pairs: each returned solution is bit-identical to [`Surrogate::solve`]
+    /// on that map alone, so callers' verdicts cannot change.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Surrogate::solve`], for either map.
+    pub fn solve_pair(
+        &self,
+        low: &PowerMap,
+        high: &PowerMap,
+    ) -> (SurrogateSolution, SurrogateSolution) {
+        if self.l1 == 0 {
+            // Shallow hierarchies solve exactly on the fine grid; those
+            // solves are already cheap, so the rare branch stays serial.
+            return (self.solve(low), self.solve(high));
+        }
+        let n_fine = self.nl * self.fine_ny * self.fine_nx;
+        assert_eq!(low.watts.len(), n_fine, "power map does not match this surrogate's grid");
+        assert_eq!(high.watts.len(), n_fine, "power map does not match this surrogate's grid");
+        let mut s =
+            self.scratch.lock().expect("surrogate scratch poisoned").pop().unwrap_or_default();
+
+        // Both level-1 right-hand sides, moved out of the scratch so the
+        // pair solve can borrow the remaining workspaces mutably.
+        let mut rhs1_lo = std::mem::take(&mut s.rhs1);
+        let mut rhs1_hi = std::mem::take(&mut s.rhs1b);
+        self.fill_rhs1(low, &mut rhs1_lo);
+        self.fill_rhs1(high, &mut rhs1_hi);
+
+        let lvl1 = self.mg.level(self.l1);
+        let n1 = lvl1.n();
+        let mut x1_lo = vec![0.0; n1];
+        let mut x1_hi = vec![0.0; n1];
+        self.coarse_solve_pair(self.l1, &rhs1_lo, &rhs1_hi, &mut x1_lo, &mut x1_hi, &mut s);
+
+        let lvl2 = self.mg.level(self.l2);
+        let n2 = lvl2.n();
+        let mut rhs2_lo = std::mem::take(&mut s.rhs2);
+        let mut rhs2_hi = std::mem::take(&mut s.rhs2b);
+        for rhs2 in [&mut rhs2_lo, &mut rhs2_hi] {
+            rhs2.clear();
+            rhs2.resize(n2, 0.0);
+        }
+        lvl1.restrict_to(lvl2, &rhs1_lo, &mut rhs2_lo, self.lanes);
+        lvl1.restrict_to(lvl2, &rhs1_hi, &mut rhs2_hi, self.lanes);
+        let mut x2_lo = vec![0.0; n2];
+        let mut x2_hi = vec![0.0; n2];
+        self.coarse_solve_pair(self.l2, &rhs2_lo, &rhs2_hi, &mut x2_lo, &mut x2_hi, &mut s);
+
+        s.rhs1 = rhs1_lo;
+        s.rhs1b = rhs1_hi;
+        s.rhs2 = rhs2_lo;
+        s.rhs2b = rhs2_hi;
+        self.scratch.lock().expect("surrogate scratch poisoned").push(s);
+
+        let (nx1, ny1, _) = lvl1.dims();
+        let (nx2, ny2, _) = lvl2.dims();
+        let finish = |x1: Vec<f64>, x2: &[f64]| {
+            let p1 = layer_peaks(&x1, nx1 * ny1, self.nl);
+            let p2 = layer_peaks(x2, nx2 * ny2, self.nl);
+            let max_gap =
+                p1.iter().zip(&p2).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+            let est: Vec<f64> = p1.iter().zip(&p2).map(|(a, b)| a + (a - b)).collect();
+            SurrogateSolution {
+                temps1: x1,
+                layer_est_c: est,
+                bound_c: BOUND_FLOOR_C + BOUND_SAFETY * max_gap,
+                nx1,
+                ny1,
+                nl: self.nl,
+                scale: 1 << self.l1,
+            }
+        };
+        (finish(x1_lo, &x2_lo), finish(x1_hi, &x2_hi))
     }
 }
 
@@ -397,6 +556,54 @@ mod tests {
             (te - ts).abs() <= est.bound_c().max(1.0),
             "region mean drifted: exact {te} vs surrogate {ts}"
         );
+    }
+
+    #[test]
+    fn paired_solves_match_serial_bit_for_bit() {
+        for lanes in [1usize, 2, 8] {
+            let mut m = production_model(64);
+            m.set_parallel_lanes(lanes);
+            let sur = m.surrogate();
+            let mut lo = m.zero_power();
+            lo.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 1.5);
+            let mut hi = m.zero_power();
+            hi.add_uniform_rect(1, Rect::new(1.0e-3, 1.0e-3, 2.4e-3, 2.4e-3), 3.0);
+            hi.add_uniform_rect(1, Rect::new(4.4e-3, 4.4e-3, 2.4e-3, 2.4e-3), 2.0);
+            let (a, b) = sur.solve_pair(&lo, &hi);
+            let sa = sur.solve(&lo);
+            let sb = sur.solve(&hi);
+            for (got, want) in [(&a, &sa), (&b, &sb)] {
+                assert_eq!(got.temps1.len(), want.temps1.len());
+                for (u, v) in got.temps1.iter().zip(&want.temps1) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "lanes {lanes}: field diverged");
+                }
+                for (u, v) in got.layer_est_c.iter().zip(&want.layer_est_c) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "lanes {lanes}: estimate diverged");
+                }
+                assert_eq!(got.bound_c.to_bits(), want.bound_c.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn paired_shallow_path_matches_serial() {
+        let m = StackBuilder::new(4e-3, 4e-3, 8, 8)
+            .layer("die", 150e-6, 120.0)
+            .layer("lid", 300e-6, 200.0)
+            .convection(0.4, 45.0)
+            .build();
+        let sur = m.surrogate();
+        assert_eq!(sur.field_level(), 0);
+        let mut lo = m.zero_power();
+        lo.add_uniform_rect(0, Rect::new(0.5e-3, 0.5e-3, 2e-3, 2e-3), 0.5);
+        let mut hi = m.zero_power();
+        hi.add_uniform_rect(0, Rect::new(0.5e-3, 0.5e-3, 2e-3, 2e-3), 1.5);
+        let (a, b) = sur.solve_pair(&lo, &hi);
+        let (sa, sb) = (sur.solve(&lo), sur.solve(&hi));
+        assert_eq!(a.peak_c().to_bits(), sa.peak_c().to_bits());
+        assert_eq!(b.peak_c().to_bits(), sb.peak_c().to_bits());
+        assert_eq!(a.bound_c.to_bits(), sa.bound_c.to_bits());
+        assert_eq!(b.bound_c.to_bits(), sb.bound_c.to_bits());
     }
 
     #[test]
