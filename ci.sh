@@ -87,9 +87,22 @@ cargo run -q --offline --release -p tesa-bench --bin bench_guard -- \
     BENCH_serve.json \
     --speedup "serve/evaluate/cold=serve/evaluate/warm" \
     --min-speedup "${TESA_BENCH_MIN_SERVE_SPEEDUP:-2.0}"
+# Metrics-scrape gate, within this run's artifact: rendering the full
+# Prometheus exposition (every endpoint family plus the solver/annealer
+# histograms the earlier benchmarks populated) must answer at least as
+# fast as one cold /evaluate. If a scrape costs more than an evaluation,
+# monitoring is competing with the work it monitors.
+cargo run -q --offline --release -p tesa-bench --bin bench_guard -- \
+    BENCH_serve.json \
+    --speedup "serve/evaluate/cold=serve/metrics_scrape" \
+    --min-speedup "${TESA_BENCH_MIN_SCRAPE_SPEEDUP:-1.0}"
 # Disabled-path overhead gate: the warm-cache benchmarks run with tracing,
-# screening, and speculation all off, so a regression here means the new
-# machinery costs wall time even when nobody asked for it.
+# screening, and speculation all off — and, since the observability PR,
+# with the always-on metrics registry recording on every temperature step,
+# memo lookup, and thermal solve — so a regression here means the new
+# machinery (now including metrics record cost) exceeds the tolerance even
+# when nobody asked for it. bench_serve's metrics/record_x1000 row tracks
+# the raw per-touch cost for triage when this gate trips.
 if [[ -f BENCH_anneal.baseline.json ]]; then
     cargo run -q --offline --release -p tesa-bench --bin bench_guard -- \
         BENCH_anneal.baseline.json BENCH_anneal.json \

@@ -26,7 +26,18 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 use tesa_util::bench::BenchRunner;
-use tesa_util::http;
+use tesa_util::{http, metrics};
+
+// In-process probes for the raw record cost of the always-on registry —
+// the per-touch price every instrumented hot path pays.
+static BENCH_HIST: metrics::Histogram = metrics::Histogram::new(
+    "tesa_bench_probe_histogram",
+    "bench-only histogram for measuring record cost",
+);
+static BENCH_CTR: metrics::Counter = metrics::Counter::new(
+    "tesa_bench_probe_counter",
+    "bench-only counter for measuring inc cost",
+);
 
 const TIMEOUT: Duration = Duration::from_secs(600);
 
@@ -161,6 +172,26 @@ fn main() {
             });
         });
     }
+
+    // A full `/metrics` scrape over TCP, against a registry the cold/warm
+    // benchmarks above have already populated. Gated by ci.sh to stay at
+    // least as fast as a cold evaluation within this artifact.
+    runner.bench("serve/metrics_scrape", || {
+        let response = http::get(addr, "/metrics", TIMEOUT).expect("metrics roundtrip");
+        assert_eq!(response.status, 200, "scrape answered {}", response.status);
+    });
+
+    // Raw record cost, in-process: 1000 counter incs + 1000 histogram
+    // records per iteration, i.e. the per-iteration number is ~1000x the
+    // per-touch hot-path overhead. Informational here; the binding gate
+    // is ci.sh's 5% cross-run guard on the anneal hot path, which records
+    // these metrics on every temperature step.
+    runner.bench("metrics/record_x1000", || {
+        for i in 0..1000u64 {
+            BENCH_CTR.inc();
+            BENCH_HIST.record(i.wrapping_mul(2_654_435_761) & 0xFFFF);
+        }
+    });
 
     runner.report();
     drop(daemon);

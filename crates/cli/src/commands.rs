@@ -204,6 +204,7 @@ pub fn cmd_optimize(args: &Args) -> Result<String, CliError> {
         &msa,
         policy.as_ref(),
         resume.as_deref(),
+        None,
     )
     .map_err(|e| CliError { message: format!("checkpoint: {e}") })?;
     if outcome.checkpoint_write_failures > 0 {
@@ -340,24 +341,66 @@ pub fn cmd_transient(args: &Args) -> Result<String, CliError> {
     }
 }
 
-/// `tesa trace summarize <path.jsonl>` — aggregate a `--trace` capture
-/// into per-phase wall times, the MSA acceptance curve, the evaluator
-/// cache hit ratio, and CG solver statistics.
+/// `tesa trace summarize <path.jsonl> [--format text|json]` — aggregate a
+/// `--trace` capture into per-phase wall times, the MSA acceptance curve,
+/// the evaluator cache hit ratio, and CG solver statistics — and
+/// `tesa trace export <path.jsonl> --format chrome|collapsed [--out P]` —
+/// re-emit it for Perfetto / `chrome://tracing` or flamegraph tooling.
 pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let usage = "usage: tesa trace summarize <path.jsonl> [--format text|json]\n       \
+                 tesa trace export <path.jsonl> --format chrome|collapsed [--out PATH]";
     match args.positional(0) {
         Some("summarize") => {
-            let path = args.positional(1).ok_or_else(|| CliError {
-                message: "usage: tesa trace summarize <path.jsonl>".into(),
-            })?;
+            let path = args
+                .positional(1)
+                .ok_or_else(|| CliError { message: usage.into() })?;
+            // Streamed line by line: campaign traces can be larger than
+            // memory, and the aggregates never need the whole file.
+            let file = std::fs::File::open(path)?;
+            let summary =
+                crate::summarize::Summary::from_reader(std::io::BufReader::new(file))
+                    .map_err(|e| CliError { message: format!("{path}: {e}") })?;
+            match args.get("format").unwrap_or("text") {
+                "text" => Ok(summary.render()),
+                "json" => Ok(format!("{}\n", summary.to_json())),
+                other => Err(CliError {
+                    message: format!("unknown summarize format '{other}' (use text or json)"),
+                }),
+            }
+        }
+        Some("export") => {
+            let path = args
+                .positional(1)
+                .ok_or_else(|| CliError { message: usage.into() })?;
             let text = std::fs::read_to_string(path)?;
-            let summary = crate::summarize::Summary::from_jsonl(&text)
-                .map_err(|e| CliError { message: format!("{path}: {e}") })?;
-            Ok(summary.render())
+            let exported = match args.get("format") {
+                Some("chrome") => crate::export::to_chrome(&text),
+                Some("collapsed") => crate::export::to_collapsed(&text),
+                Some(other) => {
+                    return Err(CliError {
+                        message: format!(
+                            "unknown export format '{other}' (use chrome or collapsed)"
+                        ),
+                    });
+                }
+                None => {
+                    return Err(CliError {
+                        message: format!("tesa trace export needs --format\n{usage}"),
+                    });
+                }
+            }
+            .map_err(|e| CliError { message: format!("{path}: {e}") })?;
+            if let Some(out) = args.get("out") {
+                std::fs::write(out, &exported)?;
+                Ok(format!("trace -> {out}\n"))
+            } else {
+                Ok(exported)
+            }
         }
         Some(other) => Err(CliError {
-            message: format!("unknown trace action '{other}' (use: trace summarize <path>)"),
+            message: format!("unknown trace action '{other}'\n{usage}"),
         }),
-        None => Err(CliError { message: "usage: tesa trace summarize <path.jsonl>".into() }),
+        None => Err(CliError { message: usage.into() }),
     }
 }
 
@@ -425,7 +468,9 @@ COMMANDS:
     placement     free-form SA placement vs the uniform mesh (extension)
     serve         run the resident evaluation daemon (HTTP; see docs/API.md)
     client        drive a running daemon: client <action> --addr HOST:PORT
-    trace         summarize a --trace capture: trace summarize <path.jsonl>
+    trace         inspect a --trace capture:
+                    trace summarize <path.jsonl> [--format text|json]
+                    trace export <path.jsonl> --format chrome|collapsed [--out P]
     help          print this text
 
 COMMON FLAGS:
@@ -476,6 +521,7 @@ EXAMPLES:
     tesa optimize --integration 3d --freq 500 --temp-c 85
     tesa thermal-map --array 200 --sram-kib 1024 --out map.csv
     tesa optimize --trace run.jsonl && tesa trace summarize run.jsonl
+    tesa trace export run.jsonl --format chrome --out run.trace.json
     tesa optimize --checkpoint run.ckpt && tesa optimize --resume run.ckpt
     tesa serve --port 8080 --campaign-dir campaigns
     tesa client evaluate --addr 127.0.0.1:8080 --array 200 --sram-kib 1024

@@ -1,0 +1,420 @@
+//! Standard-format export of `--trace` JSONL captures, behind
+//! `tesa trace export <path.jsonl> --format chrome|collapsed`.
+//!
+//! The native trace writes one record per *span end*, stamped with the
+//! span's start time, duration, and nesting depth. Within a thread that
+//! makes the record stream a post-order traversal of the span forest:
+//! every child appears before its parent, and a parent's children are
+//! exactly the maximal run of deeper records immediately preceding it.
+//! Both exporters rebuild the forest from that invariant, streaming tree
+//! by tree, so memory is bounded by the deepest in-flight subtree rather
+//! than the whole file.
+//!
+//! * `chrome` — Chrome trace-event JSON (`{"traceEvents":[…]}`), loadable
+//!   in Perfetto / `chrome://tracing`. Spans become `B`/`E` pairs on
+//!   their original thread lane, point events become thread-scoped
+//!   instants, counters become `C` samples. Emission clamps timestamps to
+//!   be non-decreasing per thread inside each tree so the `B`/`E` pairs
+//!   stay correctly nested even when microsecond rounding ties a child's
+//!   end to its parent's, and the final array is stably sorted by
+//!   timestamp so each lane reads as a chronological stack machine.
+//! * `collapsed` — folded stacks (`root;child;leaf <self-us>`), the input
+//!   `flamegraph.pl` and speedscope expect, aggregated across threads
+//!   with self time = span duration minus its children's.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use tesa_util::json::{self, Json};
+
+/// One reconstructed span with its subtree.
+struct Node {
+    name: String,
+    start_us: u64,
+    end_us: u64,
+    depth: u64,
+    fields: Option<Json>,
+    children: Vec<Node>,
+}
+
+/// Where completed records go: each exporter implements the three record
+/// kinds plus a final wrap-up.
+trait Sink {
+    /// A completed depth-0 span tree on thread `tid`.
+    fn tree(&mut self, tid: u64, root: &Node);
+    /// A point-in-time event.
+    fn instant(&mut self, tid: u64, ts_us: u64, name: &str, fields: Option<&Json>);
+    /// A counter sample.
+    fn counter(&mut self, tid: u64, ts_us: u64, name: &str, value: f64);
+    /// Emits whatever the format needs after the last record.
+    fn finish(&mut self);
+}
+
+/// Parses a JSONL trace and drives `sink`, reconstructing span forests
+/// per thread. Returns the first malformed line as an error.
+fn drive(text: &str, sink: &mut dyn Sink) -> Result<(), String> {
+    // Completed-but-unparented subtree roots, per thread, in end order.
+    let mut pending: HashMap<u64, Vec<Node>> = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let Some(kind) = v.get("kind").and_then(Json::as_str) else { continue };
+        let ts_us = v.get("ts_us").and_then(Json::as_u64).unwrap_or(0);
+        let tid = v.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        let name = v.get("name").and_then(Json::as_str).unwrap_or("?");
+        match kind {
+            "span" => {
+                let dur = v.get("dur_us").and_then(Json::as_u64).unwrap_or(0);
+                let depth = v.get("depth").and_then(Json::as_u64).unwrap_or(0);
+                let stack = pending.entry(tid).or_default();
+                // This span's children are the maximal suffix of deeper
+                // pending records: anything deeper that is *not* ours
+                // would already have been claimed by an earlier-ending
+                // intermediate span.
+                let mut i = stack.len();
+                while i > 0 && stack[i - 1].depth > depth {
+                    i -= 1;
+                }
+                let node = Node {
+                    name: name.to_owned(),
+                    start_us: ts_us,
+                    end_us: ts_us + dur,
+                    depth,
+                    fields: v.get("f").cloned(),
+                    children: stack.drain(i..).collect(),
+                };
+                if depth == 0 {
+                    sink.tree(tid, &node);
+                } else {
+                    stack.push(node);
+                }
+            }
+            "event" => sink.instant(tid, ts_us, name, v.get("f")),
+            "counter" => {
+                let value = v.get("value").and_then(Json::as_f64).unwrap_or(0.0);
+                sink.counter(tid, ts_us, name, value);
+            }
+            _ => {}
+        }
+    }
+    // A thread that died mid-span leaves orphans; surface them as roots
+    // rather than dropping the data.
+    let mut tids: Vec<u64> = pending.keys().copied().collect();
+    tids.sort_unstable();
+    for tid in tids {
+        for node in &pending[&tid] {
+            sink.tree(tid, node);
+        }
+    }
+    sink.finish();
+    Ok(())
+}
+
+// --- chrome ---------------------------------------------------------------
+
+struct ChromeSink {
+    /// Serialized events with their timestamps. Span trees only complete
+    /// (and emit) when their root ends, while instants and counters emit
+    /// at their file position, so arrival order is not time order; a
+    /// stable sort on `ts` at finish restores it without disturbing the
+    /// `B`-before-`E` emission order at equal timestamps.
+    events: Vec<(u64, String)>,
+    out: String,
+}
+
+impl ChromeSink {
+    fn new() -> ChromeSink {
+        ChromeSink { events: Vec::new(), out: String::new() }
+    }
+
+    fn emit(&mut self, ts: u64, event: Json) {
+        self.events.push((ts, event.to_string()));
+    }
+
+    /// Emits `node` as a `B`/`E` pair with its subtree in between,
+    /// clamping into `[lo, hi]` (the parent's interval) and advancing the
+    /// thread's monotonic cursor so nesting survives rounding ties.
+    fn emit_span(&mut self, tid: u64, node: &Node, lo: u64, hi: u64, cursor: &mut u64) {
+        let start = node.start_us.clamp(lo, hi).max(*cursor);
+        let end = node.end_us.clamp(start, hi);
+        *cursor = start;
+        let mut pairs = vec![
+            ("name", Json::str(node.name.as_str())),
+            ("ph", Json::str("B")),
+            ("ts", Json::U64(start)),
+            ("pid", Json::U64(1)),
+            ("tid", Json::U64(tid)),
+        ];
+        if let Some(f) = &node.fields {
+            pairs.push(("args", f.clone()));
+        }
+        self.emit(start, Json::obj(pairs));
+        for child in &node.children {
+            self.emit_span(tid, child, start, end, cursor);
+        }
+        let end = end.max(*cursor);
+        *cursor = end;
+        self.emit(end, Json::obj([
+            ("name", Json::str(node.name.as_str())),
+            ("ph", Json::str("E")),
+            ("ts", Json::U64(end)),
+            ("pid", Json::U64(1)),
+            ("tid", Json::U64(tid)),
+        ]));
+    }
+}
+
+impl Sink for ChromeSink {
+    fn tree(&mut self, tid: u64, root: &Node) {
+        let mut cursor = 0;
+        self.emit_span(tid, root, root.start_us, root.end_us, &mut cursor);
+    }
+
+    fn instant(&mut self, tid: u64, ts_us: u64, name: &str, fields: Option<&Json>) {
+        let mut pairs = vec![
+            ("name", Json::str(name)),
+            ("ph", Json::str("i")),
+            ("ts", Json::U64(ts_us)),
+            ("pid", Json::U64(1)),
+            ("tid", Json::U64(tid)),
+            ("s", Json::str("t")),
+        ];
+        if let Some(f) = fields {
+            pairs.push(("args", f.clone()));
+        }
+        self.emit(ts_us, Json::obj(pairs));
+    }
+
+    fn counter(&mut self, tid: u64, ts_us: u64, name: &str, value: f64) {
+        self.emit(ts_us, Json::obj([
+            ("name", Json::str(name)),
+            ("ph", Json::str("C")),
+            ("ts", Json::U64(ts_us)),
+            ("pid", Json::U64(1)),
+            ("tid", Json::U64(tid)),
+            ("args", Json::obj([("value", Json::f64(value))])),
+        ]));
+    }
+
+    fn finish(&mut self) {
+        self.events.sort_by_key(|(ts, _)| *ts);
+        self.out.push_str("{\"traceEvents\":[");
+        for (i, (_, event)) in self.events.iter().enumerate() {
+            self.out.push_str(if i == 0 { "\n" } else { ",\n" });
+            self.out.push_str(event);
+        }
+        self.out.push_str("\n]}\n");
+    }
+}
+
+// --- collapsed ------------------------------------------------------------
+
+#[derive(Default)]
+struct CollapsedSink {
+    /// Folded stack → accumulated self time in microseconds.
+    stacks: HashMap<String, u64>,
+    out: String,
+}
+
+impl CollapsedSink {
+    fn fold(&mut self, prefix: &str, node: &Node) {
+        let path = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix};{}", node.name)
+        };
+        let dur = node.end_us.saturating_sub(node.start_us);
+        let child_total: u64 = node
+            .children
+            .iter()
+            .map(|c| c.end_us.saturating_sub(c.start_us))
+            .sum();
+        *self.stacks.entry(path.clone()).or_default() += dur.saturating_sub(child_total);
+        for child in &node.children {
+            self.fold(&path, child);
+        }
+    }
+}
+
+impl Sink for CollapsedSink {
+    fn tree(&mut self, _tid: u64, root: &Node) {
+        self.fold("", root);
+    }
+
+    // Instants and counters have no duration; folded stacks ignore them.
+    fn instant(&mut self, _tid: u64, _ts_us: u64, _name: &str, _fields: Option<&Json>) {}
+    fn counter(&mut self, _tid: u64, _ts_us: u64, _name: &str, _value: f64) {}
+
+    fn finish(&mut self) {
+        let mut rows: Vec<(&String, &u64)> = self.stacks.iter().collect();
+        rows.sort();
+        for (path, us) in rows {
+            let _ = writeln!(self.out, "{path} {us}");
+        }
+    }
+}
+
+// --- entry points ---------------------------------------------------------
+
+/// Exports a JSONL trace as Chrome trace-event JSON.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn to_chrome(text: &str) -> Result<String, String> {
+    let mut sink = ChromeSink::new();
+    drive(text, &mut sink)?;
+    Ok(sink.out)
+}
+
+/// Exports a JSONL trace as folded stacks for flamegraph tooling.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn to_collapsed(text: &str) -> Result<String, String> {
+    let mut sink = CollapsedSink::default();
+    drive(text, &mut sink)?;
+    Ok(sink.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        [
+            // tid 0: A(0..100){ B(10..40){ C(15..20) } D(50..90) }, post-order.
+            r#"{"ts_us":15,"tid":0,"kind":"span","name":"C","dur_us":5,"depth":2}"#,
+            r#"{"ts_us":10,"tid":0,"kind":"span","name":"B","dur_us":30,"depth":1,"f":{"k":1}}"#,
+            r#"{"ts_us":50,"tid":0,"kind":"span","name":"D","dur_us":40,"depth":1}"#,
+            r#"{"ts_us":30,"tid":0,"kind":"counter","name":"hits","value":2}"#,
+            r#"{"ts_us":0,"tid":0,"kind":"span","name":"A","dur_us":100,"depth":0}"#,
+            // tid 1: one event, one root span.
+            r#"{"ts_us":7,"tid":1,"kind":"event","name":"ping","f":{"x":3}}"#,
+            r#"{"ts_us":5,"tid":1,"kind":"span","name":"E","dur_us":10,"depth":0}"#,
+        ]
+        .join("\n")
+    }
+
+    /// Parses a chrome export and checks per-thread `B`/`E` nesting in
+    /// array order: every `E` matches the innermost open `B` by name with
+    /// a non-decreasing timestamp, and nothing stays open.
+    fn assert_nested(chrome: &str) -> usize {
+        let doc = json::parse(chrome).expect("chrome export must be strict JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let mut open: HashMap<u64, Vec<(String, u64)>> = HashMap::new();
+        let mut spans = 0;
+        for e in events {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            let tid = e.get("tid").and_then(Json::as_u64).unwrap();
+            let ts = e.get("ts").and_then(Json::as_u64).unwrap();
+            let name = e.get("name").and_then(Json::as_str).unwrap_or("").to_owned();
+            match ph {
+                "B" => {
+                    if let Some((_, open_ts)) = open.entry(tid).or_default().last() {
+                        assert!(ts >= *open_ts, "child B before parent B");
+                    }
+                    open.entry(tid).or_default().push((name, ts));
+                }
+                "E" => {
+                    let (b_name, b_ts) =
+                        open.get_mut(&tid).and_then(Vec::pop).expect("E without B");
+                    assert_eq!(b_name, name, "E closes the innermost B");
+                    assert!(ts >= b_ts, "span ends before it starts");
+                    spans += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(open.values().all(Vec::is_empty), "unclosed spans remain");
+        spans
+    }
+
+    #[test]
+    fn chrome_export_is_nested_and_lane_correct() {
+        let chrome = to_chrome(&sample()).expect("export");
+        assert_eq!(assert_nested(&chrome), 5, "A B C D E all close");
+        let doc = json::parse(&chrome).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        // The counter and instant survive with their kinds and lanes.
+        let phs: Vec<&str> =
+            events.iter().filter_map(|e| e.get("ph").and_then(Json::as_str)).collect();
+        assert_eq!(phs.iter().filter(|p| **p == "C").count(), 1);
+        assert_eq!(phs.iter().filter(|p| **p == "i").count(), 1);
+        let ping = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("ping"))
+            .unwrap();
+        assert_eq!(ping.get("tid").and_then(Json::as_u64), Some(1));
+        // Span fields ride along as args.
+        let b = events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some("B")
+                    && e.get("ph").and_then(Json::as_str) == Some("B")
+            })
+            .unwrap();
+        assert_eq!(b.get("args").and_then(|a| a.get("k")).and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn chrome_export_clamps_rounding_ties() {
+        // Child's recorded end (12+4=16) overruns its parent's (5..15):
+        // microsecond truncation can do this. The export must still nest.
+        let text = [
+            r#"{"ts_us":12,"tid":0,"kind":"span","name":"c","dur_us":4,"depth":1}"#,
+            r#"{"ts_us":5,"tid":0,"kind":"span","name":"p","dur_us":10,"depth":0}"#,
+        ]
+        .join("\n");
+        let chrome = to_chrome(&text).expect("export");
+        assert_eq!(assert_nested(&chrome), 2);
+    }
+
+    #[test]
+    fn sibling_subtrees_attach_to_the_right_parent() {
+        // A(0){ B(1), E(1){ F(2) } }: F must be E's child, not B's.
+        let text = [
+            r#"{"ts_us":1,"tid":0,"kind":"span","name":"B","dur_us":2,"depth":1}"#,
+            r#"{"ts_us":4,"tid":0,"kind":"span","name":"F","dur_us":1,"depth":2}"#,
+            r#"{"ts_us":3,"tid":0,"kind":"span","name":"E","dur_us":4,"depth":1}"#,
+            r#"{"ts_us":0,"tid":0,"kind":"span","name":"A","dur_us":9,"depth":0}"#,
+        ]
+        .join("\n");
+        let folded = to_collapsed(&text).expect("export");
+        assert!(folded.contains("A;E;F 1"), "{folded}");
+        assert!(folded.contains("A;B 2"), "{folded}");
+        assert!(!folded.contains("A;B;F"), "{folded}");
+    }
+
+    #[test]
+    fn collapsed_self_time_subtracts_children() {
+        let folded = to_collapsed(&sample()).expect("export");
+        // A is 100us with 30+40us of children → 30us self.
+        assert!(folded.contains("A 30"), "{folded}");
+        assert!(folded.contains("A;B 25"), "{folded}");
+        assert!(folded.contains("A;B;C 5"), "{folded}");
+        assert!(folded.contains("A;D 40"), "{folded}");
+        assert!(folded.contains("E 10"), "{folded}");
+    }
+
+    #[test]
+    fn orphaned_subtrees_become_roots() {
+        // No depth-0 record: the thread died mid-span.
+        let text = r#"{"ts_us":3,"tid":0,"kind":"span","name":"lost","dur_us":4,"depth":2}"#;
+        let chrome = to_chrome(text).expect("export");
+        assert_eq!(assert_nested(&chrome), 1);
+        let folded = to_collapsed(text).expect("export");
+        assert!(folded.contains("lost 4"), "{folded}");
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        let err = to_chrome("not json").expect_err("must fail");
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+}

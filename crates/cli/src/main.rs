@@ -2,7 +2,8 @@
 //!
 //! Run `tesa help` for usage; see the workspace README for the library
 //! behind it. Subcommand logic lives in [`commands`], argument parsing in
-//! [`args`], the `trace summarize` aggregation in [`summarize`], and the
+//! [`args`], the `trace summarize` aggregation in [`summarize`], the
+//! `trace export` Chrome/flamegraph converters in [`export`], and the
 //! `tesa serve` evaluation daemon plus its `tesa client` companion in
 //! [`serve`] (endpoint reference: `docs/API.md`).
 //!
@@ -19,6 +20,7 @@
 
 mod args;
 mod commands;
+mod export;
 mod serve;
 mod summarize;
 

@@ -3,9 +3,17 @@
 //!
 //! The daemon binds a `TcpListener`, answers the HTTP endpoints
 //! documented in `docs/API.md` (`POST /evaluate`, `POST /screen`,
-//! `POST /optimize`, `GET /healthz`, `GET /stats`), and keeps one
+//! `POST /optimize`, `GET /healthz`, `GET /stats`, `GET /metrics`,
+//! `GET /campaigns`, `GET /campaigns/<name>/progress`), and keeps one
 //! [`tesa::session::Session`] — and therefore one warm
 //! [`tesa::eval::Evaluator`] — alive across requests.
+//!
+//! Observability: every request bumps a per-endpoint counter and latency
+//! histogram in the process-wide [`tesa_util::metrics`] registry, which
+//! `GET /metrics` renders as Prometheus text exposition; `GET /stats`
+//! stays as a JSON view over the same atomics. Running campaigns publish
+//! live annealer state through [`tesa::progress`], streamed by
+//! `GET /campaigns/<name>/progress`.
 //!
 //! Request flow: connection threads parse HTTP and push evaluate/screen
 //! jobs into a bounded admission queue (full queue ⇒ immediate `429` with
@@ -34,13 +42,106 @@ use tesa::eval::{EvalOptions, Evaluator};
 use tesa::session::{self, ApiError, Query, Session};
 use tesa::Objective;
 use tesa_util::http::{self, Request, Response};
-use tesa_util::{json, trace, Json};
+use tesa_util::{json, metrics, trace, Json};
 use tesa_workloads::arvr_suite;
 
 /// Per-connection socket timeout. Evaluations take milliseconds and
 /// campaigns minutes, so this bounds only how long a dead peer can pin a
 /// connection thread, not how long work may run.
 const IO_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// The `Content-Type` of Prometheus text exposition format 0.0.4.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// One endpoint's pair of always-on series: a request counter and a
+/// latency histogram, both labelled `endpoint="…"` so every endpoint
+/// shares the same two metric families.
+struct EndpointMetrics {
+    requests: metrics::Counter,
+    duration_us: metrics::Histogram,
+}
+
+const fn endpoint_metrics(
+    labels: &'static [(&'static str, &'static str)],
+) -> EndpointMetrics {
+    EndpointMetrics {
+        requests: metrics::Counter::with_labels(
+            "tesa_serve_requests_total",
+            "HTTP requests answered, by endpoint.",
+            labels,
+        ),
+        duration_us: metrics::Histogram::with_labels(
+            "tesa_serve_request_duration_us",
+            "Request wall-clock latency in microseconds (parse to close), by endpoint.",
+            labels,
+        ),
+    }
+}
+
+static EP_HEALTHZ: EndpointMetrics = endpoint_metrics(&[("endpoint", "healthz")]);
+static EP_STATS: EndpointMetrics = endpoint_metrics(&[("endpoint", "stats")]);
+static EP_METRICS: EndpointMetrics = endpoint_metrics(&[("endpoint", "metrics")]);
+static EP_EVALUATE: EndpointMetrics = endpoint_metrics(&[("endpoint", "evaluate")]);
+static EP_SCREEN: EndpointMetrics = endpoint_metrics(&[("endpoint", "screen")]);
+static EP_OPTIMIZE: EndpointMetrics = endpoint_metrics(&[("endpoint", "optimize")]);
+static EP_CAMPAIGNS: EndpointMetrics = endpoint_metrics(&[("endpoint", "campaigns")]);
+static EP_PROGRESS: EndpointMetrics = endpoint_metrics(&[("endpoint", "progress")]);
+static EP_OTHER: EndpointMetrics = endpoint_metrics(&[("endpoint", "other")]);
+
+/// Every endpoint pair, for eager registration and routing.
+static ENDPOINTS: [&EndpointMetrics; 9] = [
+    &EP_HEALTHZ,
+    &EP_STATS,
+    &EP_METRICS,
+    &EP_EVALUATE,
+    &EP_SCREEN,
+    &EP_OPTIMIZE,
+    &EP_CAMPAIGNS,
+    &EP_PROGRESS,
+    &EP_OTHER,
+];
+
+// Daemon-level counters/gauges. These are the single source of truth:
+// `GET /stats` reads the same atomics `GET /metrics` exposes.
+static QUEUE_DEPTH: metrics::Gauge = metrics::Gauge::new(
+    "tesa_serve_queue_depth",
+    "Evaluate/screen jobs currently waiting in the admission queue.",
+);
+static BATCH_SIZE: metrics::Histogram = metrics::Histogram::new(
+    "tesa_serve_batch_size",
+    "Jobs per dispatcher micro-batch.",
+);
+static BATCHES: metrics::Counter =
+    metrics::Counter::new("tesa_serve_batches_total", "Dispatcher micro-batches run.");
+static BATCHED_JOBS: metrics::Counter = metrics::Counter::new(
+    "tesa_serve_batched_jobs_total",
+    "Evaluate/screen jobs answered through the dispatcher.",
+);
+static REJECTED_BUSY: metrics::Counter = metrics::Counter::new(
+    "tesa_serve_rejected_busy_total",
+    "Requests shed with 429 because the admission queue was full.",
+);
+
+/// Maps a request line to its endpoint's metric pair.
+fn endpoint_of(method: &str, target: &str) -> &'static EndpointMetrics {
+    match (method, target) {
+        ("GET", "/healthz") => &EP_HEALTHZ,
+        ("GET", "/stats") => &EP_STATS,
+        ("GET", "/metrics") => &EP_METRICS,
+        ("POST", "/evaluate") => &EP_EVALUATE,
+        ("POST", "/screen") => &EP_SCREEN,
+        ("POST", "/optimize") => &EP_OPTIMIZE,
+        ("GET", "/campaigns") => &EP_CAMPAIGNS,
+        ("GET", t) if campaign_progress_target(t).is_some() => &EP_PROGRESS,
+        _ => &EP_OTHER,
+    }
+}
+
+/// `/campaigns/<name>/progress` → `Some(name)`.
+fn campaign_progress_target(target: &str) -> Option<&str> {
+    let name = target.strip_prefix("/campaigns/")?.strip_suffix("/progress")?;
+    if name.is_empty() || name.contains('/') { None } else { Some(name) }
+}
 
 /// One queued evaluate/screen job: the decoded query plus the channel the
 /// dispatcher answers on.
@@ -72,9 +173,6 @@ struct Daemon {
     campaigns_cv: Condvar,
     started: Instant,
     next_trace_id: AtomicU64,
-    batches: AtomicU64,
-    batched_jobs: AtomicU64,
-    rejected_busy: AtomicU64,
 }
 
 /// `tesa serve [--port N] [--queue-depth N] [--batch-max N]
@@ -116,10 +214,19 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         campaigns_cv: Condvar::new(),
         started: Instant::now(),
         next_trace_id: AtomicU64::new(0),
-        batches: AtomicU64::new(0),
-        batched_jobs: AtomicU64::new(0),
-        rejected_busy: AtomicU64::new(0),
     });
+
+    // Register every daemon metric up front so the very first `/metrics`
+    // scrape already shows each family at zero.
+    for ep in ENDPOINTS {
+        ep.requests.register();
+        ep.duration_us.register();
+    }
+    QUEUE_DEPTH.register();
+    BATCH_SIZE.register();
+    BATCHES.register();
+    BATCHED_JOBS.register();
+    REJECTED_BUSY.register();
 
     let resumed = recover_campaigns(&daemon)?;
     if resumed > 0 {
@@ -163,10 +270,13 @@ fn dispatcher(daemon: &Arc<Daemon>) {
                 queue = daemon.queue_cv.wait(queue).expect("queue lock poisoned");
             }
             let n = queue.len().min(daemon.batch_max);
-            queue.drain(..n).collect()
+            let batch: Vec<Job> = queue.drain(..n).collect();
+            QUEUE_DEPTH.set(queue.len() as f64);
+            batch
         };
-        daemon.batches.fetch_add(1, Ordering::Relaxed);
-        daemon.batched_jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        BATCHES.inc();
+        BATCHED_JOBS.add(batch.len() as u64);
+        BATCH_SIZE.record(batch.len() as u64);
         trace::event("serve.batch", || {
             vec![
                 ("size", Json::u64(batch.len() as u64)),
@@ -200,6 +310,11 @@ fn handle_connection(daemon: &Arc<Daemon>, stream: TcpStream) {
         }
     };
     let trace_id = daemon.next_trace_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let started = Instant::now();
+    // Count at entry, before routing: a `/metrics` scrape therefore
+    // observes itself in `tesa_serve_requests_total{endpoint="metrics"}`.
+    let ep = endpoint_of(request.method.as_str(), request.target.as_str());
+    ep.requests.inc();
     let mut span = trace::span("serve.request");
     span.field("id", Json::u64(trace_id));
     span.field("method", Json::str(request.method.as_str()));
@@ -209,6 +324,7 @@ fn handle_connection(daemon: &Arc<Daemon>, stream: TcpStream) {
     if let Err(e) = response.write_to(&mut writer) {
         eprintln!("tesa serve: request {trace_id}: write failed: {e}");
     }
+    ep.duration_us.record_elapsed_us(started);
 }
 
 /// Maps one request to its endpoint handler.
@@ -216,6 +332,16 @@ fn route(daemon: &Arc<Daemon>, request: &Request, trace_id: u64) -> Response {
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/healthz") => Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
         ("GET", "/stats") => Response::json(200, &stats_json(daemon)),
+        ("GET", "/metrics") => Response::raw(
+            200,
+            metrics::render_prometheus().into_bytes(),
+            PROMETHEUS_CONTENT_TYPE,
+        ),
+        ("GET", "/campaigns") => Response::json(200, &campaigns_json(daemon)),
+        ("GET", target) if campaign_progress_target(target).is_some() => {
+            let name = campaign_progress_target(target).expect("guard checked");
+            campaign_progress_response(daemon, name)
+        }
         ("POST", "/evaluate") => enqueue(daemon, request, trace_id, Query::evaluate),
         ("POST", "/screen") => enqueue(daemon, request, trace_id, Query::screen),
         ("POST", "/optimize") => run_campaign(daemon, request),
@@ -235,7 +361,9 @@ fn route(daemon: &Arc<Daemon>, request: &Request, trace_id: u64) -> Response {
 }
 
 /// The `GET /stats` body: daemon-level queue/batch counters plus the
-/// session's request and cache counters.
+/// session's request and cache counters. Since PR 9 the batch and
+/// rejection counts are plain JSON views over the metrics registry — the
+/// same atomics `GET /metrics` renders.
 fn stats_json(daemon: &Arc<Daemon>) -> Json {
     let queue_len = daemon.queue.lock().expect("queue lock poisoned").len();
     let campaigns = daemon.campaigns.lock().expect("campaign lock poisoned");
@@ -249,13 +377,66 @@ fn stats_json(daemon: &Arc<Daemon>) -> Json {
         ("queue_len", Json::u64(queue_len as u64)),
         ("queue_depth", Json::u64(daemon.queue_depth as u64)),
         ("batch_max", Json::u64(daemon.batch_max as u64)),
-        ("batches", Json::u64(daemon.batches.load(Ordering::Relaxed))),
-        ("batched_jobs", Json::u64(daemon.batched_jobs.load(Ordering::Relaxed))),
-        ("rejected_busy", Json::u64(daemon.rejected_busy.load(Ordering::Relaxed))),
+        ("batches", Json::u64(BATCHES.get())),
+        ("batched_jobs", Json::u64(BATCHED_JOBS.get())),
+        ("rejected_busy", Json::u64(REJECTED_BUSY.get())),
         ("campaigns_running", Json::u64(running)),
         ("campaigns_done", Json::u64(done)),
         ("session", daemon.session.stats_json()),
     ])
+}
+
+/// The `GET /campaigns` body: every campaign this daemon knows about —
+/// running or finished, including those recovered from `--campaign-dir`
+/// on startup — sorted by name.
+fn campaigns_json(daemon: &Arc<Daemon>) -> Json {
+    let campaigns = daemon.campaigns.lock().expect("campaign lock poisoned");
+    let mut rows: Vec<(String, &'static str)> = campaigns
+        .iter()
+        .map(|(name, c)| {
+            let state = match c {
+                Campaign::Running { .. } => "running",
+                Campaign::Done { .. } => "done",
+            };
+            (name.clone(), state)
+        })
+        .collect();
+    drop(campaigns);
+    rows.sort();
+    Json::obj([(
+        "campaigns",
+        Json::arr(rows.into_iter().map(|(name, state)| {
+            Json::obj([("name", Json::str(name)), ("state", Json::str(state))])
+        })),
+    )])
+}
+
+/// The `GET /campaigns/<name>/progress` body. A live campaign answers
+/// with the annealer's published snapshot (temperature, acceptance rate,
+/// best cost, checkpoints, ETA); a finished one reports `"done"`; an
+/// unknown name is a 404.
+fn campaign_progress_response(daemon: &Arc<Daemon>, name: &str) -> Response {
+    if let Some(p) = tesa::progress::get(name) {
+        return Response::json(200, &p.snapshot_json());
+    }
+    let campaigns = daemon.campaigns.lock().expect("campaign lock poisoned");
+    match campaigns.get(name) {
+        // The window between map insertion and the optimizer registering
+        // its progress handle (or after it dropped the handle but before
+        // the report landed) still reads as running, just without detail.
+        Some(Campaign::Running { .. }) => Response::json(
+            200,
+            &Json::obj([("name", Json::str(name)), ("state", Json::str("running"))]),
+        ),
+        Some(Campaign::Done { .. }) => Response::json(
+            200,
+            &Json::obj([("name", Json::str(name)), ("state", Json::str("done"))]),
+        ),
+        None => Response::json(
+            404,
+            &Json::obj([("error", Json::str(format!("no campaign named '{name}'")))]),
+        ),
+    }
 }
 
 /// Admits one evaluate/screen request into the bounded queue and waits
@@ -276,7 +457,7 @@ fn enqueue(
     {
         let mut queue = daemon.queue.lock().expect("queue lock poisoned");
         if queue.len() >= daemon.queue_depth {
-            daemon.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            REJECTED_BUSY.inc();
             trace::counter("serve.rejected_busy", 1.0);
             let body = Json::obj([(
                 "error",
@@ -285,6 +466,7 @@ fn enqueue(
             return Response::json(429, &body).with_header("Retry-After", "1");
         }
         queue.push_back(Job { query: make_query(body), trace_id, reply });
+        QUEUE_DEPTH.set(queue.len() as f64);
         daemon.queue_cv.notify_one();
     }
     match answer.recv() {
@@ -482,6 +664,7 @@ fn execute_campaign(daemon: &Arc<Daemon>, name: &str, body: &Json) -> Result<Str
         &msa,
         Some(&policy),
         Some(&ckpt),
+        Some(name),
     )
     .map_err(|e| ApiError { status: 500, message: format!("checkpoint: {e}") })?;
     if outcome.checkpoint_write_failures > 0 {

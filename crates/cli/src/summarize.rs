@@ -55,19 +55,32 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Parses and aggregates a JSONL trace.
+    /// Parses and aggregates a JSONL trace held in memory.
     ///
     /// # Errors
     ///
     /// Returns a message naming the first malformed line. Lines that are
     /// valid JSON but missing the `kind` key are skipped, not errors.
+    #[cfg_attr(not(test), allow(dead_code))] // the CLI streams via `from_reader`
     pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        Self::from_reader(text.as_bytes())
+    }
+
+    /// Streams and aggregates a JSONL trace line by line, so summarizing
+    /// a multi-gigabyte campaign capture never holds more than one line
+    /// in memory. `from_jsonl` is this over an in-memory slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unreadable or malformed line.
+    pub fn from_reader<R: std::io::BufRead>(reader: R) -> Result<Self, String> {
         let mut s = Summary::default();
-        for (lineno, line) in text.lines().enumerate() {
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
             if line.trim().is_empty() {
                 continue;
             }
-            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let v = json::parse(&line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
             s.ingest(&v);
         }
         Ok(s)
@@ -188,6 +201,77 @@ impl Summary {
         let used = self.counter_total("msa.spec.used");
         let wasted = self.counter_total("msa.spec.wasted");
         (used + wasted > 0.0).then(|| used / (used + wasted))
+    }
+
+    /// The machine-readable report behind `trace summarize --format json`:
+    /// the same aggregates `render` prints, as one JSON object.
+    pub fn to_json(&self) -> Json {
+        let ratio = |r: Option<f64>| r.map_or(Json::Null, Json::f64);
+        let spans = Json::arr(self.spans.iter().map(|(name, s)| {
+            Json::obj([
+                ("name", Json::str(name.as_str())),
+                ("count", Json::u64(s.count)),
+                ("total_us", Json::u64(s.total_us)),
+                ("mean_us", Json::f64(s.total_us as f64 / s.count.max(1) as f64)),
+                ("max_us", Json::u64(s.max_us)),
+            ])
+        }));
+        let counters = Json::arr(self.counters.iter().map(|(name, (count, total))| {
+            Json::obj([
+                ("name", Json::str(name.as_str())),
+                ("samples", Json::u64(*count)),
+                ("total", Json::f64(*total)),
+            ])
+        }));
+        let curve = Json::arr(self.msa_curve.iter().rev().map(|(bits, b)| {
+            Json::obj([
+                ("t", Json::f64(f64::from_bits(*bits))),
+                ("moves", Json::u64(b.moves)),
+                ("accepted", Json::u64(b.accepted)),
+            ])
+        }));
+        Json::obj([
+            ("events", Json::u64(self.events)),
+            ("threads", Json::u64(self.threads.len() as u64)),
+            ("spans", spans),
+            ("counters", counters),
+            (
+                "msa",
+                Json::obj([
+                    ("starts", Json::u64(self.msa_starts)),
+                    ("starts_feasible", Json::u64(self.msa_starts_feasible)),
+                    ("moves", Json::u64(self.msa_moves)),
+                    ("accepted", Json::u64(self.msa_accepted)),
+                    ("acceptance_rate", ratio(self.msa_acceptance_rate())),
+                    ("curve", curve),
+                ]),
+            ),
+            ("cache_hit_ratio", ratio(self.cache_hit_ratio())),
+            ("screen_decisive_ratio", ratio(self.screen_decisive_ratio())),
+            ("spec_hit_ratio", ratio(self.spec_hit_ratio())),
+            (
+                "cg",
+                Json::obj([
+                    ("solves", Json::u64(self.cg_solves)),
+                    ("iters_total", Json::u64(self.cg_iters_total)),
+                    ("iters_max", Json::u64(self.cg_iters_max)),
+                    ("warm", Json::u64(self.cg_warm)),
+                    ("mean_iters", ratio(self.mean_cg_iters())),
+                    ("leak_phases", Json::u64(self.leak_phases)),
+                    ("leak_iters_total", Json::u64(self.leak_iters_total)),
+                ]),
+            ),
+            (
+                "batch",
+                Json::obj([
+                    ("batches", Json::u64(self.batch_count)),
+                    ("systems", Json::u64(self.batch_systems)),
+                    ("largest", Json::u64(self.batch_max)),
+                    ("fused_sweeps", Json::u64(self.batch_fused_sweeps)),
+                    ("retire_iters_total", Json::u64(self.batch_retire_total)),
+                ]),
+            ),
+        ])
     }
 
     /// The human-readable report.

@@ -16,9 +16,42 @@ use crate::constraints::Constraints;
 use crate::design::{DesignSpace, Integration, McmDesign};
 use crate::eval::{Evaluator, McmEvaluation, ScreenVerdict};
 use crate::objective::Objective;
+use crate::progress::CampaignProgress;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
-use tesa_util::{faultpoint, pool, trace, Json, Rng};
+use std::sync::{Arc, Mutex};
+use tesa_util::{faultpoint, metrics, pool, trace, Json, Rng};
+
+// Always-on aggregate telemetry (exported by `tesa serve` on
+// `GET /metrics`). Updated once per temperature step or checkpoint write
+// — never per move — so the annealer hot path stays unchanged.
+static MSA_TEMPERATURE: metrics::Gauge = metrics::Gauge::new(
+    "tesa_msa_temperature",
+    "Most recently published annealing temperature (last writer across starts).",
+);
+static MSA_TEMP_STEPS: metrics::Counter = metrics::Counter::new(
+    "tesa_msa_temp_steps_total",
+    "Completed annealing temperature steps across all campaigns.",
+);
+static MSA_MOVES: metrics::Counter = metrics::Counter::new(
+    "tesa_msa_moves_total",
+    "Attempted annealer moves across all campaigns.",
+);
+static MSA_ACCEPTED: metrics::Counter = metrics::Counter::new(
+    "tesa_msa_accepted_moves_total",
+    "Accepted annealer moves across all campaigns.",
+);
+static MSA_STARTS: metrics::Counter = metrics::Counter::new(
+    "tesa_msa_starts_total",
+    "Annealing starts launched (one per delta per campaign).",
+);
+static MSA_CKPT_WRITES: metrics::Counter = metrics::Counter::new(
+    "tesa_msa_checkpoint_writes_total",
+    "Campaign checkpoint files written successfully.",
+);
+static MSA_CKPT_FAILURES: metrics::Counter = metrics::Counter::new(
+    "tesa_msa_checkpoint_write_failures_total",
+    "Campaign checkpoint writes that failed (campaigns continue past them).",
+);
 
 /// MSA configuration. The defaults reproduce the paper's validation setup:
 /// three starts with decay rates 0.89 / 0.87 / 0.85, `T` from 19 down to
@@ -171,6 +204,9 @@ struct CheckpointSink {
     path: PathBuf,
     every: u64,
     inner: Mutex<SinkInner>,
+    /// Live-progress handle of the owning campaign (checkpoint counts
+    /// feed `GET /campaigns/<name>/progress`).
+    progress: Option<Arc<CampaignProgress>>,
 }
 
 struct SinkInner {
@@ -180,11 +216,16 @@ struct SinkInner {
 }
 
 impl CheckpointSink {
-    fn new(policy: &CheckpointPolicy, state: CampaignState) -> Self {
+    fn new(
+        policy: &CheckpointPolicy,
+        state: CampaignState,
+        progress: Option<Arc<CampaignProgress>>,
+    ) -> Self {
         Self {
             path: policy.path.clone(),
             every: u64::from(policy.every.max(1)),
             inner: Mutex::new(SinkInner { state, updates: 0, failures: 0 }),
+            progress,
         }
     }
 
@@ -201,6 +242,10 @@ impl CheckpointSink {
         }
         match g.state.save(&self.path) {
             Ok(()) => {
+                MSA_CKPT_WRITES.inc();
+                if let Some(p) = &self.progress {
+                    p.record_checkpoint();
+                }
                 // Kill-matrix hook: simulate a hard crash at the worst
                 // possible honest moment — right after a checkpoint commit.
                 if faultpoint::fire("ckpt.abort") {
@@ -209,6 +254,7 @@ impl CheckpointSink {
             }
             Err(e) => {
                 g.failures += 1;
+                MSA_CKPT_FAILURES.inc();
                 trace::counter("msa.ckpt.write_failed", 1.0);
                 let msg = e.to_string();
                 trace::event("msa.ckpt.error", || vec![("error", Json::str(msg))]);
@@ -560,6 +606,7 @@ fn run_start<S>(
     seed: u64,
     resume: Option<StartState>,
     ckpt: Option<&CheckpointSink>,
+    progress: Option<&CampaignProgress>,
     idx: usize,
 ) -> StartOutcome
 where
@@ -567,6 +614,7 @@ where
 {
     let mut rng = Rng::seed_from_u64(seed);
     let mut out = StartOutcome { best: None, evaluations: 0, visited: Vec::new(), accepted: 0 };
+    MSA_STARTS.inc();
     let mut start_span = trace::span("msa.start");
     start_span.field("delta", Json::F64(delta));
     start_span.field("seed", Json::U64(seed));
@@ -598,6 +646,9 @@ where
             start_span.field("resumed", Json::str("done"));
             start_span.field("feasible", Json::Bool(snap.current.is_some()));
             restore_outcome(&mut out, snap, evaluator, constraints);
+            if let Some(p) = progress {
+                p.start(idx).finish();
+            }
             return out;
         }
         Some(StartState::Running(mut snap)) => {
@@ -617,6 +668,9 @@ where
                     ("evaluations", Json::U64(out.evaluations as u64)),
                 ]
             });
+            if let Some(p) = progress {
+                p.start(idx).sync_to_temperature(t);
+            }
             resumed = Some((d, s, t));
         }
         Some(StartState::Pending) | None => {}
@@ -689,6 +743,9 @@ where
                     );
                 }
                 start_span.field("feasible", Json::Bool(false));
+                if let Some(p) = progress {
+                    p.start(idx).finish();
+                }
                 return out;
             };
             gate.end_init();
@@ -797,6 +854,21 @@ where
             ]
         });
         t *= delta;
+        // Aggregate telemetry at temperature-step cadence: a handful of
+        // relaxed atomic ops amortized over `moves_per_temp` evaluations.
+        MSA_TEMPERATURE.set(t);
+        MSA_TEMP_STEPS.inc();
+        MSA_MOVES.add(u64::from(config.moves_per_temp));
+        MSA_ACCEPTED.add(u64::from(accepted));
+        if let Some(p) = progress {
+            p.start(idx).record_step(
+                t,
+                config.moves_per_temp,
+                accepted,
+                out.best.as_ref().map(|(s, _)| *s),
+                out.evaluations as u64,
+            );
+        }
         if let Some(sink) = ckpt {
             // Snapshot at the temperature-step boundary: the RNG stream is
             // exactly here, so a resume replays the remaining steps
@@ -822,6 +894,9 @@ where
         }
     }
     flush_spec(&mut spec_pending);
+    if let Some(p) = progress {
+        p.start(idx).finish();
+    }
     if trace::enabled() {
         start_span.field("feasible", Json::Bool(true));
         start_span.field("evaluations", Json::U64(out.evaluations as u64));
@@ -853,7 +928,18 @@ where
     S: Fn(&McmEvaluation) -> f64 + Sync,
 {
     let slots = vec![None; config.deltas.len()];
-    optimize_inner(evaluator, space, integration, freq_mhz, constraints, &score, config, None, slots)
+    optimize_inner(
+        evaluator,
+        space,
+        integration,
+        freq_mhz,
+        constraints,
+        &score,
+        config,
+        None,
+        None,
+        slots,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -866,6 +952,7 @@ fn optimize_inner<S>(
     score: &S,
     config: &MsaConfig,
     sink: Option<&CheckpointSink>,
+    progress: Option<&CampaignProgress>,
     mut resume_slots: Vec<Option<StartState>>,
 ) -> AnnealOutcome
 where
@@ -893,6 +980,7 @@ where
                         config.seed.wrapping_add(i as u64),
                         resume,
                         sink,
+                        progress,
                         i,
                     )
                 })
@@ -964,6 +1052,13 @@ pub fn optimize(
 /// under a different config, space, constraints, objective or evaluator
 /// setup is rejected rather than silently mixing trajectories.
 ///
+/// With a `progress` name, the campaign registers itself in
+/// [`crate::progress`] for its lifetime and publishes live state —
+/// temperature, sliding-window acceptance rate, best cost, checkpoint
+/// count, schedule position — once per temperature step. Publishing
+/// draws no RNG and never touches the trajectory, so the outcome stays
+/// bit-identical with or without it.
+///
 /// # Errors
 ///
 /// [`CheckpointError`] when the resume file exists but is corrupt,
@@ -981,6 +1076,7 @@ pub fn optimize_checkpointed(
     config: &MsaConfig,
     policy: Option<&CheckpointPolicy>,
     resume_from: Option<&Path>,
+    progress: Option<&str>,
 ) -> Result<AnnealOutcome, CheckpointError> {
     let fingerprint = campaign_fingerprint(
         evaluator,
@@ -1024,12 +1120,13 @@ pub fn optimize_checkpointed(
         Some(st) => st.starts.iter().cloned().map(Some).collect(),
         None => vec![None; config.deltas.len()],
     };
+    let guard = progress.map(|name| crate::progress::begin(name, config));
     let sink = policy.map(|p| {
         let state = resume_state.unwrap_or_else(|| CampaignState {
             fingerprint,
             starts: vec![StartState::Pending; config.deltas.len()],
         });
-        CheckpointSink::new(p, state)
+        CheckpointSink::new(p, state, guard.as_ref().map(|g| g.handle()))
     });
     Ok(optimize_inner(
         evaluator,
@@ -1040,6 +1137,7 @@ pub fn optimize_checkpointed(
         &|e: &McmEvaluation| e.objective(objective),
         config,
         sink.as_ref(),
+        guard.as_ref().map(|g| g.campaign()),
         slots,
     ))
 }
@@ -1222,6 +1320,7 @@ mod tests {
                 &config(),
                 policy,
                 resume,
+                None,
             )
             .expect("checkpoint path is healthy in this test")
         };
@@ -1270,6 +1369,7 @@ mod tests {
                 &config(),
                 policy,
                 resume,
+                None,
             )
             .expect("checkpoint path is healthy in this test")
         };
@@ -1327,6 +1427,7 @@ mod tests {
             &config(),
             Some(&policy),
             None,
+            None,
         )
         .expect("writing the checkpoint succeeds");
         // Same file, different campaign seed: the fingerprint must not match.
@@ -1340,6 +1441,7 @@ mod tests {
             &MsaConfig { seed: 8, ..config() },
             None,
             Some(&path),
+            None,
         )
         .expect_err("a foreign checkpoint is rejected");
         assert!(

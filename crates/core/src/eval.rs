@@ -16,7 +16,29 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use tesa_memsim::{DramPowerModel, DramUsage};
-use tesa_util::{faultpoint, pool, trace, Json};
+use tesa_util::{faultpoint, metrics, pool, trace, Json};
+
+// Always-on evaluation/memo counters, exported by `tesa serve` on
+// `GET /metrics`. Process-wide (summed over all evaluators); the
+// per-evaluator hit/miss pair behind `eval_cache_stats` is unchanged.
+static EVAL_CACHE_HITS: metrics::Counter = metrics::Counter::new(
+    "tesa_eval_cache_hits_total",
+    "Full-evaluation memo hits across all evaluators.",
+);
+static EVAL_CACHE_MISSES: metrics::Counter = metrics::Counter::new(
+    "tesa_eval_cache_misses_total",
+    "Full-evaluation memo misses (each one ran the exact pipeline).",
+);
+static SCREENS_DECISIVE: metrics::Counter = metrics::Counter::with_labels(
+    "tesa_eval_screens_total",
+    "Surrogate feasibility screens by verdict.",
+    &[("verdict", "decisive")],
+);
+static SCREENS_AMBIGUOUS: metrics::Counter = metrics::Counter::with_labels(
+    "tesa_eval_screens_total",
+    "Surrogate feasibility screens by verdict.",
+    &[("verdict", "ambiguous")],
+);
 use tesa_scalesim::{ArrayConfig, Dataflow, DnnReport, Simulator};
 use tesa_thermal::{
     BatchSolveRequest, PowerMap, Rect, SolveError, SolveQuality, StackBuilder, Surrogate,
@@ -445,6 +467,12 @@ pub struct Evaluator {
 impl Evaluator {
     /// Creates an evaluator for `workload` under the given options.
     pub fn new(workload: MultiDnnWorkload, opts: EvalOptions) -> Self {
+        // Eager registration: a `/metrics` scrape shows the memo and
+        // screen families at zero before any query touches them.
+        EVAL_CACHE_HITS.register();
+        EVAL_CACHE_MISSES.register();
+        SCREENS_DECISIVE.register();
+        SCREENS_AMBIGUOUS.register();
         let dram = DramPowerModel::new(opts.tech.dram_channel);
         Self {
             workload,
@@ -471,10 +499,12 @@ impl Evaluator {
         let key: EvalKey = (*design, constraints_key(constraints));
         if let Some(hit) = self.eval_cache.read().expect("cache lock poisoned").get(&key) {
             self.eval_hits.fetch_add(1, Ordering::Relaxed);
+            EVAL_CACHE_HITS.inc();
             trace::counter("eval.cache.hit", 1.0);
             return Arc::clone(hit);
         }
         self.eval_misses.fetch_add(1, Ordering::Relaxed);
+        EVAL_CACHE_MISSES.inc();
         trace::counter("eval.cache.miss", 1.0);
         let eval = Arc::new(self.evaluate(design, constraints));
         self.eval_cache.write().expect("cache lock poisoned").insert(key, Arc::clone(&eval));
@@ -611,8 +641,14 @@ impl Evaluator {
 
     fn count_screen(v: ScreenVerdict) {
         match v {
-            ScreenVerdict::Ambiguous => trace::counter("eval.surrogate.ambiguous", 1.0),
-            _ => trace::counter("eval.surrogate.screened", 1.0),
+            ScreenVerdict::Ambiguous => {
+                SCREENS_AMBIGUOUS.inc();
+                trace::counter("eval.surrogate.ambiguous", 1.0);
+            }
+            _ => {
+                SCREENS_DECISIVE.inc();
+                trace::counter("eval.surrogate.screened", 1.0);
+            }
         }
     }
 

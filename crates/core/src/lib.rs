@@ -75,6 +75,7 @@ pub mod floorplan;
 pub mod objective;
 pub mod nop;
 pub mod placement;
+pub mod progress;
 pub mod power;
 pub mod report;
 pub mod sched;

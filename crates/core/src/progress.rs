@@ -1,0 +1,360 @@
+//! Live campaign progress: a process-wide registry of running MSA
+//! campaigns, fed by the annealer and read by the `tesa serve` daemon's
+//! `GET /campaigns/<name>/progress` endpoint.
+//!
+//! [`crate::anneal::optimize_checkpointed`] registers a campaign here
+//! when given a progress name; each start then publishes its live state
+//! — current temperature, best cost, schedule position, a sliding window
+//! of acceptance outcomes — through [`tesa_util::metrics`]-style relaxed
+//! atomics (one store per temperature step, nothing on the per-move hot
+//! path). Snapshots are taken lock-free except for the small per-start
+//! acceptance window. The registry entry is removed when the campaign
+//! returns, so a registered name is always a *running* campaign.
+//!
+//! Publishing is side-effect-free with respect to the optimizer: no RNG
+//! draws, no trajectory changes — the bit-identical determinism
+//! guarantees of the annealer are untouched.
+
+use crate::anneal::MsaConfig;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+use tesa_util::Json;
+
+/// Temperature steps kept in the sliding acceptance window.
+const ACCEPT_WINDOW: usize = 8;
+
+/// Steps of the geometric schedule `t <- t * delta` from `t_init` until
+/// `t <= t_final` (bounded defensively for degenerate schedules).
+fn schedule_steps(t_init: f64, t_final: f64, delta: f64) -> u64 {
+    let geometric = delta > 0.0 && delta < 1.0 && t_init > t_final;
+    if !geometric {
+        return if t_init > t_final { 1 } else { 0 };
+    }
+    let mut t = t_init;
+    let mut n = 0u64;
+    while t > t_final && n < 1_000_000 {
+        t *= delta;
+        n += 1;
+    }
+    n
+}
+
+/// Live telemetry for one annealing start. All hot fields are relaxed
+/// atomics updated once per temperature step.
+pub struct StartProgress {
+    /// The start's geometric decay rate.
+    pub delta: f64,
+    /// Total temperature steps in this start's schedule.
+    pub steps_total: u64,
+    t_init: f64,
+    t_final: f64,
+    t_bits: AtomicU64,
+    best_bits: AtomicU64,
+    steps_done: AtomicU64,
+    evaluations: AtomicU64,
+    done: AtomicBool,
+    /// `(moves, accepted)` of the most recent temperature steps.
+    window: Mutex<VecDeque<(u32, u32)>>,
+}
+
+impl StartProgress {
+    fn new(delta: f64, config: &MsaConfig) -> Self {
+        StartProgress {
+            delta,
+            steps_total: schedule_steps(config.t_init, config.t_final, delta),
+            t_init: config.t_init,
+            t_final: config.t_final,
+            t_bits: AtomicU64::new(config.t_init.to_bits()),
+            best_bits: AtomicU64::new(f64::NAN.to_bits()),
+            steps_done: AtomicU64::new(0),
+            evaluations: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            window: Mutex::new(VecDeque::with_capacity(ACCEPT_WINDOW)),
+        }
+    }
+
+    /// Publishes one completed temperature step: the decayed temperature,
+    /// the step's move/accept tallies, and the running best cost and
+    /// evaluation count.
+    pub fn record_step(
+        &self,
+        t: f64,
+        moves: u32,
+        accepted: u32,
+        best_cost: Option<f64>,
+        evaluations: u64,
+    ) {
+        self.t_bits.store(t.to_bits(), Ordering::Relaxed);
+        if let Some(b) = best_cost {
+            self.best_bits.store(b.to_bits(), Ordering::Relaxed);
+        }
+        self.steps_done.fetch_add(1, Ordering::Relaxed);
+        self.evaluations.store(evaluations, Ordering::Relaxed);
+        let mut w = self.window.lock().unwrap_or_else(|e| e.into_inner());
+        if w.len() == ACCEPT_WINDOW {
+            w.pop_front();
+        }
+        w.push_back((moves, accepted));
+    }
+
+    /// Aligns the schedule position with a checkpoint resumed at
+    /// temperature `t` (counts the steps the interrupted run already
+    /// completed, so ETA math stays honest across resumes).
+    pub fn sync_to_temperature(&self, t: f64) {
+        let remaining = schedule_steps(t, self.t_final, self.delta);
+        let done = self.steps_total.saturating_sub(remaining);
+        self.steps_done.store(done, Ordering::Relaxed);
+        self.t_bits.store(t.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Marks the start finished (schedule complete or infeasible init).
+    pub fn finish(&self) {
+        self.done.store(true, Ordering::Relaxed);
+        self.steps_done.store(self.steps_total, Ordering::Relaxed);
+    }
+
+    /// Best cost seen so far, if any candidate was feasible.
+    pub fn best_cost(&self) -> Option<f64> {
+        let b = f64::from_bits(self.best_bits.load(Ordering::Relaxed));
+        (!b.is_nan()).then_some(b)
+    }
+
+    /// Acceptance rate over the sliding window (`None` before the first
+    /// completed step).
+    pub fn acceptance_rate(&self) -> Option<f64> {
+        let w = self.window.lock().unwrap_or_else(|e| e.into_inner());
+        let (moves, accepted) = w
+            .iter()
+            .fold((0u64, 0u64), |(m, a), &(wm, wa)| (m + u64::from(wm), a + u64::from(wa)));
+        (moves > 0).then(|| accepted as f64 / moves as f64)
+    }
+
+    fn snapshot_json(&self) -> Json {
+        let steps_done = self.steps_done.load(Ordering::Relaxed).min(self.steps_total);
+        Json::obj([
+            ("delta", Json::F64(self.delta)),
+            ("temperature", Json::F64(f64::from_bits(self.t_bits.load(Ordering::Relaxed)))),
+            ("t_init", Json::F64(self.t_init)),
+            ("t_final", Json::F64(self.t_final)),
+            ("steps_done", Json::u64(steps_done)),
+            ("steps_total", Json::u64(self.steps_total)),
+            ("evaluations", Json::u64(self.evaluations.load(Ordering::Relaxed))),
+            (
+                "acceptance_rate",
+                self.acceptance_rate().map_or(Json::Null, Json::F64),
+            ),
+            ("best_cost", self.best_cost().map_or(Json::Null, Json::F64)),
+            ("done", Json::Bool(self.done.load(Ordering::Relaxed))),
+        ])
+    }
+}
+
+/// Live telemetry for one registered campaign: per-start gauges plus
+/// checkpoint bookkeeping and wall-clock for the ETA estimate.
+pub struct CampaignProgress {
+    name: String,
+    started: Instant,
+    checkpoints: AtomicU64,
+    starts: Vec<StartProgress>,
+}
+
+impl CampaignProgress {
+    /// The campaign's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Telemetry slot of start `idx` (panics on out-of-range, which would
+    /// be an annealer bug: slots are sized from the same config).
+    pub fn start(&self, idx: usize) -> &StartProgress {
+        &self.starts[idx]
+    }
+
+    /// Counts one successful checkpoint write.
+    pub fn record_checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Schedule fraction completed, over all starts (`0.0 ..= 1.0`).
+    pub fn fraction_done(&self) -> f64 {
+        let total: u64 = self.starts.iter().map(|s| s.steps_total).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let done: u64 = self
+            .starts
+            .iter()
+            .map(|s| s.steps_done.load(Ordering::Relaxed).min(s.steps_total))
+            .sum();
+        done as f64 / total as f64
+    }
+
+    /// Estimated seconds to completion, extrapolated from the schedule
+    /// fraction already burned down. `None` before any step completes.
+    pub fn eta_seconds(&self) -> Option<f64> {
+        let f = self.fraction_done();
+        if f <= 0.0 {
+            return None;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        Some((elapsed * (1.0 - f) / f).max(0.0))
+    }
+
+    /// The live-progress JSON body served by
+    /// `GET /campaigns/<name>/progress` for a running campaign.
+    pub fn snapshot_json(&self) -> Json {
+        let best = self
+            .starts
+            .iter()
+            .filter_map(StartProgress::best_cost)
+            .fold(None::<f64>, |acc, b| Some(acc.map_or(b, |a| a.min(b))));
+        let windows: Vec<&StartProgress> = self.starts.iter().collect();
+        let (moves, accepted) = windows.iter().fold((0u64, 0u64), |(m, a), s| {
+            let w = s.window.lock().unwrap_or_else(|e| e.into_inner());
+            w.iter().fold((m, a), |(m, a), &(wm, wa)| (m + u64::from(wm), a + u64::from(wa)))
+        });
+        Json::obj([
+            ("name", Json::str(self.name.as_str())),
+            ("state", Json::str("running")),
+            ("elapsed_s", Json::F64(self.started.elapsed().as_secs_f64())),
+            ("fraction_done", Json::F64(self.fraction_done())),
+            ("eta_s", self.eta_seconds().map_or(Json::Null, Json::F64)),
+            ("best_cost", best.map_or(Json::Null, Json::F64)),
+            (
+                "acceptance_rate",
+                (moves > 0).then(|| accepted as f64 / moves as f64).map_or(Json::Null, Json::F64),
+            ),
+            ("checkpoints", Json::u64(self.checkpoints.load(Ordering::Relaxed))),
+            (
+                "starts",
+                Json::arr(self.starts.iter().map(StartProgress::snapshot_json)),
+            ),
+        ])
+    }
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Arc<CampaignProgress>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<CampaignProgress>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Registers a campaign and returns a guard that unregisters it on drop
+/// (normal return, error, or panic alike). Re-registering a live name
+/// replaces the previous entry — the newest run owns the name.
+pub fn begin(name: &str, config: &MsaConfig) -> ProgressGuard {
+    let campaign = Arc::new(CampaignProgress {
+        name: name.to_owned(),
+        started: Instant::now(),
+        checkpoints: AtomicU64::new(0),
+        starts: config.deltas.iter().map(|&d| StartProgress::new(d, config)).collect(),
+    });
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(name.to_owned(), Arc::clone(&campaign));
+    ProgressGuard { campaign }
+}
+
+/// The live progress of campaign `name`, if it is currently running.
+pub fn get(name: &str) -> Option<Arc<CampaignProgress>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).get(name).cloned()
+}
+
+/// Names of all currently running registered campaigns, sorted.
+pub fn names() -> Vec<String> {
+    let mut names: Vec<String> =
+        registry().lock().unwrap_or_else(|e| e.into_inner()).keys().cloned().collect();
+    names.sort();
+    names
+}
+
+/// Keeps a campaign registered for its lifetime; see [`begin`].
+pub struct ProgressGuard {
+    campaign: Arc<CampaignProgress>,
+}
+
+impl ProgressGuard {
+    /// The registered campaign's live telemetry.
+    pub fn campaign(&self) -> &CampaignProgress {
+        &self.campaign
+    }
+
+    /// A shared handle to the campaign's telemetry (for sinks that
+    /// outlive the borrow, e.g. the checkpoint sink).
+    pub fn handle(&self) -> Arc<CampaignProgress> {
+        Arc::clone(&self.campaign)
+    }
+}
+
+impl Drop for ProgressGuard {
+    fn drop(&mut self) {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        // Only remove the entry if it is still ours: a newer run of the
+        // same name may have replaced it.
+        if let Some(current) = reg.get(self.campaign.name()) {
+            if Arc::ptr_eq(current, &self.campaign) {
+                reg.remove(self.campaign.name());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MsaConfig {
+        MsaConfig {
+            deltas: vec![0.5, 0.25],
+            t_init: 8.0,
+            t_final: 1.0,
+            ..MsaConfig::default()
+        }
+    }
+
+    #[test]
+    fn schedule_steps_counts_the_annealer_loop() {
+        // 8 -> 4 -> 2 -> 1: three steps, loop exits at t == 1.0.
+        assert_eq!(schedule_steps(8.0, 1.0, 0.5), 3);
+        assert_eq!(schedule_steps(1.0, 1.0, 0.5), 0);
+        assert_eq!(schedule_steps(8.0, 1.0, 1.5), 1, "degenerate schedule is bounded");
+    }
+
+    #[test]
+    fn register_snapshot_unregister() {
+        let name = format!("progress-test-{}", std::process::id());
+        {
+            let guard = begin(&name, &config());
+            let c = get(&name).expect("registered while the guard lives");
+            assert!(names().contains(&name));
+            c.start(0).record_step(4.0, 10, 3, Some(2.5), 7);
+            c.record_checkpoint();
+            let snap = c.snapshot_json();
+            assert_eq!(snap.get("state").and_then(Json::as_str), Some("running"));
+            assert_eq!(snap.get("checkpoints").and_then(Json::as_u64), Some(1));
+            assert_eq!(snap.get("best_cost").and_then(Json::as_f64), Some(2.5));
+            let starts = snap.get("starts").and_then(Json::as_array).unwrap();
+            assert_eq!(starts.len(), 2);
+            assert_eq!(starts[0].get("steps_done").and_then(Json::as_u64), Some(1));
+            assert_eq!(starts[0].get("steps_total").and_then(Json::as_u64), Some(3));
+            assert_eq!(starts[0].get("acceptance_rate").and_then(Json::as_f64), Some(0.3));
+            assert!(c.eta_seconds().is_some());
+            drop(guard);
+        }
+        assert!(get(&name).is_none(), "guard drop unregisters");
+    }
+
+    #[test]
+    fn resume_sync_counts_completed_steps() {
+        let cfg = config();
+        let name = format!("progress-resume-{}", std::process::id());
+        let guard = begin(&name, &cfg);
+        // delta 0.5 schedule from 8: steps at t = 4, 2, 1. Resuming at
+        // t = 2 means two steps are already behind us.
+        guard.campaign().start(0).sync_to_temperature(2.0);
+        let snap = guard.campaign().start(0).snapshot_json();
+        assert_eq!(snap.get("steps_done").and_then(Json::as_u64), Some(2));
+    }
+}

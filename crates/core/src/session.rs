@@ -54,8 +54,25 @@ use crate::constraints::Constraints;
 use crate::design::{ChipletConfig, Integration, McmDesign};
 use crate::eval::{Evaluator, ScreenVerdict};
 use crate::report;
-use std::sync::atomic::{AtomicU64, Ordering};
-use tesa_util::{pool, Json};
+use tesa_util::{metrics, pool, Json};
+
+// Request counters live in the process-wide metrics registry, not on the
+// `Session`: `GET /stats` and `GET /metrics` read the *same* atomics, so
+// the two views can never disagree. A daemon hosts one session, so
+// process-wide and per-session are the same thing in production; tests
+// that build several sessions must assert on deltas.
+static SESSION_EVALUATED: metrics::Counter = metrics::Counter::new(
+    "tesa_session_evaluated_total",
+    "Successful /evaluate requests answered by the session layer.",
+);
+static SESSION_SCREENED: metrics::Counter = metrics::Counter::new(
+    "tesa_session_screened_total",
+    "Successful /screen requests answered by the session layer.",
+);
+static SESSION_REJECTED: metrics::Counter = metrics::Counter::new(
+    "tesa_session_rejected_total",
+    "Requests the session layer rejected (malformed bodies).",
+);
 
 /// A request the session refused: an HTTP-ish status plus a message the
 /// daemon returns as `{"error": message}`.
@@ -217,20 +234,17 @@ pub fn integration_from_json(obj: &Json, ctx: &str) -> Result<Integration, ApiEr
 /// thread-safe.
 pub struct Session {
     evaluator: Evaluator,
-    evaluated: AtomicU64,
-    screened: AtomicU64,
-    rejected: AtomicU64,
 }
 
 impl Session {
-    /// A session serving requests from `evaluator`.
+    /// A session serving requests from `evaluator`. Registers the request
+    /// counters eagerly so `/metrics` exposes them at zero before any
+    /// traffic arrives.
     pub fn new(evaluator: Evaluator) -> Self {
-        Session {
-            evaluator,
-            evaluated: AtomicU64::new(0),
-            screened: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-        }
+        SESSION_EVALUATED.register();
+        SESSION_SCREENED.register();
+        SESSION_REJECTED.register();
+        Session { evaluator }
     }
 
     /// The shared evaluator (for diagnostics and tests).
@@ -247,16 +261,11 @@ impl Session {
             Endpoint::Screen => self.screen_body(&query.body),
         };
         match &result {
-            Ok(_) => {
-                let counter = match query.endpoint {
-                    Endpoint::Evaluate => &self.evaluated,
-                    Endpoint::Screen => &self.screened,
-                };
-                counter.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(_) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-            }
+            Ok(_) => match query.endpoint {
+                Endpoint::Evaluate => SESSION_EVALUATED.inc(),
+                Endpoint::Screen => SESSION_SCREENED.inc(),
+            },
+            Err(_) => SESSION_REJECTED.inc(),
         }
         result
     }
@@ -296,7 +305,7 @@ impl Session {
             let evals = self.evaluator.evaluate_cached_batch(&pairs, pool::default_lanes());
             for (&i, eval) in grouped.iter().zip(&evals) {
                 batched[i] = Some(report::evaluation_json(eval));
-                self.evaluated.fetch_add(1, Ordering::Relaxed);
+                SESSION_EVALUATED.inc();
             }
         }
         pool::map_dynamic(pool::default_lanes(), queries.len(), |i| match &batched[i] {
@@ -329,12 +338,16 @@ impl Session {
     /// The `GET /stats` body: request counters plus the evaluator's
     /// cache hit/miss totals (the observable proof that the daemon is
     /// amortizing solves across requests).
+    ///
+    /// The counters are a JSON view over the process-wide
+    /// [`tesa_util::metrics`] registry — the same atomics `GET /metrics`
+    /// exports — so the two endpoints reconcile by construction.
     pub fn stats_json(&self) -> Json {
         let (hits, misses) = self.evaluator.eval_cache_stats();
         Json::obj([
-            ("evaluated", Json::u64(self.evaluated.load(Ordering::Relaxed))),
-            ("screened", Json::u64(self.screened.load(Ordering::Relaxed))),
-            ("rejected", Json::u64(self.rejected.load(Ordering::Relaxed))),
+            ("evaluated", Json::u64(SESSION_EVALUATED.get())),
+            ("screened", Json::u64(SESSION_SCREENED.get())),
+            ("rejected", Json::u64(SESSION_REJECTED.get())),
             (
                 "eval_cache",
                 Json::obj([("hits", Json::u64(hits)), ("misses", Json::u64(misses))]),
@@ -350,8 +363,20 @@ mod tests {
     use tesa_util::json;
     use tesa_workloads::arvr_suite;
 
+    /// The request counters are process-wide registry statics; tests that
+    /// drive queries serialize on this lock and assert on deltas.
+    static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     fn session() -> Session {
         Session::new(Evaluator::new(arvr_suite(), EvalOptions::default()))
+    }
+
+    fn counters(stats: &Json) -> (u64, u64, u64) {
+        (
+            stats.get("evaluated").and_then(Json::as_u64).unwrap(),
+            stats.get("screened").and_then(Json::as_u64).unwrap(),
+            stats.get("rejected").and_then(Json::as_u64).unwrap(),
+        )
     }
 
     fn body(text: &str) -> Json {
@@ -402,6 +427,7 @@ mod tests {
 
     #[test]
     fn evaluate_matches_the_report_module() {
+        let _l = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let s = session();
         let b = body(
             r#"{"design":{"array_dim":64,"sram_kib_per_bank":128},"constraints":{"fps":1.0}}"#,
@@ -415,6 +441,7 @@ mod tests {
 
     #[test]
     fn repeated_evaluate_hits_the_memo() {
+        let _l = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let s = session();
         let q = Query::evaluate(body(
             r#"{"design":{"array_dim":64,"sram_kib_per_bank":128},"constraints":{"fps":1.0}}"#,
@@ -429,6 +456,7 @@ mod tests {
 
     #[test]
     fn batch_results_preserve_order_and_errors() {
+        let _l = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let s = session();
         let ok = body(
             r#"{"design":{"array_dim":64,"sram_kib_per_bank":128},"constraints":{"fps":1.0}}"#,
@@ -447,7 +475,9 @@ mod tests {
 
     #[test]
     fn stats_count_requests() {
+        let _l = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let s = session();
+        let (eval0, screen0, rej0) = counters(&s.stats_json());
         let ok = body(
             r#"{"design":{"array_dim":64,"sram_kib_per_bank":128},"constraints":{"fps":1.0}}"#,
         );
@@ -455,9 +485,10 @@ mod tests {
         s.run(&Query::screen(ok)).unwrap();
         s.run(&Query::evaluate(body(r#"{}"#))).unwrap_err();
         let stats = s.stats_json();
-        assert_eq!(stats.get("evaluated").and_then(Json::as_u64), Some(1));
-        assert_eq!(stats.get("screened").and_then(Json::as_u64), Some(1));
-        assert_eq!(stats.get("rejected").and_then(Json::as_u64), Some(1));
+        let (evaluated, screened, rejected) = counters(&stats);
+        assert_eq!(evaluated, eval0 + 1);
+        assert_eq!(screened, screen0 + 1);
+        assert_eq!(rejected, rej0 + 1);
         assert!(stats.get("eval_cache").is_some());
     }
 }

@@ -7,7 +7,27 @@ use crate::solver::{self, dispatch_width, eff_width, CgMultiScratch, CgOutcome, 
 use crate::stack::LayerDef;
 
 use std::sync::{Arc, Mutex};
-use tesa_util::{faultpoint, trace, Json};
+use tesa_util::{faultpoint, metrics, trace, Json};
+
+// Always-on solver telemetry, exported by `tesa serve` on `GET /metrics`.
+// One histogram record (three relaxed atomic ops) per solve; negligible
+// next to the solve itself.
+pub(crate) static CG_ITERS: metrics::Histogram = metrics::Histogram::new(
+    "tesa_thermal_cg_iterations",
+    "CG iterations to convergence per steady/transient solve.",
+);
+pub(crate) static BATCH_WIDTH: metrics::Histogram = metrics::Histogram::new(
+    "tesa_thermal_batch_width",
+    "Systems per multi-RHS thermal solve batch.",
+);
+pub(crate) static VCYCLES: metrics::Counter = metrics::Counter::new(
+    "tesa_thermal_vcycles_total",
+    "Multigrid V-cycles applied as CG preconditioner.",
+);
+static CG_DEGRADED: metrics::Counter = metrics::Counter::new(
+    "tesa_thermal_cg_degraded_total",
+    "Steady solves that fell back to the Jacobi rung.",
+);
 
 /// Node count above which the mat-vec is chunked across the persistent
 /// worker pool. The per-cell arithmetic is identical in every chunking, so
@@ -808,6 +828,12 @@ impl ThermalModel {
             ),
         };
         self.scratch.put(s);
+        let (solve_iters, _) = outcome.stats(tol.max_iters);
+        CG_ITERS.record(solve_iters as u64);
+        if used_mg {
+            // Single-RHS PCG applies the preconditioner once per iteration.
+            VCYCLES.add(solve_iters as u64);
+        }
         trace::event("thermal.cg", || {
             let (iters, residual) = outcome.stats(tol.max_iters);
             vec![
@@ -873,6 +899,7 @@ impl ThermalModel {
             }
             CgOutcome::MaxIterations { residual } => residual,
         };
+        CG_DEGRADED.inc();
         trace::counter("thermal.cg.degraded", 1.0);
         let mut x2 = vec![self.ambient_c; n];
         let fallback = if faultpoint::fire("thermal.cg.fallback") {
@@ -968,8 +995,15 @@ impl ThermalModel {
             ),
         };
         self.batch_scratch.put(s);
+        BATCH_WIDTH.record(k as u64);
+        if used_mg {
+            // The fused multi-RHS V-cycle preconditions every unretired
+            // system in one sweep; count sweeps, not sweeps x systems.
+            VCYCLES.add(result.fused_sweeps);
+        }
         for (sy, &(_, warm, tol)) in systems.iter().enumerate() {
             let outcome = result.outcomes[sy];
+            CG_ITERS.record(outcome.stats(tol.max_iters).0 as u64);
             trace::event("thermal.cg", move || {
                 let (iters, residual) = outcome.stats(tol.max_iters);
                 vec![
@@ -1094,6 +1128,7 @@ impl ThermalModel {
             match outcome {
                 CgOutcome::Converged { .. } => fallbacks.push(None),
                 CgOutcome::MaxIterations { residual } => {
+                    CG_DEGRADED.inc();
                     trace::counter("thermal.cg.degraded", 1.0);
                     fallbacks.push(Some(Fallback {
                         failed_residual: *residual,
@@ -1254,6 +1289,7 @@ impl ThermalModel {
             self.lanes,
         );
         self.scratch.put(s);
+        CG_ITERS.record(outcome.stats(solver::Tolerance::default().max_iters).0 as u64);
         trace::event("thermal.transient_cg", || {
             let (iters, residual) = outcome.stats(solver::Tolerance::default().max_iters);
             vec![

@@ -454,6 +454,10 @@ fn fused_multi_into<const KW: usize>(
     }
 }
 
+/// One scatter work item of the fused multi-RHS update: chunk index,
+/// its partial-sum slot, and the `x`/`r` chunks it advances.
+type FusedChunk<'a> = (usize, &'a mut [f64], &'a mut [f64], &'a mut [f64]);
+
 /// Fused multi-RHS CG update — the interleaved counterpart of
 /// [`fused_update_det`], with the serial chunk grid applied per system.
 #[allow(clippy::too_many_arguments)]
@@ -478,7 +482,7 @@ fn fused_update_det_multi(
     let nchunks = n.div_ceil(REDUCE_CHUNK);
     partials.clear();
     partials.resize(nchunks * k, 0.0);
-    let items: Vec<(usize, &mut [f64], &mut [f64], &mut [f64])> = partials
+    let items: Vec<FusedChunk> = partials
         .chunks_mut(k)
         .zip(chunks_mut_w(x, k))
         .zip(chunks_mut_w(r, k))

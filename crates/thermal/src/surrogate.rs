@@ -374,6 +374,11 @@ impl Surrogate {
                 panic!("surrogate CG failed to converge at level {li} (residual {residual:e})")
             }
         }
+        crate::model::BATCH_WIDTH.record(2);
+        crate::model::VCYCLES.add(result.fused_sweeps);
+        for outcome in &result.outcomes {
+            crate::model::CG_ITERS.record(outcome.stats(SURROGATE_CG_MAX_ITERS).0 as u64);
+        }
         trace::event("thermal.batch", || {
             let retire: Vec<Json> = result
                 .outcomes

@@ -14,6 +14,9 @@
 //! * [`json`] — a hand-written minimal JSON emitter *and parser*,
 //!   replacing the `serde` machinery for the report paths that need
 //!   machine-readable output and for reading those artifacts back;
+//! * [`metrics`] — an always-on aggregate-telemetry registry (relaxed
+//!   atomic counters/gauges, log-linear histograms, Prometheus text
+//!   exposition), replacing `prometheus`/`metrics`;
 //! * [`trace`] — a structured-observability layer (spans, events,
 //!   counters → JSONL) with near-zero disabled-path overhead, replacing
 //!   `tracing`/`tracing-subscriber` for pipeline introspection;
@@ -46,6 +49,7 @@ pub mod faultpoint;
 pub mod hash;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod propcheck;
 pub mod rng;

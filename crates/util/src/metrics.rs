@@ -1,0 +1,575 @@
+//! Always-on, process-wide metrics: counters, gauges, and log-linear
+//! histograms, replacing `prometheus`/`metrics` for runtime telemetry.
+//!
+//! Unlike [`trace`](crate::trace) — which records *individual* events to a
+//! sink and is off by default — this registry keeps *aggregates* in plain
+//! relaxed atomics and is always enabled: recording a sample costs one
+//! relaxed RMW on the owning cache line (histograms touch two more for the
+//! running sum and max), cheap enough to leave compiled into production
+//! hot paths. There is no sampling, no locking on the record path, and no
+//! allocation after registration.
+//!
+//! Metrics are declared as `static` items with `const` constructors and
+//! lazily register themselves in a process-wide registry the first time
+//! they are touched (or eagerly via [`Counter::register`] and friends);
+//! [`render_prometheus`]
+//! walks the registry and emits Prometheus text exposition format 0.0.4.
+//!
+//! Histograms use a log-linear bucket layout (exact unit-width buckets
+//! below 16, then 16 sub-buckets per power of two): every bucket above the
+//! linear region has a relative width of 1/16, so quantiles reconstructed
+//! from bucket counts are within one bucket width (≤ 6.25% relative
+//! error) of the exact sample quantiles.
+//!
+//! ```
+//! use tesa_util::metrics::{Counter, Histogram};
+//!
+//! static REQUESTS: Counter = Counter::new("doc_requests_total", "Requests served.");
+//! static LATENCY: Histogram =
+//!     Histogram::new("doc_latency_us", "Request latency in microseconds.");
+//!
+//! REQUESTS.inc();
+//! LATENCY.record(1200);
+//! let text = tesa_util::metrics::render_prometheus();
+//! assert!(text.contains("doc_requests_total 1"));
+//! assert!(text.contains("doc_latency_us_sum 1200"));
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Sub-bucket bits per power of two: 16 sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave, and the width of the exact linear region.
+const SUB: usize = 1 << SUB_BITS;
+/// Highest value bit covered before samples clamp into the last bucket.
+/// `msb` ∈ `[SUB_BITS, MAX_MSB]` maps to an octave; 40 covers values up
+/// to ~2.2e12 (≈ 25 days when recording microseconds).
+const MAX_MSB: u32 = 40;
+/// Total bucket count: the linear region plus one `SUB`-wide group per
+/// covered octave.
+const NBUCKETS: usize = SUB * (MAX_MSB - SUB_BITS + 2) as usize;
+
+/// Bucket index for a sample value (log-linear layout).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    if msb > MAX_MSB {
+        return NBUCKETS - 1;
+    }
+    let octave = msb - SUB_BITS;
+    let sub = ((v >> (msb - SUB_BITS)) as usize) & (SUB - 1);
+    SUB * (octave as usize + 1) + sub
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `idx`.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB {
+        return (idx as u64, idx as u64);
+    }
+    let octave = (idx / SUB - 1) as u32;
+    let sub = (idx % SUB) as u64;
+    let lo = (SUB as u64 + sub) << octave;
+    (lo, lo + (1u64 << octave) - 1)
+}
+
+/// A registered metric, any kind. The registry stores these; exposition
+/// and JSON views iterate them.
+enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl MetricRef {
+    fn name(&self) -> &'static str {
+        match self {
+            MetricRef::Counter(c) => c.name,
+            MetricRef::Gauge(g) => g.name,
+            MetricRef::Histogram(h) => h.name,
+        }
+    }
+
+    fn labels(&self) -> &'static [(&'static str, &'static str)] {
+        match self {
+            MetricRef::Counter(c) => c.labels,
+            MetricRef::Gauge(g) => g.labels,
+            MetricRef::Histogram(h) => h.labels,
+        }
+    }
+
+    fn help(&self) -> &'static str {
+        match self {
+            MetricRef::Counter(c) => c.help,
+            MetricRef::Gauge(g) => g.help,
+            MetricRef::Histogram(h) => h.help,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricRef::Counter(_) => "counter",
+            MetricRef::Gauge(_) => "gauge",
+            MetricRef::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Process-wide list of registered metrics. Locked only at registration
+/// (once per metric per process) and at render time — never on the record
+/// path.
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+fn push_registered(m: MetricRef, flag: &AtomicBool) {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    // `swap` under the lock de-duplicates racing first touches.
+    if !flag.swap(true, Ordering::Relaxed) {
+        reg.push(m);
+    }
+}
+
+/// A monotonically increasing counter (`u64`, relaxed atomics).
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    labels: &'static [(&'static str, &'static str)],
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new unregistered counter; usable as a `static` initializer.
+    pub const fn new(name: &'static str, help: &'static str) -> Counter {
+        Counter::with_labels(name, help, &[])
+    }
+
+    /// Like [`Counter::new`] with fixed `key="value"` exposition labels.
+    /// Several metrics may share a name with distinct labels; they render
+    /// as one Prometheus family.
+    pub const fn with_labels(
+        name: &'static str,
+        help: &'static str,
+        labels: &'static [(&'static str, &'static str)],
+    ) -> Counter {
+        Counter {
+            name,
+            help,
+            labels,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers the counter so it appears in exposition even at zero.
+    pub fn register(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) {
+            push_registered(MetricRef::Counter(self), &self.registered);
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. One relaxed `fetch_add` (plus a one-time registration on
+    /// the very first touch).
+    pub fn add(&'static self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+        self.register();
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an `AtomicU64`).
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    labels: &'static [(&'static str, &'static str)],
+    bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A new unregistered gauge starting at `0.0`.
+    pub const fn new(name: &'static str, help: &'static str) -> Gauge {
+        Gauge::with_labels(name, help, &[])
+    }
+
+    /// Like [`Gauge::new`] with fixed exposition labels.
+    pub const fn with_labels(
+        name: &'static str,
+        help: &'static str,
+        labels: &'static [(&'static str, &'static str)],
+    ) -> Gauge {
+        Gauge {
+            name,
+            help,
+            labels,
+            bits: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers the gauge so it appears in exposition before first set.
+    pub fn register(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) {
+            push_registered(MetricRef::Gauge(self), &self.registered);
+        }
+    }
+
+    /// Stores `v`. One relaxed store (plus one-time registration).
+    pub fn set(&'static self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        self.register();
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A log-linear bucketed histogram of `u64` samples.
+///
+/// Bucket counts, the running sum, and the running max are relaxed
+/// atomics; [`Histogram::record`] is three relaxed RMW ops and never
+/// locks or allocates. Quantiles are reconstructed from bucket bounds at
+/// read time ([`HistogramSnapshot::quantile`]) and are exact to within
+/// one bucket width.
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    labels: &'static [(&'static str, &'static str)],
+    buckets: [AtomicU64; NBUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// A new unregistered histogram; usable as a `static` initializer.
+    pub const fn new(name: &'static str, help: &'static str) -> Histogram {
+        Histogram::with_labels(name, help, &[])
+    }
+
+    /// Like [`Histogram::new`] with fixed exposition labels.
+    pub const fn with_labels(
+        name: &'static str,
+        help: &'static str,
+        labels: &'static [(&'static str, &'static str)],
+    ) -> Histogram {
+        Histogram {
+            name,
+            help,
+            labels,
+            buckets: [const { AtomicU64::new(0) }; NBUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers the histogram so it appears in exposition while empty.
+    pub fn register(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) {
+            push_registered(MetricRef::Histogram(self), &self.registered);
+        }
+    }
+
+    /// Records one sample: a bucket increment, a sum add, and a max
+    /// update — three relaxed atomic RMW ops.
+    pub fn record(&'static self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.register();
+    }
+
+    /// Records the elapsed microseconds since `start`.
+    pub fn record_elapsed_us(&'static self, start: Instant) {
+        self.record(start.elapsed().as_micros() as u64);
+    }
+
+    /// A point-in-time copy of the bucket counts and aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A point-in-time view of a [`Histogram`]: per-bucket counts plus the
+/// exact sample count, sum, and max.
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact sum of all recorded samples.
+    pub sum: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) reconstructed from bucket counts:
+    /// the upper bound of the bucket holding the sample of that rank,
+    /// clamped to the observed max. Within one bucket width of the exact
+    /// sample quantile; `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let (_, hi) = bucket_bounds(idx);
+                return Some(hi.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` ranges, in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| {
+                let (lo, hi) = bucket_bounds(idx);
+                (lo, hi, n)
+            })
+            .collect()
+    }
+}
+
+/// Formats an `f64` for exposition: integral values without a fraction,
+/// everything else via the shortest round-trip repr.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_labels(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders every registered metric in Prometheus text exposition format
+/// 0.0.4: `# HELP` / `# TYPE` headers per family, then one line per
+/// series. Histograms emit cumulative `_bucket{le="…"}` lines at their
+/// non-empty bucket boundaries plus `+Inf`, `_sum`, and `_count`.
+/// Families are sorted by name (then label set) so output is stable.
+pub fn render_prometheus() -> String {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut order: Vec<&MetricRef> = reg.iter().collect();
+    order.sort_by_key(|m| (m.name(), m.labels()));
+    let mut out = String::new();
+    let mut last_name = "";
+    for m in order {
+        if m.name() != last_name {
+            last_name = m.name();
+            out.push_str(&format!("# HELP {} {}\n", m.name(), m.help()));
+            out.push_str(&format!("# TYPE {} {}\n", m.name(), m.type_name()));
+        }
+        match m {
+            MetricRef::Counter(c) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    c.name,
+                    fmt_labels(c.labels, None),
+                    c.get()
+                ));
+            }
+            MetricRef::Gauge(g) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    g.name,
+                    fmt_labels(g.labels, None),
+                    fmt_f64(g.get())
+                ));
+            }
+            MetricRef::Histogram(h) => {
+                let snap = h.snapshot();
+                let mut cum = 0u64;
+                for (_, hi, n) in snap.nonzero_buckets() {
+                    cum += n;
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        h.name,
+                        fmt_labels(h.labels, Some(("le", &hi.to_string()))),
+                        cum
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    h.name,
+                    fmt_labels(h.labels, Some(("le", "+Inf"))),
+                    snap.count
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    h.name,
+                    fmt_labels(h.labels, None),
+                    snap.sum
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    h.name,
+                    fmt_labels(h.labels, None),
+                    snap.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_roundtrip() {
+        for v in [0u64, 1, 7, 15, 16, 17, 31, 32, 63, 64, 1000, 123_456, u64::MAX] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            if v < (1u64 << (MAX_MSB + 1)) {
+                assert!(lo <= v && v <= hi, "v={v} idx={idx} lo={lo} hi={hi}");
+            } else {
+                assert_eq!(idx, NBUCKETS - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous() {
+        let mut expect = 0u64;
+        for idx in 0..NBUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expect, "bucket {idx} lower bound");
+            assert!(hi >= lo);
+            expect = hi + 1;
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_bounded() {
+        for idx in SUB..NBUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            let width = hi - lo + 1;
+            assert!(
+                (width as f64) / (lo as f64) <= 1.0 / SUB as f64 + 1e-12,
+                "bucket {idx}: width {width} lo {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        static C: Counter = Counter::new("test_metrics_counter_total", "test");
+        static G: Gauge = Gauge::new("test_metrics_gauge", "test");
+        let before = C.get();
+        C.inc();
+        C.add(4);
+        assert_eq!(C.get(), before + 5);
+        G.set(2.5);
+        assert_eq!(G.get(), 2.5);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE test_metrics_counter_total counter"));
+        assert!(text.contains("test_metrics_gauge 2.5"));
+    }
+
+    #[test]
+    fn histogram_quantiles_and_exposition() {
+        static H: Histogram = Histogram::new("test_metrics_hist_us", "test");
+        for v in 1..=100u64 {
+            H.record(v);
+        }
+        let snap = H.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum, 5050);
+        assert_eq!(snap.max, 100);
+        // p50 of 1..=100 is 50; bucket [48,51] holds it → hi=51.
+        let p50 = snap.quantile(0.5).unwrap();
+        assert!((48..=56).contains(&p50), "p50={p50}");
+        assert_eq!(snap.quantile(1.0).unwrap(), 100);
+        let text = render_prometheus();
+        assert!(text.contains("test_metrics_hist_us_sum 5050"));
+        assert!(text.contains("test_metrics_hist_us_count 100"));
+        assert!(text.contains("le=\"+Inf\"} 100"));
+        // Cumulative bucket lines must be non-decreasing and end at count.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("test_metrics_hist_us_bucket{le=\"") {
+                let n: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(n >= last);
+                last = n;
+            }
+        }
+        assert_eq!(last, 100);
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_header() {
+        static A: Counter = Counter::with_labels(
+            "test_metrics_labeled_total",
+            "test",
+            &[("endpoint", "a")],
+        );
+        static B: Counter = Counter::with_labels(
+            "test_metrics_labeled_total",
+            "test",
+            &[("endpoint", "b")],
+        );
+        A.inc();
+        B.add(2);
+        let text = render_prometheus();
+        let headers = text
+            .lines()
+            .filter(|l| *l == "# TYPE test_metrics_labeled_total counter")
+            .count();
+        assert_eq!(headers, 1);
+        assert!(text.contains("test_metrics_labeled_total{endpoint=\"a\"} 1"));
+        assert!(text.contains("test_metrics_labeled_total{endpoint=\"b\"} 2"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for `tesa_util::metrics` histograms: quantiles
+//! reconstructed from log-linear bucket counts must land within one
+//! bucket width of the exact sample quantiles.
+
+use tesa_util::metrics::Histogram;
+use tesa_util::propcheck::{check, ranged, vec_of, Config};
+use tesa_util::{prop_assert, prop_assert_eq};
+
+/// Exact `q`-quantile of `samples` (nearest-rank on the sorted vector).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Width of the histogram bucket containing `v` (log-linear layout: exact
+/// below 16, then 1/16 relative width per octave).
+fn bucket_width(v: u64) -> u64 {
+    if v < 16 {
+        return 1;
+    }
+    let msb = 63 - v.leading_zeros();
+    1u64 << (msb - 4)
+}
+
+#[test]
+fn quantiles_within_one_bucket_width() {
+    // Each case gets its own leaked static histogram: the registry API is
+    // built around `static` metrics, and a test-scale leak is bounded by
+    // the case count.
+    check(
+        Config::with_cases(40),
+        vec_of(ranged(1u64..2_000_000), 1..400),
+        |samples: Vec<u64>| {
+            let hist: &'static Histogram = Box::leak(Box::new(Histogram::new(
+                "test_prop_hist_quantiles",
+                "propcheck scratch histogram",
+            )));
+            for &v in &samples {
+                hist.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let snap = hist.snapshot();
+            prop_assert_eq!(snap.count, samples.len() as u64, "count matches");
+            prop_assert_eq!(snap.sum, samples.iter().sum::<u64>(), "sum is exact");
+            prop_assert_eq!(snap.max, *sorted.last().unwrap(), "max is exact");
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let exact = exact_quantile(&sorted, q);
+                let approx = snap.quantile(q).unwrap();
+                let width = bucket_width(exact).max(bucket_width(approx));
+                let err = approx.abs_diff(exact);
+                prop_assert!(
+                    err <= width,
+                    "q={q}: approx {approx} vs exact {exact} (err {err} > width {width})"
+                );
+            }
+            Ok(())
+        },
+    );
+}

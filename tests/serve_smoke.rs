@@ -304,6 +304,183 @@ fn killed_daemon_resumes_campaign_to_identical_report() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Parses Prometheus text exposition 0.0.4 into series → value,
+/// validating the line grammar (comments are HELP/TYPE only, samples are
+/// `name{labels} value`) and rejecting duplicate series on the way.
+fn parse_exposition(text: &str) -> std::collections::HashMap<String, f64> {
+    let mut series = std::collections::HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                "bad comment line {line:?}"
+            );
+            continue;
+        }
+        let (key, value) =
+            line.rsplit_once(' ').unwrap_or_else(|| panic!("bad sample line {line:?}"));
+        let v = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse::<f64>().unwrap_or_else(|_| panic!("bad value in {line:?}")),
+        };
+        assert!(series.insert(key.to_owned(), v).is_none(), "duplicate series {key}");
+    }
+    series
+}
+
+/// The tentpole reconciliation check: a scripted request sequence against
+/// a fresh daemon must be mirrored *exactly* by the `/metrics` exposition
+/// — request counters, histogram counts, and the `/stats` JSON view all
+/// reading the same registry.
+#[test]
+fn metrics_exposition_reconciles_with_issued_requests() {
+    let bin = tesa_bin();
+    let dir = temp_dir("metrics");
+    let daemon = Daemon::start(&bin, &dir, &[]);
+    let timeout = Duration::from_secs(600);
+
+    for _ in 0..3 {
+        let r = http::get(&daemon.addr, "/healthz", timeout).expect("healthz");
+        assert_eq!(r.status, 200);
+    }
+    // Two distinct designs: two admissions, two exact evaluations.
+    for dim in [60u64, 64] {
+        let body = format!(
+            r#"{{"design":{{"array_dim":{dim},"sram_kib_per_bank":128}},"constraints":{{"fps":1.0}}}}"#
+        );
+        let r = http::post(&daemon.addr, "/evaluate", &body, timeout).expect("evaluate");
+        assert_eq!(r.status, 200);
+    }
+
+    // Request counters bump before routing, so they are visible by the
+    // time each response lands; latency histograms record after the
+    // response is written, so allow the final connection thread a moment.
+    let mut text = String::new();
+    let mut scrapes = 0u64;
+    for _ in 0..100 {
+        scrapes += 1;
+        let scrape = http::get(&daemon.addr, "/metrics", timeout).expect("metrics");
+        assert_eq!(scrape.status, 200);
+        assert_eq!(scrape.header("Content-Type"), Some("text/plain; version=0.0.4"));
+        text = scrape.body_str().expect("metrics body is utf-8").to_owned();
+        if text.contains(r#"tesa_serve_request_duration_us_count{endpoint="evaluate"} 2"#) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let series = parse_exposition(&text);
+    let get = |k: &str| {
+        *series.get(k).unwrap_or_else(|| panic!("missing series {k} in exposition:\n{text}"))
+    };
+
+    assert_eq!(get(r#"tesa_serve_requests_total{endpoint="healthz"}"#), 3.0);
+    assert_eq!(get(r#"tesa_serve_requests_total{endpoint="evaluate"}"#), 2.0);
+    // The scrape counts itself: the counter bumps at route entry, before
+    // the exposition renders.
+    assert_eq!(get(r#"tesa_serve_requests_total{endpoint="metrics"}"#), scrapes as f64);
+    assert_eq!(get(r#"tesa_serve_request_duration_us_count{endpoint="healthz"}"#), 3.0);
+    assert_eq!(get(r#"tesa_serve_request_duration_us_count{endpoint="evaluate"}"#), 2.0);
+    assert_eq!(
+        get(r#"tesa_serve_request_duration_us_bucket{endpoint="healthz",le="+Inf"}"#),
+        3.0
+    );
+    // Two admitted jobs flowed through the dispatcher and the session.
+    assert_eq!(get("tesa_serve_batched_jobs_total"), 2.0);
+    assert_eq!(get("tesa_session_evaluated_total"), 2.0);
+    assert_eq!(get("tesa_eval_cache_misses_total"), 2.0);
+    assert_eq!(get("tesa_eval_cache_hits_total"), 0.0);
+    assert_eq!(get("tesa_serve_rejected_busy_total"), 0.0);
+    // The evaluations exercised the thermal solver's histograms.
+    assert!(get("tesa_thermal_cg_iterations_count") >= 1.0, "no CG solves recorded:\n{text}");
+    assert!(get("tesa_serve_batch_size_sum") >= 2.0);
+
+    // `/stats` is a JSON view over the exact same atomics.
+    let stats = http::get(&daemon.addr, "/stats", timeout).expect("stats");
+    let stats =
+        tesa_util::json::parse(stats.body_str().unwrap()).expect("stats json");
+    let stat = |k: &str| stats.get(k).and_then(tesa_util::Json::as_u64).expect(k);
+    assert_eq!(stat("batched_jobs"), get("tesa_serve_batched_jobs_total") as u64);
+    assert_eq!(stat("batches"), get("tesa_serve_batches_total") as u64);
+    assert_eq!(stat("rejected_busy"), 0);
+    let session = stats.get("session").expect("session stats");
+    assert_eq!(session.get("evaluated").and_then(tesa_util::Json::as_u64), Some(2));
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `GET /campaigns/<name>/progress` must stream live optimizer state
+/// while a campaign runs — polled concurrently with the `/optimize`
+/// request — then settle to `"done"`, and `GET /campaigns` must list the
+/// finished campaign.
+#[test]
+fn campaign_progress_reports_running_then_done() {
+    let bin = tesa_bin();
+    let dir = temp_dir("progress");
+    let daemon = Daemon::start(&bin, &dir, &[]);
+    let timeout = Duration::from_secs(600);
+
+    let missing =
+        http::get(&daemon.addr, "/campaigns/nope/progress", timeout).expect("missing campaign");
+    assert_eq!(missing.status, 404);
+
+    // The smoke campaign as a raw /optimize body (name `live`).
+    let body = r#"{"name":"live","deltas":[0.7,0.6],"t_init":4.0,"t_final":0.8,"moves_per_temp":2,"init_attempts":20,"grid_cells":32,"constraints":{"fps":15.0,"temp_c":85.0}}"#;
+    let post = {
+        let addr = daemon.addr.clone();
+        std::thread::spawn(move || http::post(&addr, "/optimize", body, timeout))
+    };
+
+    let mut saw_running = false;
+    let mut saw_live_detail = false;
+    while !post.is_finished() {
+        let r = http::get(&daemon.addr, "/campaigns/live/progress", timeout).expect("progress");
+        if r.status == 200 {
+            let snap = tesa_util::json::parse(r.body_str().unwrap()).expect("progress json");
+            if snap.get("state").and_then(tesa_util::Json::as_str) == Some("running") {
+                saw_running = true;
+                // The annealer's live snapshot carries the schedule view.
+                if let Some(f) = snap.get("fraction_done").and_then(tesa_util::Json::as_f64) {
+                    saw_live_detail = true;
+                    assert!((0.0..=1.0).contains(&f), "fraction_done out of range: {snap}");
+                    for key in ["name", "elapsed_s", "checkpoints", "starts"] {
+                        assert!(snap.get(key).is_some(), "progress missing {key}: {snap}");
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let response = post.join().expect("optimize thread").expect("optimize roundtrip");
+    assert_eq!(response.status, 200);
+    assert!(saw_running, "never observed the campaign running");
+    assert!(saw_live_detail, "never observed a live annealer snapshot");
+
+    let done = http::get(&daemon.addr, "/campaigns/live/progress", timeout).expect("done");
+    assert_eq!(done.status, 200);
+    let done = tesa_util::json::parse(done.body_str().unwrap()).expect("done json");
+    assert_eq!(done.get("state").and_then(tesa_util::Json::as_str), Some("done"), "{done}");
+
+    let list = http::get(&daemon.addr, "/campaigns", timeout).expect("campaigns");
+    assert_eq!(list.status, 200);
+    let list = tesa_util::json::parse(list.body_str().unwrap()).expect("campaigns json");
+    let rows = list.get("campaigns").and_then(tesa_util::Json::as_array).expect("array");
+    assert!(
+        rows.iter().any(|r| {
+            r.get("name").and_then(tesa_util::Json::as_str) == Some("live")
+                && r.get("state").and_then(tesa_util::Json::as_str) == Some("done")
+        }),
+        "campaign list must show live as done: {list}"
+    );
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn full_admission_queue_sheds_load_with_429_and_retry_after() {
     let bin = tesa_bin();

@@ -1,0 +1,219 @@
+//! Acceptance smoke for `tesa trace export`: a `--trace` capture from a
+//! real `tesa optimize` run must round-trip through the strict JSON
+//! parser as a Chrome trace whose begin/end pairs nest correctly on
+//! every thread lane, and the collapsed and `summarize --format json`
+//! views of the same capture must stay self-consistent with it.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use tesa_util::Json;
+
+/// A fast optimize campaign, mirrored from the serve_smoke matrix:
+/// 2 starts x (5 + 4) temperature steps, coarse thermal grid.
+const CAMPAIGN_FLAGS: &[&str] = &[
+    "--deltas",
+    "0.7,0.6",
+    "--t-init",
+    "4",
+    "--t-final",
+    "0.8",
+    "--moves-per-temp",
+    "2",
+    "--init-attempts",
+    "20",
+    "--grid-cells",
+    "32",
+    "--fps",
+    "15",
+    "--temp-c",
+    "85",
+];
+
+/// Locates the `tesa` CLI binary next to the test executable
+/// (`target/<profile>/tesa`), building it if this test runs on its own.
+/// `TESA_BIN` overrides the discovery for packaged environments.
+fn tesa_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("TESA_BIN") {
+        return PathBuf::from(p);
+    }
+    let exe = std::env::current_exe().expect("test executable path");
+    let profile_dir = exe.parent().and_then(Path::parent).expect("target profile directory");
+    let bin = profile_dir.join(format!("tesa{}", std::env::consts::EXE_SUFFIX));
+    if bin.exists() {
+        return bin;
+    }
+    let mut args = vec!["build", "-p", "tesa-cli", "--offline"];
+    if profile_dir.file_name().is_some_and(|n| n == "release") {
+        args.push("--release");
+    }
+    let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .args(&args)
+        .status()
+        .expect("cargo build -p tesa-cli");
+    assert!(status.success(), "building the tesa CLI failed");
+    assert!(bin.exists(), "built CLI not found at {}", bin.display());
+    bin
+}
+
+/// Runs `tesa <args…>` with a scrubbed fault-injection environment and
+/// asserts it exited successfully.
+fn run_tesa(bin: &Path, args: &[&str]) -> Output {
+    let output = Command::new(bin)
+        .args(args)
+        .env_remove("TESA_FAULTPOINTS")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawning tesa");
+    assert!(
+        output.status.success(),
+        "tesa {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+/// A scratch directory removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("tesa-trace-export-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn field<'j>(event: &'j Json, key: &str) -> &'j Json {
+    event.get(key).unwrap_or_else(|| panic!("event missing {key:?}: {event:?}"))
+}
+
+#[test]
+fn chrome_export_from_a_real_optimize_run_nests_correctly_per_thread() {
+    let bin = tesa_bin();
+    let dir = TempDir::new("chrome");
+    let jsonl = dir.path("run.jsonl");
+    let jsonl_str = jsonl.to_str().expect("utf-8 temp path");
+
+    // A real campaign with tracing on: multi-start annealing, thermal
+    // solves, checkpoint writes — everything the exporter must lane-sort.
+    let mut optimize: Vec<&str> = vec!["optimize", "--trace", jsonl_str];
+    optimize.extend_from_slice(CAMPAIGN_FLAGS);
+    run_tesa(&bin, &optimize);
+
+    let artifact = dir.path("run.trace.json");
+    let artifact_str = artifact.to_str().expect("utf-8 temp path");
+    let out = run_tesa(
+        &bin,
+        &["trace", "export", jsonl_str, "--format", "chrome", "--out", artifact_str],
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("trace ->"),
+        "export did not confirm the artifact path"
+    );
+
+    // The acceptance bar: the artifact must survive the strict parser
+    // (no trailing commas, no NaNs, no truncation)…
+    let text = std::fs::read_to_string(&artifact).expect("reading chrome artifact");
+    let root = tesa_util::json::parse(&text)
+        .unwrap_or_else(|e| panic!("chrome artifact is not strict JSON: {e}"));
+    let events = field(&root, "traceEvents").as_array().expect("traceEvents array");
+    assert!(!events.is_empty(), "empty trace export from a real campaign");
+
+    // …and every thread lane must be a well-formed stack machine: each E
+    // closes the most recent open B with the same name, timestamps never
+    // run backwards within a lane, and no lane is left open at the end.
+    let mut stacks: HashMap<(u64, u64), Vec<(String, u64)>> = HashMap::new();
+    let mut last_ts: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut span_names: Vec<String> = Vec::new();
+    for event in events {
+        let ph = field(event, "ph").as_str().expect("ph string");
+        let lane = (
+            field(event, "pid").as_u64().expect("pid"),
+            field(event, "tid").as_u64().expect("tid"),
+        );
+        let ts = field(event, "ts").as_u64().expect("integer ts");
+        let prev = last_ts.entry(lane).or_insert(ts);
+        assert!(ts >= *prev, "lane {lane:?} time ran backwards: {ts} after {prev}");
+        *prev = ts;
+        match ph {
+            "B" => {
+                let name = field(event, "name").as_str().expect("name").to_owned();
+                span_names.push(name.clone());
+                stacks.entry(lane).or_default().push((name, ts));
+            }
+            "E" => {
+                let (name, begin) = stacks
+                    .get_mut(&lane)
+                    .and_then(Vec::pop)
+                    .unwrap_or_else(|| panic!("E with no open B on lane {lane:?}"));
+                let end_name = field(event, "name").as_str().expect("name");
+                assert_eq!(end_name, name, "mismatched E on lane {lane:?}");
+                assert!(ts >= begin, "span {name} ends before it begins");
+            }
+            "i" | "C" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (lane, stack) in &stacks {
+        assert!(stack.is_empty(), "lane {lane:?} left spans open: {stack:?}");
+    }
+    assert!(
+        span_names.iter().any(|n| n == "msa.optimize"),
+        "campaign root span missing from export: {span_names:?}"
+    );
+    assert!(
+        span_names.iter().any(|n| n == "msa.start"),
+        "per-start spans missing from export"
+    );
+
+    // The collapsed view of the same capture folds to root-first stacks
+    // whose total self-time is positive and whose frames match the tree.
+    let collapsed = run_tesa(&bin, &["trace", "export", jsonl_str, "--format", "collapsed"]);
+    let folded = String::from_utf8(collapsed.stdout).expect("utf-8 folded stacks");
+    let mut total_self_us = 0u64;
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("folded line has a weight");
+        assert!(!stack.is_empty());
+        total_self_us += weight.parse::<u64>().expect("integer weight");
+    }
+    assert!(total_self_us > 0, "folded stacks carry no time:\n{folded}");
+    // Each annealing start runs on its own worker lane, so the folded
+    // stacks root at `msa.start` with the evaluation pipeline beneath.
+    assert!(
+        folded.lines().any(|l| l.starts_with("msa.start;eval.design;")),
+        "no evaluation stack under an annealing start:\n{folded}"
+    );
+
+    // And `summarize --format json` of the same capture agrees with the
+    // exporter on how many campaign-root spans the capture holds.
+    let summary = run_tesa(&bin, &["trace", "summarize", jsonl_str, "--format", "json"]);
+    let summary_text = String::from_utf8(summary.stdout).expect("utf-8 summary");
+    let summary_json = tesa_util::json::parse(&summary_text)
+        .unwrap_or_else(|e| panic!("summary is not strict JSON: {e}"));
+    let spans = field(&summary_json, "spans").as_array().expect("spans array");
+    let optimize_count = spans
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some("msa.optimize"))
+        .and_then(|s| s.get("count"))
+        .and_then(Json::as_u64)
+        .expect("msa.optimize span row in summary");
+    let exported_roots =
+        span_names.iter().filter(|n| n.as_str() == "msa.optimize").count() as u64;
+    assert_eq!(
+        optimize_count, exported_roots,
+        "summarize and export disagree on campaign-root span count"
+    );
+}
